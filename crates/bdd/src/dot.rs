@@ -1,0 +1,105 @@
+//! Graphviz (DOT) export, for debugging and documentation figures.
+//!
+//! Solid arrows are true branches, dashed arrows false branches —
+//! matching the paper's Figure 3 conventions.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::store::NodeRef;
+use crate::Bdd;
+
+impl Bdd {
+    /// Renders the reachable part of the diagram as a DOT graph.
+    pub fn to_dot(&self, title: &str) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "digraph \"{title}\" {{");
+        let _ = writeln!(s, "  rankdir=TB;");
+        let mut names: HashMap<NodeRef, String> = HashMap::new();
+        let mut next_term = 0usize;
+
+        let mut term_name = |r: NodeRef, names: &mut HashMap<NodeRef, String>| -> String {
+            if let Some(n) = names.get(&r) {
+                return n.clone();
+            }
+            let n = format!("t{next_term}");
+            next_term += 1;
+            names.insert(r, n.clone());
+            n
+        };
+
+        // Emit nodes.
+        let reachable = self.reachable();
+        for (i, &r) in reachable.iter().enumerate() {
+            let n = self.node(r);
+            let pred = self.var_pred(n.var);
+            let field = &self.field_info(pred.field).name;
+            names.insert(r, format!("n{i}"));
+            let _ = writeln!(
+                s,
+                "  n{i} [shape=ellipse,label=\"{field} {} {}\"];",
+                pred.op, pred.value
+            );
+        }
+        // Emit terminals (reachable ones only).
+        let mut terms: Vec<NodeRef> = Vec::new();
+        let push_term = |r: NodeRef, terms: &mut Vec<NodeRef>| {
+            if r.is_term() && !terms.contains(&r) {
+                terms.push(r);
+            }
+        };
+        push_term(self.root, &mut terms);
+        for &r in &reachable {
+            let n = self.node(r);
+            push_term(n.lo, &mut terms);
+            push_term(n.hi, &mut terms);
+        }
+        for &t in &terms {
+            let NodeRef::Term(set) = t else { unreachable!() };
+            let name = term_name(t, &mut names);
+            let acts: Vec<String> = self.actions(set).iter().map(|a| format!("a{}", a.0)).collect();
+            let label = if acts.is_empty() { "∅".to_string() } else { acts.join(",") };
+            let _ = writeln!(s, "  {name} [shape=box,label=\"{{{label}}}\"];");
+        }
+        // Emit edges: solid = true, dashed = false.
+        for &r in &reachable {
+            let n = self.node(r);
+            let from = names[&r].clone();
+            let hi = names[&n.hi].clone();
+            let lo = names[&n.lo].clone();
+            let _ = writeln!(s, "  {from} -> {hi};");
+            let _ = writeln!(s, "  {from} -> {lo} [style=dashed];");
+        }
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pred::{ActionId, FieldId, FieldInfo, Pred};
+    use crate::Bdd;
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let f = FieldId(0);
+        let mut bdd =
+            Bdd::new(vec![FieldInfo::range("shares", 16)], [Pred::lt(f, 60)]).unwrap();
+        bdd.add_rule(&[(Pred::lt(f, 60), true)], &[ActionId(0)]).unwrap();
+        let dot = bdd.to_dot("test");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("shares < 60"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("a0"));
+        assert!(dot.contains("∅"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_bdd_renders_single_terminal() {
+        let bdd = Bdd::new(vec![FieldInfo::range("x", 8)], [Pred::lt(FieldId(0), 5)]).unwrap();
+        let dot = bdd.to_dot("empty");
+        assert!(dot.contains("t0"));
+        assert!(!dot.contains("n0 "));
+    }
+}

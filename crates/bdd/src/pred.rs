@@ -1,0 +1,272 @@
+//! The canonical predicate alphabet.
+//!
+//! The paper's atomic predicates are `field < n`, `field > n` and
+//! `field == n` over unsigned packet fields. Negation during DNF
+//! normalization also produces `<=`, `>=` and `!=`; those are
+//! canonicalized here back onto the three-operator alphabet (with an
+//! explicit polarity for `!=`), so the BDD variable table contains only
+//! `<`, `>` and `==` tests — exactly the Figure 3 node shapes.
+
+use std::fmt;
+
+use camus_lang::ast::RelOp;
+
+/// Index of a query field in the compiler's field order. State variables
+/// are assigned pseudo-field ids after the packet fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub u32);
+
+/// An opaque action identifier. The compiler maps each distinct rule
+/// action (forward set, state update) to an `ActionId`; BDD terminals
+/// are sets of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(pub u32);
+
+/// Per-field metadata the BDD needs: the field's bit width (bounding its
+/// value domain) and whether it is exact-match-only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldInfo {
+    /// Field name, for diagnostics and DOT output.
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub bits: u32,
+    /// `true` for `@query_field_exact` fields: only `==`/`!=` predicates
+    /// are allowed, and the compiled table uses SRAM exact matching.
+    pub exact: bool,
+}
+
+impl FieldInfo {
+    /// A range-matchable field (`@query_field`).
+    pub fn range(name: impl Into<String>, bits: u32) -> Self {
+        FieldInfo { name: name.into(), bits, exact: false }
+    }
+
+    /// An exact-match-only field (`@query_field_exact`).
+    pub fn exact(name: impl Into<String>, bits: u32) -> Self {
+        FieldInfo { name: name.into(), bits, exact: true }
+    }
+
+    /// Largest value representable in the field.
+    pub fn max_value(&self) -> u64 {
+        if self.bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+}
+
+/// Canonical predicate operators (paper Fig. 1: `<`, `>`, `==`).
+///
+/// The derived `Ord` (Eq < Lt < Gt, then by constant) fixes the
+/// *within-field* variable order; fields themselves are ordered by
+/// [`FieldId`], which the compiler assigns from the ordering heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredOp {
+    /// `field == n`
+    Eq,
+    /// `field < n`
+    Lt,
+    /// `field > n`
+    Gt,
+}
+
+impl PredOp {
+    /// Evaluates the operator.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            PredOp::Eq => lhs == rhs,
+            PredOp::Lt => lhs < rhs,
+            PredOp::Gt => lhs > rhs,
+        }
+    }
+
+    /// Concrete-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PredOp::Eq => "==",
+            PredOp::Lt => "<",
+            PredOp::Gt => ">",
+        }
+    }
+}
+
+impl fmt::Display for PredOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A canonical atomic predicate `field op value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pred {
+    /// The field tested.
+    pub field: FieldId,
+    /// The operator.
+    pub op: PredOp,
+    /// The constant compared against.
+    pub value: u64,
+}
+
+impl Pred {
+    /// `field == value`.
+    pub fn eq(field: FieldId, value: u64) -> Self {
+        Pred { field, op: PredOp::Eq, value }
+    }
+
+    /// `field < value`.
+    pub fn lt(field: FieldId, value: u64) -> Self {
+        Pred { field, op: PredOp::Lt, value }
+    }
+
+    /// `field > value`.
+    pub fn gt(field: FieldId, value: u64) -> Self {
+        Pred { field, op: PredOp::Gt, value }
+    }
+
+    /// Evaluates the predicate on a field value.
+    pub fn eval(&self, field_value: u64) -> bool {
+        self.op.eval(field_value, self.value)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{} {} {}", self.field.0, self.op, self.value)
+    }
+}
+
+/// Result of canonicalizing a (possibly extended-operator) predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Canon {
+    /// The predicate is a tautology over the field's domain
+    /// (e.g. `x >= 0`, `x <= max`).
+    Always(bool),
+    /// A canonical literal: predicate plus polarity (`false` = negated).
+    Lit(Pred, bool),
+}
+
+/// Canonicalizes `field op value` over a field of `bits` bits onto the
+/// `{<, >, ==}` alphabet:
+///
+/// * `x <= n` ⇒ `x < n+1` (or *true* when `n` is the domain max);
+/// * `x >= n` ⇒ `x > n-1` (or *true* when `n` is 0);
+/// * `x != n` ⇒ `¬(x == n)`;
+/// * out-of-domain constants fold to constants (`x < 0` is *false*,
+///   `x == n` with `n` above the domain max is *false*, ...).
+pub fn canonicalize(field: FieldId, op: RelOp, value: u64, bits: u32) -> Canon {
+    let max = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    match op {
+        RelOp::Eq | RelOp::Ne => {
+            let pol = op == RelOp::Eq;
+            if value > max {
+                Canon::Always(!pol)
+            } else {
+                Canon::Lit(Pred::eq(field, value), pol)
+            }
+        }
+        RelOp::Lt => {
+            if value == 0 {
+                Canon::Always(false)
+            } else if value > max {
+                Canon::Always(true)
+            } else {
+                Canon::Lit(Pred::lt(field, value), true)
+            }
+        }
+        RelOp::Gt => {
+            if value >= max {
+                Canon::Always(false)
+            } else {
+                Canon::Lit(Pred::gt(field, value), true)
+            }
+        }
+        RelOp::Le => {
+            if value >= max {
+                Canon::Always(true)
+            } else {
+                // x <= n  ⇔  x < n+1 (n < max, so n+1 cannot overflow).
+                Canon::Lit(Pred::lt(field, value + 1), true)
+            }
+        }
+        RelOp::Ge => {
+            if value == 0 {
+                Canon::Always(true)
+            } else if value > max {
+                Canon::Always(false)
+            } else {
+                // x >= n  ⇔  x > n-1 (n > 0).
+                Canon::Lit(Pred::gt(field, value - 1), true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FieldId = FieldId(0);
+
+    /// Exhaustively checks that canonicalization preserves semantics over
+    /// a small field domain.
+    #[test]
+    fn canonicalization_preserves_semantics_exhaustively() {
+        let bits = 4;
+        let max = 15u64;
+        for op in [RelOp::Lt, RelOp::Gt, RelOp::Eq, RelOp::Le, RelOp::Ge, RelOp::Ne] {
+            for value in 0..=max + 2 {
+                let canon = canonicalize(F, op, value, bits);
+                for x in 0..=max {
+                    let want = op.eval(x, value);
+                    let got = match canon {
+                        Canon::Always(b) => b,
+                        Canon::Lit(p, pol) => p.eval(x) == pol,
+                    };
+                    assert_eq!(got, want, "{op} value={value} x={x} -> {canon:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn le_max_is_tautology() {
+        assert_eq!(canonicalize(F, RelOp::Le, 15, 4), Canon::Always(true));
+        assert_eq!(canonicalize(F, RelOp::Le, u64::MAX, 64), Canon::Always(true));
+    }
+
+    #[test]
+    fn ge_zero_is_tautology() {
+        assert_eq!(canonicalize(F, RelOp::Ge, 0, 32), Canon::Always(true));
+    }
+
+    #[test]
+    fn lt_zero_is_contradiction() {
+        assert_eq!(canonicalize(F, RelOp::Lt, 0, 32), Canon::Always(false));
+    }
+
+    #[test]
+    fn gt_max_is_contradiction() {
+        assert_eq!(canonicalize(F, RelOp::Gt, 15, 4), Canon::Always(false));
+        assert_eq!(canonicalize(F, RelOp::Gt, u64::MAX, 64), Canon::Always(false));
+    }
+
+    #[test]
+    fn ne_is_negated_eq() {
+        assert_eq!(canonicalize(F, RelOp::Ne, 7, 8), Canon::Lit(Pred::eq(F, 7), false));
+    }
+
+    #[test]
+    fn within_field_order_is_eq_lt_gt() {
+        let mut v = vec![Pred::gt(F, 1), Pred::lt(F, 9), Pred::eq(F, 5), Pred::eq(F, 2)];
+        v.sort();
+        assert_eq!(v, vec![Pred::eq(F, 2), Pred::eq(F, 5), Pred::lt(F, 9), Pred::gt(F, 1)]);
+    }
+
+    #[test]
+    fn field_info_max_value() {
+        assert_eq!(FieldInfo::range("x", 8).max_value(), 255);
+        assert_eq!(FieldInfo::range("x", 64).max_value(), u64::MAX);
+        assert_eq!(FieldInfo::range("x", 1).max_value(), 1);
+    }
+}

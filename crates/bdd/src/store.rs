@@ -1,0 +1,217 @@
+//! Hash-consed node storage.
+//!
+//! The store implements the paper's structural reductions:
+//!
+//! * **(i) isomorphic-node sharing** — `make_node` consults a unique
+//!   table, so two nodes with equal (variable, low, high) are the same
+//!   node;
+//! * **(ii) redundant-test elimination** — `make_node` returns the
+//!   common child when both branches coincide.
+//!
+//! Terminals are *action sets* (this is a multi-terminal BDD); they are
+//! hash-consed the same way so terminal equality is id equality.
+
+use std::collections::HashMap;
+
+use crate::pred::ActionId;
+
+/// Index of a BDD variable in the global (field-major) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Identifier of a hash-consed action set (a BDD terminal value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionSetId(pub u32);
+
+/// The empty action set: the terminal a packet reaches when it matches
+/// no rule. Always id 0.
+pub const EMPTY_ACTIONS: ActionSetId = ActionSetId(0);
+
+/// A reference to a BDD vertex: an internal decision node or a terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeRef {
+    /// Terminal carrying an action set.
+    Term(ActionSetId),
+    /// Internal node, by index into the store.
+    Node(NodeIdx),
+}
+
+impl NodeRef {
+    /// Whether this is a terminal.
+    pub fn is_term(&self) -> bool {
+        matches!(self, NodeRef::Term(_))
+    }
+}
+
+/// Index of an internal node in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeIdx(pub u32);
+
+/// An internal decision node: test `var`; take `hi` when the predicate
+/// holds, `lo` otherwise (solid/dashed arrows of Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Node {
+    /// The tested variable.
+    pub var: VarId,
+    /// False branch.
+    pub lo: NodeRef,
+    /// True branch.
+    pub hi: NodeRef,
+}
+
+/// The node + terminal store.
+#[derive(Debug, Default)]
+pub struct Store {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeIdx>,
+    /// Terminal action sets, sorted and deduplicated; index 0 is empty.
+    action_sets: Vec<Vec<ActionId>>,
+    set_index: HashMap<Vec<ActionId>, ActionSetId>,
+}
+
+impl Store {
+    /// Creates an empty store (with the empty action set preinstalled).
+    pub fn new() -> Self {
+        let mut s = Store::default();
+        s.action_sets.push(Vec::new());
+        s.set_index.insert(Vec::new(), EMPTY_ACTIONS);
+        s
+    }
+
+    /// Interns an action set (sorted + deduplicated first).
+    pub fn intern_actions(&mut self, actions: &[ActionId]) -> ActionSetId {
+        let mut v = actions.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        if let Some(&id) = self.set_index.get(&v) {
+            return id;
+        }
+        let id = ActionSetId(self.action_sets.len() as u32);
+        self.action_sets.push(v.clone());
+        self.set_index.insert(v, id);
+        id
+    }
+
+    /// Union of two interned action sets.
+    pub fn union_actions(&mut self, a: ActionSetId, b: ActionSetId) -> ActionSetId {
+        if a == b {
+            return a;
+        }
+        if a == EMPTY_ACTIONS {
+            return b;
+        }
+        if b == EMPTY_ACTIONS {
+            return a;
+        }
+        let mut v: Vec<ActionId> = Vec::with_capacity(
+            self.action_sets[a.0 as usize].len() + self.action_sets[b.0 as usize].len(),
+        );
+        v.extend_from_slice(&self.action_sets[a.0 as usize]);
+        v.extend_from_slice(&self.action_sets[b.0 as usize]);
+        self.intern_actions(&v)
+    }
+
+    /// The actions in an interned set (sorted).
+    pub fn actions(&self, id: ActionSetId) -> &[ActionId] {
+        &self.action_sets[id.0 as usize]
+    }
+
+    /// Number of distinct action sets created (including the empty set).
+    pub fn action_set_count(&self) -> usize {
+        self.action_sets.len()
+    }
+
+    /// Creates (or reuses) a node, applying reductions (i) and (ii).
+    pub fn make_node(&mut self, var: VarId, lo: NodeRef, hi: NodeRef) -> NodeRef {
+        if lo == hi {
+            return lo; // reduction (ii): redundant test
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&idx) = self.unique.get(&node) {
+            return NodeRef::Node(idx); // reduction (i): isomorphic node
+        }
+        let idx = NodeIdx(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, idx);
+        NodeRef::Node(idx)
+    }
+
+    /// The node behind a reference. Panics on terminals.
+    pub fn node(&self, r: NodeRef) -> Node {
+        match r {
+            NodeRef::Node(idx) => self.nodes[idx.0 as usize],
+            NodeRef::Term(_) => panic!("node() called on a terminal"),
+        }
+    }
+
+    /// Total number of internal nodes ever created (live + unreachable).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(n: u32) -> ActionId {
+        ActionId(n)
+    }
+
+    #[test]
+    fn empty_set_is_id_zero() {
+        let s = Store::new();
+        assert_eq!(s.actions(EMPTY_ACTIONS), &[]);
+    }
+
+    #[test]
+    fn interning_sorts_and_dedups() {
+        let mut s = Store::new();
+        let a = s.intern_actions(&[aid(3), aid(1), aid(3)]);
+        assert_eq!(s.actions(a), &[aid(1), aid(3)]);
+        let b = s.intern_actions(&[aid(1), aid(3)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let mut s = Store::new();
+        let a = s.intern_actions(&[aid(1), aid(2)]);
+        let b = s.intern_actions(&[aid(2), aid(3)]);
+        let u = s.union_actions(a, b);
+        assert_eq!(s.actions(u), &[aid(1), aid(2), aid(3)]);
+        assert_eq!(s.union_actions(a, EMPTY_ACTIONS), a);
+        assert_eq!(s.union_actions(EMPTY_ACTIONS, b), b);
+        assert_eq!(s.union_actions(u, u), u);
+    }
+
+    #[test]
+    fn make_node_collapses_equal_children() {
+        let mut s = Store::new();
+        let t = NodeRef::Term(EMPTY_ACTIONS);
+        assert_eq!(s.make_node(VarId(0), t, t), t);
+        assert_eq!(s.node_count(), 0);
+    }
+
+    #[test]
+    fn make_node_shares_isomorphic_nodes() {
+        let mut s = Store::new();
+        let a = s.intern_actions(&[aid(1)]);
+        let t0 = NodeRef::Term(EMPTY_ACTIONS);
+        let t1 = NodeRef::Term(a);
+        let n1 = s.make_node(VarId(0), t0, t1);
+        let n2 = s.make_node(VarId(0), t0, t1);
+        assert_eq!(n1, n2);
+        assert_eq!(s.node_count(), 1);
+        let n3 = s.make_node(VarId(1), t0, t1);
+        assert_ne!(n1, n3);
+        assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminal")]
+    fn node_on_terminal_panics() {
+        let s = Store::new();
+        s.node(NodeRef::Term(EMPTY_ACTIONS));
+    }
+}

@@ -1,0 +1,137 @@
+//! Micro-benchmarks for the core data structures: BDD rule insertion
+//! and evaluation, table lookup, TCAM range expansion, and the ITCH
+//! feed codec. These back the ablation discussion rather than a single
+//! paper figure.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use camus_bdd::pred::{ActionId, FieldId, FieldInfo, Pred};
+use camus_bdd::Bdd;
+use camus_itch::itch::{AddOrder, ItchMessage, Side};
+use camus_itch::{build_feed_packet, parse_feed_packet, FeedConfig};
+use camus_pipeline::resources::range_to_prefixes;
+use camus_pipeline::table::{Entry, Key, MatchKind, MatchValue, Table};
+use camus_pipeline::phv::PhvLayout;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn itch_like_rules(n: usize) -> Vec<(Pred, Pred, u32)> {
+    let stock = FieldId(0);
+    let price = FieldId(1);
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n)
+        .map(|i| {
+            (
+                Pred::eq(stock, rng.gen_range(0..100u64)),
+                Pred::gt(price, rng.gen_range(0..999u64)),
+                i as u32,
+            )
+        })
+        .collect()
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bdd");
+    let rules = itch_like_rules(1_000);
+    let fields = vec![FieldInfo::exact("stock", 64), FieldInfo::range("price", 32)];
+    let preds: Vec<Pred> = rules.iter().flat_map(|(a, b, _)| [*a, *b]).collect();
+
+    g.throughput(Throughput::Elements(rules.len() as u64));
+    g.bench_function("insert_1k_rules", |b| {
+        b.iter(|| {
+            let mut bdd = Bdd::new(fields.clone(), preds.iter().copied()).unwrap();
+            for (s, p, i) in &rules {
+                bdd.add_rule(&[(*s, true), (*p, true)], &[ActionId(*i)]).unwrap();
+            }
+            bdd.node_count()
+        })
+    });
+
+    let mut bdd = Bdd::new(fields.clone(), preds.iter().copied()).unwrap();
+    for (s, p, i) in &rules {
+        bdd.add_rule(&[(*s, true), (*p, true)], &[ActionId(*i)]).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<(u64, u64)> =
+        (0..1_000).map(|_| (rng.gen_range(0..100), rng.gen_range(0..2_000))).collect();
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("eval_1k_packets", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(s, p) in &queries {
+                hits += bdd.eval(|f| if f == FieldId(0) { s } else { p }).len();
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table");
+    let mut layout = PhvLayout::new();
+    let state = layout.add("state", 32);
+    let value = layout.add("value", 64);
+    let mut table = Table::new(
+        "t",
+        vec![
+            Key { field: state, kind: MatchKind::Exact, bits: 32 },
+            Key { field: value, kind: MatchKind::Exact, bits: 64 },
+        ],
+        vec![],
+    );
+    for i in 0..10_000u64 {
+        table
+            .add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(i % 64), MatchValue::Exact(i)],
+                ops: vec![],
+            })
+            .unwrap();
+    }
+    table.build_index();
+    let mut rng = StdRng::seed_from_u64(3);
+    let lookups: Vec<(u64, u64)> =
+        (0..1_000).map(|_| (rng.gen_range(0..64), rng.gen_range(0..12_000))).collect();
+    g.throughput(Throughput::Elements(lookups.len() as u64));
+    g.bench_function("lookup_10k_entry_table", |b| {
+        b.iter(|| {
+            let mut phv = layout.instantiate();
+            let mut hits = 0usize;
+            for &(s, v) in &lookups {
+                phv.set(state, s);
+                phv.set(value, v);
+                hits += usize::from(table.lookup(&phv).is_some());
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_resources(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resources");
+    g.bench_function("range_to_prefixes_worst_case_32b", |b| {
+        b.iter(|| range_to_prefixes(1, (1u64 << 32) - 2, 32).len())
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("itch_codec");
+    let msgs: Vec<ItchMessage> = (0..8)
+        .map(|i| ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 100 + i, 5_000 + i)))
+        .collect();
+    let cfg = FeedConfig::default();
+    g.bench_function("build_feed_packet_8_msgs", |b| {
+        b.iter(|| build_feed_packet(&cfg, 1, &msgs).len())
+    });
+    let pkt = build_feed_packet(&cfg, 1, &msgs);
+    g.bench_function("parse_feed_packet_8_msgs", |b| {
+        b.iter(|| parse_feed_packet(&pkt).unwrap().1.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bdd, bench_table, bench_resources, bench_codec);
+criterion_main!(benches);

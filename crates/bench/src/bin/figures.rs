@@ -1,0 +1,212 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p camus-bench --bin figures -- all
+//! cargo run --release -p camus-bench --bin figures -- fig5c --fast
+//! ```
+//!
+//! Prints each series as a text table and writes the raw rows as JSON
+//! under `results/` (next to the workspace root), so EXPERIMENTS.md
+//! numbers are regenerable and diffable.
+
+use std::fs;
+use std::path::PathBuf;
+
+use camus_bench::figures;
+use serde::Serialize;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [fig5a|fig5b|fig5c|fig7a|fig7b|linerate|ablations|incremental|all] [--fast]\n\
+         \n\
+         --fast    smaller sweeps/traces (CI-sized); full runs match EXPERIMENTS.md"
+    );
+    std::process::exit(2);
+}
+
+fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+fn dump_json<T: Serialize>(name: &str, rows: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("  -> {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+fn run_fig5a() {
+    println!("== Figure 5a: table entries vs #subscriptions (Siena workload) ==");
+    let rows = figures::fig5a();
+    println!("{:>14} {:>14} {:>11} {:>13}", "subscriptions", "table entries", "bdd nodes", "mcast groups");
+    for r in &rows {
+        println!(
+            "{:>14} {:>14} {:>11} {:>13}",
+            r.subscriptions, r.table_entries, r.bdd_nodes, r.mcast_groups
+        );
+    }
+    dump_json("fig5a", &rows);
+}
+
+fn run_fig5b() {
+    println!("== Figure 5b: table entries vs #predicates per subscription ==");
+    let rows = figures::fig5b();
+    println!("{:>11} {:>14} {:>11}", "predicates", "table entries", "bdd nodes");
+    for r in &rows {
+        println!("{:>11} {:>14} {:>11}", r.predicates, r.table_entries, r.bdd_nodes);
+    }
+    dump_json("fig5b", &rows);
+}
+
+fn run_fig5c(fast: bool) {
+    println!("== Figure 5c: compile time vs #subscriptions (ITCH workload) ==");
+    let rows = figures::fig5c(fast);
+    println!(
+        "{:>14} {:>12} {:>14} {:>13} {:>6}",
+        "subscriptions", "compile (ms)", "table entries", "mcast groups", "fits"
+    );
+    for r in &rows {
+        println!(
+            "{:>14} {:>12.1} {:>14} {:>13} {:>6}",
+            r.subscriptions, r.compile_ms, r.table_entries, r.mcast_groups, r.fits
+        );
+    }
+    dump_json("fig5c", &rows);
+}
+
+fn print_panel(p: &figures::Fig7Panel) {
+    for s in [&p.baseline, &p.switch_filtering] {
+        println!(
+            "  {:<26} measured={:<7} p50={:>8.1}us p99={:>8.1}us p99.5={:>8.1}us max={:>8.1}us \
+             <=20us={:>6.2}% <=50us={:>6.2}% drops={}",
+            s.label,
+            s.measured,
+            s.p50_us,
+            s.p99_us,
+            s.p995_us,
+            s.max_us,
+            s.within_20us * 100.0,
+            s.within_50us * 100.0,
+            s.drops
+        );
+    }
+    println!("  CDF (latency_us, fraction) every 10th sample:");
+    for s in [&p.baseline, &p.switch_filtering] {
+        let pts: Vec<String> = s
+            .cdf
+            .iter()
+            .step_by(10)
+            .map(|(us, f)| format!("({us:.1},{f:.2})"))
+            .collect();
+        println!("    {:<26} {}", s.label, pts.join(" "));
+    }
+}
+
+fn run_fig7(kind: &str, fast: bool) {
+    println!("== Figure 7{}: latency CDF, {} trace ==", if kind == "nasdaq" { "a" } else { "b" }, kind);
+    let p = figures::fig7(kind, fast);
+    print_panel(&p);
+    dump_json(&format!("fig7_{kind}"), &p);
+}
+
+fn run_linerate(fast: bool) {
+    println!("== Line rate: full switch bandwidth (§4 throughput claim) ==");
+    let rows = figures::linerate(fast);
+    println!(
+        "{:<18} {:>6} {:>13} {:>15} {:>10} {:>14}",
+        "model", "ports", "offered Tb/s", "forwarded Tb/s", "peak util", "msgs/sec"
+    );
+    for r in &rows {
+        println!(
+            "{:<18} {:>6} {:>13.2} {:>15.2} {:>10.3} {:>14.3e}",
+            r.model, r.ports, r.offered_tbps, r.forwarded_tbps, r.peak_egress_utilization,
+            r.messages_per_sec
+        );
+    }
+    dump_json("linerate", &rows);
+}
+
+fn run_incremental(fast: bool) {
+    println!("== Incremental recompilation (paper §3 future work) ==");
+    let rows = figures::incremental(fast);
+    println!(
+        "{:>6} {:>12} {:>10} {:>16} {:>9} {:>9} {:>9}",
+        "batch", "rules total", "full (ms)", "incremental (ms)", "added", "removed", "kept"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>12} {:>10.1} {:>16.1} {:>9} {:>9} {:>9}",
+            r.batch, r.rules_total, r.full_ms, r.incremental_ms, r.entries_added,
+            r.entries_removed, r.entries_kept
+        );
+    }
+    dump_json("incremental", &rows);
+}
+
+fn run_ablations(fast: bool) {
+    println!("== Ablations (§3.2 design choices) ==");
+    let rows = figures::ablations(fast);
+    println!(
+        "{:<20} {:<18} {:>9} {:>10} {:>11} {:>10} {:>6} {:>10}",
+        "experiment", "config", "entries", "bdd nodes", "tcam slcs", "sram", "fits", "ms"
+    );
+    for r in &rows {
+        println!(
+            "{:<20} {:<18} {:>9} {:>10} {:>11} {:>10} {:>6} {:>10.1}",
+            r.experiment,
+            r.config,
+            r.table_entries,
+            r.bdd_nodes,
+            r.tcam_slices,
+            r.sram_entries,
+            r.fits,
+            r.compile_ms
+        );
+    }
+    dump_json("ablations", &rows);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+
+    for w in which {
+        match w {
+            "fig5a" => run_fig5a(),
+            "fig5b" => run_fig5b(),
+            "fig5c" => run_fig5c(fast),
+            "fig7a" => run_fig7("nasdaq", fast),
+            "fig7b" => run_fig7("synthetic", fast),
+            "fig7" => {
+                run_fig7("nasdaq", fast);
+                run_fig7("synthetic", fast);
+            }
+            "linerate" => run_linerate(fast),
+            "ablations" => run_ablations(fast),
+            "incremental" => run_incremental(fast),
+            "all" => {
+                run_fig5a();
+                run_fig5b();
+                run_fig5c(fast);
+                run_fig7("nasdaq", fast);
+                run_fig7("synthetic", fast);
+                run_linerate(fast);
+                run_ablations(fast);
+                run_incremental(fast);
+            }
+            _ => usage(),
+        }
+        println!();
+    }
+}

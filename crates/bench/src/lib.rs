@@ -1,0 +1,7 @@
+//! # camus-bench — benchmark and figure-reproduction harness
+//!
+//! See the `figures` binary (`cargo run -p camus-bench --release --bin
+//! figures -- <fig>`), which regenerates every table/figure series of
+//! the paper's evaluation, and the Criterion benches under `benches/`.
+
+pub mod figures;

@@ -1,0 +1,424 @@
+//! Dynamic compilation (§3.2): rules → BDD → table entries.
+//!
+//! This is the paper's Algorithm 1. The resolved conjunctions are
+//! inserted into a multi-terminal BDD; the BDD is sliced into per-field
+//! components; every In→Out path of every component becomes one
+//! match-action entry `(entry state, field constraint) → next state`,
+//! and every reachable terminal becomes a leaf-table entry mapping its
+//! state to the merged action set — unicast, a multicast group
+//! (allocated here, deduplicated by port set), register updates, or
+//! drop.
+
+use std::collections::HashMap;
+
+use camus_bdd::pred::{ActionId, Pred};
+use camus_bdd::slice::{component_paths, slice};
+use camus_bdd::store::EMPTY_ACTIONS;
+use camus_bdd::{Bdd, NodeRef};
+use camus_pipeline::multicast::{MulticastTable, PortId};
+use camus_pipeline::table::{ActionOp, Entry, Key, MatchKind, MatchValue, RegOp, Table};
+
+use crate::error::CompileError;
+use crate::resolve::{CounterFunc, Resolved, RuleAction};
+use crate::statics::StaticPipeline;
+
+/// Summary statistics of one dynamic compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileStats {
+    /// Source rules (before normalization).
+    pub rules_in: usize,
+    /// Normalized conjunctions inserted (including synthesized
+    /// aggregate-observe rules).
+    pub conjunctions: usize,
+    /// Conjunctions rejected as unsatisfiable.
+    pub unsat_conjunctions: usize,
+    /// Reachable BDD nodes after construction.
+    pub bdd_nodes: usize,
+    /// Distinct reachable terminal action sets.
+    pub bdd_terminals: usize,
+    /// Logical entries per table, in pipeline order.
+    pub table_entries: Vec<(String, usize)>,
+    /// Total logical entries across all tables — the paper's Figure 5
+    /// metric.
+    pub total_entries: usize,
+    /// Multicast groups allocated — the paper's companion metric
+    /// ("21,401 table entries and 198 multicast groups").
+    pub mcast_groups: usize,
+    /// Distinct pipeline states (BDD entry nodes + terminals).
+    pub states: usize,
+}
+
+/// The dynamic half of a compiled program.
+#[derive(Debug)]
+pub struct DynamicProgram {
+    /// Match-action tables in pipeline order (per-field tables then the
+    /// leaf table).
+    pub tables: Vec<Table>,
+    /// Multicast groups referenced by leaf entries.
+    pub mcast: MulticastTable,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+    /// The BDD, kept for introspection (DOT export, ablations).
+    pub bdd: Bdd,
+}
+
+impl DynamicProgram {
+    /// Renders the control-plane rules as human-readable `table_add`
+    /// lines (the second compiler output of Fig. 6).
+    pub fn render_control_plane(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for t in &self.tables {
+            for e in t.entries() {
+                let _ = write!(s, "table_add {} prio={}", t.name, e.priority);
+                for (k, m) in t.keys.iter().zip(&e.matches) {
+                    let _ = match m {
+                        MatchValue::Exact(v) => write!(s, " k{}={v}", k.field.0),
+                        MatchValue::Range { lo, hi } => write!(s, " k{}={lo}..{hi}", k.field.0),
+                        MatchValue::Ternary { value, mask } => {
+                            write!(s, " k{}={value:#x}&&&{mask:#x}", k.field.0)
+                        }
+                        MatchValue::Lpm { value, prefix_len } => {
+                            write!(s, " k{}={value:#x}/{prefix_len}", k.field.0)
+                        }
+                        MatchValue::Any => write!(s, " k{}=*", k.field.0),
+                    };
+                }
+                let _ = write!(s, " =>");
+                for op in &e.ops {
+                    let _ = match op {
+                        ActionOp::SetField(f, v) => write!(s, " set f{}={v}", f.0),
+                        ActionOp::Forward(p) => write!(s, " fwd({})", p.0),
+                        ActionOp::Multicast(g) => write!(s, " mcast({})", g.0),
+                        ActionOp::Drop => write!(s, " drop"),
+                        ActionOp::Register { slot, .. } => write!(s, " reg[{slot}]"),
+                    };
+                }
+                let _ = writeln!(s);
+            }
+        }
+        s
+    }
+}
+
+/// Persistent emission state: action interning, pipeline-state
+/// numbering, and multicast-group allocation. A full compilation uses a
+/// fresh instance; the incremental compiler keeps one alive so that
+/// unchanged BDD nodes keep their state ids and unchanged port sets
+/// keep their group ids — maximizing table-entry reuse across updates
+/// (§3, "state updates can benefit from table entry re-use").
+#[derive(Debug, Default)]
+pub struct EmissionState {
+    pub(crate) actions: Vec<RuleAction>,
+    pub(crate) action_ids: HashMap<RuleAction, ActionId>,
+    pub(crate) state_of: HashMap<NodeRef, u64>,
+    pub(crate) next_state: u64,
+    pub(crate) mcast: MulticastTable,
+    pub(crate) group_of: HashMap<Vec<PortId>, camus_pipeline::GroupId>,
+}
+
+impl EmissionState {
+    /// Creates fresh emission state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a rule action, returning its stable id.
+    pub(crate) fn intern_action(&mut self, a: &RuleAction) -> ActionId {
+        if let Some(&id) = self.action_ids.get(a) {
+            return id;
+        }
+        let id = ActionId(self.actions.len() as u32);
+        self.actions.push(a.clone());
+        self.action_ids.insert(a.clone(), id);
+        id
+    }
+
+    fn state(&mut self, r: NodeRef) -> u64 {
+        *self.state_of.entry(r).or_insert_with(|| {
+            let s = self.next_state;
+            self.next_state += 1;
+            s
+        })
+    }
+}
+
+/// Runs Algorithm 1 against the current BDD: slices it into per-field
+/// components and emits the table chain plus the leaf table. Returns
+/// the tables, the pipeline's initial state (the root's id), and the
+/// number of multicast groups allocated so far.
+pub(crate) fn emit_tables(
+    bdd: &Bdd,
+    statics: &StaticPipeline,
+    es: &mut EmissionState,
+) -> Result<(Vec<Table>, u64), CompileError> {
+    // Assign pipeline states: entry nodes and terminals in
+    // deterministic traversal order (stable across incremental runs
+    // because the node store is append-only and `state_of` persists).
+    let comps = slice(bdd);
+    let initial_state = es.state(bdd.root());
+    let mut comp_paths = Vec::with_capacity(comps.len());
+    for comp in &comps {
+        for &n in &comp.in_nodes {
+            es.state(n);
+        }
+        let paths = component_paths(bdd, comp);
+        for p in &paths {
+            es.state(p.exit);
+        }
+        comp_paths.push(paths);
+    }
+
+    // Per-field tables.
+    let mut tables: Vec<Table> = Vec::new();
+    for (comp, paths) in comps.iter().zip(&comp_paths) {
+        let info = bdd.field_info(comp.field);
+        let phv = statics.field_phv[comp.field.0 as usize];
+        let kind = if info.exact { MatchKind::Exact } else { MatchKind::Range };
+        let mut table = Table::new(
+            format!("t_{}", info.name.replace('.', "_")),
+            vec![
+                Key { field: statics.state_meta, kind: MatchKind::Exact, bits: 32 },
+                Key { field: phv, kind, bits: info.bits },
+            ],
+            vec![], // miss: keep state (pass-through for skipped components)
+        );
+        let field_max = info.max_value();
+        for p in paths {
+            let m = if let Some(v) = p.pinned() {
+                MatchValue::Exact(v)
+            } else if p.is_wildcard(field_max) {
+                MatchValue::Any
+            } else if info.exact {
+                // Exclusion-only constraint on an exact field: express as
+                // a wildcard shadowed by the higher-priority pinned
+                // entries (Figure 4's `*` rows).
+                MatchValue::Any
+            } else {
+                MatchValue::Range { lo: p.ctx.lo, hi: p.ctx.hi }
+            };
+            table.add_entry(Entry {
+                priority: p.rank as u32,
+                matches: vec![MatchValue::Exact(es.state_of[&p.entry]), m],
+                ops: vec![ActionOp::SetField(statics.state_meta, es.state_of[&p.exit])],
+            })?;
+        }
+        tables.push(table);
+    }
+
+    // Leaf table: terminal state → merged actions.
+    let mut leaf = Table::new(
+        "t_actions",
+        vec![Key { field: statics.state_meta, kind: MatchKind::Exact, bits: 32 }],
+        vec![],
+    );
+    let mut terminals: Vec<(NodeRef, u64)> = es
+        .state_of
+        .iter()
+        .filter(|(r, _)| r.is_term())
+        .map(|(&r, &s)| (r, s))
+        .collect();
+    terminals.sort_by_key(|&(_, s)| s);
+    for (term, state) in terminals {
+        let NodeRef::Term(set) = term else { unreachable!() };
+        if set == EMPTY_ACTIONS {
+            continue; // miss = drop
+        }
+        let mut ports: Vec<PortId> = Vec::new();
+        let mut ops: Vec<ActionOp> = Vec::new();
+        let mut explicit_drop = false;
+        for &aid in bdd.actions(set) {
+            match &es.actions[aid.0 as usize] {
+                RuleAction::Fwd(ps) => ports.extend(ps.iter().map(|&p| PortId(p))),
+                RuleAction::Drop => explicit_drop = true,
+                RuleAction::ObserveAgg { agg_field } => {
+                    let slot = statics.reg_slot[agg_field];
+                    let op = match statics.observe_src[agg_field] {
+                        Some(src) => RegOp::Observe(src),
+                        None => RegOp::Increment,
+                    };
+                    ops.push(ActionOp::Register { slot, op });
+                }
+                RuleAction::CounterUpdate { counter_field, func } => {
+                    let slot = statics.reg_slot[counter_field];
+                    let op = match func {
+                        CounterFunc::Increment => RegOp::Increment,
+                        CounterFunc::AddField(f) => {
+                            RegOp::Observe(statics.field_phv[f.0 as usize])
+                        }
+                        CounterFunc::SetConst(v) => RegOp::SetConst(*v),
+                        CounterFunc::SetField(f) => {
+                            RegOp::SetField(statics.field_phv[f.0 as usize])
+                        }
+                    };
+                    ops.push(ActionOp::Register { slot, op });
+                }
+            }
+        }
+        ports.sort_unstable();
+        ports.dedup();
+        match ports.len() {
+            0 => {
+                if explicit_drop {
+                    ops.push(ActionOp::Drop);
+                }
+            }
+            1 => ops.insert(0, ActionOp::Forward(ports[0])),
+            _ => {
+                let mcast = &mut es.mcast;
+                let gid = *es
+                    .group_of
+                    .entry(ports.clone())
+                    .or_insert_with(|| mcast.allocate(ports.clone()));
+                ops.insert(0, ActionOp::Multicast(gid));
+            }
+        }
+        if ops.is_empty() {
+            continue; // pure no-op terminal
+        }
+        leaf.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(state)],
+            ops,
+        })?;
+    }
+    tables.push(leaf);
+    Ok((tables, initial_state))
+}
+
+/// Runs dynamic compilation against a static pipeline.
+pub fn compile_dynamic(
+    resolved: &Resolved,
+    statics: &StaticPipeline,
+    rules_in: usize,
+    semantic_pruning: bool,
+) -> Result<DynamicProgram, CompileError> {
+    let mut es = EmissionState::new();
+
+    // Build the BDD over the full predicate alphabet.
+    let alphabet: Vec<Pred> =
+        resolved.rules.iter().flat_map(|r| r.literals.iter().map(|(p, _)| *p)).collect();
+    let mut bdd = Bdd::new(resolved.fields.infos.clone(), alphabet)?;
+    bdd.set_semantic_pruning(semantic_pruning);
+    let mut unsat = 0usize;
+    for conj in &resolved.rules {
+        let ids: Vec<ActionId> = conj.actions.iter().map(|a| es.intern_action(a)).collect();
+        if !bdd.add_rule(&conj.literals, &ids)? {
+            unsat += 1;
+        }
+    }
+
+    let (tables, initial_state) = emit_tables(&bdd, statics, &mut es)?;
+    debug_assert_eq!(initial_state, 0, "fresh emission numbers the root first");
+
+    let table_entries: Vec<(String, usize)> =
+        tables.iter().map(|t| (t.name.clone(), t.len())).collect();
+    let total_entries = table_entries.iter().map(|(_, n)| n).sum();
+    let bdd_stats = bdd.stats();
+    let stats = CompileStats {
+        rules_in,
+        conjunctions: resolved.rules.len(),
+        unsat_conjunctions: unsat,
+        bdd_nodes: bdd_stats.reachable_nodes,
+        bdd_terminals: bdd_stats.reachable_terminals,
+        table_entries,
+        total_entries,
+        mcast_groups: es.mcast.len(),
+        states: es.next_state as usize,
+    };
+    Ok(DynamicProgram { tables, mcast: es.mcast, stats, bdd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::{resolve, ResolveOptions};
+    use crate::statics::{build_static, Encap};
+    use camus_bdd::order::OrderHeuristic;
+    use camus_lang::{parse_program, parse_spec};
+
+    fn compile(src: &str) -> (DynamicProgram, StaticPipeline) {
+        let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+        let rules = parse_program(src).unwrap();
+        let opts = ResolveOptions { heuristic: OrderHeuristic::SpecOrder, ..Default::default() };
+        let resolved = resolve(&spec, &rules, &opts).unwrap();
+        let statics = build_static(&spec, &resolved.fields, &Encap::Raw).unwrap();
+        let dynp = compile_dynamic(&resolved, &statics, rules.len(), true).unwrap();
+        (dynp, statics)
+    }
+
+    /// The paper's Figure 3/4 example: three rules over shares and
+    /// stock compile to a Shares table, a Stock table and a Leaf table.
+    #[test]
+    fn figure4_tables() {
+        let (dynp, _) = compile(
+            "shares < 60 and stock == AAPL : fwd(1)\n\
+             stock == AAPL : fwd(2)\n\
+             shares > 100 and stock == MSFT : fwd(3)",
+        );
+        assert_eq!(dynp.tables.len(), 3);
+        assert_eq!(dynp.tables[0].name, "t_add_order_shares");
+        assert_eq!(dynp.tables[1].name, "t_add_order_stock");
+        assert_eq!(dynp.tables[2].name, "t_actions");
+        // Shares: 3 paths (Fig. 4 rows). Stock: AAPL/MSFT/exclusion rows.
+        assert_eq!(dynp.tables[0].len(), 3);
+        assert!(dynp.tables[1].len() >= 3);
+        // fwd(1,2) merged into one multicast group.
+        assert_eq!(dynp.stats.mcast_groups, 1);
+        assert!(dynp.stats.total_entries >= 9);
+    }
+
+    #[test]
+    fn stats_count_rules_and_states() {
+        let (dynp, _) = compile("stock == GOOGL : fwd(1)\nstock == MSFT : fwd(2)");
+        assert_eq!(dynp.stats.rules_in, 2);
+        assert_eq!(dynp.stats.conjunctions, 2);
+        assert_eq!(dynp.stats.unsat_conjunctions, 0);
+        assert!(dynp.stats.states >= 3);
+        assert_eq!(dynp.stats.mcast_groups, 0); // unicast only
+    }
+
+    #[test]
+    fn unsat_conjunctions_are_counted() {
+        let (dynp, _) = compile("shares < 10 and shares > 20 : fwd(1)\nstock == A : fwd(2)");
+        assert_eq!(dynp.stats.unsat_conjunctions, 1);
+    }
+
+    #[test]
+    fn multicast_groups_dedupe_port_sets() {
+        let (dynp, _) = compile(
+            "stock == GOOGL : fwd(1,2)\n\
+             stock == MSFT : fwd(1,2)\n\
+             stock == ORCL : fwd(3,4)",
+        );
+        assert_eq!(dynp.stats.mcast_groups, 2);
+    }
+
+    #[test]
+    fn empty_rule_set_compiles_to_empty_leaf() {
+        let (dynp, _) = compile("# nothing\n");
+        assert_eq!(dynp.tables.len(), 1);
+        assert_eq!(dynp.tables[0].len(), 0);
+        assert_eq!(dynp.stats.total_entries, 0);
+    }
+
+    #[test]
+    fn control_plane_rendering_mentions_tables() {
+        let (dynp, _) = compile("stock == GOOGL and price > 100 : fwd(1)");
+        let cp = dynp.render_control_plane();
+        assert!(cp.contains("table_add t_add_order_price"));
+        assert!(cp.contains("table_add t_actions"));
+        assert!(cp.contains("fwd(1)"));
+    }
+
+    #[test]
+    fn register_ops_link_to_slots() {
+        let (dynp, statics) = compile("stock == GOOGL : fwd(1); my_counter <- incr()");
+        assert_eq!(statics.registers.len(), 1);
+        let leaf = dynp.tables.last().unwrap();
+        let has_reg = leaf
+            .entries()
+            .any(|e| e.ops.iter().any(|op| matches!(op, ActionOp::Register { .. })));
+        assert!(has_reg);
+    }
+}

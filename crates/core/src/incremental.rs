@@ -1,0 +1,355 @@
+//! Incremental recompilation — the extension §3 sketches:
+//!
+//! > "Highly dynamic queries would require an incremental algorithm,
+//! > both to reduce compilation time and to minimize the number of
+//! > state updates in the network. Prior work has demonstrated that
+//! > such incremental algorithms are feasible. BDDs — our primary
+//! > internal data structure — can leverage memoization, and state
+//! > updates can benefit from table entry re-use."
+//!
+//! An [`IncrementalCompiler`] keeps the BDD (whose node store and
+//! prune memo are append-only), the pipeline-state numbering and the
+//! multicast-group allocation alive across updates. Installing new
+//! rules therefore:
+//!
+//! * inserts only the new conjunctions into the existing diagram
+//!   (memoized `apply` — no rebuild from scratch);
+//! * keeps the state ids of unchanged BDD nodes and the group ids of
+//!   unchanged port sets, so the regenerated tables share most entries
+//!   with the installed ones;
+//! * reports a per-table **entry diff** (adds/removes/kept) — exactly
+//!   what a控 control plane would push to the switch.
+//!
+//! The predicate alphabet and the field table are fixed when the
+//! session is created (they determine the static pipeline). Updates
+//! that need new predicates or new state slots fail with
+//! [`CompileError::NeedsFullRecompile`]; callers then do a full
+//! [`crate::Compiler::compile`] — the paper's "mostly stable queries"
+//! assumption.
+
+use std::collections::HashMap;
+
+use camus_bdd::pred::{ActionId, Pred};
+use camus_bdd::Bdd;
+use camus_lang::ast::Rule;
+use camus_lang::spec::Spec;
+use camus_pipeline::pipeline::Pipeline;
+use camus_pipeline::table::{Entry, Table};
+
+use crate::compile::CompilerOptions;
+use crate::dynamic::{emit_tables, EmissionState};
+use crate::error::CompileError;
+use crate::resolve::{resolve, resolve_incremental, FieldTable, ResolveOptions};
+use crate::statics::{build_static, StaticPipeline};
+
+/// Per-table entry delta of one update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDelta {
+    /// Table name.
+    pub table: String,
+    /// Entries present now but not before.
+    pub added: usize,
+    /// Entries present before but not now.
+    pub removed: usize,
+    /// Entries unchanged (reused on the switch).
+    pub kept: usize,
+}
+
+/// The result of one incremental installation.
+#[derive(Debug)]
+pub struct UpdateReport {
+    /// Rules installed by this update.
+    pub rules_added: usize,
+    /// Conjunctions rejected as unsatisfiable.
+    pub unsat_conjunctions: usize,
+    /// Per-table entry deltas vs. the previously installed tables.
+    pub deltas: Vec<TableDelta>,
+    /// Total entries now installed.
+    pub total_entries: usize,
+    /// Entries the control plane would add.
+    pub entries_added: usize,
+    /// Entries the control plane would remove.
+    pub entries_removed: usize,
+    /// Entries reused in place.
+    pub entries_kept: usize,
+    /// Cumulative BDD apply-memo (hits, misses).
+    pub memo: (u64, u64),
+    /// A fresh executable pipeline reflecting the updated program.
+    pub pipeline: Pipeline,
+}
+
+/// A long-lived compilation session supporting additive rule updates.
+#[derive(Debug)]
+pub struct IncrementalCompiler {
+    spec: Spec,
+    fields: FieldTable,
+    statics: StaticPipeline,
+    bdd: Bdd,
+    es: EmissionState,
+    /// Entry multisets of the currently installed tables.
+    installed: HashMap<String, HashMap<Entry, usize>>,
+    rules_installed: usize,
+}
+
+impl IncrementalCompiler {
+    /// Creates a session. `alphabet_rules` fix the predicate universe
+    /// and the field table (they are *not* installed): every later
+    /// `install` may only use predicates that appear here. Typically
+    /// the initial subscription set, optionally padded with the
+    /// predicates expected to arrive later.
+    pub fn new(
+        spec: Spec,
+        options: &CompilerOptions,
+        alphabet_rules: &[Rule],
+    ) -> Result<Self, CompileError> {
+        let ropts = ResolveOptions {
+            heuristic: options.heuristic,
+            default_window_us: options.default_window_us,
+        };
+        let resolved = resolve(&spec, alphabet_rules, &ropts)?;
+        let statics = build_static(&spec, &resolved.fields, &options.encap)?;
+        let alphabet: Vec<Pred> =
+            resolved.rules.iter().flat_map(|r| r.literals.iter().map(|(p, _)| *p)).collect();
+        let mut bdd = Bdd::new(resolved.fields.infos.clone(), alphabet)?;
+        bdd.set_semantic_pruning(options.semantic_pruning);
+        Ok(IncrementalCompiler {
+            spec,
+            fields: resolved.fields,
+            statics,
+            bdd,
+            es: EmissionState::new(),
+            installed: HashMap::new(),
+            rules_installed: 0,
+        })
+    }
+
+    /// Number of rules installed so far.
+    pub fn rules_installed(&self) -> usize {
+        self.rules_installed
+    }
+
+    /// The session's field table (frozen).
+    pub fn fields(&self) -> &FieldTable {
+        &self.fields
+    }
+
+    /// Installs additional rules and regenerates the tables, reporting
+    /// the entry diff against the previously installed version.
+    pub fn install(&mut self, rules: &[Rule]) -> Result<UpdateReport, CompileError> {
+        let conjs = resolve_incremental(&self.spec, &self.fields, rules)?;
+        let mut unsat = 0usize;
+        for conj in &conjs {
+            let ids: Vec<ActionId> =
+                conj.actions.iter().map(|a| self.es.intern_action(a)).collect();
+            let inserted = self.bdd.add_rule(&conj.literals, &ids).map_err(|e| match e {
+                camus_bdd::BddError::UndeclaredPred(p) => CompileError::NeedsFullRecompile(
+                    format!("predicate {p} is outside the session's alphabet"),
+                ),
+                other => CompileError::Bdd(other),
+            })?;
+            if !inserted {
+                unsat += 1;
+            }
+        }
+        self.rules_installed += rules.len();
+
+        let (tables, initial_state) = emit_tables(&self.bdd, &self.statics, &mut self.es)?;
+
+        // Diff vs. installed entries.
+        let mut deltas = Vec::with_capacity(tables.len());
+        let (mut added, mut removed, mut kept) = (0usize, 0usize, 0usize);
+        let mut new_installed: HashMap<String, HashMap<Entry, usize>> = HashMap::new();
+        for t in &tables {
+            let mut multiset: HashMap<Entry, usize> = HashMap::new();
+            for e in t.entries() {
+                *multiset.entry(e.clone()).or_insert(0) += 1;
+            }
+            let old = self.installed.remove(&t.name).unwrap_or_default();
+            let d = diff_multisets(&t.name, &old, &multiset);
+            added += d.added;
+            removed += d.removed;
+            kept += d.kept;
+            deltas.push(d);
+            new_installed.insert(t.name.clone(), multiset);
+        }
+        // Tables that disappeared entirely (possible when a field's last
+        // predicate goes away — cannot happen with additive installs,
+        // but keep the diff total).
+        for (name, old) in self.installed.drain() {
+            let d = diff_multisets(&name, &old, &HashMap::new());
+            removed += d.removed;
+            deltas.push(d);
+        }
+        self.installed = new_installed;
+
+        let total_entries = tables.iter().map(Table::len).sum();
+        let pipeline = Pipeline {
+            layout: self.statics.layout.clone(),
+            parser: self.statics.parser.clone(),
+            tables,
+            mcast: self.es.mcast.clone(),
+            registers: self.statics.registers.clone(),
+            state_bindings: self.statics.state_bindings.clone(),
+            init_fields: vec![(self.statics.state_meta, initial_state)],
+        };
+        Ok(UpdateReport {
+            rules_added: rules.len(),
+            unsat_conjunctions: unsat,
+            deltas,
+            total_entries,
+            entries_added: added,
+            entries_removed: removed,
+            entries_kept: kept,
+            memo: self.bdd.memo_stats(),
+            pipeline,
+        })
+    }
+}
+
+fn diff_multisets(
+    name: &str,
+    old: &HashMap<Entry, usize>,
+    new: &HashMap<Entry, usize>,
+) -> TableDelta {
+    let mut added = 0usize;
+    let mut removed = 0usize;
+    let mut kept = 0usize;
+    for (e, &n) in new {
+        let o = old.get(e).copied().unwrap_or(0);
+        added += n.saturating_sub(o);
+        kept += n.min(o);
+    }
+    for (e, &o) in old {
+        let n = new.get(e).copied().unwrap_or(0);
+        removed += o.saturating_sub(n);
+    }
+    TableDelta { table: name.to_string(), added, removed, kept }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_lang::{parse_program, parse_spec};
+    use camus_pipeline::PortId;
+
+    fn session(alphabet: &str) -> IncrementalCompiler {
+        let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+        let options = CompilerOptions::raw();
+        IncrementalCompiler::new(spec, &options, &parse_program(alphabet).unwrap()).unwrap()
+    }
+
+    fn packet(symbol: &str, shares: u32, price: u32) -> Vec<u8> {
+        let mut m = vec![b'A'];
+        m.extend_from_slice(&[0; 10]);
+        m.extend_from_slice(&[0; 8]);
+        m.push(b'B');
+        m.extend_from_slice(&shares.to_be_bytes());
+        let mut stock = [b' '; 8];
+        for (i, c) in symbol.bytes().take(8).enumerate() {
+            stock[i] = c;
+        }
+        m.extend_from_slice(&stock);
+        m.extend_from_slice(&price.to_be_bytes());
+        m
+    }
+
+    const ALPHABET: &str = "stock == GOOGL : fwd(1)\n\
+                            stock == MSFT : fwd(2)\n\
+                            price > 100 : fwd(3)";
+
+    #[test]
+    fn staged_installs_accumulate_behaviour() {
+        let mut s = session(ALPHABET);
+        let r1 = s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap()).unwrap();
+        let mut p1 = r1.pipeline;
+        assert_eq!(p1.process(&packet("GOOGL", 1, 1), 0).unwrap().ports, vec![PortId(1)]);
+        assert!(p1.process(&packet("MSFT", 1, 1), 0).unwrap().dropped());
+
+        let r2 = s.install(&parse_program("stock == MSFT : fwd(2)").unwrap()).unwrap();
+        let mut p2 = r2.pipeline;
+        assert_eq!(p2.process(&packet("GOOGL", 1, 1), 0).unwrap().ports, vec![PortId(1)]);
+        assert_eq!(p2.process(&packet("MSFT", 1, 1), 0).unwrap().ports, vec![PortId(2)]);
+        assert_eq!(s.rules_installed(), 2);
+    }
+
+    #[test]
+    fn update_reuses_most_entries() {
+        let mut s = session(ALPHABET);
+        let _ = s.install(&parse_program("stock == GOOGL : fwd(1)\nprice > 100 : fwd(3)").unwrap()).unwrap();
+        let r = s.install(&parse_program("stock == MSFT : fwd(2)").unwrap()).unwrap();
+        // The GOOGL and price entries survive the update.
+        assert!(r.entries_kept > 0, "{r:?}");
+        assert!(r.entries_added > 0);
+        assert!(
+            r.entries_kept >= r.entries_removed,
+            "reuse should dominate churn: {:?}",
+            r.deltas
+        );
+    }
+
+    #[test]
+    fn incremental_matches_full_compile_semantics() {
+        // Install in two steps; compare against one full compile.
+        let all = "stock == GOOGL : fwd(1)\nstock == MSFT : fwd(2)\nprice > 100 : fwd(3)";
+        let mut s = session(ALPHABET);
+        s.install(&parse_program("stock == GOOGL : fwd(1)\nstock == MSFT : fwd(2)").unwrap())
+            .unwrap();
+        let inc = s.install(&parse_program("price > 100 : fwd(3)").unwrap()).unwrap();
+        let mut inc_pipe = inc.pipeline;
+
+        let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+        let full = crate::Compiler::new(spec, CompilerOptions::raw())
+            .unwrap()
+            .compile(&parse_program(all).unwrap())
+            .unwrap();
+        let mut full_pipe = full.pipeline;
+
+        for sym in ["GOOGL", "MSFT", "ORCL"] {
+            for price in [0u32, 100, 101, 5000] {
+                let pkt = packet(sym, 10, price);
+                assert_eq!(
+                    inc_pipe.process(&pkt, 0).unwrap().ports,
+                    full_pipe.process(&pkt, 0).unwrap().ports,
+                    "{sym} @ {price}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_alphabet_predicates_need_full_recompile() {
+        let mut s = session(ALPHABET);
+        let err = s.install(&parse_program("price > 999 : fwd(4)").unwrap()).unwrap_err();
+        assert!(matches!(err, CompileError::NeedsFullRecompile(_)), "{err}");
+        // New aggregates are also a static change.
+        let err = s.install(&parse_program("avg(price) > 10 : fwd(4)").unwrap()).unwrap_err();
+        assert!(matches!(err, CompileError::NeedsFullRecompile(_)), "{err}");
+    }
+
+    #[test]
+    fn same_action_alphabet_ports_are_fine() {
+        // Actions are not part of the alphabet: any fwd() target works.
+        let mut s = session(ALPHABET);
+        let r = s.install(&parse_program("stock == GOOGL : fwd(77)").unwrap()).unwrap();
+        let mut p = r.pipeline;
+        assert_eq!(p.process(&packet("GOOGL", 1, 1), 0).unwrap().ports, vec![PortId(77)]);
+    }
+
+    #[test]
+    fn memo_accumulates_across_installs() {
+        let mut s = session(ALPHABET);
+        s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap()).unwrap();
+        let r = s.install(&parse_program("stock == MSFT : fwd(2)").unwrap()).unwrap();
+        assert!(r.memo.1 > 0, "misses counted");
+    }
+
+    #[test]
+    fn empty_install_is_a_noop_diff() {
+        let mut s = session(ALPHABET);
+        s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap()).unwrap();
+        let r = s.install(&[]).unwrap();
+        assert_eq!(r.entries_added, 0);
+        assert_eq!(r.entries_removed, 0);
+        assert!(r.entries_kept > 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! # camus-core — the Camus packet-subscription compiler
+//!
+//! The paper's primary contribution (§3): a compiler that turns a
+//! message-format specification and a set of packet subscriptions into
+//! a switch data-plane program.
+//!
+//! Compilation has two steps:
+//!
+//! * **Static** ([`statics`]) — once per application: generate the PHV
+//!   layout, the parser program for the application's encapsulation
+//!   (raw, or the Ethernet/IPv4/UDP/MoldUDP64 market-data stack), the
+//!   register block for `@query_counter` state, the per-field table
+//!   skeletons, and P4-14 source text for the whole pipeline
+//!   ([`p4gen`]).
+//! * **Dynamic** ([`dynamic`]) — on every rule update: normalize the
+//!   subscription rules to disjunctive form, resolve operands against
+//!   the spec ([`resolve`]), build the multi-terminal BDD, slice it
+//!   into per-field components and translate every In→Out path into a
+//!   match-action table entry (Algorithm 1), allocating multicast
+//!   groups for multi-port action sets and linking state updates to
+//!   register slots.
+//!
+//! The top-level entry point is [`Compiler`]:
+//!
+//! ```
+//! use camus_core::{Compiler, CompilerOptions};
+//! use camus_lang::{parse_program, parse_spec};
+//!
+//! let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+//! let rules = parse_program(
+//!     "stock == GOOGL : fwd(1)\n\
+//!      stock == MSFT and price > 1000 : fwd(2,3)",
+//! )
+//! .unwrap();
+//! let compiler = Compiler::new(spec, CompilerOptions::default()).unwrap();
+//! let program = compiler.compile(&rules).unwrap();
+//! assert!(program.stats.total_entries > 0);
+//!
+//! // The compiled program is directly executable on the pipeline
+//! // substrate:
+//! let mut pipeline = program.pipeline;
+//! let pkt = camus_itch_example_packet();
+//! let decision = pipeline.process(&pkt, 0).unwrap();
+//! assert_eq!(decision.ports, vec![camus_pipeline::PortId(1)]);
+//!
+//! fn camus_itch_example_packet() -> Vec<u8> {
+//!     // A GOOGL add-order inside Ethernet/IPv4/UDP/MoldUDP64. Built by
+//!     // hand here to keep this crate free of a camus-itch dependency.
+//!     let msg = {
+//!         let mut m = vec![b'A'];
+//!         m.extend_from_slice(&[0; 10]); // locate, tracking, timestamp
+//!         m.extend_from_slice(&[0; 8]); // order ref
+//!         m.push(b'B');
+//!         m.extend_from_slice(&500u32.to_be_bytes());
+//!         m.extend_from_slice(b"GOOGL   ");
+//!         m.extend_from_slice(&1_000_000u32.to_be_bytes());
+//!         m
+//!     };
+//!     let mut mold = vec![0u8; 10]; // session
+//!     mold.extend_from_slice(&1u64.to_be_bytes()); // sequence
+//!     mold.extend_from_slice(&1u16.to_be_bytes()); // count
+//!     mold.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+//!     mold.extend_from_slice(&msg);
+//!     let mut udp = vec![0u8; 8];
+//!     udp[4..6].copy_from_slice(&((8 + mold.len()) as u16).to_be_bytes());
+//!     udp.extend_from_slice(&mold);
+//!     let mut ip = vec![0x45u8, 0, 0, 0, 0, 0, 0, 0, 16, 17, 0, 0];
+//!     ip[2..4].copy_from_slice(&((20 + udp.len()) as u16).to_be_bytes());
+//!     ip.extend_from_slice(&[0; 8]); // src/dst
+//!     ip.extend_from_slice(&udp);
+//!     let mut eth = vec![0u8; 12];
+//!     eth.extend_from_slice(&0x0800u16.to_be_bytes());
+//!     eth.extend_from_slice(&ip);
+//!     eth
+//! }
+//! ```
+
+pub mod compile;
+pub mod dynamic;
+pub mod error;
+pub mod incremental;
+pub mod p4gen;
+pub mod resolve;
+pub mod statics;
+
+pub use compile::{CompiledProgram, Compiler, CompilerOptions, Encap};
+pub use dynamic::CompileStats;
+pub use error::CompileError;
+pub use incremental::{IncrementalCompiler, TableDelta, UpdateReport};

@@ -1,0 +1,120 @@
+//! End-to-end test of the `camusc` command-line compiler.
+
+use std::fs;
+use std::path::Path;
+use std::process::Command;
+
+const SPEC: &str = r#"
+header_type order_t {
+    fields {
+        msg_type: 8;
+        shares: 32;
+        stock: 64;
+        price: 32;
+    }
+}
+header order_t order;
+@query_field(order.price)
+@query_field_exact(order.stock)
+"#;
+
+const RULES: &str = "stock == GOOGL : fwd(1)\nstock == MSFT and price > 10 : fwd(2,3)\n";
+
+fn write_inputs(dir: &Path) {
+    fs::write(dir.join("app.p4q"), SPEC).unwrap();
+    fs::write(dir.join("subs.camus"), RULES).unwrap();
+}
+
+fn camusc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_camusc"))
+}
+
+#[test]
+fn compiles_and_writes_artifacts() {
+    let dir = std::env::temp_dir().join("camusc_test_artifacts");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    write_inputs(&dir);
+
+    let out = dir.join("out");
+    let status = camusc()
+        .args(["--spec"])
+        .arg(dir.join("app.p4q"))
+        .args(["--rules"])
+        .arg(dir.join("subs.camus"))
+        .args(["--encap", "raw", "--out"])
+        .arg(&out)
+        .output()
+        .expect("camusc runs");
+    assert!(status.status.success(), "{}", String::from_utf8_lossy(&status.stderr));
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("compiled 2 rules"), "{stdout}");
+    assert!(stdout.contains("fits"), "{stdout}");
+
+    let p4 = fs::read_to_string(out.join("pipeline.p4")).unwrap();
+    assert!(p4.contains("table t_order_stock"));
+    let cp = fs::read_to_string(out.join("control_plane.txt")).unwrap();
+    assert!(cp.contains("table_add t_actions"));
+    let dot = fs::read_to_string(out.join("bdd.dot")).unwrap();
+    assert!(dot.starts_with("digraph"));
+    assert!(fs::read_to_string(out.join("report.txt")).unwrap().contains("table entries"));
+}
+
+#[test]
+fn check_mode_writes_nothing() {
+    let dir = std::env::temp_dir().join("camusc_test_check");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    write_inputs(&dir);
+
+    let out = dir.join("out");
+    let status = camusc()
+        .args(["--spec"])
+        .arg(dir.join("app.p4q"))
+        .args(["--rules"])
+        .arg(dir.join("subs.camus"))
+        .args(["--encap", "raw", "--check", "--out"])
+        .arg(&out)
+        .status()
+        .expect("camusc runs");
+    assert!(status.success());
+    assert!(!out.exists());
+}
+
+#[test]
+fn bad_rules_fail_with_diagnostic() {
+    let dir = std::env::temp_dir().join("camusc_test_bad");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(dir.join("app.p4q"), SPEC).unwrap();
+    fs::write(dir.join("subs.camus"), "volume > 9 : fwd(1)\n").unwrap();
+
+    let out = camusc()
+        .args(["--spec"])
+        .arg(dir.join("app.p4q"))
+        .args(["--rules"])
+        .arg(dir.join("subs.camus"))
+        .args(["--encap", "raw", "--check"])
+        .output()
+        .expect("camusc runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("volume"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = camusc()
+        .args(["--spec", "/nonexistent.p4q", "--rules", "/nonexistent.camus", "--check"])
+        .output()
+        .expect("camusc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn unknown_flag_prints_usage() {
+    let out = camusc().args(["--frobnicate"]).output().expect("camusc runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

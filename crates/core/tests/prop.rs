@@ -1,0 +1,188 @@
+//! End-to-end property tests: for arbitrary subscription rule sets over
+//! the ITCH spec, the compiled pipeline forwards exactly the union of
+//! the ports of all matching rules (§2's semantics), for every packet —
+//! and every compiler configuration (ordering heuristic, domain
+//! compression) agrees.
+
+use camus_core::{Compiler, CompilerOptions};
+use camus_bdd::order::OrderHeuristic;
+use camus_lang::ast::{Action, Atom, Cond, FieldRef, Operand, RelOp, Rule, Value};
+use camus_lang::parse_spec;
+use proptest::prelude::*;
+
+const SYMBOLS: [&str; 5] = ["GOOGL", "MSFT", "AAPL", "ORCL", "AMZN"];
+
+/// A generated atomic predicate over the ITCH query fields.
+#[derive(Debug, Clone)]
+enum GenAtom {
+    Shares(RelOp, u32),
+    Price(RelOp, u32),
+    Stock(bool, usize), // (equals?, symbol index)
+    Side(bool, bool),   // (equals?, buy?)
+}
+
+impl GenAtom {
+    fn to_cond(&self) -> Cond {
+        let atom = |field: &str, op: RelOp, value: Value| {
+            Cond::Atom(Atom { operand: Operand::Field(FieldRef::short(field.to_string())), op, value })
+        };
+        match self {
+            GenAtom::Shares(op, v) => atom("shares", *op, Value::Int(u64::from(*v))),
+            GenAtom::Price(op, v) => atom("price", *op, Value::Int(u64::from(*v))),
+            GenAtom::Stock(eq, i) => atom(
+                "stock",
+                if *eq { RelOp::Eq } else { RelOp::Ne },
+                Value::Symbol(SYMBOLS[*i].to_string()),
+            ),
+            GenAtom::Side(eq, buy) => atom(
+                "buy_sell",
+                if *eq { RelOp::Eq } else { RelOp::Ne },
+                Value::Int(u64::from(if *buy { b'B' } else { b'S' })),
+            ),
+        }
+    }
+
+    fn eval(&self, shares: u32, price: u32, sym: usize, buy: bool) -> bool {
+        match self {
+            GenAtom::Shares(op, v) => op.eval(u64::from(shares), u64::from(*v)),
+            GenAtom::Price(op, v) => op.eval(u64::from(price), u64::from(*v)),
+            GenAtom::Stock(eq, i) => (sym == *i) == *eq,
+            GenAtom::Side(eq, b) => (buy == *b) == *eq,
+        }
+    }
+}
+
+fn arb_relop() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Lt),
+        Just(RelOp::Gt),
+        Just(RelOp::Eq),
+        Just(RelOp::Le),
+        Just(RelOp::Ge),
+        Just(RelOp::Ne),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = GenAtom> {
+    prop_oneof![
+        (arb_relop(), 0u32..200).prop_map(|(o, v)| GenAtom::Shares(o, v)),
+        (arb_relop(), 0u32..200).prop_map(|(o, v)| GenAtom::Price(o, v)),
+        (any::<bool>(), 0usize..SYMBOLS.len()).prop_map(|(e, i)| GenAtom::Stock(e, i)),
+        (any::<bool>(), any::<bool>()).prop_map(|(e, b)| GenAtom::Side(e, b)),
+    ]
+}
+
+type GenRule = (Vec<GenAtom>, u16);
+
+fn arb_rules() -> impl Strategy<Value = Vec<GenRule>> {
+    prop::collection::vec((prop::collection::vec(arb_atom(), 1..4), 1u16..8), 1..10)
+}
+
+fn to_rules(gen: &[GenRule]) -> Vec<Rule> {
+    gen.iter()
+        .map(|(atoms, port)| {
+            let cond = atoms
+                .iter()
+                .map(GenAtom::to_cond)
+                .reduce(|a, b| a.and(b))
+                .expect("at least one atom");
+            Rule::new(cond, vec![Action::Fwd(vec![*port])])
+        })
+        .collect()
+}
+
+fn naive_ports(gen: &[GenRule], shares: u32, price: u32, sym: usize, buy: bool) -> Vec<u16> {
+    let mut out: Vec<u16> = gen
+        .iter()
+        .filter(|(atoms, _)| atoms.iter().all(|a| a.eval(shares, price, sym, buy)))
+        .map(|(_, p)| *p)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn raw_itch_packet(symbol: &str, buy: bool, shares: u32, price: u32) -> Vec<u8> {
+    let mut m = vec![b'A'];
+    m.extend_from_slice(&[0; 10]);
+    m.extend_from_slice(&[0; 8]);
+    m.push(if buy { b'B' } else { b'S' });
+    m.extend_from_slice(&shares.to_be_bytes());
+    let mut stock = [b' '; 8];
+    for (i, c) in symbol.bytes().take(8).enumerate() {
+        stock[i] = c;
+    }
+    m.extend_from_slice(&stock);
+    m.extend_from_slice(&price.to_be_bytes());
+    m
+}
+
+type Packet = (u32, u32, usize, bool);
+
+fn arb_packets() -> impl Strategy<Value = Vec<Packet>> {
+    prop::collection::vec(
+        (0u32..250, 0u32..250, 0usize..SYMBOLS.len(), any::<bool>()),
+        1..16,
+    )
+}
+
+fn run_config(
+    rules: &[Rule],
+    gen: &[GenRule],
+    packets: &[Packet],
+    options: CompilerOptions,
+) -> Result<(), TestCaseError> {
+    let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+    let compiler = Compiler::new(spec, options).unwrap();
+    let prog = compiler.compile(rules).unwrap();
+    let mut pipe = prog.pipeline;
+    for &(shares, price, sym, buy) in packets {
+        let pkt = raw_itch_packet(SYMBOLS[sym], buy, shares, price);
+        let d = pipe.process(&pkt, 0).unwrap();
+        let got: Vec<u16> = d.ports.iter().map(|p| p.0).collect();
+        let want = naive_ports(gen, shares, price, sym, buy);
+        prop_assert_eq!(got, want, "shares={} price={} sym={} buy={}", shares, price, sym, buy);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled pipeline == naive interpreter, default options.
+    #[test]
+    fn pipeline_matches_naive((gen, packets) in (arb_rules(), arb_packets())) {
+        let rules = to_rules(&gen);
+        run_config(&rules, &gen, &packets, CompilerOptions::raw())?;
+    }
+
+    /// Every ordering heuristic produces the same forwarding behaviour.
+    #[test]
+    fn heuristics_agree((gen, packets) in (arb_rules(), arb_packets())) {
+        let rules = to_rules(&gen);
+        for h in OrderHeuristic::ALL {
+            let opts = CompilerOptions { heuristic: h, ..CompilerOptions::raw() };
+            run_config(&rules, &gen, &packets, opts)?;
+        }
+    }
+
+    /// Domain compression never changes behaviour.
+    #[test]
+    fn compression_agrees((gen, packets) in (arb_rules(), arb_packets())) {
+        let rules = to_rules(&gen);
+        let opts = CompilerOptions { compress_bits: Some(8), ..CompilerOptions::raw() };
+        run_config(&rules, &gen, &packets, opts)?;
+    }
+
+    /// Entry counts are identical across recompilations (determinism).
+    #[test]
+    fn compilation_is_deterministic(gen in arb_rules()) {
+        let rules = to_rules(&gen);
+        let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+        let compiler = Compiler::new(spec, CompilerOptions::raw()).unwrap();
+        let a = compiler.compile(&rules).unwrap();
+        let b = compiler.compile(&rules).unwrap();
+        prop_assert_eq!(a.stats.clone(), b.stats);
+        prop_assert_eq!(a.control_plane, b.control_plane);
+    }
+}

@@ -1,0 +1,101 @@
+//! Ethernet II frames.
+
+use crate::WireError;
+
+/// Length of an Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// A typed view over an Ethernet II frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wraps a buffer, checking the fixed header is present.
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(WireError::Truncated("ethernet frame"));
+        }
+        Ok(Frame { buffer })
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> [u8; 6] {
+        self.buffer.as_ref()[0..6].try_into().unwrap()
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> [u8; 6] {
+        self.buffer.as_ref()[6..12].try_into().unwrap()
+    }
+
+    /// EtherType.
+    pub fn ethertype(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[12], b[13]])
+    }
+
+    /// Payload after the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Writes the header fields.
+    pub fn set_header(&mut self, dst: [u8; 6], src: [u8; 6], ethertype: u16) {
+        let b = self.buffer.as_mut();
+        b[0..6].copy_from_slice(&dst);
+        b[6..12].copy_from_slice(&src);
+        b[12..14].copy_from_slice(&ethertype.to_be_bytes());
+    }
+
+    /// Mutable payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+/// Builds a frame around a payload.
+pub fn build(dst: [u8; 6], src: [u8; 6], ethertype: u16, payload: &[u8]) -> Vec<u8> {
+    let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+    let mut f = Frame::new_checked(&mut buf[..]).expect("sized correctly");
+    f.set_header(dst, src, ethertype);
+    f.payload_mut().copy_from_slice(payload);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DST: [u8; 6] = [0x01, 0x00, 0x5e, 0x00, 0x00, 0x01];
+    const SRC: [u8; 6] = [0x02, 0x00, 0x00, 0x00, 0x00, 0x07];
+
+    #[test]
+    fn build_and_parse_roundtrip() {
+        let buf = build(DST, SRC, ETHERTYPE_IPV4, b"payload");
+        let f = Frame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.dst(), DST);
+        assert_eq!(f.src(), SRC);
+        assert_eq!(f.ethertype(), ETHERTYPE_IPV4);
+        assert_eq!(f.payload(), b"payload");
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(
+            Frame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            WireError::Truncated("ethernet frame")
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end feed packets: Ethernet / IPv4 / UDP / MoldUDP64 / ITCH.
+
+use crate::itch::ItchMessage;
+use crate::{ether, ipv4, moldudp, udp, WireError};
+
+/// Static addressing for a feed channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedConfig {
+    /// Source MAC.
+    pub src_mac: [u8; 6],
+    /// Destination (multicast) MAC.
+    pub dst_mac: [u8; 6],
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination (multicast) IPv4 address.
+    pub dst_ip: u32,
+    /// UDP source port.
+    pub src_port: u16,
+    /// UDP destination port.
+    pub dst_port: u16,
+    /// MoldUDP64 session id.
+    pub session: [u8; 10],
+}
+
+impl Default for FeedConfig {
+    fn default() -> Self {
+        // 239.192.0.1 with its derived multicast MAC, Nasdaq-ish ports.
+        FeedConfig {
+            src_mac: [0x02, 0x00, 0x00, 0x00, 0x00, 0x01],
+            dst_mac: [0x01, 0x00, 0x5e, 0x40, 0x00, 0x01],
+            src_ip: 0x0a00_0001,
+            dst_ip: 0xefc0_0001,
+            src_port: 26400,
+            dst_port: 26477,
+            session: *b"CAMUS00001",
+        }
+    }
+}
+
+/// Builds one feed packet carrying the given messages, starting at
+/// MoldUDP sequence number `sequence`.
+pub fn build_feed_packet(cfg: &FeedConfig, sequence: u64, messages: &[ItchMessage]) -> Vec<u8> {
+    let encoded: Vec<Vec<u8>> = messages.iter().map(|m| m.encode()).collect();
+    let refs: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
+    let mold = moldudp::build(cfg.session, sequence, &refs);
+    let udp_dgram = udp::build(cfg.src_port, cfg.dst_port, &mold);
+    let ip = ipv4::build(cfg.src_ip, cfg.dst_ip, ipv4::PROTO_UDP, 16, &udp_dgram);
+    ether::build(cfg.dst_mac, cfg.src_mac, ether::ETHERTYPE_IPV4, &ip)
+}
+
+/// Parses a feed packet back into its ITCH messages, validating every
+/// layer. Unknown ITCH message types are skipped (real feeds carry
+/// dozens of types; subscribers ignore what they don't handle).
+pub fn parse_feed_packet(bytes: &[u8]) -> Result<(u64, Vec<ItchMessage>), WireError> {
+    let frame = ether::Frame::new_checked(bytes)?;
+    if frame.ethertype() != ether::ETHERTYPE_IPV4 {
+        return Err(WireError::BadValue("ethertype"));
+    }
+    let ip = ipv4::Packet::new_checked(frame.payload())?;
+    if ip.protocol() != ipv4::PROTO_UDP {
+        return Err(WireError::BadValue("ip protocol"));
+    }
+    let dgram = udp::Datagram::new_checked(ip.payload())?;
+    let mold = moldudp::MoldPacket::new_checked(dgram.payload())?;
+    let mut out = Vec::with_capacity(mold.message_count());
+    for m in mold.messages() {
+        match ItchMessage::decode(m) {
+            Ok(msg) => out.push(msg),
+            Err(WireError::BadValue("itch message type")) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok((mold.sequence(), out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itch::{AddOrder, Side};
+
+    #[test]
+    fn feed_roundtrips() {
+        let cfg = FeedConfig::default();
+        let msgs = vec![
+            ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 100, 1_500_000)),
+            ItchMessage::OrderDelete { order_ref: 9 },
+            ItchMessage::AddOrder(AddOrder::new("MSFT", Side::Sell, 50, 3_000_000)),
+        ];
+        let pkt = build_feed_packet(&cfg, 1000, &msgs);
+        let (seq, parsed) = parse_feed_packet(&pkt).unwrap();
+        assert_eq!(seq, 1000);
+        assert_eq!(parsed, msgs);
+    }
+
+    #[test]
+    fn empty_packet_roundtrips() {
+        let pkt = build_feed_packet(&FeedConfig::default(), 5, &[]);
+        let (seq, parsed) = parse_feed_packet(&pkt).unwrap();
+        assert_eq!(seq, 5);
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn layer_lengths_are_consistent() {
+        let pkt = build_feed_packet(
+            &FeedConfig::default(),
+            0,
+            &[ItchMessage::AddOrder(AddOrder::new("A", Side::Buy, 1, 1))],
+        );
+        // eth 14 + ip 20 + udp 8 + mold 20 + block (2 + 36)
+        assert_eq!(pkt.len(), 14 + 20 + 8 + 20 + 2 + 36);
+        let ip = crate::ipv4::Packet::new_checked(&pkt[14..]).unwrap();
+        assert!(ip.verify_checksum());
+        assert_eq!(ip.total_len(), pkt.len() - 14);
+    }
+
+    #[test]
+    fn unknown_message_types_are_skipped() {
+        // Hand-craft a mold payload with one junk message among two good
+        // ones.
+        let cfg = FeedConfig::default();
+        let a = ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 1, 1)).encode();
+        let junk = vec![b'Z', 1, 2, 3];
+        let b = ItchMessage::OrderDelete { order_ref: 1 }.encode();
+        let mold =
+            crate::moldudp::build(cfg.session, 0, &[&a[..], &junk[..], &b[..]]);
+        let udp_d = crate::udp::build(cfg.src_port, cfg.dst_port, &mold);
+        let ip = crate::ipv4::build(cfg.src_ip, cfg.dst_ip, crate::ipv4::PROTO_UDP, 16, &udp_d);
+        let pkt = crate::ether::build(cfg.dst_mac, cfg.src_mac, crate::ether::ETHERTYPE_IPV4, &ip);
+        let (_, parsed) = parse_feed_packet(&pkt).unwrap();
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn non_ip_frames_are_rejected() {
+        let pkt = crate::ether::build([0; 6], [0; 6], 0x0806, b"arp");
+        assert_eq!(parse_feed_packet(&pkt).unwrap_err(), WireError::BadValue("ethertype"));
+    }
+}

@@ -1,0 +1,205 @@
+//! IPv4 headers (no options), with checksum generation/verification.
+
+use crate::WireError;
+
+/// Length of an option-less IPv4 header.
+pub const HEADER_LEN: usize = 20;
+
+/// Protocol number for UDP.
+pub const PROTO_UDP: u8 = 17;
+
+/// A typed view over an IPv4 packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wraps a buffer, checking version, header length and total
+    /// length.
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(WireError::Truncated("ipv4 header"));
+        }
+        if b[0] >> 4 != 4 {
+            return Err(WireError::BadValue("ipv4 version"));
+        }
+        let ihl = usize::from(b[0] & 0x0f) * 4;
+        if ihl < HEADER_LEN || b.len() < ihl {
+            return Err(WireError::BadLength("ipv4 ihl"));
+        }
+        let total = usize::from(u16::from_be_bytes([b[2], b[3]]));
+        if total < ihl || total > b.len() {
+            return Err(WireError::BadLength("ipv4 total length"));
+        }
+        Ok(Packet { buffer })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Header length in bytes.
+    pub fn header_len(&self) -> usize {
+        usize::from(self.b()[0] & 0x0f) * 4
+    }
+
+    /// Total packet length per the header.
+    pub fn total_len(&self) -> usize {
+        usize::from(u16::from_be_bytes([self.b()[2], self.b()[3]]))
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.b()[8]
+    }
+
+    /// Transport protocol.
+    pub fn protocol(&self) -> u8 {
+        self.b()[9]
+    }
+
+    /// Source address, big-endian u32.
+    pub fn src(&self) -> u32 {
+        u32::from_be_bytes(self.b()[12..16].try_into().unwrap())
+    }
+
+    /// Destination address, big-endian u32.
+    pub fn dst(&self) -> u32 {
+        u32::from_be_bytes(self.b()[16..20].try_into().unwrap())
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b()[10], self.b()[11]])
+    }
+
+    /// Recomputes the header checksum and compares.
+    pub fn verify_checksum(&self) -> bool {
+        checksum(&self.b()[..self.header_len()]) == 0
+    }
+
+    /// Payload after the header, bounded by total length.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[self.header_len()..self.total_len()]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Writes an option-less header (version 4, IHL 5) and fixes the
+    /// checksum. `payload_len` is the transport payload length.
+    pub fn set_header(&mut self, src: u32, dst: u32, protocol: u8, ttl: u8, payload_len: usize) {
+        let total = (HEADER_LEN + payload_len) as u16;
+        let b = self.buffer.as_mut();
+        b[0] = 0x45;
+        b[1] = 0;
+        b[2..4].copy_from_slice(&total.to_be_bytes());
+        b[4..8].copy_from_slice(&[0, 0, 0, 0]); // id, flags, frag
+        b[8] = ttl;
+        b[9] = protocol;
+        b[10] = 0;
+        b[11] = 0;
+        b[12..16].copy_from_slice(&src.to_be_bytes());
+        b[16..20].copy_from_slice(&dst.to_be_bytes());
+        let csum = checksum(&b[..HEADER_LEN]);
+        b[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+}
+
+/// RFC 1071 internet checksum over a byte slice (returns the value that
+/// makes the region sum to zero, i.e. what belongs in the checksum
+/// field when that field is zeroed first — or 0 when verifying an
+/// already-checksummed region).
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Builds an IPv4 packet around a payload.
+pub fn build(src: u32, dst: u32, protocol: u8, ttl: u8, payload: &[u8]) -> Vec<u8> {
+    let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+    {
+        let (hdr, body) = buf.split_at_mut(HEADER_LEN);
+        body.copy_from_slice(payload);
+        let _ = hdr;
+    }
+    let mut p = Packet { buffer: &mut buf[..] };
+    p.set_header(src, dst, protocol, ttl, payload.len());
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: u32 = 0x0a00_0001;
+    const DST: u32 = 0xefc0_0001; // 239.192.0.1 multicast
+
+    #[test]
+    fn build_and_parse_roundtrip() {
+        let buf = build(SRC, DST, PROTO_UDP, 16, b"data");
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.src(), SRC);
+        assert_eq!(p.dst(), DST);
+        assert_eq!(p.protocol(), PROTO_UDP);
+        assert_eq!(p.ttl(), 16);
+        assert_eq!(p.total_len(), 24);
+        assert_eq!(p.payload(), b"data");
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut buf = build(SRC, DST, PROTO_UDP, 16, b"data");
+        buf[8] = buf[8].wrapping_add(1); // flip TTL
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_lengths() {
+        let mut buf = build(SRC, DST, PROTO_UDP, 16, b"data");
+        buf[0] = 0x65; // version 6
+        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::BadValue("ipv4 version"));
+
+        let mut buf2 = build(SRC, DST, PROTO_UDP, 16, b"data");
+        buf2[2] = 0xff; // total length beyond the buffer
+        buf2[3] = 0xff;
+        assert_eq!(
+            Packet::new_checked(&buf2[..]).unwrap_err(),
+            WireError::BadLength("ipv4 total length")
+        );
+
+        assert_eq!(
+            Packet::new_checked(&[0u8; 10][..]).unwrap_err(),
+            WireError::Truncated("ipv4 header")
+        );
+    }
+
+    #[test]
+    fn payload_is_bounded_by_total_len() {
+        // Buffer longer than total_len (ethernet padding): payload stops
+        // at total_len.
+        let mut buf = build(SRC, DST, PROTO_UDP, 16, b"data");
+        buf.extend_from_slice(&[0u8; 6]);
+        let p = Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload(), b"data");
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Odd-length regions pad with a zero byte.
+        assert_eq!(checksum(&[0xff]), !0xff00u16);
+    }
+}

@@ -1,0 +1,385 @@
+//! ITCH 5.0 messages.
+//!
+//! The paper's experiments use **add-order** messages ("a new order
+//! that has been accepted by Nasdaq. It includes the stock symbol,
+//! number of shares, price, message length and a buy/sell indicator",
+//! §2); the decoder also understands the other message types that
+//! dominate real ITCH traffic so trace synthesis can mix realistic
+//! non-add-order noise.
+
+use crate::WireError;
+
+/// Buy/sell indicator of an order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Buy order (`'B'`).
+    Buy,
+    /// Sell order (`'S'`).
+    Sell,
+}
+
+impl Side {
+    /// Wire byte.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            Side::Buy => b'B',
+            Side::Sell => b'S',
+        }
+    }
+
+    /// Parses the wire byte.
+    pub fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            b'B' => Ok(Side::Buy),
+            b'S' => Ok(Side::Sell),
+            _ => Err(WireError::BadValue("itch buy/sell indicator")),
+        }
+    }
+}
+
+/// Encodes a stock symbol as the 8-byte, space-padded, left-justified
+/// field ITCH uses.
+pub fn encode_stock(symbol: &str) -> [u8; 8] {
+    let mut b = [b' '; 8];
+    for (i, c) in symbol.bytes().take(8).enumerate() {
+        b[i] = c;
+    }
+    b
+}
+
+/// Decodes an 8-byte stock field back to a trimmed string.
+pub fn decode_stock(b: &[u8; 8]) -> String {
+    String::from_utf8_lossy(b).trim_end().to_string()
+}
+
+/// An ITCH 5.0 add-order ('A') message. 36 bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddOrder {
+    /// Locate code identifying the security.
+    pub stock_locate: u16,
+    /// Nasdaq-internal tracking number.
+    pub tracking_number: u16,
+    /// Nanoseconds since midnight (48 bits).
+    pub timestamp_ns: u64,
+    /// Unique order reference.
+    pub order_ref: u64,
+    /// Buy or sell.
+    pub side: Side,
+    /// Number of shares.
+    pub shares: u32,
+    /// Stock symbol, space padded.
+    pub stock: [u8; 8],
+    /// Price in fixed-point with 4 decimal places.
+    pub price: u32,
+}
+
+/// Wire length of an add-order message.
+pub const ADD_ORDER_LEN: usize = 36;
+
+impl AddOrder {
+    /// Convenience constructor from a symbol string.
+    pub fn new(symbol: &str, side: Side, shares: u32, price: u32) -> Self {
+        AddOrder {
+            stock_locate: 0,
+            tracking_number: 0,
+            timestamp_ns: 0,
+            order_ref: 0,
+            side,
+            shares,
+            stock: encode_stock(symbol),
+            price,
+        }
+    }
+
+    /// Serializes to the 36-byte wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(ADD_ORDER_LEN);
+        b.push(b'A');
+        b.extend_from_slice(&self.stock_locate.to_be_bytes());
+        b.extend_from_slice(&self.tracking_number.to_be_bytes());
+        b.extend_from_slice(&self.timestamp_ns.to_be_bytes()[2..8]);
+        b.extend_from_slice(&self.order_ref.to_be_bytes());
+        b.push(self.side.to_byte());
+        b.extend_from_slice(&self.shares.to_be_bytes());
+        b.extend_from_slice(&self.stock);
+        b.extend_from_slice(&self.price.to_be_bytes());
+        debug_assert_eq!(b.len(), ADD_ORDER_LEN);
+        b
+    }
+
+    /// Parses the wire form (including the leading type byte).
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        if b.len() < ADD_ORDER_LEN {
+            return Err(WireError::Truncated("itch add-order"));
+        }
+        if b[0] != b'A' {
+            return Err(WireError::BadValue("itch add-order type"));
+        }
+        let mut ts = [0u8; 8];
+        ts[2..8].copy_from_slice(&b[5..11]);
+        Ok(AddOrder {
+            stock_locate: u16::from_be_bytes([b[1], b[2]]),
+            tracking_number: u16::from_be_bytes([b[3], b[4]]),
+            timestamp_ns: u64::from_be_bytes(ts),
+            order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
+            side: Side::from_byte(b[19])?,
+            shares: u32::from_be_bytes(b[20..24].try_into().unwrap()),
+            stock: b[24..32].try_into().unwrap(),
+            price: u32::from_be_bytes(b[32..36].try_into().unwrap()),
+        })
+    }
+
+    /// The stock symbol, trimmed.
+    pub fn symbol(&self) -> String {
+        decode_stock(&self.stock)
+    }
+
+    /// The stock field as the `u64` the data plane matches on.
+    pub fn stock_u64(&self) -> u64 {
+        u64::from_be_bytes(self.stock)
+    }
+}
+
+/// Any ITCH message the codec understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItchMessage {
+    /// Add-order ('A') — the subscription subject.
+    AddOrder(AddOrder),
+    /// System event ('S', 12 bytes): event code only.
+    SystemEvent {
+        /// Event code byte (e.g. 'O' start of messages, 'C' end of day).
+        code: u8,
+    },
+    /// Order executed ('E', 31 bytes).
+    OrderExecuted {
+        /// Order reference of the executed order.
+        order_ref: u64,
+        /// Executed share count.
+        shares: u32,
+        /// Match number of the execution.
+        match_no: u64,
+    },
+    /// Order cancel ('X', 23 bytes).
+    OrderCancel {
+        /// Order reference.
+        order_ref: u64,
+        /// Cancelled share count.
+        shares: u32,
+    },
+    /// Order delete ('D', 19 bytes).
+    OrderDelete {
+        /// Order reference.
+        order_ref: u64,
+    },
+    /// Non-cross trade ('P', 44 bytes).
+    Trade {
+        /// Order reference.
+        order_ref: u64,
+        /// Side of the resting order.
+        side: Side,
+        /// Shares traded.
+        shares: u32,
+        /// Stock symbol.
+        stock: [u8; 8],
+        /// Trade price.
+        price: u32,
+        /// Match number.
+        match_no: u64,
+    },
+}
+
+impl ItchMessage {
+    /// The wire type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            ItchMessage::AddOrder(_) => b'A',
+            ItchMessage::SystemEvent { .. } => b'S',
+            ItchMessage::OrderExecuted { .. } => b'E',
+            ItchMessage::OrderCancel { .. } => b'X',
+            ItchMessage::OrderDelete { .. } => b'D',
+            ItchMessage::Trade { .. } => b'P',
+        }
+    }
+
+    /// Serializes to wire form (type byte + body). Locate/tracking/
+    /// timestamp prefixes are zero for the non-add-order messages (the
+    /// workload generator only needs them as realistic *noise*).
+    pub fn encode(&self) -> Vec<u8> {
+        fn prefix(t: u8) -> Vec<u8> {
+            let mut b = Vec::new();
+            b.push(t);
+            b.extend_from_slice(&[0u8; 10]); // locate, tracking, timestamp
+            b
+        }
+        match self {
+            ItchMessage::AddOrder(a) => a.encode(),
+            ItchMessage::SystemEvent { code } => {
+                let mut b = prefix(b'S');
+                b.push(*code);
+                b
+            }
+            ItchMessage::OrderExecuted { order_ref, shares, match_no } => {
+                let mut b = prefix(b'E');
+                b.extend_from_slice(&order_ref.to_be_bytes());
+                b.extend_from_slice(&shares.to_be_bytes());
+                b.extend_from_slice(&match_no.to_be_bytes());
+                b
+            }
+            ItchMessage::OrderCancel { order_ref, shares } => {
+                let mut b = prefix(b'X');
+                b.extend_from_slice(&order_ref.to_be_bytes());
+                b.extend_from_slice(&shares.to_be_bytes());
+                b
+            }
+            ItchMessage::OrderDelete { order_ref } => {
+                let mut b = prefix(b'D');
+                b.extend_from_slice(&order_ref.to_be_bytes());
+                b
+            }
+            ItchMessage::Trade { order_ref, side, shares, stock, price, match_no } => {
+                let mut b = prefix(b'P');
+                b.extend_from_slice(&order_ref.to_be_bytes());
+                b.push(side.to_byte());
+                b.extend_from_slice(&shares.to_be_bytes());
+                b.extend_from_slice(stock);
+                b.extend_from_slice(&price.to_be_bytes());
+                b.extend_from_slice(&match_no.to_be_bytes());
+                b
+            }
+        }
+    }
+
+    /// Parses any known message from its wire form.
+    pub fn decode(b: &[u8]) -> Result<Self, WireError> {
+        if b.is_empty() {
+            return Err(WireError::Truncated("itch message"));
+        }
+        let need = |n: usize| -> Result<(), WireError> {
+            if b.len() < n {
+                Err(WireError::Truncated("itch message body"))
+            } else {
+                Ok(())
+            }
+        };
+        match b[0] {
+            b'A' => Ok(ItchMessage::AddOrder(AddOrder::decode(b)?)),
+            b'S' => {
+                need(12)?;
+                Ok(ItchMessage::SystemEvent { code: b[11] })
+            }
+            b'E' => {
+                need(31)?;
+                Ok(ItchMessage::OrderExecuted {
+                    order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
+                    shares: u32::from_be_bytes(b[19..23].try_into().unwrap()),
+                    match_no: u64::from_be_bytes(b[23..31].try_into().unwrap()),
+                })
+            }
+            b'X' => {
+                need(23)?;
+                Ok(ItchMessage::OrderCancel {
+                    order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
+                    shares: u32::from_be_bytes(b[19..23].try_into().unwrap()),
+                })
+            }
+            b'D' => {
+                need(19)?;
+                Ok(ItchMessage::OrderDelete {
+                    order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
+                })
+            }
+            b'P' => {
+                need(44)?;
+                Ok(ItchMessage::Trade {
+                    order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
+                    side: Side::from_byte(b[19])?,
+                    shares: u32::from_be_bytes(b[20..24].try_into().unwrap()),
+                    stock: b[24..32].try_into().unwrap(),
+                    price: u32::from_be_bytes(b[32..36].try_into().unwrap()),
+                    match_no: u64::from_be_bytes(b[36..44].try_into().unwrap()),
+                })
+            }
+            _ => Err(WireError::BadValue("itch message type")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_order_roundtrips() {
+        let mut a = AddOrder::new("GOOGL", Side::Buy, 500, 1_234_500);
+        a.stock_locate = 77;
+        a.tracking_number = 3;
+        a.timestamp_ns = 0x0000_1234_5678_9abc;
+        a.order_ref = 0xdead_beef_cafe_f00d;
+        let wire = a.encode();
+        assert_eq!(wire.len(), ADD_ORDER_LEN);
+        let b = AddOrder::decode(&wire).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.symbol(), "GOOGL");
+    }
+
+    #[test]
+    fn timestamp_is_48_bits() {
+        let mut a = AddOrder::new("X", Side::Sell, 1, 1);
+        a.timestamp_ns = 0xffff_ffff_ffff_ffff;
+        let b = AddOrder::decode(&a.encode()).unwrap();
+        assert_eq!(b.timestamp_ns, 0x0000_ffff_ffff_ffff);
+    }
+
+    #[test]
+    fn stock_u64_matches_symbol_encoding() {
+        let a = AddOrder::new("MSFT", Side::Buy, 1, 1);
+        assert_eq!(
+            a.stock_u64(),
+            u64::from_be_bytes(*b"MSFT    ")
+        );
+    }
+
+    #[test]
+    fn all_message_types_roundtrip() {
+        let msgs = vec![
+            ItchMessage::AddOrder(AddOrder::new("AAPL", Side::Sell, 100, 99_0000)),
+            ItchMessage::SystemEvent { code: b'O' },
+            ItchMessage::OrderExecuted { order_ref: 1, shares: 2, match_no: 3 },
+            ItchMessage::OrderCancel { order_ref: 4, shares: 5 },
+            ItchMessage::OrderDelete { order_ref: 6 },
+            ItchMessage::Trade {
+                order_ref: 7,
+                side: Side::Buy,
+                shares: 8,
+                stock: encode_stock("ORCL"),
+                price: 9,
+                match_no: 10,
+            },
+        ];
+        for m in msgs {
+            let wire = m.encode();
+            assert_eq!(ItchMessage::decode(&wire).unwrap(), m, "type {}", m.type_byte() as char);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ItchMessage::decode(&[]).is_err());
+        assert!(ItchMessage::decode(b"Z123").is_err());
+        assert!(ItchMessage::decode(b"A").is_err()); // truncated add-order
+        // Bad side byte.
+        let mut wire = AddOrder::new("X", Side::Buy, 1, 1).encode();
+        wire[19] = b'Q';
+        assert_eq!(
+            AddOrder::decode(&wire).unwrap_err(),
+            WireError::BadValue("itch buy/sell indicator")
+        );
+    }
+
+    #[test]
+    fn stock_codec_pads_and_trims() {
+        assert_eq!(&encode_stock("GOOGL"), b"GOOGL   ");
+        assert_eq!(decode_stock(b"GOOGL   "), "GOOGL");
+        assert_eq!(&encode_stock("TOOLONGSYM"), b"TOOLONGS");
+    }
+}

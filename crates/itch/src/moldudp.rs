@@ -1,0 +1,148 @@
+//! MoldUDP64 session framing (Nasdaq's downstream packet format).
+//!
+//! Layout: 10-byte session id, 8-byte sequence number, 2-byte message
+//! count, then `count` message blocks of `[length: u16][payload]`.
+
+use crate::WireError;
+
+/// MoldUDP64 header length (session + sequence + count).
+pub const HEADER_LEN: usize = 20;
+
+/// A typed view over a MoldUDP64 packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoldPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> MoldPacket<T> {
+    /// Wraps a buffer, checking the header and that every advertised
+    /// message block is present.
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(WireError::Truncated("moldudp64 header"));
+        }
+        let count = usize::from(u16::from_be_bytes([b[18], b[19]]));
+        let mut off = HEADER_LEN;
+        for _ in 0..count {
+            if off + 2 > b.len() {
+                return Err(WireError::Truncated("moldudp64 block length"));
+            }
+            let len = usize::from(u16::from_be_bytes([b[off], b[off + 1]]));
+            off += 2;
+            if off + len > b.len() {
+                return Err(WireError::BadLength("moldudp64 block"));
+            }
+            off += len;
+        }
+        Ok(MoldPacket { buffer })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// The 10-byte session id.
+    pub fn session(&self) -> [u8; 10] {
+        self.b()[0..10].try_into().unwrap()
+    }
+
+    /// Sequence number of the first message in the packet.
+    pub fn sequence(&self) -> u64 {
+        u64::from_be_bytes(self.b()[10..18].try_into().unwrap())
+    }
+
+    /// Number of message blocks.
+    pub fn message_count(&self) -> usize {
+        usize::from(u16::from_be_bytes([self.b()[18], self.b()[19]]))
+    }
+
+    /// Iterates the message payloads.
+    pub fn messages(&self) -> MessageIter<'_> {
+        MessageIter { buf: self.b(), off: HEADER_LEN, remaining: self.message_count() }
+    }
+}
+
+/// Iterator over MoldUDP64 message blocks.
+pub struct MessageIter<'a> {
+    buf: &'a [u8],
+    off: usize,
+    remaining: usize,
+}
+
+impl<'a> Iterator for MessageIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // Bounds were validated in new_checked.
+        let len = usize::from(u16::from_be_bytes([self.buf[self.off], self.buf[self.off + 1]]));
+        let start = self.off + 2;
+        self.off = start + len;
+        self.remaining -= 1;
+        Some(&self.buf[start..start + len])
+    }
+}
+
+/// Builds a MoldUDP64 packet around message payloads.
+pub fn build(session: [u8; 10], sequence: u64, messages: &[&[u8]]) -> Vec<u8> {
+    let body: usize = messages.iter().map(|m| 2 + m.len()).sum();
+    let mut buf = Vec::with_capacity(HEADER_LEN + body);
+    buf.extend_from_slice(&session);
+    buf.extend_from_slice(&sequence.to_be_bytes());
+    buf.extend_from_slice(&(messages.len() as u16).to_be_bytes());
+    for m in messages {
+        buf.extend_from_slice(&(m.len() as u16).to_be_bytes());
+        buf.extend_from_slice(m);
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SESSION: [u8; 10] = *b"CAMUS00001";
+
+    #[test]
+    fn build_and_parse_roundtrip() {
+        let buf = build(SESSION, 42, &[b"first", b"second!"]);
+        let p = MoldPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.session(), SESSION);
+        assert_eq!(p.sequence(), 42);
+        assert_eq!(p.message_count(), 2);
+        let msgs: Vec<&[u8]> = p.messages().collect();
+        assert_eq!(msgs, vec![&b"first"[..], &b"second!"[..]]);
+    }
+
+    #[test]
+    fn empty_packet_has_no_messages() {
+        let buf = build(SESSION, 7, &[]);
+        let p = MoldPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.message_count(), 0);
+        assert_eq!(p.messages().count(), 0);
+    }
+
+    #[test]
+    fn rejects_truncations() {
+        assert_eq!(
+            MoldPacket::new_checked(&[0u8; 19][..]).unwrap_err(),
+            WireError::Truncated("moldudp64 header")
+        );
+        let mut buf = build(SESSION, 1, &[b"abc"]);
+        buf.truncate(buf.len() - 1);
+        assert_eq!(
+            MoldPacket::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength("moldudp64 block")
+        );
+        // Count says 2 but only one block present.
+        let mut buf2 = build(SESSION, 1, &[b"abc"]);
+        buf2[19] = 2;
+        assert_eq!(
+            MoldPacket::new_checked(&buf2[..]).unwrap_err(),
+            WireError::Truncated("moldudp64 block length")
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Classic pcap (libpcap 2.4) file writing and reading, so synthesized
+//! feeds can be inspected with tcpdump/Wireshark and replayed from
+//! disk. Microsecond timestamps, LINKTYPE_ETHERNET.
+
+use std::io::{self, Read, Write};
+
+use crate::WireError;
+
+const MAGIC_US: u32 = 0xa1b2_c3d4;
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// One captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Capture timestamp, nanoseconds (stored with µs resolution).
+    pub time_ns: u64,
+    /// Frame bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Writes the global pcap header.
+pub fn write_header<W: Write>(w: &mut W) -> io::Result<()> {
+    w.write_all(&MAGIC_US.to_le_bytes())?;
+    w.write_all(&VERSION_MAJOR.to_le_bytes())?;
+    w.write_all(&VERSION_MINOR.to_le_bytes())?;
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&65535u32.to_le_bytes())?; // snaplen
+    w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())
+}
+
+/// Appends one packet record.
+pub fn write_packet<W: Write>(w: &mut W, time_ns: u64, bytes: &[u8]) -> io::Result<()> {
+    let ts_sec = (time_ns / 1_000_000_000) as u32;
+    let ts_usec = ((time_ns % 1_000_000_000) / 1_000) as u32;
+    w.write_all(&ts_sec.to_le_bytes())?;
+    w.write_all(&ts_usec.to_le_bytes())?;
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?; // incl_len
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?; // orig_len
+    w.write_all(bytes)
+}
+
+/// Writes a whole capture in one call.
+pub fn write_capture<W: Write>(
+    w: &mut W,
+    packets: impl IntoIterator<Item = PcapPacket>,
+) -> io::Result<usize> {
+    write_header(w)?;
+    let mut n = 0;
+    for p in packets {
+        write_packet(w, p.time_ns, &p.bytes)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads a whole capture. Accepts only the format `write_capture`
+/// produces (little-endian, µs timestamps, Ethernet link type).
+pub fn read_capture<R: Read>(r: &mut R) -> Result<Vec<PcapPacket>, WireError> {
+    let mut hdr = [0u8; 24];
+    read_exact(r, &mut hdr).map_err(|_| WireError::Truncated("pcap header"))?;
+    let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+    if magic != MAGIC_US {
+        return Err(WireError::BadValue("pcap magic"));
+    }
+    let linktype = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(WireError::BadValue("pcap linktype"));
+    }
+    let mut out = Vec::new();
+    loop {
+        let mut rec = [0u8; 16];
+        match read_exact(r, &mut rec) {
+            Ok(()) => {}
+            Err(ReadErr::Eof(0)) => break, // clean end
+            Err(_) => return Err(WireError::Truncated("pcap record header")),
+        }
+        let ts_sec = u32::from_le_bytes(rec[0..4].try_into().unwrap());
+        let ts_usec = u32::from_le_bytes(rec[4..8].try_into().unwrap());
+        let incl = u32::from_le_bytes(rec[8..12].try_into().unwrap()) as usize;
+        if incl > 1 << 20 {
+            return Err(WireError::BadLength("pcap record length"));
+        }
+        let mut bytes = vec![0u8; incl];
+        read_exact(r, &mut bytes).map_err(|_| WireError::Truncated("pcap record body"))?;
+        out.push(PcapPacket {
+            time_ns: u64::from(ts_sec) * 1_000_000_000 + u64::from(ts_usec) * 1_000,
+            bytes,
+        });
+    }
+    Ok(out)
+}
+
+enum ReadErr {
+    /// EOF after reading this many bytes.
+    Eof(usize),
+    Io,
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), ReadErr> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ReadErr::Eof(filled)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(ReadErr::Io),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itch::{AddOrder, ItchMessage, Side};
+    use crate::{build_feed_packet, FeedConfig};
+
+    fn sample(n: usize) -> Vec<PcapPacket> {
+        (0..n)
+            .map(|i| PcapPacket {
+                time_ns: i as u64 * 1_000_000 + 2_000, // µs-aligned + sub-µs lost
+                bytes: build_feed_packet(
+                    &FeedConfig::default(),
+                    i as u64,
+                    &[ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 1, 1))],
+                ),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_packets() {
+        let pkts = sample(5);
+        let mut buf = Vec::new();
+        assert_eq!(write_capture(&mut buf, pkts.clone()).unwrap(), 5);
+        let back = read_capture(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 5);
+        for (a, b) in pkts.iter().zip(&back) {
+            assert_eq!(a.bytes, b.bytes);
+            // µs resolution: sub-µs remainder truncated.
+            assert_eq!(b.time_ns, a.time_ns / 1000 * 1000);
+        }
+    }
+
+    #[test]
+    fn header_matches_libpcap_layout() {
+        let mut buf = Vec::new();
+        write_header(&mut buf).unwrap();
+        assert_eq!(buf.len(), 24);
+        assert_eq!(&buf[0..4], &0xa1b2_c3d4u32.to_le_bytes());
+        assert_eq!(&buf[20..24], &1u32.to_le_bytes());
+    }
+
+    #[test]
+    fn empty_capture_roundtrips() {
+        let mut buf = Vec::new();
+        write_capture(&mut buf, []).unwrap();
+        assert!(read_capture(&mut buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert_eq!(
+            read_capture(&mut &b"short"[..]).unwrap_err(),
+            WireError::Truncated("pcap header")
+        );
+        let mut buf = Vec::new();
+        write_capture(&mut buf, sample(1)).unwrap();
+        buf[0] = 0;
+        assert_eq!(read_capture(&mut buf.as_slice()).unwrap_err(), WireError::BadValue("pcap magic"));
+
+        let mut buf2 = Vec::new();
+        write_capture(&mut buf2, sample(1)).unwrap();
+        buf2.truncate(buf2.len() - 3);
+        assert_eq!(
+            read_capture(&mut buf2.as_slice()).unwrap_err(),
+            WireError::Truncated("pcap record body")
+        );
+    }
+
+    #[test]
+    fn parsed_records_are_valid_feed_packets() {
+        let mut buf = Vec::new();
+        write_capture(&mut buf, sample(3)).unwrap();
+        for p in read_capture(&mut buf.as_slice()).unwrap() {
+            let (_, msgs) = crate::parse_feed_packet(&p.bytes).unwrap();
+            assert_eq!(msgs.len(), 1);
+        }
+    }
+}

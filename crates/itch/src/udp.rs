@@ -1,0 +1,113 @@
+//! UDP datagrams. Checksums are optional in IPv4 (0 = none); market
+//! feeds routinely disable them, and so does our builder by default.
+
+use crate::WireError;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Datagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Datagram<T> {
+    /// Wraps a buffer, checking header and length consistency.
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        let b = buffer.as_ref();
+        if b.len() < HEADER_LEN {
+            return Err(WireError::Truncated("udp header"));
+        }
+        let len = usize::from(u16::from_be_bytes([b[4], b[5]]));
+        if len < HEADER_LEN || len > b.len() {
+            return Err(WireError::BadLength("udp length"));
+        }
+        Ok(Datagram { buffer })
+    }
+
+    fn b(&self) -> &[u8] {
+        self.buffer.as_ref()
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[0], self.b()[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+
+    /// Datagram length per the header (header + payload).
+    pub fn len(&self) -> usize {
+        usize::from(u16::from_be_bytes([self.b()[4], self.b()[5]]))
+    }
+
+    /// True when the datagram carries no payload.
+    pub fn is_empty(&self) -> bool {
+        self.len() == HEADER_LEN
+    }
+
+    /// Payload, bounded by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[HEADER_LEN..self.len()]
+    }
+}
+
+/// Builds a UDP datagram (checksum 0 = disabled).
+pub fn build(src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    let len = (HEADER_LEN + payload.len()) as u16;
+    let mut buf = Vec::with_capacity(usize::from(len));
+    buf.extend_from_slice(&src_port.to_be_bytes());
+    buf.extend_from_slice(&dst_port.to_be_bytes());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.extend_from_slice(&0u16.to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_parse_roundtrip() {
+        let buf = build(26400, 26477, b"itch");
+        let d = Datagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 26400);
+        assert_eq!(d.dst_port(), 26477);
+        assert_eq!(d.len(), 12);
+        assert!(!d.is_empty());
+        assert_eq!(d.payload(), b"itch");
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(
+            Datagram::new_checked(&[0u8; 4][..]).unwrap_err(),
+            WireError::Truncated("udp header")
+        );
+        let mut buf = build(1, 2, b"xy");
+        buf[5] = 200; // length beyond buffer
+        assert_eq!(
+            Datagram::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadLength("udp length")
+        );
+        let mut buf2 = build(1, 2, b"");
+        buf2[5] = 4; // length below header size
+        assert_eq!(
+            Datagram::new_checked(&buf2[..]).unwrap_err(),
+            WireError::BadLength("udp length")
+        );
+    }
+
+    #[test]
+    fn payload_bounded_by_length_field() {
+        let mut buf = build(1, 2, b"abcd");
+        buf.extend_from_slice(b"padding");
+        let d = Datagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.payload(), b"abcd");
+    }
+}

@@ -1,0 +1,268 @@
+//! Disjunctive normalization (§3.2: "The subscription rules are first
+//! normalized into disjunctive form, yielding a set of independent rules
+//! in which the condition in each rule consists of a conjunction of
+//! atomic predicates.")
+//!
+//! Negations are pushed to the leaves (De Morgan) and then absorbed into
+//! the relational operator (`!(x < n)` ⇒ `x >= n`), so a normalized
+//! conjunction contains only positive literals over the six-operator
+//! predicate alphabet. Trivially contradictory conjunctions (same
+//! operand, disjoint constraints decidable without cross-atom reasoning)
+//! are kept — the BDD's domain-specific reductions remove them — except
+//! for syntactic `p == a ∧ p == b` with `a ≠ b`, which is dropped early
+//! as an inexpensive win.
+
+use crate::ast::{Atom, Cond, RelOp};
+
+/// A positive literal in a normalized conjunction. After normalization
+/// `positive` is always true for callers of [`to_dnf`]; the type keeps
+/// the polarity explicit so intermediate stages can carry negations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Literal {
+    /// The atomic predicate.
+    pub atom: Atom,
+    /// Polarity; `false` means the negation of `atom`.
+    pub positive: bool,
+}
+
+/// A conjunction of literals. The empty conjunction is `true`.
+pub type Conjunction = Vec<Literal>;
+
+/// Upper bound on the number of conjunctions a single rule may normalize
+/// to. DNF can be exponential in the worst case; a subscription that
+/// trips this limit is almost certainly a bug in the subscriber.
+pub const MAX_DNF_TERMS: usize = 1 << 16;
+
+/// Error returned when normalization exceeds [`MAX_DNF_TERMS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnfOverflow {
+    /// Number of terms at the point the limit tripped.
+    pub terms: usize,
+}
+
+impl std::fmt::Display for DnfOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DNF of condition exceeds {MAX_DNF_TERMS} conjunctions ({} and counting)",
+            self.terms
+        )
+    }
+}
+
+impl std::error::Error for DnfOverflow {}
+
+/// Normalizes a condition to disjunctive form: a set of conjunctions of
+/// positive atomic predicates whose disjunction is equivalent to `cond`.
+///
+/// ```
+/// use camus_lang::{parse_rule, to_dnf};
+/// let r = parse_rule("a == 1 and (b == 2 or !(c < 3)) : fwd(1)").unwrap();
+/// let dnf = to_dnf(&r.condition).unwrap();
+/// assert_eq!(dnf.len(), 2); // {a==1, b==2} and {a==1, c>=3}
+/// ```
+pub fn to_dnf(cond: &Cond) -> Result<Vec<Conjunction>, DnfOverflow> {
+    let nnf = push_negations(cond, false);
+    let mut out = dnf_of_nnf(&nnf)?;
+    for conj in &mut out {
+        for lit in conj.iter_mut() {
+            debug_assert!(lit.positive, "push_negations leaves only positive literals");
+        }
+    }
+    out.retain(|c| !trivially_unsat(c));
+    Ok(out)
+}
+
+/// Negation-normal form with polarity folded into operators.
+fn push_negations(cond: &Cond, negate: bool) -> Cond {
+    match (cond, negate) {
+        (Cond::And(a, b), false) => push_negations(a, false).and(push_negations(b, false)),
+        (Cond::And(a, b), true) => push_negations(a, true).or(push_negations(b, true)),
+        (Cond::Or(a, b), false) => push_negations(a, false).or(push_negations(b, false)),
+        (Cond::Or(a, b), true) => push_negations(a, true).and(push_negations(b, true)),
+        (Cond::Not(c), n) => push_negations(c, !n),
+        (Cond::Atom(a), false) => Cond::Atom(a.clone()),
+        (Cond::Atom(a), true) => Cond::Atom(Atom {
+            operand: a.operand.clone(),
+            op: a.op.negated(),
+            value: a.value.clone(),
+        }),
+        (Cond::True, false) => Cond::True,
+        // `!true` is unsatisfiable; encode as an empty disjunction marker
+        // using a contradictory pair is clumsy — use Or of nothing via a
+        // sentinel: we return `Not(True)` and handle it in dnf_of_nnf.
+        (Cond::True, true) => Cond::Not(Box::new(Cond::True)),
+    }
+}
+
+fn dnf_of_nnf(cond: &Cond) -> Result<Vec<Conjunction>, DnfOverflow> {
+    match cond {
+        Cond::Or(a, b) => {
+            let mut l = dnf_of_nnf(a)?;
+            let r = dnf_of_nnf(b)?;
+            l.extend(r);
+            if l.len() > MAX_DNF_TERMS {
+                return Err(DnfOverflow { terms: l.len() });
+            }
+            Ok(l)
+        }
+        Cond::And(a, b) => {
+            let l = dnf_of_nnf(a)?;
+            let r = dnf_of_nnf(b)?;
+            let product = l.len().saturating_mul(r.len());
+            if product > MAX_DNF_TERMS {
+                return Err(DnfOverflow { terms: product });
+            }
+            let mut out = Vec::with_capacity(product);
+            for cl in &l {
+                for cr in &r {
+                    let mut c = cl.clone();
+                    c.extend(cr.iter().cloned());
+                    out.push(c);
+                }
+            }
+            Ok(out)
+        }
+        Cond::Atom(a) => Ok(vec![vec![Literal { atom: a.clone(), positive: true }]]),
+        Cond::True => Ok(vec![vec![]]),
+        // Sentinel from push_negations: unsatisfiable.
+        Cond::Not(inner) if matches!(inner.as_ref(), Cond::True) => Ok(vec![]),
+        Cond::Not(_) => unreachable!("negations were pushed to the leaves"),
+    }
+}
+
+/// Cheap syntactic contradiction check: two equality atoms on the same
+/// operand with different constants.
+fn trivially_unsat(conj: &Conjunction) -> bool {
+    for (i, a) in conj.iter().enumerate() {
+        if a.atom.op != RelOp::Eq {
+            continue;
+        }
+        for b in conj.iter().skip(i + 1) {
+            if b.atom.op == RelOp::Eq
+                && b.atom.operand == a.atom.operand
+                && b.atom.value != a.atom.value
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{FieldRef, Operand, Value};
+    use crate::parser::parse_rule;
+
+    fn cond(src: &str) -> Cond {
+        parse_rule(&format!("{src} : fwd(1)")).unwrap().condition
+    }
+
+    fn atoms(conj: &Conjunction) -> Vec<String> {
+        conj.iter().map(|l| l.atom.to_string()).collect()
+    }
+
+    #[test]
+    fn single_atom_is_singleton() {
+        let d = to_dnf(&cond("a == 1")).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(atoms(&d[0]), ["a == 1"]);
+    }
+
+    #[test]
+    fn conjunction_stays_one_term() {
+        let d = to_dnf(&cond("a == 1 and b < 2 and c > 3")).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].len(), 3);
+    }
+
+    #[test]
+    fn disjunction_splits() {
+        let d = to_dnf(&cond("a == 1 or b == 2")).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn distributes_and_over_or() {
+        let d = to_dnf(&cond("(a == 1 or a == 2) and (b == 1 or b == 2)")).unwrap();
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn negation_folds_into_operator() {
+        let d = to_dnf(&cond("!(a < 5)")).unwrap();
+        assert_eq!(atoms(&d[0]), ["a >= 5"]);
+        let d = to_dnf(&cond("!(a == 5)")).unwrap();
+        assert_eq!(atoms(&d[0]), ["a != 5"]);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let d = to_dnf(&cond("!(a == 1 and b == 2)")).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(atoms(&d[0]), ["a != 1"]);
+        assert_eq!(atoms(&d[1]), ["b != 2"]);
+
+        let d = to_dnf(&cond("!(a == 1 or b == 2)")).unwrap();
+        assert_eq!(d.len(), 1);
+        assert_eq!(atoms(&d[0]), ["a != 1", "b != 2"]);
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let d = to_dnf(&cond("!!(a < 5)")).unwrap();
+        assert_eq!(atoms(&d[0]), ["a < 5"]);
+    }
+
+    #[test]
+    fn true_is_empty_conjunction() {
+        let d = to_dnf(&Cond::True).unwrap();
+        assert_eq!(d, vec![vec![]]);
+    }
+
+    #[test]
+    fn not_true_is_empty_disjunction() {
+        let d = to_dnf(&Cond::True.not()).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn drops_syntactic_contradictions() {
+        let d = to_dnf(&cond("a == 1 and a == 2")).unwrap();
+        assert!(d.is_empty());
+        // ...but keeps range-level contradictions for the BDD to remove.
+        let d = to_dnf(&cond("a < 1 and a > 2")).unwrap();
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn different_operands_never_contradict() {
+        let a = Atom {
+            operand: Operand::Field(FieldRef::short("a")),
+            op: RelOp::Eq,
+            value: Value::Int(1),
+        };
+        let b = Atom {
+            operand: Operand::Field(FieldRef::short("b")),
+            op: RelOp::Eq,
+            value: Value::Int(2),
+        };
+        let conj: Conjunction = vec![
+            Literal { atom: a, positive: true },
+            Literal { atom: b, positive: true },
+        ];
+        assert!(!trivially_unsat(&conj));
+    }
+
+    #[test]
+    fn overflow_guard_trips() {
+        // (a==0 or a==1) and ... 17 times = 2^17 > MAX_DNF_TERMS.
+        let mut src = String::from("(f0 == 0 or f0 == 1)");
+        for i in 1..17 {
+            src.push_str(&format!(" and (f{i} == 0 or f{i} == 1)"));
+        }
+        assert!(to_dnf(&cond(&src)).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Error types for parsing subscriptions and message-format specs.
+
+use std::fmt;
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+}
+
+impl ParseError {
+    /// Builds an error at an explicit position.
+    pub fn at(message: impl Into<String>, line: u32, col: u32) -> Self {
+        ParseError { message: message.into(), line, col }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_position() {
+        let e = ParseError::at("unexpected `)`", 3, 14);
+        assert_eq!(e.to_string(), "3:14: unexpected `)`");
+    }
+}

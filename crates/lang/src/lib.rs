@@ -1,0 +1,43 @@
+//! # camus-lang — the packet-subscription language
+//!
+//! This crate implements the front end of the Camus compiler from
+//! *Packet Subscriptions for Programmable ASICs* (HotNets 2018):
+//!
+//! * the **subscription language** of Figure 1 — condition/action filter
+//!   rules with conjunction, disjunction, negation, the relational
+//!   operators `<`, `>`, `==`, references to header fields and state
+//!   variables, and forwarding / state-update actions
+//!   ([`ast`], [`lexer`], [`parser`]);
+//! * **disjunctive normalization** of rule conditions, the first step of
+//!   dynamic compilation (§3.2) ([`dnf`]);
+//! * the **message-format specification** of Figure 2 — a P4-style
+//!   header declaration extended with `@query_field`,
+//!   `@query_field_exact` and `@query_counter` annotations ([`spec`]);
+//! * fixed-width **symbol encoding** used by exact-match string fields
+//!   such as ITCH stock tickers ([`symbol`]).
+//!
+//! The output of this crate (parsed [`ast::Rule`]s and a resolved
+//! [`spec::Spec`]) is consumed by `camus-bdd` and `camus-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use camus_lang::parser::parse_rule;
+//!
+//! let rule = parse_rule("stock == GOOGL and avg(price) > 50 : fwd(1)").unwrap();
+//! assert_eq!(rule.actions.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod dnf;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod spec;
+pub mod symbol;
+
+pub use ast::{Action, Atom, Cond, Operand, RelOp, Rule, Value};
+pub use dnf::{Conjunction, Literal, to_dnf};
+pub use error::ParseError;
+pub use parser::{parse_program, parse_rule};
+pub use spec::{parse_spec, Spec};

@@ -1,0 +1,90 @@
+//! Fixed-width symbol encoding.
+//!
+//! ITCH stock tickers are 8-byte, space-padded, left-justified ASCII
+//! fields. Exact-match comparisons against a symbolic constant such as
+//! `GOOGL` therefore compare the field's raw bytes against the padded
+//! encoding. This module provides the canonical encoding/decoding used
+//! consistently by the compiler, the workload generators and the ITCH
+//! codec.
+
+/// Encodes a symbol into the value of a big-endian field of
+/// `field_bits` bits (left-justified, space-padded ASCII).
+///
+/// Symbols longer than the field are truncated; `field_bits` is rounded
+/// down to a whole number of bytes (ITCH string fields are byte-aligned)
+/// and capped at 64.
+///
+/// ```
+/// use camus_lang::symbol::encode_symbol;
+/// assert_eq!(encode_symbol("A", 16), u64::from_be_bytes([0,0,0,0,0,0,b'A',b' ']));
+/// ```
+pub fn encode_symbol(sym: &str, field_bits: u32) -> u64 {
+    let nbytes = ((field_bits.min(64)) / 8).max(1) as usize;
+    let mut bytes = [b' '; 8];
+    for (i, b) in sym.bytes().take(nbytes).enumerate() {
+        bytes[i] = b;
+    }
+    let mut v: u64 = 0;
+    for &b in bytes.iter().take(nbytes) {
+        v = (v << 8) | u64::from(b);
+    }
+    v
+}
+
+/// Decodes a field value back into the symbol it encodes (trailing
+/// padding stripped). Inverse of [`encode_symbol`] for ASCII symbols
+/// that fit the field.
+pub fn decode_symbol(value: u64, field_bits: u32) -> String {
+    let nbytes = ((field_bits.min(64)) / 8).max(1) as usize;
+    let mut out = String::with_capacity(nbytes);
+    for i in (0..nbytes).rev() {
+        let b = ((value >> (8 * i)) & 0xff) as u8;
+        out.push(b as char);
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_googl_in_64_bits() {
+        let v = encode_symbol("GOOGL", 64);
+        assert_eq!(
+            v.to_be_bytes(),
+            [b'G', b'O', b'O', b'G', b'L', b' ', b' ', b' ']
+        );
+    }
+
+    #[test]
+    fn roundtrips() {
+        for s in ["A", "GOOGL", "MSFT", "BRK", "ABCDEFGH"] {
+            assert_eq!(decode_symbol(encode_symbol(s, 64), 64), s);
+        }
+    }
+
+    #[test]
+    fn truncates_to_field_width() {
+        assert_eq!(decode_symbol(encode_symbol("ABCDEFGHIJ", 64), 64), "ABCDEFGH");
+        assert_eq!(decode_symbol(encode_symbol("ABCD", 16), 16), "AB");
+    }
+
+    #[test]
+    fn encoding_preserves_lexicographic_order() {
+        // Space-padded big-endian encoding orders symbols lexicographically
+        // (for symbols over the ASCII range above space), which matters for
+        // range predicates over symbol fields.
+        let mut syms = ["MSFT", "AAPL", "GOOGL", "ORCL", "AMZN"];
+        let mut by_code = syms;
+        syms.sort();
+        by_code.sort_by_key(|s| encode_symbol(s, 64));
+        assert_eq!(syms, by_code);
+    }
+
+    #[test]
+    fn zero_width_is_clamped() {
+        // Degenerate widths fall back to one byte rather than panicking.
+        assert_eq!(encode_symbol("A", 0), u64::from(b'A'));
+    }
+}

@@ -1,0 +1,331 @@
+//! The Figure 7 experiment: end-to-end message latency, baseline
+//! (software filtering at the subscriber) vs. Camus (filtering on the
+//! switch).
+//!
+//! Topology, per the paper's setup ("Our experimental setup resembles
+//! Figure 6, except … the publisher and subscriber are collocated for
+//! accurate timestamping"):
+//!
+//! ```text
+//! publisher --25G--> [ switch (pipeline) ] --25G--> subscriber host
+//! ```
+//!
+//! In `Baseline` mode the switch forwards the whole feed to the
+//! subscriber, which filters in software; in `Switch` mode a compiled
+//! Camus pipeline decides forwarding, so only matching packets reach
+//! the host. Latency is measured per *target message* from publication
+//! to the completion of subscriber-side processing.
+
+use std::collections::HashMap;
+
+use camus_pipeline::pipeline::Pipeline;
+use camus_workload::TimedPacket;
+
+use crate::model::{HostModel, LinkModel, SwitchModel};
+use crate::sim::{EventQueue, FifoServer};
+
+/// How the feed is filtered.
+pub enum FilterMode {
+    /// Switch broadcasts the feed to the subscriber; the host filters.
+    Baseline,
+    /// A compiled Camus pipeline filters on the switch.
+    Switch(Box<Pipeline>),
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The measured subscriber's switch port.
+    pub subscriber_port: u16,
+    /// Publisher-to-switch link.
+    pub pub_link: LinkModel,
+    /// Switch-to-subscriber link.
+    pub sub_link: LinkModel,
+    /// Switch model.
+    pub switch: SwitchModel,
+    /// Subscriber host model.
+    pub host: HostModel,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            subscriber_port: 1,
+            pub_link: LinkModel::gbps25(),
+            sub_link: LinkModel::gbps25(),
+            switch: SwitchModel::default(),
+            host: HostModel::default(),
+        }
+    }
+}
+
+/// Latency distribution of delivered target messages.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    /// Sorted per-message latencies, ns.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Number of measured messages.
+    pub fn len(&self) -> usize {
+        self.latencies_ns.len()
+    }
+
+    /// Whether nothing was measured.
+    pub fn is_empty(&self) -> bool {
+        self.latencies_ns.is_empty()
+    }
+
+    /// The `q`-quantile latency in ns (`q` ∈ [0, 1]).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_ns.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.latencies_ns[idx]
+    }
+
+    /// Mean latency in ns.
+    pub fn mean(&self) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ns.iter().map(|&x| x as f64).sum::<f64>() / self.latencies_ns.len() as f64
+    }
+
+    /// Maximum latency in ns.
+    pub fn max(&self) -> u64 {
+        self.latencies_ns.last().copied().unwrap_or(0)
+    }
+
+    /// Fraction of messages at or below `latency_ns`.
+    pub fn fraction_within(&self, latency_ns: u64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ns.partition_point(|&x| x <= latency_ns) as f64
+            / self.latencies_ns.len() as f64
+    }
+
+    /// CDF samples `(latency_us, fraction)` at `points` evenly spaced
+    /// quantiles — the Figure 7 series.
+    pub fn cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        (0..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                (self.percentile(q) as f64 / 1000.0, q)
+            })
+            .collect()
+    }
+}
+
+/// Everything the experiment measured.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentResult {
+    /// Latencies of target messages delivered to the subscriber.
+    pub stats: LatencyStats,
+    /// Feed packets published.
+    pub packets_published: usize,
+    /// Packets delivered to the measured subscriber's CPU.
+    pub packets_to_subscriber: usize,
+    /// Target messages in the feed (ground truth).
+    pub target_messages: usize,
+    /// Target messages lost to drops.
+    pub target_messages_lost: usize,
+    /// Packets dropped at the switch egress queue.
+    pub drops_switch: usize,
+    /// Packets dropped at the host receive queue.
+    pub drops_host: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    SwitchIn(u32),
+    HostIn(u32),
+    HostDone(u32),
+}
+
+/// Reads the MoldUDP64 message count without a full parse (offset:
+/// 14 eth + 20 ip + 8 udp + 18 session/sequence).
+fn message_count(bytes: &[u8]) -> usize {
+    if bytes.len() < 62 {
+        return 1;
+    }
+    usize::from(u16::from_be_bytes([bytes[60], bytes[61]]))
+}
+
+/// Runs one configuration over a feed.
+pub fn run_experiment(
+    trace: &[TimedPacket],
+    mut mode: FilterMode,
+    cfg: &ExperimentConfig,
+) -> ExperimentResult {
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut result = ExperimentResult {
+        packets_published: trace.len(),
+        target_messages: trace.iter().map(|p| p.target_messages).sum(),
+        ..Default::default()
+    };
+
+    let mut pub_nic = FifoServer::new();
+    let mut egress: HashMap<u16, FifoServer> = HashMap::new();
+    let mut host_cpu = FifoServer::new();
+    // Completion bookkeeping: packet idx → host CPU completion handled
+    // at HostDone.
+    let mut host_in_flight: HashMap<u32, u64> = HashMap::new();
+
+    // Publisher: serialize every packet onto its NIC in publication
+    // order (the publisher never drops; its queue is unbounded).
+    for (i, p) in trace.iter().enumerate() {
+        let done = pub_nic
+            .admit(p.time_ns, cfg.pub_link.ser_ns(p.bytes.len()), u64::MAX)
+            .expect("publisher queue is unbounded");
+        q.schedule(done + cfg.pub_link.prop_ns, Ev::SwitchIn(i as u32));
+    }
+
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Ev::SwitchIn(i) => {
+                let pkt = &trace[i as usize];
+                let ports: Vec<u16> = match &mut mode {
+                    FilterMode::Baseline => vec![cfg.subscriber_port],
+                    FilterMode::Switch(pipeline) => {
+                        match pipeline.process(&pkt.bytes, now / 1000) {
+                            Ok(d) => d.ports.iter().map(|p| p.0).collect(),
+                            Err(_) => Vec::new(), // unparseable: dropped
+                        }
+                    }
+                };
+                for port in ports {
+                    let srv = egress.entry(port).or_default();
+                    let arrival = now + cfg.switch.pipeline_latency_ns;
+                    match srv.admit(
+                        arrival,
+                        cfg.sub_link.ser_ns(pkt.bytes.len()),
+                        cfg.switch.egress_backlog_cap_ns,
+                    ) {
+                        Some(done) => {
+                            if port == cfg.subscriber_port {
+                                q.schedule(done + cfg.sub_link.prop_ns, Ev::HostIn(i));
+                            }
+                        }
+                        None => {
+                            result.drops_switch += 1;
+                            if port == cfg.subscriber_port {
+                                result.target_messages_lost += pkt.target_messages;
+                            }
+                        }
+                    }
+                }
+            }
+            Ev::HostIn(i) => {
+                let pkt = &trace[i as usize];
+                let service = cfg.host.service_ns(message_count(&pkt.bytes));
+                match host_cpu.admit(now, service, cfg.host.rx_backlog_cap_ns) {
+                    Some(done) => {
+                        host_in_flight.insert(i, done);
+                        q.schedule(done, Ev::HostDone(i));
+                    }
+                    None => {
+                        result.drops_host += 1;
+                        result.target_messages_lost += pkt.target_messages;
+                    }
+                }
+            }
+            Ev::HostDone(i) => {
+                let pkt = &trace[i as usize];
+                result.packets_to_subscriber += 1;
+                let done = host_in_flight.remove(&i).unwrap_or(now);
+                for _ in 0..pkt.target_messages {
+                    result.stats.latencies_ns.push(done - pkt.time_ns);
+                }
+            }
+        }
+    }
+    result.stats.latencies_ns.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_workload::TraceConfig;
+
+    fn small_trace(messages: usize, kind: fn(usize) -> TraceConfig) -> Vec<TimedPacket> {
+        camus_workload::synthesize_feed(&kind(messages))
+    }
+
+    #[test]
+    fn baseline_delivers_every_packet_when_unloaded() {
+        // A slow trickle: no queueing anywhere, every packet reaches the
+        // subscriber, latency ≈ wire + pipeline + host service.
+        let cfg = ExperimentConfig::default();
+        let mut trace = small_trace(100, TraceConfig::synthetic);
+        // Stretch the trace out to 1 packet per ms.
+        for (i, p) in trace.iter_mut().enumerate() {
+            p.time_ns = i as u64 * 1_000_000;
+        }
+        let r = run_experiment(&trace, FilterMode::Baseline, &cfg);
+        assert_eq!(r.packets_to_subscriber, 100);
+        assert_eq!(r.drops_switch + r.drops_host, 0);
+        assert_eq!(r.stats.len(), r.target_messages);
+        // Uncongested latency is small and tightly bounded.
+        assert!(r.stats.max() < 5_000, "max {}", r.stats.max());
+    }
+
+    #[test]
+    fn overload_builds_queues_and_latency() {
+        // All packets at t=0: the host queue builds, latency grows
+        // linearly with position.
+        let cfg = ExperimentConfig::default();
+        let mut trace = small_trace(2_000, TraceConfig::synthetic);
+        for p in trace.iter_mut() {
+            p.time_ns = 0;
+        }
+        let r = run_experiment(&trace, FilterMode::Baseline, &cfg);
+        assert!(r.stats.max() > 100_000, "max {}", r.stats.max());
+        assert!(r.stats.percentile(0.99) > r.stats.percentile(0.10));
+    }
+
+    #[test]
+    fn host_queue_cap_drops_under_sustained_overload() {
+        let cfg = ExperimentConfig {
+            host: HostModel { rx_backlog_cap_ns: 50_000, ..Default::default() },
+            ..Default::default()
+        };
+        let mut trace = small_trace(10_000, TraceConfig::synthetic);
+        for p in trace.iter_mut() {
+            p.time_ns = 0;
+        }
+        let r = run_experiment(&trace, FilterMode::Baseline, &cfg);
+        assert!(r.drops_host > 0);
+        assert!(r.packets_to_subscriber < 10_000);
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let s = LatencyStats { latencies_ns: (1..=100).collect() };
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(s.percentile(1.0), 100);
+        assert_eq!(s.percentile(0.5), 51); // idx = round(99 * 0.5) = 50
+        assert_eq!(s.max(), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        assert!((s.fraction_within(50) - 0.5).abs() < 1e-9);
+        let cdf = s.cdf(4);
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf[4], (0.1, 1.0)); // 100ns = 0.1µs
+    }
+
+    #[test]
+    fn message_count_reads_mold_header() {
+        let trace = small_trace(9, |m| TraceConfig {
+            messages_per_packet: 3,
+            ..TraceConfig::synthetic(m)
+        });
+        for p in &trace {
+            assert_eq!(message_count(&p.bytes), 3);
+        }
+        assert_eq!(message_count(&[0u8; 10]), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Network element models, calibrated to the paper's testbed (§4):
+//! "a 32-port Barefoot Tofino switch", publisher/subscriber
+//! "implemented with DPDK, running on a server with an 8-core Intel
+//! Xeon E5-2620 v4 @ 2.10GHz … and 25Gb/s NICs".
+
+/// A point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Line rate in Gb/s.
+    pub rate_gbps: f64,
+    /// Propagation + PHY latency, ns.
+    pub prop_ns: u64,
+}
+
+impl LinkModel {
+    /// A 100 Gb/s switch-fabric-facing link.
+    pub fn gbps100() -> Self {
+        LinkModel { rate_gbps: 100.0, prop_ns: 300 }
+    }
+
+    /// The testbed's 25 Gb/s server NIC links.
+    pub fn gbps25() -> Self {
+        LinkModel { rate_gbps: 25.0, prop_ns: 300 }
+    }
+
+    /// Serialization time for a frame of `bytes`.
+    pub fn ser_ns(&self, bytes: usize) -> u64 {
+        ((bytes as f64) * 8.0 / self.rate_gbps).ceil() as u64
+    }
+}
+
+/// Switch forwarding model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchModel {
+    /// Fixed pipeline (port-to-port, uncongested) latency, ns.
+    pub pipeline_latency_ns: u64,
+    /// Egress queue capacity expressed as maximum queuing delay, ns
+    /// (≈ buffer bytes / port rate).
+    pub egress_backlog_cap_ns: u64,
+}
+
+impl Default for SwitchModel {
+    fn default() -> Self {
+        // ~400ns cut-through latency; ~ 1 MB per-port buffer at 25 Gb/s
+        // ≈ 320 µs of backlog.
+        SwitchModel { pipeline_latency_ns: 400, egress_backlog_cap_ns: 320_000 }
+    }
+}
+
+/// Subscriber host model (DPDK-style busy-poll receiver).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostModel {
+    /// Per-packet receive overhead (DMA, mbuf, poll loop), ns.
+    pub per_packet_ns: u64,
+    /// Per-ITCH-message software filter cost (parse + symbol compare),
+    /// ns.
+    pub per_message_ns: u64,
+    /// Receive-queue capacity as maximum queuing delay, ns. Beyond it
+    /// the NIC tail-drops.
+    pub rx_backlog_cap_ns: u64,
+}
+
+impl Default for HostModel {
+    fn default() -> Self {
+        // A 2.1 GHz core spends ~150 ns of fixed per-packet work and
+        // ~350 ns parsing and filtering each ITCH message — ≈2 M msg/s
+        // of filtering capacity, comfortably above the 500 k msg/s
+        // average offered load but far below burst peaks.
+        HostModel { per_packet_ns: 150, per_message_ns: 350, rx_backlog_cap_ns: 4_000_000 }
+    }
+}
+
+impl HostModel {
+    /// CPU service time for a packet carrying `messages` ITCH messages.
+    pub fn service_ns(&self, messages: usize) -> u64 {
+        self.per_packet_ns + self.per_message_ns * messages as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_times() {
+        // 100 bytes at 100 Gb/s = 8 ns; at 25 Gb/s = 32 ns.
+        assert_eq!(LinkModel::gbps100().ser_ns(100), 8);
+        assert_eq!(LinkModel::gbps25().ser_ns(100), 32);
+        // Rounds up.
+        assert_eq!(LinkModel::gbps25().ser_ns(1), 1);
+    }
+
+    #[test]
+    fn host_service_scales_with_messages() {
+        let h = HostModel::default();
+        assert_eq!(h.service_ns(0), 150);
+        assert_eq!(h.service_ns(1), 500);
+        assert_eq!(h.service_ns(10), 150 + 3500);
+    }
+
+    #[test]
+    fn host_capacity_is_between_average_and_burst_rate() {
+        // The calibration that makes Fig. 7's shape emerge: the host can
+        // absorb the 500 k msg/s average but not a 12× burst.
+        let h = HostModel::default();
+        let per_msg_total = h.service_ns(1) as f64; // 1 msg/packet feed
+        let capacity = 1e9 / per_msg_total;
+        assert!(capacity > 500_000.0, "capacity {capacity}");
+        assert!(capacity < 500_000.0 * 12.0, "capacity {capacity}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the network simulator: conservation laws,
+//! latency bounds and monotonicity of the queueing model.
+
+use camus_netsim::experiment::{run_experiment, ExperimentConfig, FilterMode};
+use camus_netsim::model::{HostModel, LinkModel, SwitchModel};
+use camus_workload::{synthesize_feed, TimedPacket, TraceConfig};
+use proptest::prelude::*;
+
+fn trace(messages: usize, rate: f64, mult: f64, seed: u64) -> Vec<TimedPacket> {
+    synthesize_feed(&TraceConfig {
+        rate_msgs_per_sec: rate,
+        burst_multiplier: mult,
+        seed,
+        ..TraceConfig::synthetic(messages)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conservation: every published packet is delivered to the
+    /// subscriber or accounted as a drop (baseline mode forwards all).
+    #[test]
+    fn baseline_conserves_packets(
+        rate in 50_000.0f64..2_000_000.0,
+        mult in 1.0f64..12.0,
+        seed in 0u64..1000,
+    ) {
+        let t = trace(3_000, rate, mult, seed);
+        let r = run_experiment(&t, FilterMode::Baseline, &ExperimentConfig::default());
+        prop_assert_eq!(
+            r.packets_to_subscriber + r.drops_switch + r.drops_host,
+            r.packets_published
+        );
+        // Every measured latency is at least the uncongested floor
+        // (two serializations + propagation + pipeline + service).
+        let cfg = ExperimentConfig::default();
+        let floor = cfg.switch.pipeline_latency_ns
+            + cfg.pub_link.prop_ns
+            + cfg.sub_link.prop_ns
+            + cfg.host.per_packet_ns;
+        for &l in &r.stats.latencies_ns {
+            prop_assert!(l >= floor, "latency {} below physical floor {}", l, floor);
+        }
+        // Delivered + lost target messages = all target messages.
+        prop_assert_eq!(r.stats.len() + r.target_messages_lost, r.target_messages);
+    }
+
+    /// Monotonicity: a slower host CPU never improves the p99.
+    #[test]
+    fn slower_host_never_helps(seed in 0u64..200) {
+        let t = trace(3_000, 800_000.0, 6.0, seed);
+        let fast_cfg = ExperimentConfig::default();
+        let slow_cfg = ExperimentConfig {
+            host: HostModel {
+                per_message_ns: fast_cfg.host.per_message_ns * 3,
+                ..fast_cfg.host
+            },
+            ..fast_cfg.clone()
+        };
+        let fast = run_experiment(&t, FilterMode::Baseline, &fast_cfg);
+        let slow = run_experiment(&t, FilterMode::Baseline, &slow_cfg);
+        prop_assert!(
+            slow.stats.percentile(0.99) >= fast.stats.percentile(0.99),
+            "slow {} < fast {}",
+            slow.stats.percentile(0.99),
+            fast.stats.percentile(0.99)
+        );
+    }
+
+    /// A faster subscriber link never increases any quantile.
+    #[test]
+    fn faster_link_never_hurts(seed in 0u64..200) {
+        let t = trace(2_000, 600_000.0, 4.0, seed);
+        let slow_cfg = ExperimentConfig {
+            sub_link: LinkModel { rate_gbps: 10.0, prop_ns: 300 },
+            ..ExperimentConfig::default()
+        };
+        let fast_cfg = ExperimentConfig {
+            sub_link: LinkModel { rate_gbps: 100.0, prop_ns: 300 },
+            ..ExperimentConfig::default()
+        };
+        let slow = run_experiment(&t, FilterMode::Baseline, &slow_cfg);
+        let fast = run_experiment(&t, FilterMode::Baseline, &fast_cfg);
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            prop_assert!(
+                fast.stats.percentile(q) <= slow.stats.percentile(q),
+                "q={}: fast {} > slow {}",
+                q,
+                fast.stats.percentile(q),
+                slow.stats.percentile(q)
+            );
+        }
+    }
+
+    /// Infinite queues (no caps) never drop.
+    #[test]
+    fn uncapped_queues_never_drop(seed in 0u64..200, mult in 1.0f64..16.0) {
+        let t = trace(2_000, 1_500_000.0, mult, seed);
+        let cfg = ExperimentConfig {
+            switch: SwitchModel { egress_backlog_cap_ns: u64::MAX, ..Default::default() },
+            host: HostModel { rx_backlog_cap_ns: u64::MAX, ..Default::default() },
+            ..ExperimentConfig::default()
+        };
+        let r = run_experiment(&t, FilterMode::Baseline, &cfg);
+        prop_assert_eq!(r.drops_switch + r.drops_host, 0);
+        prop_assert_eq!(r.stats.len(), r.target_messages);
+    }
+}

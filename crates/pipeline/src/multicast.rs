@@ -1,0 +1,97 @@
+//! Multicast group engine.
+//!
+//! §3.2: "The compiler translates this to forwarding to a multicast
+//! group with ports 1 and 2." The switch's packet-replication engine
+//! maps a group id (set by a match-action action) to a set of egress
+//! ports.
+
+use std::collections::HashMap;
+
+/// A switch port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+/// A multicast group id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// The multicast group table.
+#[derive(Debug, Clone, Default)]
+pub struct MulticastTable {
+    groups: HashMap<GroupId, Vec<PortId>>,
+    next_id: u32,
+}
+
+impl MulticastTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a group with an explicit id (ports are sorted and
+    /// deduplicated). Overwrites any previous definition.
+    pub fn install(&mut self, id: GroupId, ports: Vec<PortId>) {
+        let mut ports = ports;
+        ports.sort_unstable();
+        ports.dedup();
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.groups.insert(id, ports);
+    }
+
+    /// Allocates a fresh group id for a port set (always creates a new
+    /// group; the compiler deduplicates port sets before calling this).
+    pub fn allocate(&mut self, ports: Vec<PortId>) -> GroupId {
+        let id = GroupId(self.next_id);
+        self.install(id, ports);
+        id
+    }
+
+    /// Resolves a group to its ports.
+    pub fn ports(&self, id: GroupId) -> Option<&[PortId]> {
+        self.groups.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Number of installed groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups are installed.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_sorts_and_dedups() {
+        let mut t = MulticastTable::new();
+        t.install(GroupId(5), vec![PortId(3), PortId(1), PortId(3)]);
+        assert_eq!(t.ports(GroupId(5)), Some(&[PortId(1), PortId(3)][..]));
+        assert_eq!(t.ports(GroupId(0)), None);
+    }
+
+    #[test]
+    fn allocate_yields_fresh_ids() {
+        let mut t = MulticastTable::new();
+        t.install(GroupId(10), vec![PortId(1)]);
+        let g = t.allocate(vec![PortId(2)]);
+        assert!(g.0 >= 11);
+        assert_eq!(t.ports(g), Some(&[PortId(2)][..]));
+        let g2 = t.allocate(vec![PortId(3)]);
+        assert_ne!(g, g2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn reinstall_overwrites() {
+        let mut t = MulticastTable::new();
+        t.install(GroupId(1), vec![PortId(1)]);
+        t.install(GroupId(1), vec![PortId(2)]);
+        assert_eq!(t.ports(GroupId(1)), Some(&[PortId(2)][..]));
+        assert_eq!(t.len(), 1);
+    }
+}

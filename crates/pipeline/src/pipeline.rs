@@ -1,0 +1,314 @@
+//! The pipeline executor: parse → match-action stages → forward.
+//!
+//! A [`Pipeline`] bundles everything the Camus compiler emits for one
+//! application: the PHV layout, the parser program, the ordered table
+//! chain, the multicast groups and the register file. [`Pipeline::process`]
+//! runs one packet through it and returns the forwarding decision —
+//! the union, over all application messages in the packet, of each
+//! message's matched ports (§2: the switch executes the actions of all
+//! matching rules).
+
+use crate::error::PipelineError;
+use crate::multicast::{MulticastTable, PortId};
+use crate::parser::ParserSpec;
+use crate::phv::{Phv, PhvLayout};
+use crate::register::{AggKind, RegisterFile};
+use crate::table::{ActionOp, RegOp, Table};
+
+/// The forwarding decision for one packet.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ForwardDecision {
+    /// Egress ports (sorted, deduplicated). Empty = dropped.
+    pub ports: Vec<PortId>,
+    /// Number of application messages evaluated.
+    pub messages: usize,
+    /// Number of messages that matched at least one forwarding rule.
+    pub matched_messages: usize,
+}
+
+impl ForwardDecision {
+    /// Whether the packet is dropped.
+    pub fn dropped(&self) -> bool {
+        self.ports.is_empty()
+    }
+}
+
+/// Descriptor binding a PHV pseudo-field to a register aggregate, so
+/// stateful predicates (`avg(price) > 50`) can be matched by ordinary
+/// tables: before the table chain runs, the executor materializes each
+/// aggregate into its pseudo-field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateBinding {
+    /// PHV slot the aggregate is written into.
+    pub dst: crate::phv::PhvField,
+    /// Register slot read.
+    pub slot: usize,
+    /// Aggregate kind.
+    pub agg: AggKind,
+}
+
+/// A complete data-plane program instance.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// PHV layout shared by parser and tables.
+    pub layout: PhvLayout,
+    /// Parser program.
+    pub parser: ParserSpec,
+    /// Match-action tables, applied in order.
+    pub tables: Vec<Table>,
+    /// Multicast groups.
+    pub mcast: MulticastTable,
+    /// Register file backing `@query_counter` state.
+    pub registers: RegisterFile,
+    /// Aggregate → pseudo-field bindings evaluated before the tables.
+    pub state_bindings: Vec<StateBinding>,
+    /// Metadata initialization applied to every message PHV before the
+    /// table chain (e.g. the BDD entry state, which is nonzero after
+    /// incremental recompilations).
+    pub init_fields: Vec<(crate::phv::PhvField, u64)>,
+}
+
+impl Pipeline {
+    /// Processes one packet arriving at `now_us`, returning its
+    /// forwarding decision.
+    pub fn process(&mut self, packet: &[u8], now_us: u64) -> Result<ForwardDecision, PipelineError> {
+        let phvs = self.parser.parse(&self.layout, packet)?;
+        let mut decision = ForwardDecision { messages: phvs.len(), ..Default::default() };
+        for mut phv in phvs {
+            let ports = self.evaluate_message(&mut phv, now_us)?;
+            if !ports.is_empty() {
+                decision.matched_messages += 1;
+            }
+            decision.ports.extend(ports);
+        }
+        decision.ports.sort_unstable();
+        decision.ports.dedup();
+        Ok(decision)
+    }
+
+    /// Runs the match-action chain on a single message PHV.
+    pub fn evaluate_message(
+        &mut self,
+        phv: &mut Phv,
+        now_us: u64,
+    ) -> Result<Vec<PortId>, PipelineError> {
+        for &(f, v) in &self.init_fields {
+            phv.set(f, v);
+        }
+        // Materialize stateful aggregates into their pseudo-fields.
+        for b in &self.state_bindings {
+            let v = self
+                .registers
+                .read(b.slot, b.agg, now_us)
+                .map_err(PipelineError::RegisterOutOfRange)?;
+            phv.set(b.dst, v);
+        }
+
+        let mut ports: Vec<PortId> = Vec::new();
+        let mut dropped = false;
+        for t in &mut self.tables {
+            let ops: Vec<ActionOp> = match t.lookup(phv) {
+                Some(e) => e.ops.clone(),
+                None => t.default_ops.clone(),
+            };
+            for op in ops {
+                match op {
+                    ActionOp::SetField(f, v) => phv.set(f, v),
+                    ActionOp::Forward(p) => ports.push(p),
+                    ActionOp::Multicast(g) => {
+                        let members = self
+                            .mcast
+                            .ports(g)
+                            .ok_or(PipelineError::UnknownGroup(g.0))?;
+                        ports.extend_from_slice(members);
+                    }
+                    ActionOp::Drop => dropped = true,
+                    ActionOp::Register { slot, op } => {
+                        let res = match op {
+                            RegOp::Increment => self.registers.increment(slot, now_us),
+                            RegOp::Observe(f) => {
+                                self.registers.observe(slot, phv.get_or_zero(f), now_us)
+                            }
+                            RegOp::SetConst(v) => self.registers.set(slot, v, now_us),
+                            RegOp::SetField(f) => {
+                                self.registers.set(slot, phv.get_or_zero(f), now_us)
+                            }
+                        };
+                        res.map_err(PipelineError::RegisterOutOfRange)?;
+                    }
+                }
+            }
+        }
+        if dropped {
+            // An explicit drop() wins only if nothing forwards: per §2 all
+            // matching rules' actions execute, and forwarding to *some*
+            // subscriber must not be vetoed by an unrelated drop rule.
+            if ports.is_empty() {
+                return Ok(Vec::new());
+            }
+        }
+        ports.sort_unstable();
+        ports.dedup();
+        Ok(ports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multicast::GroupId;
+    use crate::parser::{Extract, ParseState, ParserSpec, StateId, Transition};
+    use crate::phv::PhvLayout;
+    use crate::table::{Entry, Key, MatchKind, MatchValue};
+
+    /// A tiny program: parse one byte `sym`; table forwards sym==1 to
+    /// port 1, sym==2 to multicast {2,3}; counts matches in a register.
+    fn tiny_pipeline() -> Pipeline {
+        let mut layout = PhvLayout::new();
+        let sym = layout.add("sym", 8);
+        let parser = ParserSpec::new(
+            vec![ParseState {
+                name: "start".into(),
+                extracts: vec![Extract { dst: sym, bit_offset: 0, bits: 8 }],
+                advance_bits: 8,
+                advance_bytes_from: None,
+                emit: false,
+                next: Transition::Accept,
+            }],
+            StateId(0),
+        );
+        let mut table = Table::new(
+            "leaf",
+            vec![Key { field: sym, kind: MatchKind::Exact, bits: 8 }],
+            vec![],
+        );
+        table
+            .add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(1)],
+                ops: vec![
+                    ActionOp::Forward(PortId(1)),
+                    ActionOp::Register { slot: 0, op: RegOp::Increment },
+                ],
+            })
+            .unwrap();
+        table
+            .add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(2)],
+                ops: vec![ActionOp::Multicast(GroupId(0))],
+            })
+            .unwrap();
+        let mut mcast = MulticastTable::new();
+        mcast.install(GroupId(0), vec![PortId(2), PortId(3)]);
+        let mut registers = RegisterFile::new();
+        registers.allocate(0);
+        Pipeline { layout, parser, tables: vec![table], mcast, registers, state_bindings: vec![], init_fields: vec![] }
+    }
+
+    #[test]
+    fn unicast_and_multicast_forwarding() {
+        let mut p = tiny_pipeline();
+        let d = p.process(&[1], 0).unwrap();
+        assert_eq!(d.ports, vec![PortId(1)]);
+        assert_eq!((d.messages, d.matched_messages), (1, 1));
+        let d = p.process(&[2], 0).unwrap();
+        assert_eq!(d.ports, vec![PortId(2), PortId(3)]);
+    }
+
+    #[test]
+    fn miss_means_drop() {
+        let mut p = tiny_pipeline();
+        let d = p.process(&[9], 0).unwrap();
+        assert!(d.dropped());
+        assert_eq!(d.matched_messages, 0);
+    }
+
+    #[test]
+    fn register_side_effects_accumulate() {
+        let mut p = tiny_pipeline();
+        p.process(&[1], 0).unwrap();
+        p.process(&[1], 1).unwrap();
+        p.process(&[9], 2).unwrap();
+        assert_eq!(p.registers.read(0, AggKind::Count, 3).unwrap(), 2);
+    }
+
+    #[test]
+    fn unknown_group_is_an_error() {
+        let mut p = tiny_pipeline();
+        p.tables[0]
+            .add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(7)],
+                ops: vec![ActionOp::Multicast(GroupId(99))],
+            })
+            .unwrap();
+        assert_eq!(p.process(&[7], 0).unwrap_err(), PipelineError::UnknownGroup(99));
+    }
+
+    #[test]
+    fn state_binding_materializes_aggregate() {
+        let mut p = tiny_pipeline();
+        let agg_field = p.layout.add("avg_x", 64);
+        // New table matching on the aggregate pseudo-field.
+        let mut t = Table::new(
+            "state",
+            vec![Key { field: agg_field, kind: MatchKind::Range, bits: 64 }],
+            vec![],
+        );
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Range { lo: 2, hi: u64::MAX }],
+            ops: vec![ActionOp::Forward(PortId(9))],
+        })
+        .unwrap();
+        p.tables.push(t);
+        p.state_bindings.push(StateBinding { dst: agg_field, slot: 0, agg: AggKind::Count });
+
+        // First two packets: count 0 then 1 at evaluation time → no port 9.
+        assert_eq!(p.process(&[1], 0).unwrap().ports, vec![PortId(1)]);
+        assert_eq!(p.process(&[1], 1).unwrap().ports, vec![PortId(1)]);
+        // Third packet: count reads 2 → port 9 too.
+        assert_eq!(p.process(&[1], 2).unwrap().ports, vec![PortId(1), PortId(9)]);
+    }
+
+    #[test]
+    fn multi_message_packets_union_ports() {
+        let mut layout = PhvLayout::new();
+        let sym = layout.add("sym", 8);
+        let parser = ParserSpec::new(
+            vec![ParseState {
+                name: "msg".into(),
+                extracts: vec![Extract { dst: sym, bit_offset: 0, bits: 8 }],
+                advance_bits: 8,
+                advance_bytes_from: None,
+                emit: true,
+                next: Transition::SelectRemaining { more: StateId(0) },
+            }],
+            StateId(0),
+        );
+        let mut p = tiny_pipeline();
+        p.parser = parser;
+        p.layout = layout;
+        let d = p.process(&[1, 2, 9], 0).unwrap();
+        assert_eq!(d.ports, vec![PortId(1), PortId(2), PortId(3)]);
+        assert_eq!(d.messages, 3);
+        assert_eq!(d.matched_messages, 2);
+    }
+
+    #[test]
+    fn drop_does_not_veto_forwarding() {
+        let mut p = tiny_pipeline();
+        p.tables[0]
+            .add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(1)],
+                ops: vec![ActionOp::Drop],
+            })
+            .unwrap();
+        // The first entry (insertion order) still forwards to port 1;
+        // even if a drop rule also matched a different message, ports win.
+        let d = p.process(&[1], 0).unwrap();
+        assert_eq!(d.ports, vec![PortId(1)]);
+    }
+}

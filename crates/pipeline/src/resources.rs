@@ -1,0 +1,467 @@
+//! ASIC resource model: SRAM/TCAM accounting, TCAM range expansion and
+//! stage placement.
+//!
+//! §3.2 "Resource Optimizations": TCAM "consume[s] large area of die and
+//! high power", and "matching on a range in TCAM is not scalable … as
+//! each range-match requires multiple TCAM entries (O(#bits))". This
+//! module makes those costs concrete: ranges are expanded into prefix
+//! entries (the classic decomposition, worst case `2w−2` entries for a
+//! `w`-bit field), exact tables are charged to SRAM, and the compiled
+//! program is placed onto a fixed number of stages with per-stage
+//! budgets patterned on a Tofino-class device.
+
+use crate::table::{Key, MatchKind, MatchValue, Table};
+
+/// Which memory a table consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Memory {
+    /// Hash-based exact matching.
+    Sram,
+    /// Ternary matching (priority CAM).
+    Tcam,
+}
+
+/// How the ASIC implements range matching in TCAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeMode {
+    /// Naive prefix decomposition: one logical range becomes O(#bits)
+    /// physical entries — the cost §3.2 warns about.
+    PrefixExpansion,
+    /// DirtCAM-style nibble encoding (what Tofino ships): one physical
+    /// entry per logical range, but each 4-bit nibble of the field
+    /// consumes 16 TCAM bits, quadrupling the key width.
+    DirtCam,
+}
+
+/// A Tofino-class resource model. Numbers are representative of
+/// published RMT/Tofino figures, not vendor-exact; what matters for the
+/// reproduction is that they impose the same *shape* of constraint
+/// (TCAM ≪ SRAM, fixed stages, per-stage budgets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsicModel {
+    /// Model name for reports.
+    pub name: String,
+    /// Number of match-action stages.
+    pub stages: usize,
+    /// Exact-match (SRAM) entries available per stage.
+    pub sram_entries_per_stage: usize,
+    /// Ternary (TCAM) entries available per stage.
+    pub tcam_entries_per_stage: usize,
+    /// Width of one TCAM slice; wider keys gang multiple slices and
+    /// proportionally reduce entry capacity.
+    pub tcam_slice_bits: u32,
+    /// Number of front-panel ports.
+    pub ports: u16,
+    /// Line rate per port, Gb/s.
+    pub port_gbps: f64,
+    /// Minimum port-to-port latency of the pipeline, nanoseconds.
+    pub pipeline_latency_ns: u64,
+    /// Range-match implementation.
+    pub range_mode: RangeMode,
+}
+
+impl AsicModel {
+    /// The 32-port, 3.25 Tb/s configuration used in the paper's
+    /// evaluation (§4: "a 32-port Barefoot Tofino switch, which can
+    /// process packets at 3.25 Tbps").
+    pub fn tofino32() -> Self {
+        AsicModel {
+            name: "tofino-32x100G".into(),
+            stages: 12,
+            sram_entries_per_stage: 80 * 1024,
+            tcam_entries_per_stage: 24 * 512,
+            tcam_slice_bits: 44,
+            ports: 32,
+            port_gbps: 100.0,
+            pipeline_latency_ns: 400,
+            range_mode: RangeMode::DirtCam,
+        }
+    }
+
+    /// The same device with naive prefix-expanded ranges — the ablation
+    /// baseline for §3.2's TCAM-cost discussion.
+    pub fn with_prefix_expansion(mut self) -> Self {
+        self.range_mode = RangeMode::PrefixExpansion;
+        self
+    }
+
+    /// The 64-port, 6.5 Tb/s configuration (§4: "on the 64-port version
+    /// of the switch, we would support 6.5 Tbps").
+    pub fn tofino64() -> Self {
+        AsicModel { name: "tofino-64x100G".into(), ports: 64, ..Self::tofino32() }
+    }
+
+    /// Aggregate switching bandwidth in Tb/s.
+    pub fn total_tbps(&self) -> f64 {
+        f64::from(self.ports) * self.port_gbps / 1000.0
+    }
+}
+
+/// Decomposes an inclusive range into ternary prefix entries
+/// (value, mask) over a `bits`-wide field — the O(#bits) expansion the
+/// paper's resource discussion refers to.
+pub fn range_to_prefixes(lo: u64, hi: u64, bits: u32) -> Vec<(u64, u64)> {
+    assert!(lo <= hi, "empty range");
+    let bits = bits.min(64);
+    let full: u128 = if bits == 64 { 1u128 << 64 } else { 1u128 << bits };
+    assert!((hi as u128) < full, "range exceeds field domain");
+    let mut out = Vec::new();
+    let mut lo = lo as u128;
+    let hi = hi as u128;
+    while lo <= hi {
+        // Largest power-of-two block that starts at `lo` (alignment)
+        // and does not overshoot `hi`.
+        let align = if lo == 0 { full } else { lo & lo.wrapping_neg() };
+        let mut size = align;
+        while lo + size - 1 > hi {
+            size >>= 1;
+        }
+        let mask = ((full - 1) ^ (size - 1)) as u64;
+        out.push((lo as u64, mask));
+        lo += size;
+        if size == full {
+            break; // whole domain covered
+        }
+    }
+    out
+}
+
+/// Resource cost of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableCost {
+    /// Table name.
+    pub name: String,
+    /// Memory type (TCAM iff any key is non-exact).
+    pub memory: Memory,
+    /// Logical entries installed by the control plane.
+    pub logical_entries: usize,
+    /// Physical entries after range expansion.
+    pub physical_entries: usize,
+    /// TCAM slices ganged per physical entry (1 for SRAM).
+    pub slices_per_entry: usize,
+}
+
+impl TableCost {
+    /// Physical entries × slices: the stage-budget charge.
+    pub fn charge(&self) -> usize {
+        self.physical_entries * self.slices_per_entry
+    }
+}
+
+/// Computes the cost of a table under a model.
+pub fn table_cost(table: &Table, model: &AsicModel) -> TableCost {
+    let memory = if table.keys.iter().all(|k| k.kind == MatchKind::Exact) {
+        Memory::Sram
+    } else {
+        Memory::Tcam
+    };
+    // Effective key width: DirtCAM quadruples range-key bits (nibble →
+    // 16-bit one-hot); prefix expansion keeps the raw width but
+    // multiplies entries instead.
+    let key_bits: u32 = table
+        .keys
+        .iter()
+        .map(|k| {
+            if k.kind == MatchKind::Range && model.range_mode == RangeMode::DirtCam {
+                4 * k.bits
+            } else {
+                k.bits
+            }
+        })
+        .sum();
+    let slices_per_entry = match memory {
+        Memory::Sram => 1,
+        Memory::Tcam => ((key_bits + model.tcam_slice_bits - 1) / model.tcam_slice_bits) as usize,
+    };
+    let mut physical = 0usize;
+    let mut logical = 0usize;
+    for e in table.entries() {
+        logical += 1;
+        physical += entry_expansion(&table.keys, &e.matches, memory, model.range_mode);
+    }
+    TableCost {
+        name: table.name.clone(),
+        memory,
+        logical_entries: logical,
+        physical_entries: physical,
+        slices_per_entry,
+    }
+}
+
+fn entry_expansion(keys: &[Key], matches: &[MatchValue], memory: Memory, mode: RangeMode) -> usize {
+    if memory == Memory::Sram || mode == RangeMode::DirtCam {
+        return 1;
+    }
+    let mut n = 1usize;
+    for (k, m) in keys.iter().zip(matches) {
+        if let MatchValue::Range { lo, hi } = *m {
+            n = n.saturating_mul(range_to_prefixes(lo, hi, k.bits).len());
+        }
+    }
+    n
+}
+
+/// Where one table landed in the stage plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TablePlacement {
+    /// Cost summary.
+    pub cost: TableCost,
+    /// First stage used (0-based).
+    pub first_stage: usize,
+    /// Last stage used.
+    pub last_stage: usize,
+}
+
+/// Result of placing a program onto the ASIC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementReport {
+    /// The model placed against.
+    pub model: AsicModel,
+    /// Per-table placements (empty on failure).
+    pub placements: Vec<TablePlacement>,
+    /// Total stages used.
+    pub stages_used: usize,
+    /// Total SRAM entries consumed.
+    pub sram_entries: usize,
+    /// Total TCAM entry-slices consumed.
+    pub tcam_slices: usize,
+    /// `None` when the program fits; otherwise why not.
+    pub failure: Option<String>,
+}
+
+impl PlacementReport {
+    /// Whether the program fits the device.
+    pub fn fits(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Greedy in-order placement of a pure dependency chain: every table
+/// depends on its predecessor. See [`place_leveled`] for programs with
+/// independent tables.
+pub fn place(tables: &[&Table], model: &AsicModel) -> PlacementReport {
+    let leveled: Vec<(&Table, usize)> = tables.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+    place_leveled(&leveled, model)
+}
+
+/// Greedy placement with explicit dependency levels.
+///
+/// Tables at the same level are independent and may share a stage;
+/// a table at level `L` must start strictly after every level-`<L`
+/// table has finished (match dependencies through the `state`
+/// metadata). Large tables spill over consecutive stages (Tofino
+/// table chaining).
+pub fn place_leveled(tables: &[(&Table, usize)], model: &AsicModel) -> PlacementReport {
+    let mut placements = Vec::new();
+    let mut sram_left = vec![model.sram_entries_per_stage; model.stages];
+    let mut tcam_left = vec![model.tcam_entries_per_stage; model.stages];
+    let mut failure = None;
+    // First stage each level may start in; level L+1 starts after the
+    // last stage any level-<=L table used.
+    let mut level_start: Vec<usize> = Vec::new();
+
+    let mut sorted: Vec<&(&Table, usize)> = tables.iter().collect();
+    sorted.sort_by_key(|(_, lvl)| *lvl);
+
+    'outer: for &&(t, level) in &sorted {
+        let cost = table_cost(t, model);
+        let mut remaining = cost.charge().max(1); // empty tables still occupy a stage
+        while level_start.len() <= level {
+            let prev_end = placements
+                .iter()
+                .zip(sorted.iter())
+                .filter(|(_, (_, l)): &(&TablePlacement, _)| *l < level_start.len())
+                .map(|(p, _): (&TablePlacement, _)| p.last_stage + 1)
+                .max()
+                .unwrap_or(0);
+            level_start.push(prev_end.max(level_start.last().copied().unwrap_or(0)));
+        }
+        let mut stage = level_start[level];
+        // Skip stages already exhausted for this memory type.
+        let exhausted = |s: usize, sram: &Vec<usize>, tcam: &Vec<usize>| match cost.memory {
+            Memory::Sram => sram[s] == 0,
+            Memory::Tcam => tcam[s] == 0,
+        };
+        while stage < model.stages && exhausted(stage, &sram_left, &tcam_left) {
+            stage += 1;
+        }
+        if stage >= model.stages {
+            failure = Some(format!("table `{}`: out of stages", cost.name));
+            placements.push(TablePlacement { cost, first_stage: stage, last_stage: stage });
+            break;
+        }
+        let first_stage = stage;
+        while remaining > 0 {
+            if stage >= model.stages {
+                failure = Some(format!(
+                    "table `{}`: {} entry-slices left but no stages remain",
+                    cost.name, remaining
+                ));
+                placements.push(TablePlacement { cost, first_stage, last_stage: stage - 1 });
+                break 'outer;
+            }
+            let budget = match cost.memory {
+                Memory::Sram => &mut sram_left[stage],
+                Memory::Tcam => &mut tcam_left[stage],
+            };
+            let take = remaining.min(*budget);
+            *budget -= take;
+            remaining -= take;
+            if remaining > 0 {
+                stage += 1;
+            }
+        }
+        let last_stage = stage;
+        placements.push(TablePlacement { cost, first_stage, last_stage });
+    }
+
+    let sram_entries: usize = placements
+        .iter()
+        .filter(|p| p.cost.memory == Memory::Sram)
+        .map(|p| p.cost.charge())
+        .sum();
+    let tcam_slices: usize = placements
+        .iter()
+        .filter(|p| p.cost.memory == Memory::Tcam)
+        .map(|p| p.cost.charge())
+        .sum();
+    let stages_used = placements.iter().map(|p| p.last_stage + 1).max().unwrap_or(0);
+    PlacementReport { model: model.clone(), placements, stages_used, sram_entries, tcam_slices, failure }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::PhvLayout;
+    use crate::table::{Entry, Key, MatchKind, MatchValue, Table};
+
+    #[test]
+    fn range_expansion_covers_exactly() {
+        for (lo, hi, bits) in
+            [(0u64, 255u64, 8u32), (1, 6, 4), (0, 59, 8), (101, 255, 8), (60, 100, 8), (7, 7, 8)]
+        {
+            let prefixes = range_to_prefixes(lo, hi, bits);
+            for v in 0..(1u64 << bits) {
+                let covered = prefixes.iter().any(|&(val, mask)| v & mask == val & mask);
+                assert_eq!(covered, v >= lo && v <= hi, "v={v} range=[{lo},{hi}]");
+            }
+            // No overlap between prefixes.
+            for v in lo..=hi {
+                let n = prefixes.iter().filter(|&&(val, mask)| v & mask == val & mask).count();
+                assert_eq!(n, 1, "v={v} covered {n} times");
+            }
+        }
+    }
+
+    #[test]
+    fn range_expansion_size_is_linear_in_bits() {
+        // Worst case 2w−2 entries: [1, 2^w−2].
+        let p = range_to_prefixes(1, (1 << 16) - 2, 16);
+        assert_eq!(p.len(), 2 * 16 - 2);
+        // Aligned power-of-two ranges take one entry.
+        assert_eq!(range_to_prefixes(0, 255, 8).len(), 1);
+        assert_eq!(range_to_prefixes(64, 127, 8).len(), 1);
+        // Full 64-bit domain.
+        assert_eq!(range_to_prefixes(0, u64::MAX, 64).len(), 1);
+    }
+
+    fn mk_table(name: &str, kinds: &[(MatchKind, u32)]) -> Table {
+        let mut layout = PhvLayout::new();
+        let keys: Vec<Key> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, bits))| Key { field: layout.add(format!("f{i}"), bits), kind, bits })
+            .collect();
+        Table::new(name, keys, vec![])
+    }
+
+    #[test]
+    fn exact_tables_are_sram() {
+        let mut t = mk_table("t", &[(MatchKind::Exact, 16), (MatchKind::Exact, 64)]);
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(1), MatchValue::Exact(2)],
+            ops: vec![],
+        })
+        .unwrap();
+        let c = table_cost(&t, &AsicModel::tofino32());
+        assert_eq!(c.memory, Memory::Sram);
+        assert_eq!(c.physical_entries, 1);
+        assert_eq!(c.slices_per_entry, 1);
+    }
+
+    #[test]
+    fn range_tables_expand_into_tcam() {
+        let mut t = mk_table("t", &[(MatchKind::Exact, 16), (MatchKind::Range, 32)]);
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(1), MatchValue::Range { lo: 1, hi: (1 << 32) - 2 }],
+            ops: vec![],
+        })
+        .unwrap();
+        let model = AsicModel::tofino32().with_prefix_expansion();
+        let c = table_cost(&t, &model);
+        assert_eq!(c.memory, Memory::Tcam);
+        assert_eq!(c.physical_entries, 2 * 32 - 2);
+        // 16 + 32 = 48 bits > 44-bit slice → 2 slices.
+        assert_eq!(c.slices_per_entry, 2);
+        assert_eq!(c.charge(), (2 * 32 - 2) * 2);
+
+        // DirtCAM: one physical entry, but the 32-bit range key widens to
+        // 128 bits → (16 + 128) / 44 → 4 slices.
+        let dirt = AsicModel::tofino32();
+        let c = table_cost(&t, &dirt);
+        assert_eq!(c.physical_entries, 1);
+        assert_eq!(c.slices_per_entry, 4);
+    }
+
+    #[test]
+    fn placement_chains_dependent_tables() {
+        let mk = |name: &str| {
+            let mut t = mk_table(name, &[(MatchKind::Exact, 16)]);
+            t.add_entry(Entry { priority: 0, matches: vec![MatchValue::Exact(0)], ops: vec![] })
+                .unwrap();
+            t
+        };
+        let (a, b, c) = (mk("a"), mk("b"), mk("c"));
+        let model = AsicModel::tofino32();
+        let rep = place(&[&a, &b, &c], &model);
+        assert!(rep.fits());
+        assert_eq!(rep.stages_used, 3);
+        let stages: Vec<usize> = rep.placements.iter().map(|p| p.first_stage).collect();
+        assert_eq!(stages, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn oversized_table_spills_stages() {
+        let mut t = mk_table("big", &[(MatchKind::Exact, 16)]);
+        let model = AsicModel::tofino32();
+        for i in 0..(model.sram_entries_per_stage + 10) {
+            t.add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(i as u64)],
+                ops: vec![],
+            })
+            .unwrap();
+        }
+        let rep = place(&[&t], &model);
+        assert!(rep.fits());
+        assert_eq!(rep.placements[0].first_stage, 0);
+        assert_eq!(rep.placements[0].last_stage, 1);
+    }
+
+    #[test]
+    fn too_many_tables_fail_placement() {
+        let tables: Vec<Table> = (0..20).map(|i| mk_table(&format!("t{i}"), &[(MatchKind::Exact, 8)])).collect();
+        let refs: Vec<&Table> = tables.iter().collect();
+        let rep = place(&refs, &AsicModel::tofino32());
+        assert!(!rep.fits());
+        assert!(rep.failure.as_deref().unwrap().contains("out of stages"));
+    }
+
+    #[test]
+    fn model_bandwidths_match_paper() {
+        assert!((AsicModel::tofino32().total_tbps() - 3.2).abs() < 0.1);
+        assert!((AsicModel::tofino64().total_tbps() - 6.4).abs() < 0.2);
+    }
+}

@@ -1,0 +1,516 @@
+//! Match-action tables.
+//!
+//! A table declares a list of keys (PHV field + match kind); entries
+//! supply one match value per key, a priority, and a list of action
+//! operations. Lookup returns the highest-priority (lowest number)
+//! matching entry, mirroring TCAM semantics; ties break by insertion
+//! order.
+//!
+//! Compiled Camus tables have the shape `(state: exact, field: …)`;
+//! lookup is indexed on the first exact key so that per-packet matching
+//! stays O(entries-per-state) instead of O(table).
+
+use std::collections::HashMap;
+
+use crate::error::PipelineError;
+use crate::multicast::{GroupId, PortId};
+use crate::phv::{Phv, PhvField};
+
+/// How a key matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchKind {
+    /// Exact value (SRAM hash table).
+    Exact,
+    /// Value/mask (TCAM).
+    Ternary,
+    /// Inclusive range (TCAM via range expansion, or dedicated range
+    /// match units).
+    Range,
+    /// Longest-prefix match (TCAM/algorithmic).
+    Lpm,
+}
+
+/// A table key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// PHV field matched.
+    pub field: PhvField,
+    /// Match kind.
+    pub kind: MatchKind,
+    /// Field width in bits (needed for LPM masks and resource
+    /// accounting).
+    pub bits: u32,
+}
+
+/// A concrete match value in an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchValue {
+    /// Match exactly this value.
+    Exact(u64),
+    /// TCAM value/mask: matches when `phv & mask == value`.
+    Ternary {
+        /// Target bits.
+        value: u64,
+        /// Care mask.
+        mask: u64,
+    },
+    /// Inclusive range.
+    Range {
+        /// Lower bound.
+        lo: u64,
+        /// Upper bound.
+        hi: u64,
+    },
+    /// Prefix match on the top `prefix_len` bits.
+    Lpm {
+        /// Prefix value (already shifted into field position).
+        value: u64,
+        /// Prefix length.
+        prefix_len: u32,
+    },
+    /// Wildcard.
+    Any,
+}
+
+impl MatchValue {
+    fn matches(&self, v: u64, bits: u32) -> bool {
+        match *self {
+            MatchValue::Exact(e) => v == e,
+            MatchValue::Ternary { value, mask } => v & mask == value,
+            MatchValue::Range { lo, hi } => v >= lo && v <= hi,
+            MatchValue::Lpm { value, prefix_len } => {
+                let mask = lpm_mask(bits, prefix_len);
+                v & mask == value & mask
+            }
+            MatchValue::Any => true,
+        }
+    }
+
+    fn compatible(&self, kind: MatchKind) -> bool {
+        matches!(
+            (self, kind),
+            (MatchValue::Any, _)
+                | (MatchValue::Exact(_), _)
+                | (MatchValue::Ternary { .. }, MatchKind::Ternary)
+                | (MatchValue::Range { .. }, MatchKind::Range)
+                | (MatchValue::Range { .. }, MatchKind::Ternary)
+                | (MatchValue::Lpm { .. }, MatchKind::Lpm)
+                | (MatchValue::Lpm { .. }, MatchKind::Ternary)
+        )
+    }
+}
+
+/// Mask selecting the top `prefix_len` bits of a `bits`-wide field.
+pub fn lpm_mask(bits: u32, prefix_len: u32) -> u64 {
+    let bits = bits.min(64);
+    let p = prefix_len.min(bits);
+    if p == 0 {
+        0
+    } else {
+        let ones = if p == 64 { u64::MAX } else { (1u64 << p) - 1 };
+        ones << (bits - p)
+    }
+}
+
+/// Register update operations available to actions (the generic update
+/// code §3.1 says the static compiler emits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegOp {
+    /// `count += 1`.
+    Increment,
+    /// Fold a PHV field into the aggregate (sum/count/min/max all
+    /// update from the sample).
+    Observe(PhvField),
+    /// Overwrite with a constant.
+    SetConst(u64),
+    /// Overwrite with a PHV field.
+    SetField(PhvField),
+}
+
+/// A single action operation; an entry's action is a sequence of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionOp {
+    /// Write a PHV field (e.g. the BDD `state` metadata).
+    SetField(PhvField, u64),
+    /// Unicast to a port.
+    Forward(PortId),
+    /// Replicate to a multicast group.
+    Multicast(GroupId),
+    /// Drop the packet.
+    Drop,
+    /// Update a register slot.
+    Register {
+        /// Register slot index.
+        slot: usize,
+        /// Update operation.
+        op: RegOp,
+    },
+}
+
+/// A table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Entry {
+    /// Priority: lower value = higher priority (TCAM order).
+    pub priority: u32,
+    /// One match value per table key.
+    pub matches: Vec<MatchValue>,
+    /// Action operations executed on match.
+    pub ops: Vec<ActionOp>,
+}
+
+#[derive(Debug, Clone)]
+enum Index {
+    /// Scan all entries (no exact leading key).
+    Linear,
+    /// Bucket by the first key's exact value; `wild` holds entries whose
+    /// first match is `Any`.
+    ByFirstExact { map: HashMap<u64, Vec<usize>>, wild: Vec<usize> },
+}
+
+/// A match-action table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Diagnostic name (also used in P4 output and placement reports).
+    pub name: String,
+    /// Keys, in match order.
+    pub keys: Vec<Key>,
+    entries: Vec<Entry>,
+    /// Actions applied when no entry matches.
+    pub default_ops: Vec<ActionOp>,
+    index: Index,
+    dirty: bool,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, keys: Vec<Key>, default_ops: Vec<ActionOp>) -> Self {
+        Table {
+            name: name.into(),
+            keys,
+            entries: Vec::new(),
+            default_ops,
+            index: Index::Linear,
+            dirty: true,
+        }
+    }
+
+    /// Adds an entry after validating its shape against the keys.
+    pub fn add_entry(&mut self, entry: Entry) -> Result<(), PipelineError> {
+        if entry.matches.len() != self.keys.len() {
+            return Err(PipelineError::EntryShapeMismatch {
+                table: self.name.clone(),
+                expected: self.keys.len(),
+                got: entry.matches.len(),
+            });
+        }
+        for (i, (m, k)) in entry.matches.iter().zip(&self.keys).enumerate() {
+            if !m.compatible(k.kind) {
+                return Err(PipelineError::EntryKindMismatch { table: self.name.clone(), key: i });
+            }
+        }
+        self.entries.push(entry);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+
+    /// Rebuilds the lookup index. Called lazily by `lookup`; exposed so
+    /// construction cost can be paid eagerly in benchmarks.
+    pub fn build_index(&mut self) {
+        self.index = if self.keys.first().map(|k| k.kind) == Some(MatchKind::Exact) {
+            let mut map: HashMap<u64, Vec<usize>> = HashMap::new();
+            let mut wild = Vec::new();
+            for (i, e) in self.entries.iter().enumerate() {
+                match e.matches[0] {
+                    MatchValue::Exact(v) => map.entry(v).or_default().push(i),
+                    MatchValue::Any => wild.push(i),
+                    _ => unreachable!("validated exact-compatible"),
+                }
+            }
+            Index::ByFirstExact { map, wild }
+        } else {
+            Index::Linear
+        };
+        self.dirty = false;
+    }
+
+    fn entry_matches(&self, e: &Entry, phv: &Phv, skip_first: bool) -> bool {
+        let start = usize::from(skip_first);
+        e.matches[start..]
+            .iter()
+            .zip(&self.keys[start..])
+            .all(|(m, k)| m.matches(phv.get_or_zero(k.field), k.bits))
+    }
+
+    /// Finds the winning entry for a PHV: the matching entry with the
+    /// smallest `(priority, insertion index)`.
+    pub fn lookup(&mut self, phv: &Phv) -> Option<&Entry> {
+        if self.dirty {
+            self.build_index();
+        }
+        let best: Option<usize> = match &self.index {
+            Index::Linear => {
+                let mut best: Option<usize> = None;
+                for (i, e) in self.entries.iter().enumerate() {
+                    if self.entry_matches(e, phv, false)
+                        && best.is_none_or(|b| e.priority < self.entries[b].priority)
+                    {
+                        best = Some(i);
+                    }
+                }
+                best
+            }
+            Index::ByFirstExact { map, wild } => {
+                let v = phv.get_or_zero(self.keys[0].field);
+                let mut best: Option<usize> = None;
+                let consider = |idxs: &[usize], best: &mut Option<usize>, skip_first: bool| {
+                    for &i in idxs {
+                        let e = &self.entries[i];
+                        if self.entry_matches(e, phv, skip_first)
+                            && best
+                                .map(|b| {
+                                    (e.priority, i) < (self.entries[b].priority, b)
+                                })
+                                .unwrap_or(true)
+                        {
+                            *best = Some(i);
+                        }
+                    }
+                };
+                if let Some(idxs) = map.get(&v) {
+                    consider(idxs, &mut best, true);
+                }
+                consider(wild, &mut best, false);
+                best
+            }
+        };
+        best.map(|i| &self.entries[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phv::PhvLayout;
+
+    fn layout2() -> (PhvLayout, PhvField, PhvField) {
+        let mut l = PhvLayout::new();
+        let state = l.add("state", 16);
+        let stock = l.add("stock", 64);
+        (l, state, stock)
+    }
+
+    fn phv_with(l: &PhvLayout, state: PhvField, stock: PhvField, s: u64, v: u64) -> Phv {
+        let mut p = l.instantiate();
+        p.set(state, s);
+        p.set(stock, v);
+        p
+    }
+
+    /// The Stock table of Figure 4.
+    #[test]
+    fn figure4_stock_table_semantics() {
+        let (l, state, stock) = layout2();
+        const AAPL: u64 = 10;
+        const MSFT: u64 = 20;
+        let mut t = Table::new(
+            "stock",
+            vec![
+                Key { field: state, kind: MatchKind::Exact, bits: 16 },
+                Key { field: stock, kind: MatchKind::Exact, bits: 64 },
+            ],
+            vec![],
+        );
+        let e = |prio, m0, m1, s| Entry {
+            priority: prio,
+            matches: vec![m0, m1],
+            ops: vec![ActionOp::SetField(state, s)],
+        };
+        t.add_entry(e(0, MatchValue::Exact(1), MatchValue::Exact(AAPL), 3)).unwrap();
+        t.add_entry(e(1, MatchValue::Exact(1), MatchValue::Any, 6)).unwrap();
+        t.add_entry(e(0, MatchValue::Exact(2), MatchValue::Exact(AAPL), 3)).unwrap();
+        t.add_entry(e(0, MatchValue::Exact(2), MatchValue::Exact(MSFT), 4)).unwrap();
+        t.add_entry(e(1, MatchValue::Exact(2), MatchValue::Any, 5)).unwrap();
+
+        let mut got = |s, v| {
+            let phv = phv_with(&l, state, stock, s, v);
+            t.lookup(&phv).map(|e| e.ops.clone())
+        };
+        assert_eq!(got(1, AAPL), Some(vec![ActionOp::SetField(state, 3)]));
+        assert_eq!(got(1, MSFT), Some(vec![ActionOp::SetField(state, 6)]));
+        assert_eq!(got(2, MSFT), Some(vec![ActionOp::SetField(state, 4)]));
+        assert_eq!(got(2, 99), Some(vec![ActionOp::SetField(state, 5)]));
+        assert_eq!(got(9, AAPL), None); // unknown state: default action
+    }
+
+    #[test]
+    fn range_keys_match_inclusively() {
+        let (l, state, shares) = layout2();
+        let mut t = Table::new(
+            "shares",
+            vec![
+                Key { field: state, kind: MatchKind::Exact, bits: 16 },
+                Key { field: shares, kind: MatchKind::Range, bits: 64 },
+            ],
+            vec![],
+        );
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(0), MatchValue::Range { lo: 0, hi: 59 }],
+            ops: vec![ActionOp::SetField(state, 1)],
+        })
+        .unwrap();
+        for (v, hits) in [(0u64, true), (59, true), (60, false)] {
+            let phv = phv_with(&l, state, shares, 0, v);
+            assert_eq!(t.lookup(&phv).is_some(), hits, "v={v}");
+        }
+    }
+
+    #[test]
+    fn ternary_and_lpm_match() {
+        let (l, _state, f) = layout2();
+        let mut t = Table::new(
+            "tern",
+            vec![Key { field: f, kind: MatchKind::Ternary, bits: 64 }],
+            vec![],
+        );
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Ternary { value: 0x10, mask: 0xf0 }],
+            ops: vec![ActionOp::Drop],
+        })
+        .unwrap();
+        let mut phv = l.instantiate();
+        phv.set(f, 0x1a);
+        assert!(t.lookup(&phv).is_some());
+        phv.set(f, 0x2a);
+        assert!(t.lookup(&phv).is_none());
+
+        let mut t = Table::new("lpm", vec![Key { field: f, kind: MatchKind::Lpm, bits: 32 }], vec![]);
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Lpm { value: 0xc0a8_0000, prefix_len: 16 }],
+            ops: vec![ActionOp::Drop],
+        })
+        .unwrap();
+        phv.set(f, 0xc0a8_1234);
+        assert!(t.lookup(&phv).is_some());
+        phv.set(f, 0xc0a9_1234);
+        assert!(t.lookup(&phv).is_none());
+    }
+
+    #[test]
+    fn priority_orders_overlapping_entries() {
+        let (l, _s, f) = layout2();
+        let mut t =
+            Table::new("t", vec![Key { field: f, kind: MatchKind::Range, bits: 64 }], vec![]);
+        t.add_entry(Entry {
+            priority: 5,
+            matches: vec![MatchValue::Range { lo: 0, hi: 100 }],
+            ops: vec![ActionOp::Forward(PortId(1))],
+        })
+        .unwrap();
+        t.add_entry(Entry {
+            priority: 1,
+            matches: vec![MatchValue::Range { lo: 50, hi: 60 }],
+            ops: vec![ActionOp::Forward(PortId(2))],
+        })
+        .unwrap();
+        let mut phv = l.instantiate();
+        phv.set(f, 55);
+        assert_eq!(t.lookup(&phv).unwrap().ops, vec![ActionOp::Forward(PortId(2))]);
+        phv.set(f, 10);
+        assert_eq!(t.lookup(&phv).unwrap().ops, vec![ActionOp::Forward(PortId(1))]);
+    }
+
+    #[test]
+    fn equal_priority_ties_break_by_insertion() {
+        let (l, _s, f) = layout2();
+        let mut t =
+            Table::new("t", vec![Key { field: f, kind: MatchKind::Exact, bits: 64 }], vec![]);
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(7)],
+            ops: vec![ActionOp::Forward(PortId(1))],
+        })
+        .unwrap();
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(7)],
+            ops: vec![ActionOp::Forward(PortId(2))],
+        })
+        .unwrap();
+        let mut phv = l.instantiate();
+        phv.set(f, 7);
+        assert_eq!(t.lookup(&phv).unwrap().ops, vec![ActionOp::Forward(PortId(1))]);
+    }
+
+    #[test]
+    fn shape_and_kind_validation() {
+        let (_, state, stock) = layout2();
+        let mut t = Table::new(
+            "t",
+            vec![
+                Key { field: state, kind: MatchKind::Exact, bits: 16 },
+                Key { field: stock, kind: MatchKind::Exact, bits: 64 },
+            ],
+            vec![],
+        );
+        assert!(matches!(
+            t.add_entry(Entry { priority: 0, matches: vec![MatchValue::Exact(1)], ops: vec![] }),
+            Err(PipelineError::EntryShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(1), MatchValue::Range { lo: 0, hi: 1 }],
+                ops: vec![]
+            }),
+            Err(PipelineError::EntryKindMismatch { key: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_after_incremental_adds_rebuilds_index() {
+        let (l, state, stock) = layout2();
+        let mut t = Table::new(
+            "t",
+            vec![Key { field: state, kind: MatchKind::Exact, bits: 16 }],
+            vec![],
+        );
+        let mut phv = l.instantiate();
+        phv.set(state, 1);
+        phv.set(stock, 0);
+        assert!(t.lookup(&phv).is_none());
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(1)],
+            ops: vec![ActionOp::Drop],
+        })
+        .unwrap();
+        assert!(t.lookup(&phv).is_some());
+    }
+
+    #[test]
+    fn lpm_mask_edges() {
+        assert_eq!(lpm_mask(32, 0), 0);
+        assert_eq!(lpm_mask(32, 32), 0xffff_ffff);
+        assert_eq!(lpm_mask(32, 16), 0xffff_0000);
+        assert_eq!(lpm_mask(64, 64), u64::MAX);
+        assert_eq!(lpm_mask(64, 1), 1 << 63);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property tests for the pipeline substrate: table lookup against a
+//! reference matcher, TCAM range expansion, and bit-level codecs.
+
+use camus_pipeline::bits::{extract_bits, insert_bits};
+use camus_pipeline::phv::PhvLayout;
+use camus_pipeline::resources::range_to_prefixes;
+use camus_pipeline::table::{Entry, Key, MatchKind, MatchValue, Table};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------- bits
+
+proptest! {
+    /// insert_bits followed by extract_bits is the identity, and does
+    /// not disturb bits outside the written range.
+    #[test]
+    fn bits_roundtrip(
+        offset in 0u64..100,
+        bits in 1u32..=64,
+        value: u64,
+        fill: u8,
+    ) {
+        let mut buf = vec![fill; 24];
+        let before = buf.clone();
+        if offset + u64::from(bits) <= (buf.len() as u64) * 8 {
+            prop_assert!(insert_bits(&mut buf, offset, bits, value));
+            let masked = if bits == 64 { value } else { value & ((1u64 << bits) - 1) };
+            prop_assert_eq!(extract_bits(&buf, offset, bits), Some(masked));
+            // Bits before and after the range are untouched.
+            if offset > 0 {
+                prop_assert_eq!(
+                    extract_bits(&buf, 0, offset.min(64) as u32),
+                    extract_bits(&before, 0, offset.min(64) as u32)
+                );
+            }
+            let after = offset + u64::from(bits);
+            let tail = ((buf.len() as u64) * 8 - after).min(64) as u32;
+            if tail > 0 {
+                prop_assert_eq!(
+                    extract_bits(&buf, after, tail),
+                    extract_bits(&before, after, tail)
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------- range expansion
+
+proptest! {
+    /// The prefix decomposition covers exactly [lo, hi], without
+    /// overlap, and within the 2w−2 bound.
+    #[test]
+    fn prefix_decomposition_is_exact(
+        bits in 1u32..=12,
+        raw_lo: u64,
+        raw_hi: u64,
+    ) {
+        let max = (1u64 << bits) - 1;
+        let mut lo = raw_lo % (max + 1);
+        let mut hi = raw_hi % (max + 1);
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let prefixes = range_to_prefixes(lo, hi, bits);
+        prop_assert!(prefixes.len() <= (2 * bits as usize).max(1));
+        for v in 0..=max {
+            let n = prefixes.iter().filter(|&&(val, mask)| v & mask == val & mask).count();
+            prop_assert_eq!(n, usize::from(v >= lo && v <= hi), "v={}", v);
+        }
+    }
+}
+
+// ----------------------------------------------------------- table
+
+#[derive(Debug, Clone)]
+struct GenEntry {
+    priority: u32,
+    m0: MatchValue,
+    m1: MatchValue,
+}
+
+fn arb_match(kind: MatchKind, max: u64) -> BoxedStrategy<MatchValue> {
+    match kind {
+        MatchKind::Exact => prop_oneof![
+            (0..=max).prop_map(MatchValue::Exact),
+            Just(MatchValue::Any),
+        ]
+        .boxed(),
+        MatchKind::Range => prop_oneof![
+            (0..=max).prop_map(MatchValue::Exact),
+            (0..=max, 0..=max).prop_map(|(a, b)| {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                MatchValue::Range { lo, hi }
+            }),
+            Just(MatchValue::Any),
+        ]
+        .boxed(),
+        MatchKind::Ternary => prop_oneof![
+            (0..=max, 0..=max).prop_map(|(v, m)| MatchValue::Ternary { value: v & m, mask: m }),
+            Just(MatchValue::Any),
+        ]
+        .boxed(),
+        MatchKind::Lpm => unreachable!("not generated"),
+    }
+}
+
+fn matches_ref(m: &MatchValue, v: u64) -> bool {
+    match *m {
+        MatchValue::Exact(e) => v == e,
+        MatchValue::Range { lo, hi } => v >= lo && v <= hi,
+        MatchValue::Ternary { value, mask } => v & mask == value,
+        MatchValue::Lpm { .. } => unreachable!(),
+        MatchValue::Any => true,
+    }
+}
+
+proptest! {
+    /// Indexed table lookup agrees with a naive highest-priority
+    /// linear scan, for random entries over (exact state, range value)
+    /// keys — the compiled-table shape.
+    #[test]
+    fn lookup_matches_linear_reference(
+        entries in prop::collection::vec(
+            (0u32..8, arb_match(MatchKind::Exact, 15), arb_match(MatchKind::Range, 63))
+                .prop_map(|(priority, m0, m1)| GenEntry { priority, m0, m1 }),
+            0..24,
+        ),
+        probes in prop::collection::vec((0u64..=15, 0u64..=63), 1..32),
+    ) {
+        let mut layout = PhvLayout::new();
+        let state = layout.add("state", 8);
+        let value = layout.add("value", 8);
+        let mut table = Table::new(
+            "t",
+            vec![
+                Key { field: state, kind: MatchKind::Exact, bits: 8 },
+                Key { field: value, kind: MatchKind::Range, bits: 8 },
+            ],
+            vec![],
+        );
+        for (i, e) in entries.iter().enumerate() {
+            table
+                .add_entry(Entry {
+                    priority: e.priority,
+                    matches: vec![e.m0, e.m1],
+                    ops: vec![camus_pipeline::table::ActionOp::SetField(
+                        state,
+                        i as u64, // unique tag to identify the winner
+                    )],
+                })
+                .unwrap();
+        }
+        for &(s, v) in &probes {
+            let mut phv = layout.instantiate();
+            phv.set(state, s);
+            phv.set(value, v);
+            let got = table.lookup(&phv).map(|e| e.ops.clone());
+            // Reference: min (priority, index) among matching entries.
+            let want = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches_ref(&e.m0, s) && matches_ref(&e.m1, v))
+                .min_by_key(|(i, e)| (e.priority, *i))
+                .map(|(i, _)| {
+                    vec![camus_pipeline::table::ActionOp::SetField(state, i as u64)]
+                });
+            prop_assert_eq!(got, want, "state={} value={}", s, v);
+        }
+    }
+
+    /// Ternary tables behave identically under the linear index (no
+    /// exact leading key).
+    #[test]
+    fn ternary_lookup_matches_reference(
+        entries in prop::collection::vec(
+            (0u32..4, arb_match(MatchKind::Ternary, 255)),
+            0..16,
+        ),
+        probes in prop::collection::vec(0u64..=255, 1..16),
+    ) {
+        let mut layout = PhvLayout::new();
+        let f = layout.add("f", 8);
+        let marker = layout.add("m", 32);
+        let mut table = Table::new(
+            "t",
+            vec![Key { field: f, kind: MatchKind::Ternary, bits: 8 }],
+            vec![],
+        );
+        for (i, (prio, m)) in entries.iter().enumerate() {
+            table
+                .add_entry(Entry {
+                    priority: *prio,
+                    matches: vec![*m],
+                    ops: vec![camus_pipeline::table::ActionOp::SetField(marker, i as u64)],
+                })
+                .unwrap();
+        }
+        for &v in &probes {
+            let mut phv = layout.instantiate();
+            phv.set(f, v);
+            let got = table.lookup(&phv).map(|e| e.ops.clone());
+            let want = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, m))| matches_ref(m, v))
+                .min_by_key(|(i, (p, _))| (*p, *i))
+                .map(|(i, _)| vec![camus_pipeline::table::ActionOp::SetField(marker, i as u64)]);
+            prop_assert_eq!(got, want, "v={}", v);
+        }
+    }
+}

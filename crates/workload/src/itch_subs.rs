@@ -1,0 +1,104 @@
+//! The Figure 5c workload: ITCH subscriptions of the form
+//! `stock == S ∧ price > P : fwd(H)`, "where S is one of a 100 stock
+//! symbols, P is in the range (0, 1000) and H is one of 200 end-hosts"
+//! (§4, "To measure our compiler's runtime").
+
+use camus_lang::ast::{Action, Atom, Cond, FieldRef, Operand, RelOp, Rule, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the ITCH subscription generator.
+#[derive(Debug, Clone)]
+pub struct ItchSubsConfig {
+    /// Number of subscriptions.
+    pub subscriptions: usize,
+    /// Symbol universe size (paper: 100).
+    pub symbols: usize,
+    /// Price threshold range, exclusive upper bound (paper: 1000).
+    pub price_range: u64,
+    /// Number of end-hosts / switch ports (paper: 200).
+    pub hosts: u16,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ItchSubsConfig {
+    fn default() -> Self {
+        ItchSubsConfig {
+            subscriptions: 1000,
+            symbols: 100,
+            price_range: 1000,
+            hosts: 200,
+            seed: 0x17C4,
+        }
+    }
+}
+
+/// The deterministic symbol universe used by the generator (and by the
+/// matching trace synthesizer): `STK000`, `STK001`, ...
+pub fn stock_symbol(i: usize) -> String {
+    format!("STK{i:03}")
+}
+
+/// Generates the subscription set.
+pub fn generate_itch_subscriptions(cfg: &ItchSubsConfig) -> Vec<Rule> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.subscriptions)
+        .map(|_| {
+            let sym = stock_symbol(rng.gen_range(0..cfg.symbols));
+            let price = rng.gen_range(0..cfg.price_range);
+            let host = rng.gen_range(1..=cfg.hosts);
+            let cond = Cond::Atom(Atom {
+                operand: Operand::Field(FieldRef::short("stock")),
+                op: RelOp::Eq,
+                value: Value::Symbol(sym),
+            })
+            .and(Cond::Atom(Atom {
+                operand: Operand::Field(FieldRef::short("price")),
+                op: RelOp::Gt,
+                value: Value::Int(price),
+            }));
+            Rule::new(cond, vec![Action::Fwd(vec![host])])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_shape() {
+        let cfg = ItchSubsConfig { subscriptions: 50, ..Default::default() };
+        let rules = generate_itch_subscriptions(&cfg);
+        assert_eq!(rules.len(), 50);
+        for r in &rules {
+            assert_eq!(r.condition.atom_count(), 2);
+            assert_eq!(r.actions.len(), 1);
+            match &r.actions[0] {
+                Action::Fwd(ports) => {
+                    assert_eq!(ports.len(), 1);
+                    assert!((1..=200).contains(&ports[0]));
+                }
+                a => panic!("unexpected action {a:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = ItchSubsConfig::default();
+        assert_eq!(generate_itch_subscriptions(&cfg), generate_itch_subscriptions(&cfg));
+        let other = ItchSubsConfig { seed: 9, ..Default::default() };
+        assert_ne!(generate_itch_subscriptions(&cfg), generate_itch_subscriptions(&other));
+    }
+
+    #[test]
+    fn symbols_stay_in_universe() {
+        let cfg = ItchSubsConfig { subscriptions: 200, symbols: 5, ..Default::default() };
+        for r in generate_itch_subscriptions(&cfg) {
+            let s = r.condition.to_string();
+            assert!((0..5).any(|i| s.contains(&stock_symbol(i))), "{s}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # camus-workload — workload generators for the evaluation
+//!
+//! Reimplementations of the workloads §4 evaluates with:
+//!
+//! * [`siena`] — a clone of the *Siena Synthetic Benchmark Generator*'s
+//!   subscription/event model (attribute universe, per-subscription
+//!   predicate counts, operator and value distributions), used for the
+//!   compiler space-efficiency sweeps of Figures 5a and 5b;
+//! * [`itch_subs`] — the Figure 5c workload: ITCH subscriptions of the
+//!   form `stock == S ∧ price > P : fwd(H)` with `S` one of 100 stock
+//!   symbols, `P ∈ (0, 1000)` and `H` one of 200 end-hosts;
+//! * [`trace`] — market-data feed synthesis for the Figure 7 latency
+//!   experiments: a Nasdaq-like trace (bursty arrivals, Zipf symbol
+//!   popularity, 0.5 % GOOGL) and a uniform synthetic feed (5 % GOOGL);
+//! * [`zipf`] — the Zipf sampler behind symbol popularity.
+//!
+//! All generators are deterministic given a seed.
+
+pub mod itch_subs;
+pub mod siena;
+pub mod trace;
+pub mod zipf;
+
+pub use itch_subs::{generate_itch_subscriptions, ItchSubsConfig};
+pub use siena::{SienaConfig, SienaWorkload};
+pub use trace::{synthesize_feed, TimedPacket, TraceConfig, TraceKind};

@@ -1,0 +1,286 @@
+//! Siena-style synthetic subscription workloads (Figures 5a and 5b).
+//!
+//! Modeled on the *Siena Synthetic Benchmark Generator* (Carzaniga &
+//! Wolf), "which has been used to evaluate prior work in pub/sub
+//! systems" (§4): an attribute universe of typed attributes; each
+//! subscription is a conjunction of `k` predicates over randomly chosen
+//! attributes, with operators drawn from a weighted mix and values from
+//! per-attribute distributions. Events (messages) assign a value to
+//! every attribute.
+
+use camus_lang::ast::{Action, Atom, Cond, FieldRef, Operand, RelOp, Rule, Value};
+use camus_lang::spec::Spec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Attribute type in the universe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrType {
+    /// 32-bit integer attribute, range-matchable.
+    Int,
+    /// Symbol attribute over a small alphabet, exact-match.
+    Symbol,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SienaConfig {
+    /// Number of subscriptions to generate.
+    pub subscriptions: usize,
+    /// Predicates per subscription (the Fig. 5b sweep variable).
+    pub predicates_per_subscription: usize,
+    /// Number of integer attributes.
+    pub int_attributes: usize,
+    /// Number of symbol attributes.
+    pub symbol_attributes: usize,
+    /// Distinct values per symbol attribute.
+    pub symbol_alphabet: usize,
+    /// Integer value range (exclusive upper bound).
+    pub int_range: u64,
+    /// Weights for (==, <, >) on integer attributes.
+    pub operator_weights: (u32, u32, u32),
+    /// Number of end-host ports subscriptions forward to.
+    pub hosts: u16,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SienaConfig {
+    fn default() -> Self {
+        SienaConfig {
+            subscriptions: 25,
+            predicates_per_subscription: 3,
+            int_attributes: 3,
+            symbol_attributes: 2,
+            symbol_alphabet: 30,
+            int_range: 1000,
+            operator_weights: (2, 1, 1),
+            hosts: 16,
+            seed: 0xCA0005,
+        }
+    }
+}
+
+/// A generated workload: the message-format spec, the subscriptions,
+/// and a stream of events for match testing.
+#[derive(Debug, Clone)]
+pub struct SienaWorkload {
+    /// The synthetic message format (one header, one field per
+    /// attribute).
+    pub spec: Spec,
+    /// The spec source text the spec was parsed from.
+    pub spec_source: String,
+    /// Generated subscription rules.
+    pub rules: Vec<Rule>,
+    /// Attribute names in field order (ints then symbols).
+    pub attributes: Vec<(String, AttrType)>,
+}
+
+impl SienaConfig {
+    /// Generates the workload.
+    pub fn generate(&self) -> SienaWorkload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Attribute universe and spec text.
+        let mut attributes: Vec<(String, AttrType)> = Vec::new();
+        for i in 0..self.int_attributes {
+            attributes.push((format!("ival{i}"), AttrType::Int));
+        }
+        for i in 0..self.symbol_attributes {
+            attributes.push((format!("sym{i}"), AttrType::Symbol));
+        }
+        let mut src = String::from("header_type siena_event_t {\n    fields {\n");
+        for (name, ty) in &attributes {
+            let bits = match ty {
+                AttrType::Int => 32,
+                AttrType::Symbol => 64,
+            };
+            src.push_str(&format!("        {name}: {bits};\n"));
+        }
+        src.push_str("    }\n}\nheader siena_event_t ev;\n");
+        for (name, ty) in &attributes {
+            match ty {
+                AttrType::Int => src.push_str(&format!("@query_field(ev.{name})\n")),
+                AttrType::Symbol => src.push_str(&format!("@query_field_exact(ev.{name})\n")),
+            }
+        }
+        let spec = camus_lang::parse_spec(&src).expect("generated spec is well-formed");
+
+        // Subscriptions.
+        let (weq, wlt, wgt) = self.operator_weights;
+        let wtotal = weq + wlt + wgt;
+        let mut rules = Vec::with_capacity(self.subscriptions);
+        for _ in 0..self.subscriptions {
+            let k = self.predicates_per_subscription.max(1).min(attributes.len());
+            // Choose k distinct attributes.
+            let mut chosen: Vec<usize> = (0..attributes.len()).collect();
+            for i in 0..k {
+                let j = rng.gen_range(i..chosen.len());
+                chosen.swap(i, j);
+            }
+            chosen.truncate(k);
+            let mut cond: Option<Cond> = None;
+            for &ai in &chosen {
+                let (name, ty) = &attributes[ai];
+                let atom = match ty {
+                    AttrType::Int => {
+                        let w = rng.gen_range(0..wtotal);
+                        let op = if w < weq {
+                            RelOp::Eq
+                        } else if w < weq + wlt {
+                            RelOp::Lt
+                        } else {
+                            RelOp::Gt
+                        };
+                        // Keep < and > constants interior so predicates
+                        // are never trivially constant.
+                        let v = match op {
+                            RelOp::Lt => rng.gen_range(1..self.int_range),
+                            _ => rng.gen_range(0..self.int_range),
+                        };
+                        Atom {
+                            operand: Operand::Field(FieldRef::short(name.clone())),
+                            op,
+                            value: Value::Int(v),
+                        }
+                    }
+                    AttrType::Symbol => Atom {
+                        operand: Operand::Field(FieldRef::short(name.clone())),
+                        op: RelOp::Eq,
+                        value: Value::Symbol(symbol_name(rng.gen_range(0..self.symbol_alphabet))),
+                    },
+                };
+                let c = Cond::Atom(atom);
+                cond = Some(match cond {
+                    Some(prev) => prev.and(c),
+                    None => c,
+                });
+            }
+            let port = rng.gen_range(1..=self.hosts);
+            rules.push(Rule::new(cond.unwrap_or(Cond::True), vec![Action::Fwd(vec![port])]));
+        }
+        SienaWorkload { spec, spec_source: src, rules, attributes }
+    }
+
+    /// Generates `n` events as raw packets for the workload's spec
+    /// (fields concatenated in declaration order — the `Raw`
+    /// encapsulation).
+    pub fn generate_events(&self, workload: &SienaWorkload, n: usize) -> Vec<Vec<u8>> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed);
+        (0..n)
+            .map(|_| {
+                let mut pkt = Vec::new();
+                for (_, ty) in &workload.attributes {
+                    match ty {
+                        AttrType::Int => {
+                            let v = rng.gen_range(0..self.int_range) as u32;
+                            pkt.extend_from_slice(&v.to_be_bytes());
+                        }
+                        AttrType::Symbol => {
+                            let s = symbol_name(rng.gen_range(0..self.symbol_alphabet));
+                            let v = camus_lang::symbol::encode_symbol(&s, 64);
+                            pkt.extend_from_slice(&v.to_be_bytes());
+                        }
+                    }
+                }
+                pkt
+            })
+            .collect()
+    }
+}
+
+/// Deterministic symbol alphabet: SYM000, SYM001, ...
+pub fn symbol_name(i: usize) -> String {
+    format!("SYM{i:03}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let cfg = SienaConfig { subscriptions: 40, ..Default::default() };
+        let w = cfg.generate();
+        assert_eq!(w.rules.len(), 40);
+        assert_eq!(w.attributes.len(), 5);
+        assert_eq!(w.spec.query_fields.len(), 5);
+    }
+
+    #[test]
+    fn predicate_count_is_respected() {
+        for k in 1..=5 {
+            let cfg = SienaConfig { predicates_per_subscription: k, ..Default::default() };
+            let w = cfg.generate();
+            for r in &w.rules {
+                assert_eq!(r.condition.atom_count(), k, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn predicates_cap_at_attribute_count() {
+        let cfg = SienaConfig {
+            predicates_per_subscription: 99,
+            int_attributes: 2,
+            symbol_attributes: 1,
+            ..Default::default()
+        };
+        let w = cfg.generate();
+        for r in &w.rules {
+            assert_eq!(r.condition.atom_count(), 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SienaConfig::default();
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.rules, b.rules);
+        assert_eq!(a.spec_source, b.spec_source);
+        assert_eq!(cfg.generate_events(&a, 10), cfg.generate_events(&b, 10));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SienaConfig::default().generate();
+        let b = SienaConfig { seed: 99, ..Default::default() }.generate();
+        assert_ne!(a.rules, b.rules);
+    }
+
+    #[test]
+    fn events_match_spec_width() {
+        let cfg = SienaConfig::default();
+        let w = cfg.generate();
+        let total_bits: u32 = w.spec.header_types[0].total_bits();
+        for ev in cfg.generate_events(&w, 5) {
+            assert_eq!(ev.len() * 8, total_bits as usize);
+        }
+    }
+
+    #[test]
+    fn symbol_predicates_only_use_eq() {
+        let cfg = SienaConfig {
+            int_attributes: 0,
+            symbol_attributes: 3,
+            predicates_per_subscription: 2,
+            ..Default::default()
+        };
+        let w = cfg.generate();
+        fn check(c: &Cond) {
+            match c {
+                Cond::And(a, b) => {
+                    check(a);
+                    check(b);
+                }
+                Cond::Atom(a) => assert_eq!(a.op, RelOp::Eq),
+                Cond::True => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for r in &w.rules {
+            check(&r.condition);
+        }
+    }
+}

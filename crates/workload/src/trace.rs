@@ -1,0 +1,269 @@
+//! Market-data feed synthesis for the Figure 7 latency experiments.
+//!
+//! The paper uses "a Nasdaq trace from August 30th 2017 and a synthetic
+//! feed. The number of messages of interest (i.e. for GOOGL) is 0.5% of
+//! the Nasdaq trace, and 5% of the synthetic feed" (§4). The real trace
+//! is proprietary; this synthesizer reproduces the properties Figure 7
+//! depends on (DESIGN.md §2): the fraction of interesting traffic, Zipf
+//! symbol popularity, realistic message-type mix, and bursty arrivals
+//! (market-data traffic clusters around opens/closes and news).
+
+use camus_itch::itch::{AddOrder, ItchMessage, Side};
+use camus_itch::{build_feed_packet, FeedConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::itch_subs::stock_symbol;
+use crate::zipf::Zipf;
+
+/// Which of the paper's two workloads to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Nasdaq-like: bursty arrivals, 0.5 % GOOGL.
+    NasdaqLike,
+    /// Synthetic: smooth arrivals, 5 % GOOGL.
+    SyntheticUniform,
+}
+
+/// Feed synthesizer configuration.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Workload flavour.
+    pub kind: TraceKind,
+    /// Total ITCH messages to generate.
+    pub messages: usize,
+    /// Messages packed into each MoldUDP packet.
+    pub messages_per_packet: usize,
+    /// Mean offered load in messages/second.
+    pub rate_msgs_per_sec: f64,
+    /// The subscribed symbol (the paper filters for GOOGL).
+    pub target_symbol: String,
+    /// Fraction of messages that are add-orders for the target symbol
+    /// (0.005 for `NasdaqLike`, 0.05 for `SyntheticUniform`).
+    pub target_fraction: f64,
+    /// Non-target symbol universe size.
+    pub symbols: usize,
+    /// Zipf exponent of symbol popularity (0 = uniform).
+    pub zipf_s: f64,
+    /// Fraction of non-target messages that are add-orders (the rest
+    /// are executes/cancels/deletes/trades — realistic noise).
+    pub add_order_fraction: f64,
+    /// Burst period (µs); every period, arrivals accelerate.
+    pub burst_period_us: u64,
+    /// Burst duration within each period (µs).
+    pub burst_len_us: u64,
+    /// Rate multiplier during bursts (1.0 = no burstiness).
+    pub burst_multiplier: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// The paper's Nasdaq-trace workload (Fig. 7a).
+    pub fn nasdaq_like(messages: usize) -> Self {
+        TraceConfig {
+            kind: TraceKind::NasdaqLike,
+            messages,
+            messages_per_packet: 1,
+            rate_msgs_per_sec: 500_000.0,
+            target_symbol: "GOOGL".into(),
+            target_fraction: 0.005,
+            symbols: 200,
+            zipf_s: 1.1,
+            add_order_fraction: 0.4,
+            burst_period_us: 10_000,
+            burst_len_us: 1_000,
+            burst_multiplier: 5.0,
+            seed: 0x830_2017,
+        }
+    }
+
+    /// The paper's synthetic feed (Fig. 7b).
+    pub fn synthetic(messages: usize) -> Self {
+        TraceConfig {
+            kind: TraceKind::SyntheticUniform,
+            messages,
+            messages_per_packet: 1,
+            rate_msgs_per_sec: 500_000.0,
+            target_symbol: "GOOGL".into(),
+            target_fraction: 0.05,
+            symbols: 200,
+            zipf_s: 0.0,
+            add_order_fraction: 1.0,
+            burst_period_us: 50_000,
+            burst_len_us: 300,
+            burst_multiplier: 8.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// One feed packet with its publication time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedPacket {
+    /// Publication time, nanoseconds from trace start.
+    pub time_ns: u64,
+    /// Full Ethernet frame.
+    pub bytes: Vec<u8>,
+    /// Number of target-symbol add-orders inside (ground truth for the
+    /// latency experiment).
+    pub target_messages: usize,
+}
+
+/// Synthesizes a feed.
+pub fn synthesize_feed(cfg: &TraceConfig) -> Vec<TimedPacket> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.symbols.max(1), cfg.zipf_s);
+    let feed_cfg = FeedConfig::default();
+
+    let mut out = Vec::with_capacity(cfg.messages / cfg.messages_per_packet.max(1) + 1);
+    let mut now_ns: f64 = 0.0;
+    let mut seq: u64 = 0;
+    let mut order_ref: u64 = 1;
+    let mut generated = 0usize;
+
+    while generated < cfg.messages {
+        let k = cfg.messages_per_packet.max(1).min(cfg.messages - generated);
+        let mut msgs = Vec::with_capacity(k);
+        let mut target_count = 0usize;
+        for _ in 0..k {
+            let msg = if rng.gen_bool(cfg.target_fraction.clamp(0.0, 1.0)) {
+                target_count += 1;
+                ItchMessage::AddOrder(new_order(&mut rng, &cfg.target_symbol, &mut order_ref, now_ns))
+            } else if rng.gen_bool(cfg.add_order_fraction.clamp(0.0, 1.0)) {
+                let sym = stock_symbol(zipf.sample(&mut rng));
+                ItchMessage::AddOrder(new_order(&mut rng, &sym, &mut order_ref, now_ns))
+            } else {
+                noise_message(&mut rng, &zipf, &mut order_ref)
+            };
+            msgs.push(msg);
+        }
+        let bytes = build_feed_packet(&feed_cfg, seq, &msgs);
+        out.push(TimedPacket { time_ns: now_ns as u64, bytes, target_messages: target_count });
+        seq += msgs.len() as u64;
+        generated += k;
+
+        // Arrival process: exponential interarrivals; the rate rises by
+        // `burst_multiplier` inside periodic burst windows.
+        let in_burst = cfg.burst_multiplier > 1.0
+            && ((now_ns as u64 / 1000) % cfg.burst_period_us.max(1)) < cfg.burst_len_us;
+        let rate = cfg.rate_msgs_per_sec / cfg.messages_per_packet.max(1) as f64
+            * if in_burst { cfg.burst_multiplier } else { 1.0 };
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let dt_sec = -u.ln() / rate.max(1.0);
+        now_ns += dt_sec * 1e9;
+    }
+    out
+}
+
+fn new_order(rng: &mut StdRng, symbol: &str, order_ref: &mut u64, now_ns: f64) -> AddOrder {
+    let mut a = AddOrder::new(
+        symbol,
+        if rng.gen_bool(0.5) { Side::Buy } else { Side::Sell },
+        rng.gen_range(1..=1000) * 100,
+        rng.gen_range(1..=5000) * 100,
+    );
+    a.order_ref = *order_ref;
+    a.timestamp_ns = (now_ns as u64) & 0x0000_ffff_ffff_ffff;
+    *order_ref += 1;
+    a
+}
+
+fn noise_message(rng: &mut StdRng, zipf: &Zipf, order_ref: &mut u64) -> ItchMessage {
+    let r = *order_ref;
+    *order_ref += 1;
+    match rng.gen_range(0..4u8) {
+        0 => ItchMessage::OrderExecuted {
+            order_ref: r,
+            shares: rng.gen_range(1..1000),
+            match_no: r,
+        },
+        1 => ItchMessage::OrderCancel { order_ref: r, shares: rng.gen_range(1..1000) },
+        2 => ItchMessage::OrderDelete { order_ref: r },
+        _ => ItchMessage::Trade {
+            order_ref: r,
+            side: Side::Buy,
+            shares: rng.gen_range(1..1000),
+            stock: camus_itch::itch::encode_stock(&stock_symbol(zipf.sample(rng))),
+            price: rng.gen_range(1..500_000),
+            match_no: r,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_itch::parse_feed_packet;
+
+    #[test]
+    fn nasdaq_like_hits_target_fraction() {
+        let cfg = TraceConfig::nasdaq_like(100_000);
+        let trace = synthesize_feed(&cfg);
+        let total: usize = trace.len();
+        let targets: usize = trace.iter().map(|p| p.target_messages).sum();
+        let frac = targets as f64 / total as f64;
+        assert!((frac - 0.005).abs() < 0.002, "target fraction {frac}");
+    }
+
+    #[test]
+    fn synthetic_hits_target_fraction() {
+        let cfg = TraceConfig::synthetic(50_000);
+        let trace = synthesize_feed(&cfg);
+        let targets: usize = trace.iter().map(|p| p.target_messages).sum();
+        let frac = targets as f64 / trace.len() as f64;
+        assert!((frac - 0.05).abs() < 0.01, "target fraction {frac}");
+    }
+
+    #[test]
+    fn packets_are_parseable_and_counted() {
+        let cfg = TraceConfig { messages_per_packet: 3, ..TraceConfig::synthetic(99) };
+        let trace = synthesize_feed(&cfg);
+        assert_eq!(trace.len(), 33);
+        let mut expected_seq = 0u64;
+        for p in &trace {
+            let (seq, msgs) = parse_feed_packet(&p.bytes).unwrap();
+            assert_eq!(seq, expected_seq);
+            assert_eq!(msgs.len(), 3);
+            expected_seq += 3;
+            let targets = msgs
+                .iter()
+                .filter(|m| matches!(m, ItchMessage::AddOrder(a) if a.symbol() == "GOOGL"))
+                .count();
+            assert_eq!(targets, p.target_messages);
+        }
+    }
+
+    #[test]
+    fn times_are_monotonic() {
+        let trace = synthesize_feed(&TraceConfig::nasdaq_like(5_000));
+        for w in trace.windows(2) {
+            assert!(w[1].time_ns >= w[0].time_ns);
+        }
+    }
+
+    #[test]
+    fn bursts_concentrate_arrivals() {
+        // With a strong burst multiplier, interarrival variance is far
+        // higher than the smooth feed's.
+        let bursty = synthesize_feed(&TraceConfig::nasdaq_like(20_000));
+        let smooth = synthesize_feed(&TraceConfig {
+            burst_multiplier: 1.0,
+            ..TraceConfig::nasdaq_like(20_000)
+        });
+        let cv = |t: &[TimedPacket]| {
+            let d: Vec<f64> =
+                t.windows(2).map(|w| (w[1].time_ns - w[0].time_ns) as f64).collect();
+            let mean = d.iter().sum::<f64>() / d.len() as f64;
+            let var = d.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / d.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(cv(&bursty) > cv(&smooth), "{} <= {}", cv(&bursty), cv(&smooth));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TraceConfig::synthetic(500);
+        assert_eq!(synthesize_feed(&cfg), synthesize_feed(&cfg));
+    }
+}

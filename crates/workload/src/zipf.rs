@@ -1,0 +1,104 @@
+//! Zipf-distributed sampling over a finite universe.
+//!
+//! Real market feeds are heavily skewed: a few tickers account for most
+//! of the traffic. The trace synthesizer draws symbols from a Zipf
+//! distribution; this is a simple CDF-table sampler (the universe is
+//! small, so O(log n) binary search per draw is plenty).
+
+use rand::Rng;
+
+/// A Zipf sampler over `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `n` must be at least 1; `s = 0` degenerates
+    /// to the uniform distribution.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "empty universe");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws an index in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of index `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(50, 1.2);
+        for i in 1..50 {
+            assert!(z.pmf(0) >= z.pmf(i));
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn samples_follow_the_distribution() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..10 {
+            let expected = z.pmf(i) * n as f64;
+            let got = counts[i] as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt().max(10.0),
+                "i={i} got={got} expected={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_element_universe() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

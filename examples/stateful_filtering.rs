@@ -1,0 +1,66 @@
+//! Stateful subscriptions (§2): "stock == GOOGL ∧ avg(price) > 50 :
+//! fwd(1)" — the moving average lives in a switch register with a
+//! tumbling window, updated when the rest of the rule matches, read as
+//! a pseudo-field by the match pipeline.
+//!
+//! Also shows an explicit `@query_counter` driven by rule actions:
+//! count GOOGL orders per window and divert the feed to a monitoring
+//! port when the window gets hot.
+//!
+//! ```text
+//! cargo run --example stateful_filtering
+//! ```
+
+use camus::compiler::{Compiler, CompilerOptions};
+use camus::itch::itch::{AddOrder, Side};
+use camus::lang::{parse_program, parse_spec};
+
+fn main() {
+    let spec = parse_spec(camus::lang::spec::ITCH_SPEC).expect("spec parses");
+
+    // Rule 1: plain GOOGL subscription.
+    // Rule 2: GOOGL *and* the windowed average price above 50 → also
+    //         forward to the momentum desk on port 2.
+    // Rule 3: every GOOGL order bumps my_counter (declared in the spec
+    //         with a 100 µs tumbling window)…
+    // Rule 4: …and when the window counts more than 5 orders, mirror to
+    //         the surveillance port 7.
+    let rules = parse_program(
+        "stock == GOOGL : fwd(1)\n\
+         stock == GOOGL and avg(price) > 50 : fwd(2)\n\
+         stock == GOOGL : my_counter <- incr()\n\
+         my_counter > 5 : fwd(7)",
+    )
+    .expect("rules parse");
+
+    let compiler = Compiler::new(spec, CompilerOptions::raw()).expect("config ok");
+    let program = compiler.compile(&rules).expect("rules compile");
+    println!(
+        "registers allocated: {} (avg(price) + my_counter)",
+        program.pipeline.registers.len()
+    );
+    let mut pipeline = program.pipeline;
+
+    let send = |label: &str, price: u32, t_us: u64, pipeline: &mut camus::pipeline::Pipeline| {
+        let msg = AddOrder::new("GOOGL", Side::Buy, 100, price);
+        let d = pipeline.process(&msg.encode(), t_us).expect("packet parses");
+        let ports: Vec<u16> = d.ports.iter().map(|p| p.0).collect();
+        println!("  t={t_us:>4}us  {label:<26} -> {ports:?}");
+    };
+
+    println!("\n== moving average gate (window 100us) ==");
+    // Low prices first: avg stays below the 50 threshold; port 2 silent.
+    send("GOOGL @ 10", 10, 0, &mut pipeline);
+    send("GOOGL @ 20", 20, 10, &mut pipeline);
+    // High prices pull the window average over 50 → port 2 joins.
+    send("GOOGL @ 200", 200, 20, &mut pipeline);
+    send("GOOGL @ 200", 200, 30, &mut pipeline);
+    // After the window tumbles, the average resets.
+    send("GOOGL @ 10 (new window)", 10, 150, &mut pipeline);
+
+    println!("\n== hot-symbol counter (my_counter > 5 in a 100us window) ==");
+    for i in 0..8 {
+        send("GOOGL burst", 30, 200 + i, &mut pipeline);
+    }
+    println!("  (port 7 appears once more than five orders landed in the window)");
+}

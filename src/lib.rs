@@ -1,0 +1,65 @@
+//! # Camus — packet subscriptions for programmable ASICs
+//!
+//! A full Rust implementation of *Packet Subscriptions for Programmable
+//! ASICs* (Jepsen et al., HotNets 2018): a compiler that turns
+//! content-based, stateful **packet subscriptions** —
+//!
+//! ```text
+//! stock == GOOGL ∧ avg(price) > 50 : fwd(1)
+//! ```
+//!
+//! — into a switch data plane: a parser, a chain of per-field
+//! match-action tables computed from a multi-terminal BDD over the
+//! rules, multicast groups, and register-backed window state; plus the
+//! substrates needed to run and evaluate it end to end.
+//!
+//! This crate is a facade that re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`lang`] | `camus-lang` | subscription language, annotated header specs |
+//! | [`bdd`] | `camus-bdd` | multi-terminal BDD with the paper's reductions |
+//! | [`compiler`] | `camus-core` | static + dynamic compilation (Algorithm 1), P4 output |
+//! | [`pipeline`] | `camus-pipeline` | RMT-style ASIC substrate (parser, tables, TCAM/SRAM model) |
+//! | [`itch`] | `camus-itch` | Ethernet/IPv4/UDP/MoldUDP64/ITCH wire formats |
+//! | [`workload`] | `camus-workload` | Siena-style generators, ITCH subscriptions, feed synthesis |
+//! | [`netsim`] | `camus-netsim` | discrete-event simulation of the Figure 7 experiments |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use camus::compiler::{Compiler, CompilerOptions};
+//! use camus::lang::{parse_program, parse_spec};
+//!
+//! // 1. The application's message format (paper Fig. 2).
+//! let spec = parse_spec(camus::lang::spec::ITCH_SPEC).unwrap();
+//!
+//! // 2. Subscriptions (paper Fig. 1 syntax; ∧ or `and` both work).
+//! let rules = parse_program(
+//!     "stock == GOOGL : fwd(1)\n\
+//!      stock == MSFT and price > 1000 : fwd(2,3)",
+//! )
+//! .unwrap();
+//!
+//! // 3. Compile to a switch program and execute it on a packet.
+//! let compiler = Compiler::new(spec, CompilerOptions::raw()).unwrap();
+//! let program = compiler.compile(&rules).unwrap();
+//! let mut pipeline = program.pipeline;
+//!
+//! let msg = camus::itch::itch::AddOrder::new("GOOGL", camus::itch::itch::Side::Buy, 100, 500);
+//! let decision = pipeline.process(&msg.encode(), 0).unwrap();
+//! assert_eq!(decision.ports, vec![camus::pipeline::PortId(1)]);
+//! ```
+//!
+//! See `examples/` for complete scenarios: the ITCH pub/sub case study,
+//! identifier-based routing, an L4 load balancer, and stateful
+//! filtering; and `camus-bench`'s `figures` binary for the paper's
+//! evaluation.
+
+pub use camus_bdd as bdd;
+pub use camus_core as compiler;
+pub use camus_itch as itch;
+pub use camus_lang as lang;
+pub use camus_netsim as netsim;
+pub use camus_pipeline as pipeline;
+pub use camus_workload as workload;

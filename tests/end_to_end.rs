@@ -1,0 +1,140 @@
+//! Cross-crate integration: language → compiler → pipeline → wire
+//! formats, on the full market-data encapsulation.
+
+use camus::compiler::{Compiler, CompilerOptions};
+use camus::itch::itch::{AddOrder, ItchMessage, Side};
+use camus::itch::{build_feed_packet, FeedConfig};
+use camus::lang::{parse_program, parse_spec};
+use camus::pipeline::PortId;
+
+fn compiled(rules: &str) -> camus::compiler::CompiledProgram {
+    let spec = parse_spec(camus::lang::spec::ITCH_SPEC).unwrap();
+    let compiler = Compiler::new(spec, CompilerOptions::default()).unwrap();
+    compiler.compile(&parse_program(rules).unwrap()).unwrap()
+}
+
+fn feed(msgs: &[ItchMessage]) -> Vec<u8> {
+    build_feed_packet(&FeedConfig::default(), 1, msgs)
+}
+
+#[test]
+fn mold_feed_is_filtered_per_message() {
+    let prog = compiled("stock == GOOGL : fwd(1)\nstock == MSFT : fwd(2)");
+    let mut pipe = prog.pipeline;
+
+    let pkt = feed(&[
+        ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 100, 10)),
+        ItchMessage::AddOrder(AddOrder::new("ORCL", Side::Buy, 100, 10)),
+        ItchMessage::AddOrder(AddOrder::new("MSFT", Side::Sell, 100, 10)),
+        ItchMessage::OrderDelete { order_ref: 7 }, // skipped by the parser
+    ]);
+    let d = pipe.process(&pkt, 0).unwrap();
+    assert_eq!(d.ports, vec![PortId(1), PortId(2)]);
+    assert_eq!(d.messages, 3, "delete messages are not add-orders");
+    assert_eq!(d.matched_messages, 2);
+}
+
+#[test]
+fn packet_with_only_noise_is_dropped() {
+    let prog = compiled("stock == GOOGL : fwd(1)");
+    let mut pipe = prog.pipeline;
+    let pkt = feed(&[
+        ItchMessage::OrderDelete { order_ref: 1 },
+        ItchMessage::OrderCancel { order_ref: 2, shares: 5 },
+    ]);
+    let d = pipe.process(&pkt, 0).unwrap();
+    assert!(d.dropped());
+    assert_eq!(d.messages, 0);
+}
+
+#[test]
+fn empty_feed_packet_is_dropped_not_an_error() {
+    let prog = compiled("stock == GOOGL : fwd(1)");
+    let mut pipe = prog.pipeline;
+    let d = pipe.process(&feed(&[]), 0).unwrap();
+    assert!(d.dropped());
+}
+
+#[test]
+fn garbage_bytes_are_a_parse_error() {
+    let prog = compiled("stock == GOOGL : fwd(1)");
+    let mut pipe = prog.pipeline;
+    assert!(pipe.process(&[0u8; 10], 0).is_err());
+    // Non-IPv4 ethertype.
+    let mut pkt = feed(&[ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 1, 1))]);
+    pkt[12] = 0x86;
+    pkt[13] = 0xdd;
+    assert!(pipe.process(&pkt, 0).is_err());
+}
+
+#[test]
+fn multicast_merging_matches_paper_semantics() {
+    // Figure 3's overlap: both rules match → fwd(1,2) as one group.
+    let prog = compiled(
+        "shares < 60 and stock == AAPL : fwd(1)\n\
+         stock == AAPL : fwd(2)\n\
+         shares > 100 and stock == MSFT : fwd(3)",
+    );
+    let mut pipe = prog.pipeline;
+    let d = pipe
+        .process(&feed(&[ItchMessage::AddOrder(AddOrder::new("AAPL", Side::Buy, 50, 1))]), 0)
+        .unwrap();
+    assert_eq!(d.ports, vec![PortId(1), PortId(2)]);
+    let d = pipe
+        .process(&feed(&[ItchMessage::AddOrder(AddOrder::new("AAPL", Side::Buy, 80, 1))]), 0)
+        .unwrap();
+    assert_eq!(d.ports, vec![PortId(2)]);
+    let d = pipe
+        .process(&feed(&[ItchMessage::AddOrder(AddOrder::new("MSFT", Side::Buy, 500, 1))]), 0)
+        .unwrap();
+    assert_eq!(d.ports, vec![PortId(3)]);
+}
+
+#[test]
+fn negation_and_disjunction_compile_and_run() {
+    let prog = compiled(
+        "!(stock == GOOGL) and (price < 10 or price > 1000) : fwd(5)",
+    );
+    let mut pipe = prog.pipeline;
+    let cases = [
+        ("MSFT", 5u32, true),
+        ("MSFT", 500, false),
+        ("MSFT", 2000, true),
+        ("GOOGL", 5, false),
+    ];
+    for (sym, price, hits) in cases {
+        let d = pipe
+            .process(&feed(&[ItchMessage::AddOrder(AddOrder::new(sym, Side::Buy, 1, price))]), 0)
+            .unwrap();
+        assert_eq!(!d.dropped(), hits, "{sym} @ {price}");
+    }
+}
+
+#[test]
+fn recompilation_updates_behaviour_without_new_image() {
+    // Dynamic compilation step only: same spec, new rules, fresh tables.
+    let spec = parse_spec(camus::lang::spec::ITCH_SPEC).unwrap();
+    let compiler = Compiler::new(spec, CompilerOptions::default()).unwrap();
+    let gen1 = compiler.compile(&parse_program("stock == GOOGL : fwd(1)").unwrap()).unwrap();
+    let gen2 = compiler.compile(&parse_program("stock == GOOGL : fwd(9)").unwrap()).unwrap();
+    // The static halves agree (same parser program).
+    assert_eq!(gen1.pipeline.parser, gen2.pipeline.parser);
+
+    let pkt = feed(&[ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 1, 1))]);
+    let mut p1 = gen1.pipeline;
+    let mut p2 = gen2.pipeline;
+    assert_eq!(p1.process(&pkt, 0).unwrap().ports, vec![PortId(1)]);
+    assert_eq!(p2.process(&pkt, 0).unwrap().ports, vec![PortId(9)]);
+}
+
+#[test]
+fn placement_and_artifacts_ship_with_the_program() {
+    let prog = compiled("stock == GOOGL and price > 100 : fwd(1)");
+    assert!(prog.placement.fits());
+    assert!(prog.p4_source.contains("table t_add_order_stock"));
+    assert!(prog.control_plane.lines().count() >= prog.stats.total_entries);
+    assert!(prog.bdd.validate().is_ok());
+    // DOT export for docs/debugging.
+    let dot = prog.bdd.to_dot("e2e");
+    assert!(dot.contains("digraph"));
+}

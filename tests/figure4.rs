@@ -1,0 +1,136 @@
+//! The paper's running example, end to end: the three rules of
+//! Figure 3 must compile into the three-table pipeline of Figure 4
+//! (Shares, Stock, Leaf) with the same decision behaviour on every
+//! region of the input space.
+
+use camus::compiler::{Compiler, CompilerOptions};
+use camus::lang::{parse_program, parse_spec};
+use camus::pipeline::PortId;
+use camus_bdd::order::OrderHeuristic;
+
+/// A spec matching Figure 2/3: shares (range) and stock (exact).
+const SPEC: &str = r#"
+header_type order_t {
+    fields {
+        shares: 32;
+        stock: 64;
+    }
+}
+header order_t order;
+@query_field(order.shares)
+@query_field_exact(order.stock)
+"#;
+
+const RULES: &str = "shares < 60 and stock == AAPL : fwd(1)\n\
+                     stock == AAPL : fwd(2)\n\
+                     shares > 100 and stock == MSFT : fwd(3)";
+
+fn packet(shares: u32, stock: &str) -> Vec<u8> {
+    let mut b = Vec::with_capacity(12);
+    b.extend_from_slice(&shares.to_be_bytes());
+    let mut sym = [b' '; 8];
+    for (i, c) in stock.bytes().take(8).enumerate() {
+        sym[i] = c;
+    }
+    b.extend_from_slice(&sym);
+    b
+}
+
+fn build() -> camus::compiler::CompiledProgram {
+    let spec = parse_spec(SPEC).unwrap();
+    // SpecOrder puts shares before stock — the order Figure 3 uses.
+    let compiler = Compiler::new(
+        spec,
+        CompilerOptions {
+            heuristic: OrderHeuristic::SpecOrder,
+            ..CompilerOptions::raw()
+        },
+    )
+    .unwrap();
+    compiler.compile(&parse_program(RULES).unwrap()).unwrap()
+}
+
+#[test]
+fn pipeline_has_figure4_tables() {
+    let prog = build();
+    let names: Vec<&str> = prog.pipeline.tables.iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(names, vec!["t_order_shares", "t_order_stock", "t_actions"]);
+    // Figure 4's Shares table has exactly three rows: <60, >100, and
+    // the middle range.
+    assert_eq!(prog.pipeline.tables[0].len(), 3);
+    // One multicast group for the merged fwd(1,2).
+    assert_eq!(prog.stats.mcast_groups, 1);
+}
+
+#[test]
+fn decision_regions_match_figure3() {
+    let prog = build();
+    let mut pipe = prog.pipeline;
+    // (shares, stock) → expected ports, per the BDD of Figure 3.
+    let cases: &[(u32, &str, &[u16])] = &[
+        (50, "AAPL", &[1, 2]),  // shares<60 ∧ AAPL: rules 1+2 merge
+        (59, "AAPL", &[1, 2]),
+        (60, "AAPL", &[2]),     // middle region: rule 2 only
+        (100, "AAPL", &[2]),
+        (101, "AAPL", &[2]),    // shares>100 but AAPL ≠ MSFT
+        (50, "MSFT", &[]),      // left path, not AAPL
+        (80, "MSFT", &[]),
+        (101, "MSFT", &[3]),    // rule 3
+        (u32::MAX, "MSFT", &[3]),
+        (50, "ORCL", &[]),
+        (101, "ORCL", &[]),
+        (0, "AAPL", &[1, 2]),
+    ];
+    for &(shares, stock, want) in cases {
+        let d = pipe.process(&packet(shares, stock), 0).unwrap();
+        let got: Vec<u16> = d.ports.iter().map(|p| p.0).collect();
+        assert_eq!(got, want, "shares={shares} stock={stock}");
+    }
+}
+
+#[test]
+fn exhaustive_sweep_matches_reference_semantics() {
+    let prog = build();
+    let mut pipe = prog.pipeline;
+    // Reference: evaluate the three rules directly.
+    let reference = |shares: u32, stock: &str| -> Vec<u16> {
+        let mut out = Vec::new();
+        if shares < 60 && stock == "AAPL" {
+            out.push(1);
+        }
+        if stock == "AAPL" {
+            out.push(2);
+        }
+        if shares > 100 && stock == "MSFT" {
+            out.push(3);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    for stock in ["AAPL", "MSFT", "GOOG"] {
+        for shares in (0..=200).chain([1000, u32::MAX - 1, u32::MAX]) {
+            let d = pipe.process(&packet(shares, stock), 0).unwrap();
+            let got: Vec<u16> = d.ports.iter().map(|p| p.0).collect();
+            assert_eq!(got, reference(shares, stock), "shares={shares} stock={stock}");
+        }
+    }
+}
+
+#[test]
+fn every_heuristic_preserves_figure3_semantics() {
+    for h in OrderHeuristic::ALL {
+        let spec = parse_spec(SPEC).unwrap();
+        let compiler = Compiler::new(
+            spec,
+            CompilerOptions { heuristic: h, ..CompilerOptions::raw() },
+        )
+        .unwrap();
+        let prog = compiler.compile(&parse_program(RULES).unwrap()).unwrap();
+        let mut pipe = prog.pipeline;
+        let d = pipe.process(&packet(50, "AAPL"), 0).unwrap();
+        assert_eq!(d.ports, vec![PortId(1), PortId(2)], "{}", h.name());
+        let d = pipe.process(&packet(101, "MSFT"), 0).unwrap();
+        assert_eq!(d.ports, vec![PortId(3)], "{}", h.name());
+    }
+}

@@ -1,0 +1,82 @@
+//! Integration of workload synthesis, the compiled pipeline and the
+//! network simulator: the Figure 7 ordering (switch filtering beats
+//! host filtering under bursts) must hold end to end, at test-sized
+//! traces.
+
+use camus::compiler::{Compiler, CompilerOptions};
+use camus::lang::{parse_program, parse_spec};
+use camus::netsim::{run_experiment, ExperimentConfig, FilterMode};
+use camus::workload::{synthesize_feed, TraceConfig};
+
+fn camus_pipeline() -> camus::pipeline::Pipeline {
+    let spec = parse_spec(camus::lang::spec::ITCH_SPEC).unwrap();
+    let compiler = Compiler::new(spec, CompilerOptions::default()).unwrap();
+    compiler
+        .compile(&parse_program("stock == GOOGL : fwd(1)").unwrap())
+        .unwrap()
+        .pipeline
+}
+
+#[test]
+fn switch_filtering_beats_baseline_tail_latency() {
+    let trace = synthesize_feed(&TraceConfig::nasdaq_like(80_000));
+    let cfg = ExperimentConfig::default();
+
+    let baseline = run_experiment(&trace, FilterMode::Baseline, &cfg);
+    let camus = run_experiment(&trace, FilterMode::Switch(Box::new(camus_pipeline())), &cfg);
+
+    // Both deliver every target message at this load.
+    assert_eq!(baseline.target_messages_lost, 0);
+    assert_eq!(camus.target_messages_lost, 0);
+    assert_eq!(baseline.stats.len(), baseline.target_messages);
+    assert_eq!(camus.stats.len(), camus.target_messages);
+
+    // The tail gap is the paper's claim: ≥ 5× at p99.
+    let b99 = baseline.stats.percentile(0.99);
+    let c99 = camus.stats.percentile(0.99);
+    assert!(b99 > 5 * c99, "baseline p99 {b99}ns vs camus p99 {c99}ns");
+    assert!(camus.stats.max() < 50_000, "camus max {}ns", camus.stats.max());
+}
+
+#[test]
+fn camus_host_receives_only_target_traffic() {
+    let trace = synthesize_feed(&TraceConfig::synthetic(30_000));
+    let cfg = ExperimentConfig::default();
+    let camus = run_experiment(&trace, FilterMode::Switch(Box::new(camus_pipeline())), &cfg);
+    let targets: usize = trace.iter().filter(|p| p.target_messages > 0).count();
+    assert_eq!(camus.packets_to_subscriber, targets);
+    // ~5% of the feed.
+    let frac = camus.packets_to_subscriber as f64 / trace.len() as f64;
+    assert!((frac - 0.05).abs() < 0.01, "{frac}");
+}
+
+#[test]
+fn baseline_receives_everything() {
+    let trace = synthesize_feed(&TraceConfig::synthetic(10_000));
+    let cfg = ExperimentConfig::default();
+    let r = run_experiment(&trace, FilterMode::Baseline, &cfg);
+    assert_eq!(r.packets_to_subscriber + r.drops_switch + r.drops_host, trace.len());
+}
+
+#[test]
+fn smooth_traffic_sees_no_queueing_in_either_mode() {
+    let mut cfg_trace = TraceConfig::synthetic(5_000);
+    cfg_trace.burst_multiplier = 1.0;
+    cfg_trace.rate_msgs_per_sec = 100_000.0; // well under host capacity
+    let trace = synthesize_feed(&cfg_trace);
+    let cfg = ExperimentConfig::default();
+    for mode in [FilterMode::Baseline, FilterMode::Switch(Box::new(camus_pipeline()))] {
+        let r = run_experiment(&trace, mode, &cfg);
+        assert!(r.stats.max() < 10_000, "uncongested max {}ns", r.stats.max());
+        assert_eq!(r.drops_switch + r.drops_host, 0);
+    }
+}
+
+#[test]
+fn results_are_deterministic() {
+    let trace = synthesize_feed(&TraceConfig::nasdaq_like(10_000));
+    let cfg = ExperimentConfig::default();
+    let a = run_experiment(&trace, FilterMode::Baseline, &cfg);
+    let b = run_experiment(&trace, FilterMode::Baseline, &cfg);
+    assert_eq!(a.stats.latencies_ns, b.stats.latencies_ns);
+}
