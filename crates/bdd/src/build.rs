@@ -79,7 +79,10 @@ impl Bdd {
                 }
                 PredOp::Lt => {
                     if info.exact {
-                        return Err(BddError::RangeOnExactField { field: p.field, pred: p });
+                        return Err(BddError::RangeOnExactField {
+                            field: p.field,
+                            pred: p,
+                        });
                     }
                     if p.value == 0 || p.value > max {
                         return Err(BddError::TrivialPred(p));
@@ -87,7 +90,10 @@ impl Bdd {
                 }
                 PredOp::Gt => {
                     if info.exact {
-                        return Err(BddError::RangeOnExactField { field: p.field, pred: p });
+                        return Err(BddError::RangeOnExactField {
+                            field: p.field,
+                            pred: p,
+                        });
                     }
                     if p.value >= max {
                         return Err(BddError::TrivialPred(p));
@@ -435,7 +441,10 @@ mod tests {
     use crate::pred::FieldInfo;
 
     fn two_field_bdd() -> Bdd {
-        let fields = vec![FieldInfo::range("shares", 32), FieldInfo::exact("stock", 64)];
+        let fields = vec![
+            FieldInfo::range("shares", 32),
+            FieldInfo::exact("stock", 64),
+        ];
         let shares = FieldId(0);
         let stock = FieldId(1);
         let preds = vec![
@@ -498,7 +507,9 @@ mod tests {
         let mut bdd = two_field_bdd();
         let stock = FieldId(1);
         let p = Pred::eq(stock, 1);
-        assert!(bdd.add_rule(&[(p, true), (p, true)], &[ActionId(0)]).unwrap());
+        assert!(bdd
+            .add_rule(&[(p, true), (p, true)], &[ActionId(0)])
+            .unwrap());
         assert_eq!(bdd.eval(|_| 1), &[ActionId(0)]);
     }
 
@@ -506,7 +517,9 @@ mod tests {
     fn opposite_literals_are_unsat() {
         let mut bdd = two_field_bdd();
         let p = Pred::eq(FieldId(1), 1);
-        assert!(!bdd.add_rule(&[(p, true), (p, false)], &[ActionId(0)]).unwrap());
+        assert!(!bdd
+            .add_rule(&[(p, true), (p, false)], &[ActionId(0)])
+            .unwrap());
     }
 
     #[test]
@@ -516,8 +529,11 @@ mod tests {
         let fields = vec![FieldInfo::range("shares", 32)];
         let f = FieldId(0);
         let mut bdd = Bdd::new(fields, [Pred::lt(f, 60), Pred::lt(f, 100)]).unwrap();
-        bdd.add_rule(&[(Pred::lt(f, 60), true), (Pred::lt(f, 100), true)], &[ActionId(0)])
-            .unwrap();
+        bdd.add_rule(
+            &[(Pred::lt(f, 60), true), (Pred::lt(f, 100), true)],
+            &[ActionId(0)],
+        )
+        .unwrap();
         // Only one node materialized: the <100 test was implied.
         assert_eq!(bdd.node_count(), 1);
         assert_eq!(bdd.eval(|_| 59), &[ActionId(0)]);
@@ -527,14 +543,17 @@ mod tests {
     #[test]
     fn empty_action_rule_is_noop() {
         let mut bdd = two_field_bdd();
-        assert!(bdd.add_rule(&[(Pred::eq(FieldId(1), 1), true)], &[]).unwrap());
+        assert!(bdd
+            .add_rule(&[(Pred::eq(FieldId(1), 1), true)], &[])
+            .unwrap());
         assert_eq!(bdd.root(), NodeRef::Term(EMPTY_ACTIONS));
     }
 
     #[test]
     fn true_rule_reaches_every_packet() {
         let mut bdd = two_field_bdd();
-        bdd.add_rule(&[(Pred::eq(FieldId(1), 1), true)], &[ActionId(0)]).unwrap();
+        bdd.add_rule(&[(Pred::eq(FieldId(1), 1), true)], &[ActionId(0)])
+            .unwrap();
         bdd.add_rule(&[], &[ActionId(7)]).unwrap();
         assert_eq!(bdd.eval(|_| 1), &[ActionId(0), ActionId(7)]);
         assert_eq!(bdd.eval(|_| 9), &[ActionId(7)]);
@@ -556,7 +575,8 @@ mod tests {
             &[ActionId(1)],
         )
         .unwrap();
-        bdd.add_rule(&[(Pred::eq(stock, AAPL), true)], &[ActionId(2)]).unwrap();
+        bdd.add_rule(&[(Pred::eq(stock, AAPL), true)], &[ActionId(2)])
+            .unwrap();
         bdd.add_rule(
             &[(Pred::gt(shares, 100), true), (Pred::eq(stock, MSFT), true)],
             &[ActionId(3)],
@@ -564,7 +584,8 @@ mod tests {
         .unwrap();
 
         let eval = |sh: u64, st: u64| {
-            bdd.eval(move |f| if f == shares { sh } else { st }).to_vec()
+            bdd.eval(move |f| if f == shares { sh } else { st })
+                .to_vec()
         };
         // shares<60, AAPL → both rules 1 and 2.
         assert_eq!(eval(50, AAPL), vec![ActionId(1), ActionId(2)]);
@@ -590,7 +611,8 @@ mod tests {
             bdd.set_semantic_pruning(pruning);
             // Overlapping interval rules: x < 10i ∧ x > ... via pairs of Lt.
             for (i, w) in preds.windows(2).enumerate() {
-                bdd.add_rule(&[(w[0], false), (w[1], true)], &[ActionId(i as u32)]).unwrap();
+                bdd.add_rule(&[(w[0], false), (w[1], true)], &[ActionId(i as u32)])
+                    .unwrap();
             }
             bdd
         };
@@ -606,8 +628,10 @@ mod tests {
     #[test]
     fn memo_stats_accumulate() {
         let mut bdd = two_field_bdd();
-        bdd.add_rule(&[(Pred::eq(FieldId(1), 1), true)], &[ActionId(0)]).unwrap();
-        bdd.add_rule(&[(Pred::eq(FieldId(1), 2), true)], &[ActionId(1)]).unwrap();
+        bdd.add_rule(&[(Pred::eq(FieldId(1), 1), true)], &[ActionId(0)])
+            .unwrap();
+        bdd.add_rule(&[(Pred::eq(FieldId(1), 2), true)], &[ActionId(1)])
+            .unwrap();
         let (_h, m) = bdd.memo_stats();
         assert!(m > 0);
     }

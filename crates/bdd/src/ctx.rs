@@ -48,7 +48,13 @@ pub struct FieldCtx {
 impl FieldCtx {
     /// Unconstrained context for a field whose domain is `[0, max]`.
     pub fn full(field: FieldId, max: u64) -> Self {
-        FieldCtx { field, lo: 0, hi: max, excluded: Vec::new(), saturated: false }
+        FieldCtx {
+            field,
+            lo: 0,
+            hi: max,
+            excluded: Vec::new(),
+            saturated: false,
+        }
     }
 
     /// Whether the context pins the field to a single value.
@@ -98,9 +104,10 @@ impl FieldCtx {
                 // lo < hi here, so the interval has >= 2 values and Eq can
                 // never be forced true; forced false iff value is outside
                 // the interval or excluded.
-                if pred.value < self.lo || pred.value > self.hi {
-                    Some(false)
-                } else if self.excluded.contains(&pred.value) {
+                if pred.value < self.lo
+                    || pred.value > self.hi
+                    || self.excluded.contains(&pred.value)
+                {
                     Some(false)
                 } else {
                     None
@@ -134,7 +141,11 @@ impl FieldCtx {
     /// [`FieldCtx::saturated`].
     pub fn extend(&self, pred: &Pred, outcome: bool) -> FieldCtx {
         debug_assert_eq!(pred.field, self.field);
-        debug_assert_eq!(self.implies(pred), None, "extend called on a forced predicate");
+        debug_assert_eq!(
+            self.implies(pred),
+            None,
+            "extend called on a forced predicate"
+        );
         let mut next = self.clone();
         match (pred.op, outcome) {
             (PredOp::Eq, true) => {
@@ -264,7 +275,7 @@ mod tests {
         let mut c = FieldCtx::full(F, u64::MAX);
         for i in 0..(MAX_EXCLUSIONS as u64 + 10) {
             let v = 2 * i + 1;
-            if c.implies(&Pred::eq(F, v)) == None {
+            if c.implies(&Pred::eq(F, v)).is_none() {
                 c = c.extend(&Pred::eq(F, v), false);
             }
         }
@@ -276,7 +287,9 @@ mod tests {
 
     #[test]
     fn contains_matches_constraints() {
-        let c = full().extend(&Pred::lt(F, 10), true).extend(&Pred::eq(F, 5), false);
+        let c = full()
+            .extend(&Pred::lt(F, 10), true)
+            .extend(&Pred::eq(F, 5), false);
         assert!(c.contains(4));
         assert!(!c.contains(5));
         assert!(!c.contains(10));

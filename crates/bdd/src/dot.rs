@@ -55,10 +55,20 @@ impl Bdd {
             push_term(n.hi, &mut terms);
         }
         for &t in &terms {
-            let NodeRef::Term(set) = t else { unreachable!() };
+            let NodeRef::Term(set) = t else {
+                unreachable!()
+            };
             let name = term_name(t, &mut names);
-            let acts: Vec<String> = self.actions(set).iter().map(|a| format!("a{}", a.0)).collect();
-            let label = if acts.is_empty() { "∅".to_string() } else { acts.join(",") };
+            let acts: Vec<String> = self
+                .actions(set)
+                .iter()
+                .map(|a| format!("a{}", a.0))
+                .collect();
+            let label = if acts.is_empty() {
+                "∅".to_string()
+            } else {
+                acts.join(",")
+            };
             let _ = writeln!(s, "  {name} [shape=box,label=\"{{{label}}}\"];");
         }
         // Emit edges: solid = true, dashed = false.
@@ -83,9 +93,9 @@ mod tests {
     #[test]
     fn dot_output_is_well_formed() {
         let f = FieldId(0);
-        let mut bdd =
-            Bdd::new(vec![FieldInfo::range("shares", 16)], [Pred::lt(f, 60)]).unwrap();
-        bdd.add_rule(&[(Pred::lt(f, 60), true)], &[ActionId(0)]).unwrap();
+        let mut bdd = Bdd::new(vec![FieldInfo::range("shares", 16)], [Pred::lt(f, 60)]).unwrap();
+        bdd.add_rule(&[(Pred::lt(f, 60), true)], &[ActionId(0)])
+            .unwrap();
         let dot = bdd.to_dot("test");
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("shares < 60"));

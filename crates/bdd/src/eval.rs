@@ -22,7 +22,11 @@ impl Bdd {
                 NodeRef::Node(_) => {
                     let n = self.store.node(cur);
                     let pred = self.vars[n.var.0 as usize];
-                    cur = if pred.eval(assign(pred.field)) { n.hi } else { n.lo };
+                    cur = if pred.eval(assign(pred.field)) {
+                        n.hi
+                    } else {
+                        n.lo
+                    };
                 }
             }
         }
@@ -103,7 +107,12 @@ impl Bdd {
     ///    bounds Algorithm 1's path enumeration.
     pub fn validate(&self) -> Result<(), String> {
         let mut seen: HashSet<(NodeRef, u64)> = HashSet::new();
-        self.validate_rec(self.root, None, &FieldCtx::full(FieldId(u32::MAX), 0), &mut seen)
+        self.validate_rec(
+            self.root,
+            None,
+            &FieldCtx::full(FieldId(u32::MAX), 0),
+            &mut seen,
+        )
     }
 
     fn validate_rec(
@@ -179,7 +188,10 @@ mod tests {
     fn figure3() -> Bdd {
         let shares = FieldId(0);
         let stock = FieldId(1);
-        let fields = vec![FieldInfo::range("shares", 32), FieldInfo::exact("stock", 64)];
+        let fields = vec![
+            FieldInfo::range("shares", 32),
+            FieldInfo::exact("stock", 64),
+        ];
         let preds = vec![
             Pred::lt(shares, 60),
             Pred::gt(shares, 100),
@@ -187,11 +199,18 @@ mod tests {
             Pred::eq(stock, 2),
         ];
         let mut bdd = Bdd::new(fields, preds).unwrap();
-        bdd.add_rule(&[(Pred::lt(shares, 60), true), (Pred::eq(stock, 1), true)], &[ActionId(1)])
+        bdd.add_rule(
+            &[(Pred::lt(shares, 60), true), (Pred::eq(stock, 1), true)],
+            &[ActionId(1)],
+        )
+        .unwrap();
+        bdd.add_rule(&[(Pred::eq(stock, 1), true)], &[ActionId(2)])
             .unwrap();
-        bdd.add_rule(&[(Pred::eq(stock, 1), true)], &[ActionId(2)]).unwrap();
-        bdd.add_rule(&[(Pred::gt(shares, 100), true), (Pred::eq(stock, 2), true)], &[ActionId(3)])
-            .unwrap();
+        bdd.add_rule(
+            &[(Pred::gt(shares, 100), true), (Pred::eq(stock, 2), true)],
+            &[ActionId(3)],
+        )
+        .unwrap();
         bdd
     }
 
@@ -228,8 +247,11 @@ mod tests {
         let preds = vec![Pred::lt(f, 10), Pred::lt(f, 20)];
         let mut bdd = Bdd::new(vec![FieldInfo::range("x", 8)], preds).unwrap();
         bdd.set_semantic_pruning(false);
-        bdd.add_rule(&[(Pred::lt(f, 10), true), (Pred::lt(f, 20), true)], &[ActionId(0)])
-            .unwrap();
+        bdd.add_rule(
+            &[(Pred::lt(f, 10), true), (Pred::lt(f, 20), true)],
+            &[ActionId(0)],
+        )
+        .unwrap();
         // With pruning off, redundant nodes may exist; ordering must hold
         // and validate() skips the irredundancy check.
         bdd.validate().unwrap();

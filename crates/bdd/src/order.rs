@@ -75,7 +75,10 @@ pub fn field_usage<'a>(
     exact: &[bool],
 ) -> Vec<FieldUsage> {
     let mut usage: Vec<FieldUsage> = (0..nfields)
-        .map(|i| FieldUsage { exact: exact.get(i).copied().unwrap_or(false), ..Default::default() })
+        .map(|i| FieldUsage {
+            exact: exact.get(i).copied().unwrap_or(false),
+            ..Default::default()
+        })
         .collect();
     let mut values: Vec<HashSet<u64>> = vec![HashSet::new(); nfields];
     for conj in conjs {
@@ -124,25 +127,46 @@ mod tests {
 
     fn usage3() -> Vec<FieldUsage> {
         vec![
-            FieldUsage { rule_refs: 5, distinct_values: 100, exact: false },
-            FieldUsage { rule_refs: 20, distinct_values: 3, exact: true },
-            FieldUsage { rule_refs: 10, distinct_values: 10, exact: false },
+            FieldUsage {
+                rule_refs: 5,
+                distinct_values: 100,
+                exact: false,
+            },
+            FieldUsage {
+                rule_refs: 20,
+                distinct_values: 3,
+                exact: true,
+            },
+            FieldUsage {
+                rule_refs: 10,
+                distinct_values: 10,
+                exact: false,
+            },
         ]
     }
 
     #[test]
     fn spec_order_is_identity() {
-        assert_eq!(order_fields(&usage3(), OrderHeuristic::SpecOrder), vec![0, 1, 2]);
+        assert_eq!(
+            order_fields(&usage3(), OrderHeuristic::SpecOrder),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
     fn frequency_descending() {
-        assert_eq!(order_fields(&usage3(), OrderHeuristic::FrequencyDescending), vec![1, 2, 0]);
+        assert_eq!(
+            order_fields(&usage3(), OrderHeuristic::FrequencyDescending),
+            vec![1, 2, 0]
+        );
     }
 
     #[test]
     fn distinct_values_ascending() {
-        assert_eq!(order_fields(&usage3(), OrderHeuristic::DistinctValuesAscending), vec![1, 2, 0]);
+        assert_eq!(
+            order_fields(&usage3(), OrderHeuristic::DistinctValuesAscending),
+            vec![1, 2, 0]
+        );
     }
 
     #[test]
@@ -155,7 +179,11 @@ mod tests {
 
     #[test]
     fn ties_break_by_spec_order() {
-        let u = vec![FieldUsage::default(), FieldUsage::default(), FieldUsage::default()];
+        let u = vec![
+            FieldUsage::default(),
+            FieldUsage::default(),
+            FieldUsage::default(),
+        ];
         for h in OrderHeuristic::ALL {
             assert_eq!(order_fields(&u, h), vec![0, 1, 2], "{}", h.name());
         }
@@ -165,7 +193,11 @@ mod tests {
     fn usage_counts_rules_once_per_field() {
         let f0 = FieldId(0);
         let f1 = FieldId(1);
-        let c1 = vec![(Pred::eq(f0, 1), true), (Pred::eq(f0, 2), false), (Pred::lt(f1, 5), true)];
+        let c1 = vec![
+            (Pred::eq(f0, 1), true),
+            (Pred::eq(f0, 2), false),
+            (Pred::lt(f1, 5), true),
+        ];
         let c2 = vec![(Pred::eq(f0, 1), true)];
         let conjs: Vec<&[(Pred, bool)]> = vec![&c1, &c2];
         let u = field_usage(conjs, 2, &[true, false]);

@@ -38,12 +38,20 @@ pub struct FieldInfo {
 impl FieldInfo {
     /// A range-matchable field (`@query_field`).
     pub fn range(name: impl Into<String>, bits: u32) -> Self {
-        FieldInfo { name: name.into(), bits, exact: false }
+        FieldInfo {
+            name: name.into(),
+            bits,
+            exact: false,
+        }
     }
 
     /// An exact-match-only field (`@query_field_exact`).
     pub fn exact(name: impl Into<String>, bits: u32) -> Self {
-        FieldInfo { name: name.into(), bits, exact: true }
+        FieldInfo {
+            name: name.into(),
+            bits,
+            exact: true,
+        }
     }
 
     /// Largest value representable in the field.
@@ -111,17 +119,29 @@ pub struct Pred {
 impl Pred {
     /// `field == value`.
     pub fn eq(field: FieldId, value: u64) -> Self {
-        Pred { field, op: PredOp::Eq, value }
+        Pred {
+            field,
+            op: PredOp::Eq,
+            value,
+        }
     }
 
     /// `field < value`.
     pub fn lt(field: FieldId, value: u64) -> Self {
-        Pred { field, op: PredOp::Lt, value }
+        Pred {
+            field,
+            op: PredOp::Lt,
+            value,
+        }
     }
 
     /// `field > value`.
     pub fn gt(field: FieldId, value: u64) -> Self {
-        Pred { field, op: PredOp::Gt, value }
+        Pred {
+            field,
+            op: PredOp::Gt,
+            value,
+        }
     }
 
     /// Evaluates the predicate on a field value.
@@ -155,7 +175,11 @@ pub enum Canon {
 /// * out-of-domain constants fold to constants (`x < 0` is *false*,
 ///   `x == n` with `n` above the domain max is *false*, ...).
 pub fn canonicalize(field: FieldId, op: RelOp, value: u64, bits: u32) -> Canon {
-    let max = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let max = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     match op {
         RelOp::Eq | RelOp::Ne => {
             let pol = op == RelOp::Eq;
@@ -214,7 +238,14 @@ mod tests {
     fn canonicalization_preserves_semantics_exhaustively() {
         let bits = 4;
         let max = 15u64;
-        for op in [RelOp::Lt, RelOp::Gt, RelOp::Eq, RelOp::Le, RelOp::Ge, RelOp::Ne] {
+        for op in [
+            RelOp::Lt,
+            RelOp::Gt,
+            RelOp::Eq,
+            RelOp::Le,
+            RelOp::Ge,
+            RelOp::Ne,
+        ] {
             for value in 0..=max + 2 {
                 let canon = canonicalize(F, op, value, bits);
                 for x in 0..=max {
@@ -232,7 +263,10 @@ mod tests {
     #[test]
     fn le_max_is_tautology() {
         assert_eq!(canonicalize(F, RelOp::Le, 15, 4), Canon::Always(true));
-        assert_eq!(canonicalize(F, RelOp::Le, u64::MAX, 64), Canon::Always(true));
+        assert_eq!(
+            canonicalize(F, RelOp::Le, u64::MAX, 64),
+            Canon::Always(true)
+        );
     }
 
     #[test]
@@ -248,19 +282,38 @@ mod tests {
     #[test]
     fn gt_max_is_contradiction() {
         assert_eq!(canonicalize(F, RelOp::Gt, 15, 4), Canon::Always(false));
-        assert_eq!(canonicalize(F, RelOp::Gt, u64::MAX, 64), Canon::Always(false));
+        assert_eq!(
+            canonicalize(F, RelOp::Gt, u64::MAX, 64),
+            Canon::Always(false)
+        );
     }
 
     #[test]
     fn ne_is_negated_eq() {
-        assert_eq!(canonicalize(F, RelOp::Ne, 7, 8), Canon::Lit(Pred::eq(F, 7), false));
+        assert_eq!(
+            canonicalize(F, RelOp::Ne, 7, 8),
+            Canon::Lit(Pred::eq(F, 7), false)
+        );
     }
 
     #[test]
     fn within_field_order_is_eq_lt_gt() {
-        let mut v = vec![Pred::gt(F, 1), Pred::lt(F, 9), Pred::eq(F, 5), Pred::eq(F, 2)];
+        let mut v = vec![
+            Pred::gt(F, 1),
+            Pred::lt(F, 9),
+            Pred::eq(F, 5),
+            Pred::eq(F, 2),
+        ];
         v.sort();
-        assert_eq!(v, vec![Pred::eq(F, 2), Pred::eq(F, 5), Pred::lt(F, 9), Pred::gt(F, 1)]);
+        assert_eq!(
+            v,
+            vec![
+                Pred::eq(F, 2),
+                Pred::eq(F, 5),
+                Pred::lt(F, 9),
+                Pred::gt(F, 1)
+            ]
+        );
     }
 
     #[test]

@@ -110,10 +110,17 @@ pub fn slice(bdd: &Bdd) -> Vec<Component> {
         .map(|field| {
             let mut nodes = by_field.remove(&field).unwrap_or_default();
             nodes.sort_unstable();
-            let mut in_nodes: Vec<NodeRef> =
-                nodes.iter().copied().filter(|r| in_set.contains(r)).collect();
+            let mut in_nodes: Vec<NodeRef> = nodes
+                .iter()
+                .copied()
+                .filter(|r| in_set.contains(r))
+                .collect();
             in_nodes.sort_unstable();
-            Component { field, nodes, in_nodes }
+            Component {
+                field,
+                nodes,
+                in_nodes,
+            }
         })
         .collect()
 }
@@ -130,7 +137,15 @@ pub fn component_paths(bdd: &Bdd, comp: &Component) -> Vec<CompPath> {
     let mut out = Vec::new();
     for &entry in &comp.in_nodes {
         let mut rank = 0usize;
-        walk(bdd, comp, entry, entry, FieldCtx::full(comp.field, field_max), &mut rank, &mut out);
+        walk(
+            bdd,
+            comp,
+            entry,
+            entry,
+            FieldCtx::full(comp.field, field_max),
+            &mut rank,
+            &mut out,
+        );
     }
     out
 }
@@ -155,7 +170,12 @@ fn walk(
     out: &mut Vec<CompPath>,
 ) {
     if !in_component(bdd, comp, cur) {
-        out.push(CompPath { entry, exit: cur, ctx, rank: *rank });
+        out.push(CompPath {
+            entry,
+            exit: cur,
+            ctx,
+            rank: *rank,
+        });
         *rank += 1;
         return;
     }
@@ -182,7 +202,10 @@ mod tests {
     fn figure3() -> (Bdd, FieldId, FieldId) {
         let shares = FieldId(0);
         let stock = FieldId(1);
-        let fields = vec![FieldInfo::range("shares", 32), FieldInfo::exact("stock", 64)];
+        let fields = vec![
+            FieldInfo::range("shares", 32),
+            FieldInfo::exact("stock", 64),
+        ];
         let preds = vec![
             Pred::lt(shares, 60),
             Pred::gt(shares, 100),
@@ -190,11 +213,18 @@ mod tests {
             Pred::eq(stock, 2),
         ];
         let mut bdd = Bdd::new(fields, preds).unwrap();
-        bdd.add_rule(&[(Pred::lt(shares, 60), true), (Pred::eq(stock, 1), true)], &[ActionId(1)])
+        bdd.add_rule(
+            &[(Pred::lt(shares, 60), true), (Pred::eq(stock, 1), true)],
+            &[ActionId(1)],
+        )
+        .unwrap();
+        bdd.add_rule(&[(Pred::eq(stock, 1), true)], &[ActionId(2)])
             .unwrap();
-        bdd.add_rule(&[(Pred::eq(stock, 1), true)], &[ActionId(2)]).unwrap();
-        bdd.add_rule(&[(Pred::gt(shares, 100), true), (Pred::eq(stock, 2), true)], &[ActionId(3)])
-            .unwrap();
+        bdd.add_rule(
+            &[(Pred::gt(shares, 100), true), (Pred::eq(stock, 2), true)],
+            &[ActionId(3)],
+        )
+        .unwrap();
         (bdd, shares, stock)
     }
 
@@ -234,7 +264,10 @@ mod tests {
         // terminal.
         for p in &paths {
             assert_eq!(p.ctx.field, stock);
-            assert!(p.exit.is_term(), "stock is the last field: exits are terminals");
+            assert!(
+                p.exit.is_term(),
+                "stock is the last field: exits are terminals"
+            );
         }
         // Pinned entries outrank their excluding wildcard within each
         // entry group.
@@ -255,8 +288,11 @@ mod tests {
         for comp in slice(&bdd) {
             let paths = component_paths(&bdd, &comp);
             for &entry in &comp.in_nodes {
-                let mut ranks: Vec<usize> =
-                    paths.iter().filter(|p| p.entry == entry).map(|p| p.rank).collect();
+                let mut ranks: Vec<usize> = paths
+                    .iter()
+                    .filter(|p| p.entry == entry)
+                    .map(|p| p.rank)
+                    .collect();
                 ranks.sort_unstable();
                 assert_eq!(ranks, (0..ranks.len()).collect::<Vec<_>>());
             }

@@ -2,6 +2,11 @@
 //! per-rule interpreter on every packet, for arbitrary rule sets, with
 //! and without the domain-specific reduction.
 
+// Gated off by default: `proptest` is an external crate the offline
+// build environment cannot fetch. Vendor proptest into the workspace
+// and enable the `proptest` feature to run this suite.
+#![cfg(feature = "proptest")]
+
 use camus_bdd::pred::{ActionId, FieldId, FieldInfo, Pred, PredOp};
 use camus_bdd::Bdd;
 use proptest::prelude::*;
@@ -30,10 +35,7 @@ fn arb_literal() -> impl Strategy<Value = (Pred, bool)> {
 type RuleSpec = (Vec<(Pred, bool)>, u32);
 
 fn arb_rules() -> impl Strategy<Value = Vec<RuleSpec>> {
-    prop::collection::vec(
-        (prop::collection::vec(arb_literal(), 0..5), 0..8u32),
-        1..12,
-    )
+    prop::collection::vec((prop::collection::vec(arb_literal(), 0..5), 0..8u32), 1..12)
 }
 
 /// Naive reference: evaluate every rule conjunction independently.
@@ -53,9 +55,13 @@ fn naive_eval(rules: &[RuleSpec], packet: &[u64; NFIELDS]) -> Vec<ActionId> {
 }
 
 fn build_bdd(rules: &[RuleSpec], pruning: bool) -> Bdd {
-    let fields: Vec<FieldInfo> =
-        (0..NFIELDS).map(|i| FieldInfo::range(format!("f{i}"), BITS)).collect();
-    let preds: Vec<Pred> = rules.iter().flat_map(|(l, _)| l.iter().map(|(p, _)| *p)).collect();
+    let fields: Vec<FieldInfo> = (0..NFIELDS)
+        .map(|i| FieldInfo::range(format!("f{i}"), BITS))
+        .collect();
+    let preds: Vec<Pred> = rules
+        .iter()
+        .flat_map(|(l, _)| l.iter().map(|(p, _)| *p))
+        .collect();
     let mut bdd = Bdd::new(fields, preds).unwrap();
     bdd.set_semantic_pruning(pruning);
     for (lits, act) in rules {

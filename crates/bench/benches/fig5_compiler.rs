@@ -1,4 +1,4 @@
-//! Criterion benches behind Figure 5: compiler space/time efficiency.
+//! Benches behind Figure 5: compiler space/time efficiency.
 //!
 //! * `fig5a/siena_compile_*` — one point of the entries-vs-subscriptions
 //!   sweep (Siena workload);
@@ -8,26 +8,28 @@
 //!   itself is wall-clock compile time, which is exactly what these
 //!   measure).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use camus_bench::harness::Bench;
 use camus_core::{Compiler, CompilerOptions};
 use camus_lang::parse_spec;
 use camus_workload::{generate_itch_subscriptions, ItchSubsConfig, SienaConfig};
 
-fn bench_fig5a(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5a");
+fn bench_fig5a(bench: &Bench) {
     for subs in [10usize, 25, 45] {
-        let w = SienaConfig { subscriptions: subs, ..Default::default() }.generate();
+        let w = SienaConfig {
+            subscriptions: subs,
+            ..Default::default()
+        }
+        .generate();
         let compiler = Compiler::new(w.spec.clone(), CompilerOptions::raw()).unwrap();
-        g.bench_with_input(BenchmarkId::new("siena_compile", subs), &w.rules, |b, rules| {
-            b.iter(|| compiler.compile(rules).unwrap().stats.total_entries)
-        });
+        bench
+            .run(&format!("fig5a/siena_compile_{subs}"), 0, || {
+                compiler.compile(&w.rules).unwrap().stats.total_entries
+            })
+            .report();
     }
-    g.finish();
 }
 
-fn bench_fig5b(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5b");
+fn bench_fig5b(bench: &Bench) {
     for preds in [2usize, 5, 8] {
         let w = SienaConfig {
             subscriptions: 30,
@@ -38,31 +40,40 @@ fn bench_fig5b(c: &mut Criterion) {
         }
         .generate();
         let compiler = Compiler::new(w.spec.clone(), CompilerOptions::raw()).unwrap();
-        g.bench_with_input(BenchmarkId::new("siena_predicates", preds), &w.rules, |b, rules| {
-            b.iter(|| compiler.compile(rules).unwrap().stats.total_entries)
-        });
+        bench
+            .run(&format!("fig5b/siena_predicates_{preds}"), 0, || {
+                compiler.compile(&w.rules).unwrap().stats.total_entries
+            })
+            .report();
     }
-    g.finish();
 }
 
-fn bench_fig5c(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5c");
-    g.sample_size(10);
+fn bench_fig5c(bench: &Bench) {
     let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
     let compiler = Compiler::new(
         spec,
-        CompilerOptions { compress_bits: Some(10), ..CompilerOptions::default() },
+        CompilerOptions {
+            compress_bits: Some(10),
+            ..CompilerOptions::default()
+        },
     )
     .unwrap();
     for subs in [1_000usize, 5_000] {
-        let rules =
-            generate_itch_subscriptions(&ItchSubsConfig { subscriptions: subs, ..Default::default() });
-        g.bench_with_input(BenchmarkId::new("itch_compile", subs), &rules, |b, rules| {
-            b.iter(|| compiler.compile(rules).unwrap().stats.total_entries)
+        let rules = generate_itch_subscriptions(&ItchSubsConfig {
+            subscriptions: subs,
+            ..Default::default()
         });
+        bench
+            .run(&format!("fig5c/itch_compile_{subs}"), 0, || {
+                compiler.compile(&rules).unwrap().stats.total_entries
+            })
+            .report();
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_fig5a, bench_fig5b, bench_fig5c);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_env();
+    bench_fig5a(&bench);
+    bench_fig5b(&bench);
+    bench_fig5c(&bench);
+}

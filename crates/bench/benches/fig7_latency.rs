@@ -1,39 +1,39 @@
-//! Criterion bench behind Figure 7: the end-to-end latency experiment
-//! (baseline host filtering vs. Camus switch filtering), on a reduced
-//! trace so a Criterion sample stays sub-second. The full-size run is
-//! `figures fig7a`/`fig7b`.
+//! Bench behind Figure 7: the end-to-end latency experiment (baseline
+//! host filtering vs. Camus switch filtering), on a reduced trace so a
+//! sample stays sub-second. The full-size run is `figures
+//! fig7a`/`fig7b`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use camus_bench::harness::Bench;
 use camus_core::{Compiler, CompilerOptions};
 use camus_lang::{parse_program, parse_spec};
 use camus_netsim::{run_experiment, ExperimentConfig, FilterMode};
 use camus_workload::{synthesize_feed, TraceConfig};
 
-fn bench_fig7(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_env();
     let trace = synthesize_feed(&TraceConfig::nasdaq_like(30_000));
     let cfg = ExperimentConfig::default();
 
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("baseline_nasdaq_30k", |b| {
-        b.iter(|| run_experiment(&trace, FilterMode::Baseline, &cfg).stats.max())
-    });
+    bench
+        .run("fig7/baseline_nasdaq_30k", 0, || {
+            run_experiment(&trace, FilterMode::Baseline, &cfg)
+                .stats
+                .max()
+        })
+        .report();
 
     let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
     let compiler = Compiler::new(spec, CompilerOptions::default()).unwrap();
     let rules = parse_program("stock == GOOGL : fwd(1)").unwrap();
-    g.bench_function("camus_nasdaq_30k", |b| {
-        b.iter(|| {
+    bench
+        .run("fig7/camus_nasdaq_30k", 0, || {
             // The pipeline is stateful (registers), so each iteration
             // gets a fresh instance; compilation cost is part of neither
             // figure and dominated by the 30 k-packet run.
             let prog = compiler.compile(&rules).unwrap();
-            run_experiment(&trace, FilterMode::Switch(Box::new(prog.pipeline)), &cfg).stats.max()
+            run_experiment(&trace, FilterMode::Switch(Box::new(prog.pipeline)), &cfg)
+                .stats
+                .max()
         })
-    });
-    g.finish();
+        .report();
 }
-
-criterion_group!(benches, bench_fig7);
-criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Throughput of the multi-core sharded engine vs. the sequential
+//! batch path, sweeping worker counts. Writes
+//! `results/BENCH_engine.json` with packets/sec per configuration so
+//! the scaling curve is inspectable offline.
+//!
+//! The host's core count is recorded alongside every row: on a
+//! single-core container the worker sweep measures scheduling overhead,
+//! not parallel speedup, and the JSON must say so honestly.
+
+use camus_bench::harness::Bench;
+use camus_bench::{impl_to_json, json};
+use camus_core::{Compiler, CompilerOptions};
+use camus_engine::{shard, Engine, EngineConfig};
+use camus_lang::{parse_program, parse_spec};
+use camus_pipeline::DecisionBuf;
+use camus_workload::{synthesize_feed, TraceConfig};
+
+#[derive(Debug, Clone)]
+struct EngineRow {
+    config: String,
+    workers: usize,
+    host_cores: usize,
+    packets_per_iter: u64,
+    ns_per_iter: f64,
+    pkts_per_sec: f64,
+    speedup_vs_sequential: f64,
+}
+
+impl_to_json!(EngineRow {
+    config,
+    workers,
+    host_cores,
+    packets_per_iter,
+    ns_per_iter,
+    pkts_per_sec,
+    speedup_vs_sequential,
+});
+
+fn main() {
+    let bench = Bench::from_env();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Same table shape as linerate_pipeline: 200 symbols over 32 ports.
+    let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+    let compiler = Compiler::new(spec, CompilerOptions::default()).unwrap();
+    let src: String = (0..200)
+        .map(|i| {
+            format!(
+                "stock == {} : fwd({})\n",
+                camus_workload::itch_subs::stock_symbol(i),
+                i % 32 + 1
+            )
+        })
+        .collect();
+    let rules = parse_program(&src).unwrap();
+    let prog = compiler.compile(&rules).unwrap();
+    let pipeline = prog.pipeline;
+
+    let trace = synthesize_feed(&TraceConfig {
+        target_fraction: 0.0,
+        add_order_fraction: 1.0,
+        burst_multiplier: 1.0,
+        ..TraceConfig::synthetic(4_000)
+    });
+    let packets: Vec<&[u8]> = trace.iter().map(|p| p.bytes.as_slice()).collect();
+    let n = packets.len() as u64;
+
+    let mut rows: Vec<EngineRow> = Vec::new();
+
+    // Sequential baseline: the allocation-free batch path on one core.
+    let mut baseline = pipeline.clone();
+    let mut out = DecisionBuf::default();
+    let base = bench.run("engine/sequential_batch_4k_packets", n, || {
+        out.clear();
+        baseline
+            .process_batch(packets.iter().map(|p| (*p, 0u64)), &mut out)
+            .unwrap();
+        out.len()
+    });
+    base.report();
+    let base_pps = base.elems_per_sec().unwrap();
+    rows.push(EngineRow {
+        config: "sequential_batch".into(),
+        workers: 1,
+        host_cores,
+        packets_per_iter: n,
+        ns_per_iter: base.ns_per_iter,
+        pkts_per_sec: base_pps,
+        speedup_vs_sequential: 1.0,
+    });
+
+    // Worker sweep: each iteration starts the engine, replays the
+    // trace and joins — so the measured rate includes thread startup,
+    // matching how a replay tool would run it.
+    for workers in [1usize, 2, 4, 8] {
+        let cfg = EngineConfig {
+            workers,
+            ..Default::default()
+        };
+        let shard_fn = shard::itch_symbol_shard();
+        let r = bench.run(
+            &format!("engine/run_trace_4k_packets_w{workers}"),
+            n,
+            || {
+                let mut engine = Engine::start(&pipeline, &cfg, shard_fn.clone());
+                for p in &packets {
+                    engine.submit(p, 0);
+                }
+                engine.finish().stats.packets
+            },
+        );
+        r.report();
+        let pps = r.elems_per_sec().unwrap();
+        rows.push(EngineRow {
+            config: format!("engine_w{workers}"),
+            workers,
+            host_cores,
+            packets_per_iter: n,
+            ns_per_iter: r.ns_per_iter,
+            pkts_per_sec: pps,
+            speedup_vs_sequential: pps / base_pps,
+        });
+    }
+
+    // Anchor to the workspace root: `cargo bench` runs the binary with
+    // the package directory (crates/bench) as its working directory.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_engine.json");
+    std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();
+    println!(
+        "wrote {} ({} rows, host_cores={host_cores})",
+        path.display(),
+        rows.len()
+    );
+}

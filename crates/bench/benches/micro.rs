@@ -3,15 +3,14 @@
 //! feed codec. These back the ablation discussion rather than a single
 //! paper figure.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
 use camus_bdd::pred::{ActionId, FieldId, FieldInfo, Pred};
 use camus_bdd::Bdd;
+use camus_bench::harness::Bench;
 use camus_itch::itch::{AddOrder, ItchMessage, Side};
 use camus_itch::{build_feed_packet, parse_feed_packet, FeedConfig};
+use camus_pipeline::phv::PhvLayout;
 use camus_pipeline::resources::range_to_prefixes;
 use camus_pipeline::table::{Entry, Key, MatchKind, MatchValue, Table};
-use camus_pipeline::phv::PhvLayout;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,53 +29,59 @@ fn itch_like_rules(n: usize) -> Vec<(Pred, Pred, u32)> {
         .collect()
 }
 
-fn bench_bdd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bdd");
+fn bench_bdd(bench: &Bench) {
     let rules = itch_like_rules(1_000);
     let fields = vec![FieldInfo::exact("stock", 64), FieldInfo::range("price", 32)];
     let preds: Vec<Pred> = rules.iter().flat_map(|(a, b, _)| [*a, *b]).collect();
 
-    g.throughput(Throughput::Elements(rules.len() as u64));
-    g.bench_function("insert_1k_rules", |b| {
-        b.iter(|| {
+    bench
+        .run("bdd/insert_1k_rules", rules.len() as u64, || {
             let mut bdd = Bdd::new(fields.clone(), preds.iter().copied()).unwrap();
             for (s, p, i) in &rules {
-                bdd.add_rule(&[(*s, true), (*p, true)], &[ActionId(*i)]).unwrap();
+                bdd.add_rule(&[(*s, true), (*p, true)], &[ActionId(*i)])
+                    .unwrap();
             }
             bdd.node_count()
         })
-    });
+        .report();
 
     let mut bdd = Bdd::new(fields.clone(), preds.iter().copied()).unwrap();
     for (s, p, i) in &rules {
-        bdd.add_rule(&[(*s, true), (*p, true)], &[ActionId(*i)]).unwrap();
+        bdd.add_rule(&[(*s, true), (*p, true)], &[ActionId(*i)])
+            .unwrap();
     }
     let mut rng = StdRng::seed_from_u64(7);
-    let queries: Vec<(u64, u64)> =
-        (0..1_000).map(|_| (rng.gen_range(0..100), rng.gen_range(0..2_000))).collect();
-    g.throughput(Throughput::Elements(queries.len() as u64));
-    g.bench_function("eval_1k_packets", |b| {
-        b.iter(|| {
+    let queries: Vec<(u64, u64)> = (0..1_000)
+        .map(|_| (rng.gen_range(0..100), rng.gen_range(0..2_000)))
+        .collect();
+    bench
+        .run("bdd/eval_1k_packets", queries.len() as u64, || {
             let mut hits = 0usize;
             for &(s, p) in &queries {
                 hits += bdd.eval(|f| if f == FieldId(0) { s } else { p }).len();
             }
             hits
         })
-    });
-    g.finish();
+        .report();
 }
 
-fn bench_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table");
+fn bench_table(bench: &Bench) {
     let mut layout = PhvLayout::new();
     let state = layout.add("state", 32);
     let value = layout.add("value", 64);
     let mut table = Table::new(
         "t",
         vec![
-            Key { field: state, kind: MatchKind::Exact, bits: 32 },
-            Key { field: value, kind: MatchKind::Exact, bits: 64 },
+            Key {
+                field: state,
+                kind: MatchKind::Exact,
+                bits: 32,
+            },
+            Key {
+                field: value,
+                kind: MatchKind::Exact,
+                bits: 64,
+            },
         ],
         vec![],
     );
@@ -91,11 +96,11 @@ fn bench_table(c: &mut Criterion) {
     }
     table.build_index();
     let mut rng = StdRng::seed_from_u64(3);
-    let lookups: Vec<(u64, u64)> =
-        (0..1_000).map(|_| (rng.gen_range(0..64), rng.gen_range(0..12_000))).collect();
-    g.throughput(Throughput::Elements(lookups.len() as u64));
-    g.bench_function("lookup_10k_entry_table", |b| {
-        b.iter(|| {
+    let lookups: Vec<(u64, u64)> = (0..1_000)
+        .map(|_| (rng.gen_range(0..64), rng.gen_range(0..12_000)))
+        .collect();
+    bench
+        .run("table/lookup_10k_entry_table", lookups.len() as u64, || {
             let mut phv = layout.instantiate();
             let mut hits = 0usize;
             for &(s, v) in &lookups {
@@ -105,33 +110,39 @@ fn bench_table(c: &mut Criterion) {
             }
             hits
         })
-    });
-    g.finish();
+        .report();
 }
 
-fn bench_resources(c: &mut Criterion) {
-    let mut g = c.benchmark_group("resources");
-    g.bench_function("range_to_prefixes_worst_case_32b", |b| {
-        b.iter(|| range_to_prefixes(1, (1u64 << 32) - 2, 32).len())
-    });
-    g.finish();
+fn bench_resources(bench: &Bench) {
+    bench
+        .run("resources/range_to_prefixes_worst_case_32b", 0, || {
+            range_to_prefixes(1, (1u64 << 32) - 2, 32).len()
+        })
+        .report();
 }
 
-fn bench_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("itch_codec");
+fn bench_codec(bench: &Bench) {
     let msgs: Vec<ItchMessage> = (0..8)
         .map(|i| ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 100 + i, 5_000 + i)))
         .collect();
     let cfg = FeedConfig::default();
-    g.bench_function("build_feed_packet_8_msgs", |b| {
-        b.iter(|| build_feed_packet(&cfg, 1, &msgs).len())
-    });
+    bench
+        .run("itch_codec/build_feed_packet_8_msgs", 8, || {
+            build_feed_packet(&cfg, 1, &msgs).len()
+        })
+        .report();
     let pkt = build_feed_packet(&cfg, 1, &msgs);
-    g.bench_function("parse_feed_packet_8_msgs", |b| {
-        b.iter(|| parse_feed_packet(&pkt).unwrap().1.len())
-    });
-    g.finish();
+    bench
+        .run("itch_codec/parse_feed_packet_8_msgs", 8, || {
+            parse_feed_packet(&pkt).unwrap().1.len()
+        })
+        .report();
 }
 
-criterion_group!(benches, bench_bdd, bench_table, bench_resources, bench_codec);
-criterion_main!(benches);
+fn main() {
+    let bench = Bench::from_env();
+    bench_bdd(&bench);
+    bench_table(&bench);
+    bench_resources(&bench);
+    bench_codec(&bench);
+}

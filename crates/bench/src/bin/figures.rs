@@ -13,7 +13,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use camus_bench::figures;
-use serde::Serialize;
+use camus_bench::json::{self, ToJson};
 
 fn usage() -> ! {
     eprintln!(
@@ -30,24 +30,22 @@ fn results_dir() -> PathBuf {
     dir
 }
 
-fn dump_json<T: Serialize>(name: &str, rows: &T) {
+fn dump_json<T: ToJson>(name: &str, rows: &T) {
     let path = results_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(rows) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("  -> {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    if let Err(e) = fs::write(&path, json::to_string_pretty(rows)) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("  -> {}", path.display());
     }
 }
 
 fn run_fig5a() {
     println!("== Figure 5a: table entries vs #subscriptions (Siena workload) ==");
     let rows = figures::fig5a();
-    println!("{:>14} {:>14} {:>11} {:>13}", "subscriptions", "table entries", "bdd nodes", "mcast groups");
+    println!(
+        "{:>14} {:>14} {:>11} {:>13}",
+        "subscriptions", "table entries", "bdd nodes", "mcast groups"
+    );
     for r in &rows {
         println!(
             "{:>14} {:>14} {:>11} {:>13}",
@@ -60,9 +58,15 @@ fn run_fig5a() {
 fn run_fig5b() {
     println!("== Figure 5b: table entries vs #predicates per subscription ==");
     let rows = figures::fig5b();
-    println!("{:>11} {:>14} {:>11}", "predicates", "table entries", "bdd nodes");
+    println!(
+        "{:>11} {:>14} {:>11}",
+        "predicates", "table entries", "bdd nodes"
+    );
     for r in &rows {
-        println!("{:>11} {:>14} {:>11}", r.predicates, r.table_entries, r.bdd_nodes);
+        println!(
+            "{:>11} {:>14} {:>11}",
+            r.predicates, r.table_entries, r.bdd_nodes
+        );
     }
     dump_json("fig5b", &rows);
 }
@@ -112,7 +116,11 @@ fn print_panel(p: &figures::Fig7Panel) {
 }
 
 fn run_fig7(kind: &str, fast: bool) {
-    println!("== Figure 7{}: latency CDF, {} trace ==", if kind == "nasdaq" { "a" } else { "b" }, kind);
+    println!(
+        "== Figure 7{}: latency CDF, {} trace ==",
+        if kind == "nasdaq" { "a" } else { "b" },
+        kind
+    );
     let p = figures::fig7(kind, fast);
     print_panel(&p);
     dump_json(&format!("fig7_{kind}"), &p);
@@ -128,7 +136,11 @@ fn run_linerate(fast: bool) {
     for r in &rows {
         println!(
             "{:<18} {:>6} {:>13.2} {:>15.2} {:>10.3} {:>14.3e}",
-            r.model, r.ports, r.offered_tbps, r.forwarded_tbps, r.peak_egress_utilization,
+            r.model,
+            r.ports,
+            r.offered_tbps,
+            r.forwarded_tbps,
+            r.peak_egress_utilization,
             r.messages_per_sec
         );
     }
@@ -145,8 +157,13 @@ fn run_incremental(fast: bool) {
     for r in &rows {
         println!(
             "{:>6} {:>12} {:>10.1} {:>16.1} {:>9} {:>9} {:>9}",
-            r.batch, r.rules_total, r.full_ms, r.incremental_ms, r.entries_added,
-            r.entries_removed, r.entries_kept
+            r.batch,
+            r.rules_total,
+            r.full_ms,
+            r.incremental_ms,
+            r.entries_added,
+            r.entries_removed,
+            r.entries_kept
         );
     }
     dump_json("incremental", &rows);
@@ -178,7 +195,11 @@ fn run_ablations(fast: bool) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
 
     for w in which {

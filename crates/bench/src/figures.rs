@@ -1,14 +1,16 @@
 //! Regeneration of every table and figure in the paper's evaluation
 //! (§4), plus the ablations DESIGN.md calls out.
 //!
-//! Each `fig*` function returns plain data (serde-serializable rows);
-//! the `figures` binary renders them as text tables and JSON. Absolute
+//! Each `fig*` function returns plain data rows (JSON-renderable via
+//! [`crate::json::ToJson`]); the `figures` binary renders them as text
+//! tables and JSON. Absolute
 //! numbers differ from the paper (different hardware, synthesized
 //! traces — see DESIGN.md §2); the *shapes* are the reproduction
 //! targets recorded in EXPERIMENTS.md.
 
 use std::time::Instant;
 
+use crate::impl_to_json;
 use camus_bdd::order::OrderHeuristic;
 use camus_core::{Compiler, CompilerOptions};
 use camus_lang::parse_spec;
@@ -17,7 +19,6 @@ use camus_pipeline::resources::AsicModel;
 use camus_workload::{
     generate_itch_subscriptions, synthesize_feed, ItchSubsConfig, SienaConfig, TraceConfig,
 };
-use serde::Serialize;
 
 /// Builds the default ITCH compiler.
 fn itch_compiler(options: CompilerOptions) -> Compiler {
@@ -28,7 +29,7 @@ fn itch_compiler(options: CompilerOptions) -> Compiler {
 // ---------------------------------------------------------------- fig 5a
 
 /// One row of Figure 5a: table entries vs. number of subscriptions.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5aRow {
     /// Number of Siena subscriptions.
     pub subscriptions: usize,
@@ -40,16 +41,26 @@ pub struct Fig5aRow {
     pub mcast_groups: usize,
 }
 
+impl_to_json!(Fig5aRow {
+    subscriptions,
+    table_entries,
+    bdd_nodes,
+    mcast_groups
+});
+
 /// Figure 5a: "the number of table entries required on the switch as we
 /// vary … number of subscriptions" (10–45, Siena workload).
 pub fn fig5a() -> Vec<Fig5aRow> {
     (10..=45)
         .step_by(5)
         .map(|n| {
-            let cfg = SienaConfig { subscriptions: n, ..Default::default() };
+            let cfg = SienaConfig {
+                subscriptions: n,
+                ..Default::default()
+            };
             let w = cfg.generate();
-            let compiler = Compiler::new(w.spec.clone(), CompilerOptions::raw())
-                .expect("siena spec compiles");
+            let compiler =
+                Compiler::new(w.spec.clone(), CompilerOptions::raw()).expect("siena spec compiles");
             let prog = compiler.compile(&w.rules).expect("siena rules compile");
             Fig5aRow {
                 subscriptions: n,
@@ -64,7 +75,7 @@ pub fn fig5a() -> Vec<Fig5aRow> {
 // ---------------------------------------------------------------- fig 5b
 
 /// One row of Figure 5b: table entries vs. predicates per subscription.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5bRow {
     /// Predicates in each subscription's conjunction.
     pub predicates: usize,
@@ -73,6 +84,12 @@ pub struct Fig5bRow {
     /// Reachable BDD nodes.
     pub bdd_nodes: usize,
 }
+
+impl_to_json!(Fig5bRow {
+    predicates,
+    table_entries,
+    bdd_nodes
+});
 
 /// Figure 5b: entries vs. selectiveness (2–8 predicates). "More
 /// selective subscription conditions … require fewer table entries,
@@ -88,8 +105,8 @@ pub fn fig5b() -> Vec<Fig5bRow> {
                 ..Default::default()
             };
             let w = cfg.generate();
-            let compiler = Compiler::new(w.spec.clone(), CompilerOptions::raw())
-                .expect("siena spec compiles");
+            let compiler =
+                Compiler::new(w.spec.clone(), CompilerOptions::raw()).expect("siena spec compiles");
             let prog = compiler.compile(&w.rules).expect("siena rules compile");
             Fig5bRow {
                 predicates: k,
@@ -103,7 +120,7 @@ pub fn fig5b() -> Vec<Fig5bRow> {
 // ---------------------------------------------------------------- fig 5c
 
 /// One row of Figure 5c: compile time vs. number of subscriptions.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5cRow {
     /// ITCH subscriptions compiled.
     pub subscriptions: usize,
@@ -116,6 +133,14 @@ pub struct Fig5cRow {
     /// Whether the program fits the 12-stage Tofino model.
     pub fits: bool,
 }
+
+impl_to_json!(Fig5cRow {
+    subscriptions,
+    compile_ms,
+    table_entries,
+    mcast_groups,
+    fits
+});
 
 /// Figure 5c: compiler runtime on the ITCH workload
 /// (`stock == S ∧ price > P : fwd(H)`), up to 100 K subscriptions. The
@@ -131,7 +156,10 @@ pub fn fig5c(fast: bool) -> Vec<Fig5cRow> {
     points
         .iter()
         .map(|&n| {
-            let cfg = ItchSubsConfig { subscriptions: n, ..Default::default() };
+            let cfg = ItchSubsConfig {
+                subscriptions: n,
+                ..Default::default()
+            };
             let rules = generate_itch_subscriptions(&cfg);
             let compiler = itch_compiler(CompilerOptions {
                 compress_bits: Some(10),
@@ -153,7 +181,7 @@ pub fn fig5c(fast: bool) -> Vec<Fig5cRow> {
 // ---------------------------------------------------------------- fig 7
 
 /// Summary of one latency CDF (one line of Figure 7).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CdfSummary {
     /// Configuration label.
     pub label: String,
@@ -177,8 +205,21 @@ pub struct CdfSummary {
     pub drops: usize,
 }
 
+impl_to_json!(CdfSummary {
+    label,
+    measured,
+    cdf,
+    p50_us,
+    p99_us,
+    p995_us,
+    max_us,
+    within_20us,
+    within_50us,
+    drops,
+});
+
 /// Both lines of one Figure 7 panel.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Panel {
     /// Workload name ("nasdaq" or "synthetic").
     pub workload: String,
@@ -187,6 +228,12 @@ pub struct Fig7Panel {
     /// Switch filtering with the compiled Camus pipeline.
     pub switch_filtering: CdfSummary,
 }
+
+impl_to_json!(Fig7Panel {
+    workload,
+    baseline,
+    switch_filtering
+});
 
 fn summarize(label: &str, r: &camus_netsim::ExperimentResult) -> CdfSummary {
     CdfSummary {
@@ -232,7 +279,7 @@ pub fn fig7(kind: &str, fast: bool) -> Fig7Panel {
 // ------------------------------------------------------------- line rate
 
 /// One row of the line-rate experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LineRateRow {
     /// ASIC model name.
     pub model: String,
@@ -249,6 +296,16 @@ pub struct LineRateRow {
     /// Sample messages run through the actual compiled pipeline.
     pub sample_messages: usize,
 }
+
+impl_to_json!(LineRateRow {
+    model,
+    ports,
+    offered_tbps,
+    forwarded_tbps,
+    peak_egress_utilization,
+    messages_per_sec,
+    sample_messages,
+});
 
 /// The §4 line-rate claim: "message processing at line rate using the
 /// full switch bandwidth of 6.5Tbps" (3.25 Tb/s on the 32-port box).
@@ -310,8 +367,7 @@ pub fn linerate(fast: bool) -> Vec<LineRateRow> {
             // Scale to all ports at line rate: each ingress port carries
             // the sampled distribution at 100 Gb/s.
             let offered_tbps = model.total_tbps();
-            let match_fraction: f64 =
-                egress_bytes.iter().sum::<u64>() as f64 / total_bytes as f64;
+            let match_fraction: f64 = egress_bytes.iter().sum::<u64>() as f64 / total_bytes as f64;
             let forwarded_tbps = offered_tbps * match_fraction;
             let peak_port_share =
                 egress_bytes.iter().copied().max().unwrap_or(0) as f64 / total_bytes as f64;
@@ -336,7 +392,7 @@ pub fn linerate(fast: bool) -> Vec<LineRateRow> {
 // ----------------------------------------------------------- incremental
 
 /// One row of the incremental-recompilation experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct IncrementalRow {
     /// Batch index (each batch adds rules on top of the previous).
     pub batch: usize,
@@ -354,6 +410,16 @@ pub struct IncrementalRow {
     pub entries_kept: usize,
 }
 
+impl_to_json!(IncrementalRow {
+    batch,
+    rules_total,
+    full_ms,
+    incremental_ms,
+    entries_added,
+    entries_removed,
+    entries_kept,
+});
+
 /// The §3 future-work experiment: install ITCH subscriptions in
 /// batches, comparing a full recompile of the cumulative set against
 /// an incremental install of just the new batch, and counting how many
@@ -370,8 +436,8 @@ pub fn incremental(fast: bool) -> Vec<IncrementalRow> {
     });
     let options = CompilerOptions::default();
     let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
-    let mut session = IncrementalCompiler::new(spec, &options, &all)
-        .expect("alphabet session builds");
+    let mut session =
+        IncrementalCompiler::new(spec, &options, &all).expect("alphabet session builds");
     let full_compiler = itch_compiler(options);
 
     let per = total / batches;
@@ -404,7 +470,7 @@ pub fn incremental(fast: bool) -> Vec<IncrementalRow> {
 // ------------------------------------------------------------- ablations
 
 /// One ablation row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationRow {
     /// Which knob.
     pub experiment: String,
@@ -423,6 +489,17 @@ pub struct AblationRow {
     /// Compile time, ms.
     pub compile_ms: f64,
 }
+
+impl_to_json!(AblationRow {
+    experiment,
+    config,
+    table_entries,
+    bdd_nodes,
+    tcam_slices,
+    sram_entries,
+    fits,
+    compile_ms,
+});
 
 fn ablation_row(
     experiment: &str,
@@ -454,8 +531,10 @@ pub fn ablations(fast: bool) -> Vec<AblationRow> {
     // 10 000 without changing the comparison.
     let n = 2_000;
     let _ = fast;
-    let rules =
-        generate_itch_subscriptions(&ItchSubsConfig { subscriptions: n, ..Default::default() });
+    let rules = generate_itch_subscriptions(&ItchSubsConfig {
+        subscriptions: n,
+        ..Default::default()
+    });
     let mut rows = Vec::new();
 
     // Reduction (iii) uses a deliberately tiny workload: without it,
@@ -478,14 +557,23 @@ pub fn ablations(fast: bool) -> Vec<AblationRow> {
         rows.push(ablation_row("reduction-iii", label, &c, &tiny));
     }
     for h in OrderHeuristic::ALL {
-        let c = itch_compiler(CompilerOptions { heuristic: h, ..CompilerOptions::default() });
+        let c = itch_compiler(CompilerOptions {
+            heuristic: h,
+            ..CompilerOptions::default()
+        });
         rows.push(ablation_row("field-order", h.name(), &c, &rules));
     }
     for (label, model) in [
         ("dirtcam", AsicModel::tofino32()),
-        ("prefix-expansion", AsicModel::tofino32().with_prefix_expansion()),
+        (
+            "prefix-expansion",
+            AsicModel::tofino32().with_prefix_expansion(),
+        ),
     ] {
-        let c = itch_compiler(CompilerOptions { asic: model, ..CompilerOptions::default() });
+        let c = itch_compiler(CompilerOptions {
+            asic: model,
+            ..CompilerOptions::default()
+        });
         rows.push(ablation_row("range-mode", label, &c, &rules));
     }
     for (label, bits) in [("off", None), ("10-bit", Some(10)), ("8-bit", Some(8))] {
@@ -551,7 +639,11 @@ mod tests {
     fn fig7_nasdaq_shape() {
         let p = fig7("nasdaq", true);
         // Camus: everything well inside 50 µs.
-        assert!(p.switch_filtering.within_50us > 0.999, "{:?}", p.switch_filtering);
+        assert!(
+            p.switch_filtering.within_50us > 0.999,
+            "{:?}",
+            p.switch_filtering
+        );
         // Baseline: a heavy tail beyond 50 µs.
         assert!(p.baseline.within_50us < 0.95, "{:?}", p.baseline);
         assert!(p.baseline.max_us > 100.0, "{:?}", p.baseline);
@@ -563,8 +655,16 @@ mod tests {
     fn fig7_synthetic_shape() {
         let p = fig7("synthetic", true);
         // Camus dominates at the 20 µs mark (paper: 99.5% vs 96.5%).
-        assert!(p.switch_filtering.within_20us > 0.995, "{:?}", p.switch_filtering);
-        assert!(p.baseline.within_20us < p.switch_filtering.within_20us, "{:?}", p.baseline);
+        assert!(
+            p.switch_filtering.within_20us > 0.995,
+            "{:?}",
+            p.switch_filtering
+        );
+        assert!(
+            p.baseline.within_20us < p.switch_filtering.within_20us,
+            "{:?}",
+            p.baseline
+        );
         // Baseline tail reaches hundreds of µs.
         assert!(p.baseline.max_us > 100.0, "{:?}", p.baseline);
     }
@@ -577,7 +677,10 @@ mod tests {
         assert!((rows[1].offered_tbps - 6.4).abs() < 0.2);
         for r in &rows {
             // All traffic matches some subscriber; egress keeps up.
-            assert!((r.forwarded_tbps - r.offered_tbps).abs() / r.offered_tbps < 0.01, "{r:?}");
+            assert!(
+                (r.forwarded_tbps - r.offered_tbps).abs() / r.offered_tbps < 0.01,
+                "{r:?}"
+            );
             // Expected utilization is exactly 1.0; allow sampling noise.
             assert!(r.peak_egress_utilization <= 1.15, "{r:?}");
             assert!(r.messages_per_sec > 1e8, "{r:?}");
@@ -612,7 +715,10 @@ mod tests {
         assert!(on.bdd_nodes <= off.bdd_nodes, "{on:?} vs {off:?}");
         // Prefix expansion costs far more TCAM than DirtCAM.
         let dirt = rows.iter().find(|r| r.config == "dirtcam").unwrap();
-        let pfx = rows.iter().find(|r| r.config == "prefix-expansion").unwrap();
+        let pfx = rows
+            .iter()
+            .find(|r| r.config == "prefix-expansion")
+            .unwrap();
         assert!(pfx.tcam_slices > dirt.tcam_slices, "{pfx:?} vs {dirt:?}");
     }
 }

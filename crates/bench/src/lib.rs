@@ -2,6 +2,10 @@
 //!
 //! See the `figures` binary (`cargo run -p camus-bench --release --bin
 //! figures -- <fig>`), which regenerates every table/figure series of
-//! the paper's evaluation, and the Criterion benches under `benches/`.
+//! the paper's evaluation, and the std-only benches under `benches/`
+//! (plain binaries built on [`harness`]; the environment has no
+//! registry access, so Criterion is not available).
 
 pub mod figures;
+pub mod harness;
+pub mod json;

@@ -63,7 +63,8 @@ fn parse_args() -> Args {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> String {
-            it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
         };
         match a.as_str() {
             "--spec" => spec = Some(PathBuf::from(val("--spec"))),
@@ -71,8 +72,12 @@ fn parse_args() -> Args {
             "--encap" => encap_kind = val("--encap"),
             "--select" => {
                 let v = val("--select");
-                let (f, n) = v.split_once('=').unwrap_or_else(|| usage("--select wants FIELD=N"));
-                let n: u64 = n.parse().unwrap_or_else(|_| usage("--select value must be a number"));
+                let (f, n) = v
+                    .split_once('=')
+                    .unwrap_or_else(|| usage("--select wants FIELD=N"));
+                let n: u64 = n
+                    .parse()
+                    .unwrap_or_else(|_| usage("--select value must be a number"));
                 select = Some((f.to_string(), n));
             }
             "--order" => {
@@ -85,8 +90,11 @@ fn parse_args() -> Args {
                 }
             }
             "--compress" => {
-                compress =
-                    Some(val("--compress").parse().unwrap_or_else(|_| usage("--compress BITS")))
+                compress = Some(
+                    val("--compress")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--compress BITS")),
+                )
             }
             "--asic" => {
                 asic = match val("--asic").as_str() {
@@ -104,7 +112,9 @@ fn parse_args() -> Args {
 
     let encap = match encap_kind.as_str() {
         "raw" => Encap::Raw,
-        "mold" => Encap::EthIpUdpMold { message_select: select },
+        "mold" => Encap::EthIpUdpMold {
+            message_select: select,
+        },
         other => usage(&format!("unknown encapsulation `{other}`")),
     };
     Args {
@@ -159,9 +169,17 @@ fn main() {
 
     let mut report = String::new();
     use std::fmt::Write as _;
-    let _ = writeln!(report, "camusc: compiled {} rules in {elapsed:?}", rules.len());
+    let _ = writeln!(
+        report,
+        "camusc: compiled {} rules in {elapsed:?}",
+        rules.len()
+    );
     let _ = writeln!(report, "  conjunctions:     {}", prog.stats.conjunctions);
-    let _ = writeln!(report, "  unsatisfiable:    {}", prog.stats.unsat_conjunctions);
+    let _ = writeln!(
+        report,
+        "  unsatisfiable:    {}",
+        prog.stats.unsat_conjunctions
+    );
     let _ = writeln!(report, "  BDD nodes:        {}", prog.stats.bdd_nodes);
     let _ = writeln!(report, "  pipeline states:  {}", prog.stats.states);
     let _ = writeln!(report, "  multicast groups: {}", prog.stats.mcast_groups);

@@ -65,7 +65,10 @@ impl Default for CompilerOptions {
 impl CompilerOptions {
     /// Options for raw (unencapsulated) message tests.
     pub fn raw() -> Self {
-        CompilerOptions { encap: Encap::Raw, ..Default::default() }
+        CompilerOptions {
+            encap: Encap::Raw,
+            ..Default::default()
+        }
     }
 }
 
@@ -100,7 +103,9 @@ impl Compiler {
     /// Creates a compiler for a message-format spec.
     pub fn new(spec: Spec, options: CompilerOptions) -> Result<Self, CompileError> {
         if spec.instances.is_empty() {
-            return Err(CompileError::BadSpec("spec declares no header instances".into()));
+            return Err(CompileError::BadSpec(
+                "spec declares no header instances".into(),
+            ));
         }
         if spec.query_fields.is_empty() && spec.counters.is_empty() {
             return Err(CompileError::BadSpec(
@@ -128,8 +133,12 @@ impl Compiler {
         };
         let resolved = resolve(&self.spec, rules, &ropts)?;
         let statics = build_static(&self.spec, &resolved.fields, &self.options.encap)?;
-        let mut dynp =
-            compile_dynamic(&resolved, &statics, rules.len(), self.options.semantic_pruning)?;
+        let mut dynp = compile_dynamic(
+            &resolved,
+            &statics,
+            rules.len(),
+            self.options.semantic_pruning,
+        )?;
 
         let mut layout = statics.layout.clone();
         if let Some(bits) = self.options.compress_bits {
@@ -174,7 +183,12 @@ impl Compiler {
         let p4_16_source = crate::p4gen::render_p4_16(&self.spec, &statics, &dynp, &layout);
         let control_plane = dynp.render_control_plane();
 
-        let DynamicProgram { tables, mcast, stats, bdd } = dynp;
+        let DynamicProgram {
+            tables,
+            mcast,
+            stats,
+            bdd,
+        } = dynp;
         let pipeline = Pipeline {
             layout,
             parser: statics.parser.clone(),
@@ -183,8 +197,17 @@ impl Compiler {
             registers: statics.registers.clone(),
             state_bindings: statics.state_bindings.clone(),
             init_fields: vec![(statics.state_meta, 0)],
+            exec: Default::default(),
         };
-        Ok(CompiledProgram { pipeline, stats, placement, p4_source, p4_16_source, control_plane, bdd })
+        Ok(CompiledProgram {
+            pipeline,
+            stats,
+            placement,
+            p4_source,
+            p4_16_source,
+            control_plane,
+            bdd,
+        })
     }
 }
 
@@ -200,14 +223,17 @@ fn compress_domains(
     let mut out: Vec<Table> = Vec::with_capacity(dynp.tables.len() * 2);
     let tables = std::mem::take(&mut dynp.tables);
     for mut table in tables {
-        let is_range_value_table =
-            table.keys.len() == 2 && table.keys[1].kind == MatchKind::Range;
+        let is_range_value_table = table.keys.len() == 2 && table.keys[1].kind == MatchKind::Range;
         if !is_range_value_table || table.is_empty() {
             out.push(table);
             continue;
         }
         let raw_key = table.keys[1];
-        let max = if raw_key.bits >= 64 { u64::MAX } else { (1u64 << raw_key.bits) - 1 };
+        let max = if raw_key.bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << raw_key.bits) - 1
+        };
 
         // Cut points: starts of every constrained region and the point
         // just past every region.
@@ -269,7 +295,14 @@ fn compress_domains(
         // Rewrite the main table onto the compact domain.
         let mut rewritten = Table::new(
             table.name.clone(),
-            vec![table.keys[0], Key { field: compact, kind: MatchKind::Range, bits: cbits }],
+            vec![
+                table.keys[0],
+                Key {
+                    field: compact,
+                    kind: MatchKind::Range,
+                    bits: cbits,
+                },
+            ],
             table.default_ops.clone(),
         );
         for e in table.entries() {
@@ -292,7 +325,9 @@ fn compress_domains(
             })?;
         }
         // Update stats bookkeeping: the compression table adds entries.
-        dynp.stats.table_entries.push((cmp_table.name.clone(), cmp_table.len()));
+        dynp.stats
+            .table_entries
+            .push((cmp_table.name.clone(), cmp_table.len()));
         dynp.stats.total_entries += cmp_table.len();
         table = rewritten;
         out.push(cmp_table);
@@ -362,7 +397,9 @@ mod tests {
              shares < 60 : fwd(4)",
         )
         .unwrap();
-        let plain = itch_compiler(CompilerOptions::raw()).compile(&rules).unwrap();
+        let plain = itch_compiler(CompilerOptions::raw())
+            .compile(&rules)
+            .unwrap();
         let compressed = itch_compiler(CompilerOptions {
             compress_bits: Some(8),
             ..CompilerOptions::raw()
@@ -386,9 +423,11 @@ mod tests {
 
     #[test]
     fn compression_reduces_tcam_charge() {
-        let rules = parse_program("price > 100 and price < 10000 : fwd(1)\nprice > 5000 : fwd(2)")
+        let rules =
+            parse_program("price > 100 and price < 10000 : fwd(1)\nprice > 5000 : fwd(2)").unwrap();
+        let plain = itch_compiler(CompilerOptions::raw())
+            .compile(&rules)
             .unwrap();
-        let plain = itch_compiler(CompilerOptions::raw()).compile(&rules).unwrap();
         let compressed = itch_compiler(CompilerOptions {
             compress_bits: Some(8),
             ..CompilerOptions::raw()

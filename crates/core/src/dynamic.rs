@@ -174,12 +174,24 @@ pub(crate) fn emit_tables(
     for (comp, paths) in comps.iter().zip(&comp_paths) {
         let info = bdd.field_info(comp.field);
         let phv = statics.field_phv[comp.field.0 as usize];
-        let kind = if info.exact { MatchKind::Exact } else { MatchKind::Range };
+        let kind = if info.exact {
+            MatchKind::Exact
+        } else {
+            MatchKind::Range
+        };
         let mut table = Table::new(
             format!("t_{}", info.name.replace('.', "_")),
             vec![
-                Key { field: statics.state_meta, kind: MatchKind::Exact, bits: 32 },
-                Key { field: phv, kind, bits: info.bits },
+                Key {
+                    field: statics.state_meta,
+                    kind: MatchKind::Exact,
+                    bits: 32,
+                },
+                Key {
+                    field: phv,
+                    kind,
+                    bits: info.bits,
+                },
             ],
             vec![], // miss: keep state (pass-through for skipped components)
         );
@@ -195,7 +207,10 @@ pub(crate) fn emit_tables(
                 // entries (Figure 4's `*` rows).
                 MatchValue::Any
             } else {
-                MatchValue::Range { lo: p.ctx.lo, hi: p.ctx.hi }
+                MatchValue::Range {
+                    lo: p.ctx.lo,
+                    hi: p.ctx.hi,
+                }
             };
             table.add_entry(Entry {
                 priority: p.rank as u32,
@@ -209,7 +224,11 @@ pub(crate) fn emit_tables(
     // Leaf table: terminal state → merged actions.
     let mut leaf = Table::new(
         "t_actions",
-        vec![Key { field: statics.state_meta, kind: MatchKind::Exact, bits: 32 }],
+        vec![Key {
+            field: statics.state_meta,
+            kind: MatchKind::Exact,
+            bits: 32,
+        }],
         vec![],
     );
     let mut terminals: Vec<(NodeRef, u64)> = es
@@ -220,7 +239,9 @@ pub(crate) fn emit_tables(
         .collect();
     terminals.sort_by_key(|&(_, s)| s);
     for (term, state) in terminals {
-        let NodeRef::Term(set) = term else { unreachable!() };
+        let NodeRef::Term(set) = term else {
+            unreachable!()
+        };
         if set == EMPTY_ACTIONS {
             continue; // miss = drop
         }
@@ -239,13 +260,14 @@ pub(crate) fn emit_tables(
                     };
                     ops.push(ActionOp::Register { slot, op });
                 }
-                RuleAction::CounterUpdate { counter_field, func } => {
+                RuleAction::CounterUpdate {
+                    counter_field,
+                    func,
+                } => {
                     let slot = statics.reg_slot[counter_field];
                     let op = match func {
                         CounterFunc::Increment => RegOp::Increment,
-                        CounterFunc::AddField(f) => {
-                            RegOp::Observe(statics.field_phv[f.0 as usize])
-                        }
+                        CounterFunc::AddField(f) => RegOp::Observe(statics.field_phv[f.0 as usize]),
                         CounterFunc::SetConst(v) => RegOp::SetConst(*v),
                         CounterFunc::SetField(f) => {
                             RegOp::SetField(statics.field_phv[f.0 as usize])
@@ -296,8 +318,11 @@ pub fn compile_dynamic(
     let mut es = EmissionState::new();
 
     // Build the BDD over the full predicate alphabet.
-    let alphabet: Vec<Pred> =
-        resolved.rules.iter().flat_map(|r| r.literals.iter().map(|(p, _)| *p)).collect();
+    let alphabet: Vec<Pred> = resolved
+        .rules
+        .iter()
+        .flat_map(|r| r.literals.iter().map(|(p, _)| *p))
+        .collect();
     let mut bdd = Bdd::new(resolved.fields.infos.clone(), alphabet)?;
     bdd.set_semantic_pruning(semantic_pruning);
     let mut unsat = 0usize;
@@ -326,7 +351,12 @@ pub fn compile_dynamic(
         mcast_groups: es.mcast.len(),
         states: es.next_state as usize,
     };
-    Ok(DynamicProgram { tables, mcast: es.mcast, stats, bdd })
+    Ok(DynamicProgram {
+        tables,
+        mcast: es.mcast,
+        stats,
+        bdd,
+    })
 }
 
 #[cfg(test)]
@@ -340,7 +370,10 @@ mod tests {
     fn compile(src: &str) -> (DynamicProgram, StaticPipeline) {
         let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
         let rules = parse_program(src).unwrap();
-        let opts = ResolveOptions { heuristic: OrderHeuristic::SpecOrder, ..Default::default() };
+        let opts = ResolveOptions {
+            heuristic: OrderHeuristic::SpecOrder,
+            ..Default::default()
+        };
         let resolved = resolve(&spec, &rules, &opts).unwrap();
         let statics = build_static(&spec, &resolved.fields, &Encap::Raw).unwrap();
         let dynp = compile_dynamic(&resolved, &statics, rules.len(), true).unwrap();
@@ -416,9 +449,11 @@ mod tests {
         let (dynp, statics) = compile("stock == GOOGL : fwd(1); my_counter <- incr()");
         assert_eq!(statics.registers.len(), 1);
         let leaf = dynp.tables.last().unwrap();
-        let has_reg = leaf
-            .entries()
-            .any(|e| e.ops.iter().any(|op| matches!(op, ActionOp::Register { .. })));
+        let has_reg = leaf.entries().any(|e| {
+            e.ops
+                .iter()
+                .any(|op| matches!(op, ActionOp::Register { .. }))
+        });
         assert!(has_reg);
     }
 }

@@ -47,14 +47,20 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::UnresolvedField(fr) => {
-                write!(f, "field `{fr}` is not a declared @query_field (or is ambiguous)")
+                write!(
+                    f,
+                    "field `{fr}` is not a declared @query_field (or is ambiguous)"
+                )
             }
             CompileError::UnknownStateVar(v) => write!(f, "unknown state variable `{v}`"),
             CompileError::RangeOnExactField(fr) => {
                 write!(f, "range predicate on exact-match field `{fr}`")
             }
             CompileError::ValueOutOfRange { field, value, bits } => {
-                write!(f, "constant {value} does not fit {bits}-bit field `{field}`")
+                write!(
+                    f,
+                    "constant {value} does not fit {bits}-bit field `{field}`"
+                )
             }
             CompileError::AggNeedsField(name) => {
                 write!(f, "aggregate `{name}` requires a field argument")

@@ -108,8 +108,11 @@ impl IncrementalCompiler {
         };
         let resolved = resolve(&spec, alphabet_rules, &ropts)?;
         let statics = build_static(&spec, &resolved.fields, &options.encap)?;
-        let alphabet: Vec<Pred> =
-            resolved.rules.iter().flat_map(|r| r.literals.iter().map(|(p, _)| *p)).collect();
+        let alphabet: Vec<Pred> = resolved
+            .rules
+            .iter()
+            .flat_map(|r| r.literals.iter().map(|(p, _)| *p))
+            .collect();
         let mut bdd = Bdd::new(resolved.fields.infos.clone(), alphabet)?;
         bdd.set_semantic_pruning(options.semantic_pruning);
         Ok(IncrementalCompiler {
@@ -139,14 +142,20 @@ impl IncrementalCompiler {
         let conjs = resolve_incremental(&self.spec, &self.fields, rules)?;
         let mut unsat = 0usize;
         for conj in &conjs {
-            let ids: Vec<ActionId> =
-                conj.actions.iter().map(|a| self.es.intern_action(a)).collect();
-            let inserted = self.bdd.add_rule(&conj.literals, &ids).map_err(|e| match e {
-                camus_bdd::BddError::UndeclaredPred(p) => CompileError::NeedsFullRecompile(
-                    format!("predicate {p} is outside the session's alphabet"),
-                ),
-                other => CompileError::Bdd(other),
-            })?;
+            let ids: Vec<ActionId> = conj
+                .actions
+                .iter()
+                .map(|a| self.es.intern_action(a))
+                .collect();
+            let inserted = self
+                .bdd
+                .add_rule(&conj.literals, &ids)
+                .map_err(|e| match e {
+                    camus_bdd::BddError::UndeclaredPred(p) => CompileError::NeedsFullRecompile(
+                        format!("predicate {p} is outside the session's alphabet"),
+                    ),
+                    other => CompileError::Bdd(other),
+                })?;
             if !inserted {
                 unsat += 1;
             }
@@ -191,6 +200,7 @@ impl IncrementalCompiler {
             registers: self.statics.registers.clone(),
             state_bindings: self.statics.state_bindings.clone(),
             init_fields: vec![(self.statics.state_meta, initial_state)],
+            exec: Default::default(),
         };
         Ok(UpdateReport {
             rules_added: rules.len(),
@@ -223,7 +233,12 @@ fn diff_multisets(
         let n = new.get(e).copied().unwrap_or(0);
         removed += o.saturating_sub(n);
     }
-    TableDelta { table: name.to_string(), added, removed, kept }
+    TableDelta {
+        table: name.to_string(),
+        added,
+        removed,
+        kept,
+    }
 }
 
 #[cfg(test)]
@@ -260,23 +275,40 @@ mod tests {
     #[test]
     fn staged_installs_accumulate_behaviour() {
         let mut s = session(ALPHABET);
-        let r1 = s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap()).unwrap();
+        let r1 = s
+            .install(&parse_program("stock == GOOGL : fwd(1)").unwrap())
+            .unwrap();
         let mut p1 = r1.pipeline;
-        assert_eq!(p1.process(&packet("GOOGL", 1, 1), 0).unwrap().ports, vec![PortId(1)]);
+        assert_eq!(
+            p1.process(&packet("GOOGL", 1, 1), 0).unwrap().ports,
+            vec![PortId(1)]
+        );
         assert!(p1.process(&packet("MSFT", 1, 1), 0).unwrap().dropped());
 
-        let r2 = s.install(&parse_program("stock == MSFT : fwd(2)").unwrap()).unwrap();
+        let r2 = s
+            .install(&parse_program("stock == MSFT : fwd(2)").unwrap())
+            .unwrap();
         let mut p2 = r2.pipeline;
-        assert_eq!(p2.process(&packet("GOOGL", 1, 1), 0).unwrap().ports, vec![PortId(1)]);
-        assert_eq!(p2.process(&packet("MSFT", 1, 1), 0).unwrap().ports, vec![PortId(2)]);
+        assert_eq!(
+            p2.process(&packet("GOOGL", 1, 1), 0).unwrap().ports,
+            vec![PortId(1)]
+        );
+        assert_eq!(
+            p2.process(&packet("MSFT", 1, 1), 0).unwrap().ports,
+            vec![PortId(2)]
+        );
         assert_eq!(s.rules_installed(), 2);
     }
 
     #[test]
     fn update_reuses_most_entries() {
         let mut s = session(ALPHABET);
-        let _ = s.install(&parse_program("stock == GOOGL : fwd(1)\nprice > 100 : fwd(3)").unwrap()).unwrap();
-        let r = s.install(&parse_program("stock == MSFT : fwd(2)").unwrap()).unwrap();
+        let _ = s
+            .install(&parse_program("stock == GOOGL : fwd(1)\nprice > 100 : fwd(3)").unwrap())
+            .unwrap();
+        let r = s
+            .install(&parse_program("stock == MSFT : fwd(2)").unwrap())
+            .unwrap();
         // The GOOGL and price entries survive the update.
         assert!(r.entries_kept > 0, "{r:?}");
         assert!(r.entries_added > 0);
@@ -294,7 +326,9 @@ mod tests {
         let mut s = session(ALPHABET);
         s.install(&parse_program("stock == GOOGL : fwd(1)\nstock == MSFT : fwd(2)").unwrap())
             .unwrap();
-        let inc = s.install(&parse_program("price > 100 : fwd(3)").unwrap()).unwrap();
+        let inc = s
+            .install(&parse_program("price > 100 : fwd(3)").unwrap())
+            .unwrap();
         let mut inc_pipe = inc.pipeline;
 
         let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
@@ -319,10 +353,14 @@ mod tests {
     #[test]
     fn out_of_alphabet_predicates_need_full_recompile() {
         let mut s = session(ALPHABET);
-        let err = s.install(&parse_program("price > 999 : fwd(4)").unwrap()).unwrap_err();
+        let err = s
+            .install(&parse_program("price > 999 : fwd(4)").unwrap())
+            .unwrap_err();
         assert!(matches!(err, CompileError::NeedsFullRecompile(_)), "{err}");
         // New aggregates are also a static change.
-        let err = s.install(&parse_program("avg(price) > 10 : fwd(4)").unwrap()).unwrap_err();
+        let err = s
+            .install(&parse_program("avg(price) > 10 : fwd(4)").unwrap())
+            .unwrap_err();
         assert!(matches!(err, CompileError::NeedsFullRecompile(_)), "{err}");
     }
 
@@ -330,23 +368,32 @@ mod tests {
     fn same_action_alphabet_ports_are_fine() {
         // Actions are not part of the alphabet: any fwd() target works.
         let mut s = session(ALPHABET);
-        let r = s.install(&parse_program("stock == GOOGL : fwd(77)").unwrap()).unwrap();
+        let r = s
+            .install(&parse_program("stock == GOOGL : fwd(77)").unwrap())
+            .unwrap();
         let mut p = r.pipeline;
-        assert_eq!(p.process(&packet("GOOGL", 1, 1), 0).unwrap().ports, vec![PortId(77)]);
+        assert_eq!(
+            p.process(&packet("GOOGL", 1, 1), 0).unwrap().ports,
+            vec![PortId(77)]
+        );
     }
 
     #[test]
     fn memo_accumulates_across_installs() {
         let mut s = session(ALPHABET);
-        s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap()).unwrap();
-        let r = s.install(&parse_program("stock == MSFT : fwd(2)").unwrap()).unwrap();
+        s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap())
+            .unwrap();
+        let r = s
+            .install(&parse_program("stock == MSFT : fwd(2)").unwrap())
+            .unwrap();
         assert!(r.memo.1 > 0, "misses counted");
     }
 
     #[test]
     fn empty_install_is_a_noop_diff() {
         let mut s = session(ALPHABET);
-        s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap()).unwrap();
+        s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap())
+            .unwrap();
         let r = s.install(&[]).unwrap();
         assert_eq!(r.entries_added, 0);
         assert_eq!(r.entries_removed, 0);

@@ -156,7 +156,10 @@ pub struct ResolveOptions {
 
 impl Default for ResolveOptions {
     fn default() -> Self {
-        ResolveOptions { heuristic: OrderHeuristic::default(), default_window_us: 100 }
+        ResolveOptions {
+            heuristic: OrderHeuristic::default(),
+            default_window_us: 100,
+        }
     }
 }
 
@@ -181,7 +184,11 @@ pub fn resolve_incremental(
 }
 
 /// Resolves and normalizes a rule set against a spec.
-pub fn resolve(spec: &Spec, rules: &[Rule], opts: &ResolveOptions) -> Result<Resolved, CompileError> {
+pub fn resolve(
+    spec: &Spec,
+    rules: &[Rule],
+    opts: &ResolveOptions,
+) -> Result<Resolved, CompileError> {
     let mut builder = Builder::new(spec, opts);
     // Pass 1: allocate slots in a deterministic (spec, first-use) order.
     for rule in rules {
@@ -192,7 +199,10 @@ pub fn resolve(spec: &Spec, rules: &[Rule], opts: &ResolveOptions) -> Result<Res
     for (ri, rule) in rules.iter().enumerate() {
         builder.lower_rule(ri, rule, &mut out)?;
     }
-    let mut resolved = Resolved { fields: builder.finish(), rules: out };
+    let mut resolved = Resolved {
+        fields: builder.finish(),
+        rules: out,
+    };
     reorder(&mut resolved, opts.heuristic);
     Ok(resolved)
 }
@@ -205,8 +215,11 @@ fn reorder(resolved: &mut Resolved, heuristic: OrderHeuristic) {
         return;
     }
     let exact: Vec<bool> = resolved.fields.infos.iter().map(|i| i.exact).collect();
-    let conjs: Vec<&[(Pred, bool)]> =
-        resolved.rules.iter().map(|r| r.literals.as_slice()).collect();
+    let conjs: Vec<&[(Pred, bool)]> = resolved
+        .rules
+        .iter()
+        .map(|r| r.literals.as_slice())
+        .collect();
     let usage = field_usage(conjs, n, &exact);
     let perm = order_fields(&usage, heuristic); // perm[new] = old
     let mut old_to_new = vec![0u32; n];
@@ -230,7 +243,10 @@ fn reorder(resolved: &mut Resolved, heuristic: OrderHeuristic) {
         for a in &mut r.actions {
             match a {
                 RuleAction::ObserveAgg { agg_field } => remap(agg_field),
-                RuleAction::CounterUpdate { counter_field, func } => {
+                RuleAction::CounterUpdate {
+                    counter_field,
+                    func,
+                } => {
                     remap(counter_field);
                     match func {
                         CounterFunc::AddField(f) | CounterFunc::SetField(f) => remap(f),
@@ -280,7 +296,10 @@ impl<'a> Builder<'a> {
             b.push_slot(
                 key,
                 FieldInfo::range(format!("ctr_{}", c.name), 64),
-                SlotKind::Counter { name: c.name.clone(), window_us: c.window_us },
+                SlotKind::Counter {
+                    name: c.name.clone(),
+                    window_us: c.window_us,
+                },
             );
         }
         b
@@ -312,7 +331,10 @@ impl<'a> Builder<'a> {
     }
 
     fn finish(self) -> FieldTable {
-        FieldTable { infos: self.infos, kinds: self.kinds }
+        FieldTable {
+            infos: self.infos,
+            kinds: self.kinds,
+        }
     }
 
     fn packet_slot(&self, fr: &camus_lang::ast::FieldRef) -> Option<(FieldId, &QueryField)> {
@@ -328,7 +350,11 @@ impl<'a> Builder<'a> {
         self.index.get(&format!("ctr:{name}")).copied()
     }
 
-    fn agg_slot(&mut self, func: AggFn, fr: Option<&camus_lang::ast::FieldRef>) -> Result<FieldId, CompileError> {
+    fn agg_slot(
+        &mut self,
+        func: AggFn,
+        fr: Option<&camus_lang::ast::FieldRef>,
+    ) -> Result<FieldId, CompileError> {
         let src = match fr {
             Some(fr) => Some(
                 self.packet_slot(fr)
@@ -365,7 +391,11 @@ impl<'a> Builder<'a> {
         Ok(self.push_slot(
             key,
             FieldInfo::range(name, 64),
-            SlotKind::Agg { agg, src, window_us: self.opts.default_window_us },
+            SlotKind::Agg {
+                agg,
+                src,
+                window_us: self.opts.default_window_us,
+            },
         ))
     }
 
@@ -411,9 +441,9 @@ impl<'a> Builder<'a> {
                 }
                 Err(CompileError::UnresolvedField(fr.clone()))
             }
-            Operand::StateVar(name) => {
-                self.counter_slot(name).ok_or_else(|| CompileError::UnknownStateVar(name.clone()))
-            }
+            Operand::StateVar(name) => self
+                .counter_slot(name)
+                .ok_or_else(|| CompileError::UnknownStateVar(name.clone())),
             Operand::Agg { func, field } => self.agg_slot(*func, field.as_ref()),
         }
     }
@@ -437,11 +467,18 @@ impl<'a> Builder<'a> {
         };
         // Range ops on exact fields are rejected up front with a source-
         // level error (the BDD would reject them too, less readably).
-        if info.exact && atom.op != camus_lang::ast::RelOp::Eq && atom.op != camus_lang::ast::RelOp::Ne
+        if info.exact
+            && atom.op != camus_lang::ast::RelOp::Eq
+            && atom.op != camus_lang::ast::RelOp::Ne
         {
-            return Err(CompileError::RangeOnExactField(operand_field_ref(&atom.operand)));
+            return Err(CompileError::RangeOnExactField(operand_field_ref(
+                &atom.operand,
+            )));
         }
-        Ok(LoweredAtom { canon: canonicalize(field, atom.op, value, bits), field })
+        Ok(LoweredAtom {
+            canon: canonicalize(field, atom.op, value, bits),
+            field,
+        })
     }
 
     fn lower_rule(
@@ -458,12 +495,21 @@ impl<'a> Builder<'a> {
             for lit in &conj {
                 debug_assert!(lit.positive);
                 match self.lower_atom(&lit.atom)? {
-                    LoweredAtom { canon: Canon::Always(true), .. } => {}
-                    LoweredAtom { canon: Canon::Always(false), .. } => {
+                    LoweredAtom {
+                        canon: Canon::Always(true),
+                        ..
+                    } => {}
+                    LoweredAtom {
+                        canon: Canon::Always(false),
+                        ..
+                    } => {
                         unsat = true;
                         break;
                     }
-                    LoweredAtom { canon: Canon::Lit(p, pol), .. } => literals.push((p, pol)),
+                    LoweredAtom {
+                        canon: Canon::Lit(p, pol),
+                        ..
+                    } => literals.push((p, pol)),
                 }
             }
             if unsat {
@@ -479,15 +525,22 @@ impl<'a> Builder<'a> {
             agg_slots.sort_unstable();
             agg_slots.dedup();
             for agg in agg_slots {
-                let guard: Vec<(Pred, bool)> =
-                    literals.iter().filter(|(p, _)| p.field != agg).copied().collect();
+                let guard: Vec<(Pred, bool)> = literals
+                    .iter()
+                    .filter(|(p, _)| p.field != agg)
+                    .copied()
+                    .collect();
                 out.push(ResolvedConj {
                     literals: guard,
                     actions: vec![RuleAction::ObserveAgg { agg_field: agg }],
                     source_rule: rule_index,
                 });
             }
-            out.push(ResolvedConj { literals, actions: actions.clone(), source_rule: rule_index });
+            out.push(ResolvedConj {
+                literals,
+                actions: actions.clone(),
+                source_rule: rule_index,
+            });
         }
         Ok(())
     }
@@ -521,7 +574,10 @@ impl<'a> Builder<'a> {
                                 .ok_or_else(|| CompileError::UnresolvedField(fr.clone()))?,
                         ),
                     };
-                    out.push(RuleAction::CounterUpdate { counter_field, func });
+                    out.push(RuleAction::CounterUpdate {
+                        counter_field,
+                        func,
+                    });
                 }
             }
         }
@@ -624,17 +680,26 @@ mod tests {
         assert_eq!(main.literals.len(), 2);
         // The agg pseudo-field exists and is stateful.
         let agg_slots: Vec<_> = r.fields.state_slots().collect();
-        assert!(agg_slots.iter().any(|(_, k)| matches!(k, SlotKind::Agg { agg: AggKind::Avg, .. })));
+        assert!(agg_slots.iter().any(|(_, k)| matches!(
+            k,
+            SlotKind::Agg {
+                agg: AggKind::Avg,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn counter_predicates_and_updates_resolve() {
-        let r = resolve_src("my_counter > 10 : fwd(2)\nstock == AAPL : my_counter <- incr()")
-            .unwrap();
+        let r =
+            resolve_src("my_counter > 10 : fwd(2)\nstock == AAPL : my_counter <- incr()").unwrap();
         assert_eq!(r.rules.len(), 2);
         assert!(matches!(
             r.rules[1].actions[0],
-            RuleAction::CounterUpdate { func: CounterFunc::Increment, .. }
+            RuleAction::CounterUpdate {
+                func: CounterFunc::Increment,
+                ..
+            }
         ));
     }
 
@@ -708,8 +773,18 @@ mod tests {
         };
         let r = resolve(&itch(), &rules, &opts).unwrap();
         // `stock` (2 refs) must come before `shares` (1 ref).
-        let stock_pos = r.fields.infos.iter().position(|i| i.name == "add_order.stock").unwrap();
-        let shares_pos = r.fields.infos.iter().position(|i| i.name == "add_order.shares").unwrap();
+        let stock_pos = r
+            .fields
+            .infos
+            .iter()
+            .position(|i| i.name == "add_order.stock")
+            .unwrap();
+        let shares_pos = r
+            .fields
+            .infos
+            .iter()
+            .position(|i| i.name == "add_order.shares")
+            .unwrap();
         assert!(stock_pos < shares_pos);
         // Literals were remapped consistently.
         for rule in &r.rules {
@@ -726,7 +801,10 @@ mod tests {
     #[test]
     fn spec_order_heuristic_preserves_annotation_order() {
         let rules = parse_program("stock == GOOGL : fwd(1)").unwrap();
-        let opts = ResolveOptions { heuristic: OrderHeuristic::SpecOrder, ..Default::default() };
+        let opts = ResolveOptions {
+            heuristic: OrderHeuristic::SpecOrder,
+            ..Default::default()
+        };
         let r = resolve(&itch(), &rules, &opts).unwrap();
         let names: Vec<&str> = r.fields.infos.iter().map(|i| i.name.as_str()).collect();
         assert_eq!(

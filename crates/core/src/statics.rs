@@ -99,14 +99,22 @@ pub fn build_static(
         let fid = FieldId(i as u32);
         let info = &fields.infos[i];
         let phv = match kind {
-            SlotKind::Packet(qf) => layout
-                .get(&qf.field.to_string())
-                .ok_or_else(|| CompileError::BadSpec(format!("field {} not in layout", qf.field)))?,
-            SlotKind::Agg { agg, src, window_us } => {
+            SlotKind::Packet(qf) => layout.get(&qf.field.to_string()).ok_or_else(|| {
+                CompileError::BadSpec(format!("field {} not in layout", qf.field))
+            })?,
+            SlotKind::Agg {
+                agg,
+                src,
+                window_us,
+            } => {
                 let dst = layout.add(format!("meta.{}", info.name), 64);
                 let slot = registers.allocate(*window_us);
                 reg_slot.insert(fid, slot);
-                state_bindings.push(StateBinding { dst, slot, agg: *agg });
+                state_bindings.push(StateBinding {
+                    dst,
+                    slot,
+                    agg: *agg,
+                });
                 let src_phv = match src {
                     Some(qf) => Some(layout.get(&qf.field.to_string()).ok_or_else(|| {
                         CompileError::BadSpec(format!("agg source {} not in layout", qf.field))
@@ -122,7 +130,11 @@ pub fn build_static(
                 reg_slot.insert(fid, slot);
                 // Counters read as the running sum: incr() folds 1,
                 // add(f) folds f, set(x) resets the sum to x.
-                state_bindings.push(StateBinding { dst, slot, agg: AggKind::Sum });
+                state_bindings.push(StateBinding {
+                    dst,
+                    slot,
+                    agg: AggKind::Sum,
+                });
                 dst
             }
         };
@@ -170,7 +182,9 @@ fn extracts_for_instance(
         .iter()
         .filter(|f| f.bits <= 64)
         .map(|f| Extract {
-            dst: layout.get(&format!("{}.{}", inst.name, f.name)).expect("added above"),
+            dst: layout
+                .get(&format!("{}.{}", inst.name, f.name))
+                .expect("added above"),
             bit_offset: base_bits + f.bit_offset,
             bits: f.bits,
         })
@@ -229,11 +243,15 @@ fn build_mold_parser(
                 CompileError::BadSpec(format!("message-select field `{fname}` not in header"))
             })?;
             if decl.bits > 64 {
-                return Err(CompileError::BadSpec("message-select field wider than 64 bits".into()));
+                return Err(CompileError::BadSpec(
+                    "message-select field wider than 64 bits".into(),
+                ));
             }
             let slot = layout
                 .get(&format!("{}.{}", inst.name, fname))
-                .ok_or_else(|| CompileError::BadSpec("message-select field has no PHV slot".into()))?;
+                .ok_or_else(|| {
+                    CompileError::BadSpec("message-select field has no PHV slot".into())
+                })?;
             Some((slot, decl.bit_offset, decl.bits, value))
         }
         None => None,
@@ -253,19 +271,35 @@ fn build_mold_parser(
     let mut states = vec![
         ParseState {
             name: "ethernet".into(),
-            extracts: vec![Extract { dst: ethertype, bit_offset: 96, bits: 16 }],
+            extracts: vec![Extract {
+                dst: ethertype,
+                bit_offset: 96,
+                bits: 16,
+            }],
             advance_bits: ETH_BITS,
             advance_bytes_from: None,
             emit: false,
-            next: Transition::Select { field: ethertype, cases: vec![(0x0800, S_IP)], default: None },
+            next: Transition::Select {
+                field: ethertype,
+                cases: vec![(0x0800, S_IP)],
+                default: None,
+            },
         },
         ParseState {
             name: "ipv4".into(),
-            extracts: vec![Extract { dst: ip_proto, bit_offset: 72, bits: 8 }],
+            extracts: vec![Extract {
+                dst: ip_proto,
+                bit_offset: 72,
+                bits: 8,
+            }],
             advance_bits: IP_BITS,
             advance_bytes_from: None,
             emit: false,
-            next: Transition::Select { field: ip_proto, cases: vec![(17, S_UDP)], default: None },
+            next: Transition::Select {
+                field: ip_proto,
+                cases: vec![(17, S_UDP)],
+                default: None,
+            },
         },
         ParseState {
             name: "udp".into(),
@@ -287,11 +321,23 @@ fn build_mold_parser(
 
     // Block dispatch: read the length prefix (and the discriminator when
     // configured), then parse or skip.
-    let mut block_extracts = vec![Extract { dst: msg_len, bit_offset: 0, bits: 16 }];
+    let mut block_extracts = vec![Extract {
+        dst: msg_len,
+        bit_offset: 0,
+        bits: 16,
+    }];
     let next = match select {
         Some((slot, off, bits, value)) => {
-            block_extracts.push(Extract { dst: slot, bit_offset: 16 + off, bits });
-            Transition::Select { field: slot, cases: vec![(value, S_ACCEPT_MSG)], default: Some(S_SKIP_MSG) }
+            block_extracts.push(Extract {
+                dst: slot,
+                bit_offset: 16 + off,
+                bits,
+            });
+            Transition::Select {
+                field: slot,
+                cases: vec![(value, S_ACCEPT_MSG)],
+                default: Some(S_SKIP_MSG),
+            }
         }
         None => Transition::Always(S_ACCEPT_MSG),
     };
@@ -352,7 +398,9 @@ mod tests {
     fn mold_parser_emits_only_selected_messages() {
         let sp = itch_static(
             "stock == GOOGL : fwd(1)",
-            Encap::EthIpUdpMold { message_select: Some(("msg_type".into(), u64::from(b'A'))) },
+            Encap::EthIpUdpMold {
+                message_select: Some(("msg_type".into(), u64::from(b'A'))),
+            },
         );
         // Feed with one add-order and one delete (type 'D', skipped).
         let add = camus_itch_wire();
@@ -372,7 +420,9 @@ mod tests {
     fn mold_parser_handles_multiple_matches() {
         let sp = itch_static(
             "stock == GOOGL : fwd(1)",
-            Encap::EthIpUdpMold { message_select: Some(("msg_type".into(), u64::from(b'A'))) },
+            Encap::EthIpUdpMold {
+                message_select: Some(("msg_type".into(), u64::from(b'A'))),
+            },
         );
         let add = camus_itch_wire();
         let pkt = feed_packet(&[&add, &add, &add]);
@@ -384,7 +434,9 @@ mod tests {
     fn mold_parser_rejects_non_udp() {
         let sp = itch_static(
             "stock == GOOGL : fwd(1)",
-            Encap::EthIpUdpMold { message_select: None },
+            Encap::EthIpUdpMold {
+                message_select: None,
+            },
         );
         let mut pkt = feed_packet(&[]);
         pkt[23] = 6; // TCP
@@ -405,13 +457,18 @@ mod tests {
 
     #[test]
     fn bad_specs_are_rejected() {
-        let spec = parse_spec("header_type t { fields { x: 8; } }\nheader t a;\nheader t b;\n@query_field(a.x)").unwrap();
+        let spec = parse_spec(
+            "header_type t { fields { x: 8; } }\nheader t a;\nheader t b;\n@query_field(a.x)",
+        )
+        .unwrap();
         let rules = parse_program("a.x > 1 : fwd(1)").unwrap();
         let resolved = resolve(&spec, &rules, &ResolveOptions::default()).unwrap();
         let err = build_static(
             &spec,
             &resolved.fields,
-            &Encap::EthIpUdpMold { message_select: None },
+            &Encap::EthIpUdpMold {
+                message_select: None,
+            },
         )
         .unwrap_err();
         assert!(matches!(err, CompileError::BadSpec(_)));
@@ -419,7 +476,9 @@ mod tests {
         let err = build_static(
             &spec,
             &resolved.fields,
-            &Encap::EthIpUdpMold { message_select: Some(("nope".into(), 1)) },
+            &Encap::EthIpUdpMold {
+                message_select: Some(("nope".into(), 1)),
+            },
         )
         .unwrap_err();
         assert!(matches!(err, CompileError::BadSpec(_)));

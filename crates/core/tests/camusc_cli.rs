@@ -46,7 +46,11 @@ fn compiles_and_writes_artifacts() {
         .arg(&out)
         .output()
         .expect("camusc runs");
-    assert!(status.status.success(), "{}", String::from_utf8_lossy(&status.stderr));
+    assert!(
+        status.status.success(),
+        "{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
     let stdout = String::from_utf8_lossy(&status.stdout);
     assert!(stdout.contains("compiled 2 rules"), "{stdout}");
     assert!(stdout.contains("fits"), "{stdout}");
@@ -57,7 +61,9 @@ fn compiles_and_writes_artifacts() {
     assert!(cp.contains("table_add t_actions"));
     let dot = fs::read_to_string(out.join("bdd.dot")).unwrap();
     assert!(dot.starts_with("digraph"));
-    assert!(fs::read_to_string(out.join("report.txt")).unwrap().contains("table entries"));
+    assert!(fs::read_to_string(out.join("report.txt"))
+        .unwrap()
+        .contains("table entries"));
 }
 
 #[test]
@@ -105,7 +111,13 @@ fn bad_rules_fail_with_diagnostic() {
 #[test]
 fn missing_file_is_a_clean_error() {
     let out = camusc()
-        .args(["--spec", "/nonexistent.p4q", "--rules", "/nonexistent.camus", "--check"])
+        .args([
+            "--spec",
+            "/nonexistent.p4q",
+            "--rules",
+            "/nonexistent.camus",
+            "--check",
+        ])
         .output()
         .expect("camusc runs");
     assert!(!out.status.success());
@@ -114,7 +126,10 @@ fn missing_file_is_a_clean_error() {
 
 #[test]
 fn unknown_flag_prints_usage() {
-    let out = camusc().args(["--frobnicate"]).output().expect("camusc runs");
+    let out = camusc()
+        .args(["--frobnicate"])
+        .output()
+        .expect("camusc runs");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }

@@ -1,0 +1,522 @@
+//! # camus-engine — a multi-core sharded forwarding engine
+//!
+//! Wraps the sequential [`Pipeline`](camus_pipeline::Pipeline) executor
+//! with N worker threads (std-only: `std::thread` plus bounded
+//! channels), each owning a cloned pipeline, and shards packets
+//! RSS-style on a flow key — by default the ITCH stock symbol
+//! ([`shard::itch_symbol_shard`]).
+//!
+//! Camus's stateful rules (`@query_counter`) are keyed on the stock
+//! symbol, so symbol sharding keeps every register slot's updates on
+//! exactly one worker and the engine's forwarding decisions are
+//! **bit-identical** to running the sequential executor over the same
+//! trace (verified by the determinism test). Each worker processes its
+//! packets in submission order through
+//! [`Pipeline::process_batch`](camus_pipeline::Pipeline::process_batch),
+//! the allocation-free batch hot path; batches and their byte arenas
+//! are recycled through a return channel, so the steady state allocates
+//! nothing per packet on either side of the queue.
+//!
+//! ```no_run
+//! use camus_engine::{shard, Engine, EngineConfig};
+//! # fn demo(pipeline: &camus_pipeline::Pipeline, trace: &[(Vec<u8>, u64)]) {
+//! let mut engine = Engine::start(pipeline, &EngineConfig::default(),
+//!                                shard::itch_symbol_shard());
+//! for (bytes, now_us) in trace {
+//!     engine.submit(bytes, *now_us);
+//! }
+//! let report = engine.finish();
+//! println!("{} packets, {} matched messages",
+//!          report.stats.packets, report.stats.matched_messages);
+//! # }
+//! ```
+
+pub mod shard;
+
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::thread::JoinHandle;
+
+use camus_pipeline::{DecisionBuf, ExecStats, ForwardDecision, Pipeline, PipelineError};
+
+pub use shard::ShardFn;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads. Defaults to the machine's available parallelism.
+    pub workers: usize,
+    /// Packets accumulated per batch before hand-off to a worker.
+    pub batch_packets: usize,
+    /// Bounded depth (in batches) of each worker's input queue;
+    /// [`Engine::submit`] applies backpressure when a worker lags.
+    pub queue_batches: usize,
+    /// Record every per-packet [`ForwardDecision`] in the report
+    /// (needed by the determinism test; costs an allocation per packet,
+    /// so leave off when benchmarking throughput).
+    pub record_decisions: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            batch_packets: 64,
+            queue_batches: 8,
+            record_decisions: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Config with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            ..Default::default()
+        }
+    }
+}
+
+/// A flattened batch of packets: one contiguous byte arena plus
+/// per-packet end offsets, so recycling a batch recycles every
+/// allocation in it at once.
+#[derive(Debug, Default)]
+struct Batch {
+    seqs: Vec<u64>,
+    times: Vec<u64>,
+    ends: Vec<usize>,
+    bytes: Vec<u8>,
+}
+
+impl Batch {
+    fn clear(&mut self) {
+        self.seqs.clear();
+        self.times.clear();
+        self.ends.clear();
+        self.bytes.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    fn push(&mut self, seq: u64, now_us: u64, packet: &[u8]) {
+        self.seqs.push(seq);
+        self.times.push(now_us);
+        self.bytes.extend_from_slice(packet);
+        self.ends.push(self.bytes.len());
+    }
+
+    fn packet(&self, i: usize) -> (&[u8], u64) {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        (&self.bytes[start..self.ends[i]], self.times[i])
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&[u8], u64)> {
+        (0..self.len()).map(|i| self.packet(i))
+    }
+}
+
+/// A pipeline error annotated with where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// Worker that hit the error.
+    pub worker: usize,
+    /// Submission sequence number of the failing packet.
+    pub packet_seq: u64,
+    /// The underlying pipeline error.
+    pub error: PipelineError,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker {} failed on packet {}: {}",
+            self.worker, self.packet_seq, self.error
+        )
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+struct WorkerOutput {
+    stats: ExecStats,
+    decisions: Vec<(u64, ForwardDecision)>,
+    error: Option<EngineError>,
+}
+
+struct WorkerHandle {
+    tx: SyncSender<Batch>,
+    recycle_rx: Receiver<Batch>,
+    pending: Batch,
+    handle: JoinHandle<WorkerOutput>,
+}
+
+/// The engine-level report: aggregated and per-worker counters, plus
+/// (optionally) every forwarding decision in submission order.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Worker threads that ran.
+    pub workers: usize,
+    /// Aggregated execution counters across all workers.
+    pub stats: ExecStats,
+    /// Per-worker execution counters (index = worker).
+    pub per_worker: Vec<ExecStats>,
+    /// Per-packet decisions in submission order; empty unless
+    /// [`EngineConfig::record_decisions`] was set. With an `error`,
+    /// holds whatever completed, still in submission order.
+    pub decisions: Vec<ForwardDecision>,
+    /// First error any worker hit, if any. The failing worker stops
+    /// processing further batches; other shards run to completion.
+    pub error: Option<EngineError>,
+}
+
+/// A running multi-core engine. Create with [`Engine::start`], feed it
+/// with [`Engine::submit`], then call [`Engine::finish`] to join the
+/// workers and collect the [`EngineReport`].
+pub struct Engine {
+    workers: Vec<WorkerHandle>,
+    shard: ShardFn,
+    batch_packets: usize,
+    next_seq: u64,
+}
+
+fn worker_loop(
+    index: usize,
+    mut pipeline: Pipeline,
+    rx: Receiver<Batch>,
+    recycle_tx: Sender<Batch>,
+    record: bool,
+) -> WorkerOutput {
+    let mut out = DecisionBuf::default();
+    let mut decisions: Vec<(u64, ForwardDecision)> = Vec::new();
+    let mut error: Option<EngineError> = None;
+    while let Ok(batch) = rx.recv() {
+        if error.is_none() {
+            out.clear();
+            match pipeline.process_batch(batch.iter(), &mut out) {
+                Ok(()) => {
+                    if record {
+                        for (i, d) in out.iter().enumerate() {
+                            decisions.push((batch.seqs[i], d.clone()));
+                        }
+                    }
+                }
+                Err(e) => {
+                    // The failing packet's slot is the last one claimed.
+                    let seq = batch.seqs[out.len().saturating_sub(1)];
+                    error = Some(EngineError {
+                        worker: index,
+                        packet_seq: seq,
+                        error: e,
+                    });
+                }
+            }
+        }
+        // Hand the batch back for reuse; the engine may already be
+        // finishing, in which case the recycle side is simply gone.
+        let _ = recycle_tx.send(batch);
+    }
+    WorkerOutput {
+        stats: pipeline.exec.stats.clone(),
+        decisions,
+        error,
+    }
+}
+
+impl Engine {
+    /// Spawns the worker threads, each owning a clone of `pipeline`
+    /// (tables prepared once up front, counters zeroed). Register
+    /// *contents* are cloned as-is, so start from a freshly compiled
+    /// pipeline for reproducible runs.
+    pub fn start(pipeline: &Pipeline, cfg: &EngineConfig, shard: ShardFn) -> Engine {
+        let n = cfg.workers.max(1);
+        let mut template = pipeline.clone();
+        template.prepare();
+        template.exec.stats.reset();
+        let workers = (0..n)
+            .map(|wi| {
+                let (tx, rx) = sync_channel::<Batch>(cfg.queue_batches.max(1));
+                let (recycle_tx, recycle_rx) = channel::<Batch>();
+                let worker_pipeline = template.clone();
+                let record = cfg.record_decisions;
+                let handle = std::thread::Builder::new()
+                    .name(format!("camus-engine-{wi}"))
+                    .spawn(move || worker_loop(wi, worker_pipeline, rx, recycle_tx, record))
+                    .expect("spawn engine worker");
+                WorkerHandle {
+                    tx,
+                    recycle_rx,
+                    pending: Batch::default(),
+                    handle,
+                }
+            })
+            .collect();
+        Engine {
+            workers,
+            shard,
+            batch_packets: cfg.batch_packets.max(1),
+            next_seq: 0,
+        }
+    }
+
+    /// Routes one packet to its shard's worker. Packets with equal
+    /// shard keys are processed in submission order on one worker.
+    /// Blocks (backpressure) when that worker's queue is full.
+    pub fn submit(&mut self, packet: &[u8], now_us: u64) {
+        let key = (self.shard)(packet);
+        let wi = (shard::mix64(key) % self.workers.len() as u64) as usize;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let w = &mut self.workers[wi];
+        w.pending.push(seq, now_us, packet);
+        if w.pending.len() >= self.batch_packets {
+            Self::flush_worker(w);
+        }
+    }
+
+    /// Packets submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn flush_worker(w: &mut WorkerHandle) {
+        if w.pending.is_empty() {
+            return;
+        }
+        // Reuse a batch the worker has already drained, if one is
+        // waiting; otherwise grow the pool by one.
+        let mut next = w.recycle_rx.try_recv().unwrap_or_default();
+        next.clear();
+        let full = std::mem::replace(&mut w.pending, next);
+        // A send error means the worker died; the panic surfaces when
+        // finish() joins the thread.
+        let _ = w.tx.send(full);
+    }
+
+    /// Flushes remaining packets, joins every worker and aggregates
+    /// the report.
+    pub fn finish(self) -> EngineReport {
+        let workers = self.workers.len();
+        let mut per_worker = Vec::with_capacity(workers);
+        let mut all_decisions: Vec<(u64, ForwardDecision)> = Vec::new();
+        let mut error: Option<EngineError> = None;
+
+        let mut handles = Vec::with_capacity(workers);
+        for mut w in self.workers {
+            Self::flush_worker(&mut w);
+            // Dropping the sender ends the worker's recv loop.
+            drop(w.tx);
+            drop(w.recycle_rx);
+            handles.push(w.handle);
+        }
+        for handle in handles {
+            let out = handle.join().expect("engine worker panicked");
+            per_worker.push(out.stats);
+            all_decisions.extend(out.decisions);
+            if error.is_none() {
+                error = out.error;
+            }
+        }
+
+        let mut stats = ExecStats::default();
+        for s in &per_worker {
+            stats.merge(s);
+        }
+        all_decisions.sort_unstable_by_key(|(seq, _)| *seq);
+        let decisions = all_decisions.into_iter().map(|(_, d)| d).collect();
+        EngineReport {
+            workers,
+            stats,
+            per_worker,
+            decisions,
+            error,
+        }
+    }
+}
+
+/// Convenience one-shot: start, replay `packets`, finish.
+pub fn run_trace<'a, I>(
+    pipeline: &Pipeline,
+    cfg: &EngineConfig,
+    shard: ShardFn,
+    packets: I,
+) -> EngineReport
+where
+    I: IntoIterator<Item = (&'a [u8], u64)>,
+{
+    let mut engine = Engine::start(pipeline, cfg, shard);
+    for (bytes, now_us) in packets {
+        engine.submit(bytes, now_us);
+    }
+    engine.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_pipeline::parser::{Extract, ParseState, ParserSpec, StateId, Transition};
+    use camus_pipeline::register::RegisterFile;
+    use camus_pipeline::{
+        ActionOp, Entry, ExecState, Key, MatchKind, MatchValue, MulticastTable, PhvLayout, PortId,
+        Table,
+    };
+    use std::sync::Arc;
+
+    /// One-byte-symbol pipeline: byte b forwards to port b for b in
+    /// 1..=4; other bytes miss and drop.
+    fn byte_pipeline() -> Pipeline {
+        let mut layout = PhvLayout::new();
+        let sym = layout.add("sym", 8);
+        let parser = ParserSpec::new(
+            vec![ParseState {
+                name: "start".into(),
+                extracts: vec![Extract {
+                    dst: sym,
+                    bit_offset: 0,
+                    bits: 8,
+                }],
+                advance_bits: 8,
+                advance_bytes_from: None,
+                emit: false,
+                next: Transition::Accept,
+            }],
+            StateId(0),
+        );
+        let mut table = Table::new(
+            "leaf",
+            vec![Key {
+                field: sym,
+                kind: MatchKind::Exact,
+                bits: 8,
+            }],
+            vec![],
+        );
+        for b in 1u64..=4 {
+            table
+                .add_entry(Entry {
+                    priority: 0,
+                    matches: vec![MatchValue::Exact(b)],
+                    ops: vec![ActionOp::Forward(PortId(b as u16))],
+                })
+                .unwrap();
+        }
+        Pipeline {
+            layout,
+            parser,
+            tables: vec![table],
+            mcast: MulticastTable::new(),
+            registers: RegisterFile::new(),
+            state_bindings: vec![],
+            init_fields: vec![],
+            exec: ExecState::default(),
+        }
+    }
+
+    fn first_byte_shard() -> ShardFn {
+        Arc::new(|p: &[u8]| u64::from(p.first().copied().unwrap_or(0)))
+    }
+
+    #[test]
+    fn engine_matches_sequential_on_toy_pipeline() {
+        let pipeline = byte_pipeline();
+        let packets: Vec<Vec<u8>> = (0..500u32).map(|i| vec![(i % 7) as u8]).collect();
+
+        let mut sequential = pipeline.clone();
+        let expected: Vec<ForwardDecision> = packets
+            .iter()
+            .map(|p| sequential.process(p, 0).unwrap())
+            .collect();
+
+        for workers in [1usize, 2, 8] {
+            let cfg = EngineConfig {
+                workers,
+                batch_packets: 16,
+                record_decisions: true,
+                ..Default::default()
+            };
+            let report = run_trace(
+                &pipeline,
+                &cfg,
+                first_byte_shard(),
+                packets.iter().map(|p| (p.as_slice(), 0u64)),
+            );
+            assert!(report.error.is_none(), "{:?}", report.error);
+            assert_eq!(report.decisions, expected, "workers={workers}");
+            assert_eq!(report.stats.packets, packets.len() as u64);
+            assert_eq!(report.per_worker.len(), workers);
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_across_workers() {
+        let pipeline = byte_pipeline();
+        let packets: Vec<Vec<u8>> = (0..256u32).map(|i| vec![(i % 8) as u8]).collect();
+        let cfg = EngineConfig {
+            workers: 4,
+            batch_packets: 8,
+            ..Default::default()
+        };
+        let report = run_trace(
+            &pipeline,
+            &cfg,
+            first_byte_shard(),
+            packets.iter().map(|p| (p.as_slice(), 0u64)),
+        );
+        assert_eq!(report.stats.packets, 256);
+        assert_eq!(report.stats.messages, 256);
+        // Bytes 1..=4 forward (4 of every 8), the rest miss.
+        assert_eq!(report.stats.forwarded_packets, 128);
+        assert_eq!(report.stats.dropped_packets, 128);
+        let worker_sum: u64 = report.per_worker.iter().map(|s| s.packets).sum();
+        assert_eq!(worker_sum, 256);
+        // Per-stage counters survive aggregation.
+        assert_eq!(report.stats.table_hits.iter().sum::<u64>(), 128);
+        assert_eq!(report.stats.table_misses.iter().sum::<u64>(), 128);
+    }
+
+    #[test]
+    fn errors_are_reported_with_packet_seq() {
+        // The parser needs one byte; an empty packet underflows.
+        let pipeline = byte_pipeline();
+        let packets: Vec<Vec<u8>> = vec![vec![1], vec![], vec![2]];
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 1,
+            record_decisions: true,
+            ..Default::default()
+        };
+        let report = run_trace(
+            &pipeline,
+            &cfg,
+            first_byte_shard(),
+            packets.iter().map(|p| (p.as_slice(), 0u64)),
+        );
+        let err = report.error.expect("parse error surfaces");
+        assert_eq!(err.packet_seq, 1);
+        assert_eq!(err.worker, 0);
+        // The packet before the failure still has its decision.
+        assert_eq!(report.decisions[0].ports, vec![PortId(1)]);
+    }
+
+    #[test]
+    fn empty_run_finishes_cleanly() {
+        let pipeline = byte_pipeline();
+        let report = run_trace(
+            &pipeline,
+            &EngineConfig::with_workers(3),
+            first_byte_shard(),
+            std::iter::empty(),
+        );
+        assert_eq!(report.stats.packets, 0);
+        assert!(report.error.is_none());
+        assert_eq!(report.workers, 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! A flat packet arena for trace replay.
+//!
+//! Replaying a trace through the pipeline or the multi-core engine
+//! wants packets as `&[u8]` slices, but storing a trace as
+//! `Vec<Vec<u8>>` costs one heap allocation per packet and scatters
+//! packets across the heap. A [`PacketArena`] packs every packet into
+//! one contiguous byte buffer with an offset table — two allocations
+//! total, cache-friendly iteration, and zero-copy `&[u8]` access —
+//! the same layout the engine's internal batches use.
+
+/// A trace of packets stored back-to-back in one buffer, each with a
+/// receive timestamp in microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct PacketArena {
+    bytes: Vec<u8>,
+    ends: Vec<usize>,
+    times: Vec<u64>,
+}
+
+impl PacketArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an arena sized for `packets` packets of about
+    /// `avg_len` bytes each, so pushes never reallocate.
+    pub fn with_capacity(packets: usize, avg_len: usize) -> Self {
+        PacketArena {
+            bytes: Vec::with_capacity(packets * avg_len),
+            ends: Vec::with_capacity(packets),
+            times: Vec::with_capacity(packets),
+        }
+    }
+
+    /// Appends a packet and its timestamp.
+    pub fn push(&mut self, packet: &[u8], now_us: u64) {
+        self.bytes.extend_from_slice(packet);
+        self.ends.push(self.bytes.len());
+        self.times.push(now_us);
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the arena holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Total payload bytes stored.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Packet `i` and its timestamp.
+    pub fn get(&self, i: usize) -> (&[u8], u64) {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        (&self.bytes[start..self.ends[i]], self.times[i])
+    }
+
+    /// Iterates `(packet, now_us)` pairs in insertion order.
+    pub fn iter(&self) -> PacketIter<'_> {
+        PacketIter {
+            arena: self,
+            next: 0,
+        }
+    }
+
+    /// Drops all packets, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.ends.clear();
+        self.times.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a PacketArena {
+    type Item = (&'a [u8], u64);
+    type IntoIter = PacketIter<'a>;
+
+    fn into_iter(self) -> PacketIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`PacketArena`]'s `(packet, now_us)` pairs.
+#[derive(Debug, Clone)]
+pub struct PacketIter<'a> {
+    arena: &'a PacketArena,
+    next: usize,
+}
+
+impl<'a> Iterator for PacketIter<'a> {
+    type Item = (&'a [u8], u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.arena.len() {
+            return None;
+        }
+        let item = self.arena.get(self.next);
+        self.next += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.arena.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for PacketIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_iter_roundtrip() {
+        let mut arena = PacketArena::with_capacity(3, 4);
+        arena.push(&[1, 2, 3], 10);
+        arena.push(&[], 20);
+        arena.push(&[4, 5], 30);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.total_bytes(), 5);
+        assert_eq!(arena.get(0), (&[1u8, 2, 3][..], 10));
+        assert_eq!(arena.get(1), (&[][..], 20));
+        assert_eq!(arena.get(2), (&[4u8, 5][..], 30));
+        let collected: Vec<_> = arena.iter().collect();
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[2], (&[4u8, 5][..], 30));
+        assert_eq!(arena.iter().len(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut arena = PacketArena::new();
+        arena.push(&[9; 64], 1);
+        let cap = arena.bytes.capacity();
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.total_bytes(), 0);
+        assert_eq!(arena.bytes.capacity(), cap);
+        arena.push(&[7], 2);
+        assert_eq!(arena.get(0), (&[7u8][..], 2));
+    }
+}

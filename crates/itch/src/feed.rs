@@ -120,10 +120,9 @@ mod tests {
         // ones.
         let cfg = FeedConfig::default();
         let a = ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 1, 1)).encode();
-        let junk = vec![b'Z', 1, 2, 3];
+        let junk = [b'Z', 1, 2, 3];
         let b = ItchMessage::OrderDelete { order_ref: 1 }.encode();
-        let mold =
-            crate::moldudp::build(cfg.session, 0, &[&a[..], &junk[..], &b[..]]);
+        let mold = crate::moldudp::build(cfg.session, 0, &[&a[..], &junk[..], &b[..]]);
         let udp_d = crate::udp::build(cfg.src_port, cfg.dst_port, &mold);
         let ip = crate::ipv4::build(cfg.src_ip, cfg.dst_ip, crate::ipv4::PROTO_UDP, 16, &udp_d);
         let pkt = crate::ether::build(cfg.dst_mac, cfg.src_mac, crate::ether::ETHERTYPE_IPV4, &ip);
@@ -134,6 +133,9 @@ mod tests {
     #[test]
     fn non_ip_frames_are_rejected() {
         let pkt = crate::ether::build([0; 6], [0; 6], 0x0806, b"arp");
-        assert_eq!(parse_feed_packet(&pkt).unwrap_err(), WireError::BadValue("ethertype"));
+        assert_eq!(
+            parse_feed_packet(&pkt).unwrap_err(),
+            WireError::BadValue("ethertype")
+        );
     }
 }

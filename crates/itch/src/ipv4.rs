@@ -134,7 +134,9 @@ pub fn build(src: u32, dst: u32, protocol: u8, ttl: u8, payload: &[u8]) -> Vec<u
         body.copy_from_slice(payload);
         let _ = hdr;
     }
-    let mut p = Packet { buffer: &mut buf[..] };
+    let mut p = Packet {
+        buffer: &mut buf[..],
+    };
     p.set_header(src, dst, protocol, ttl, payload.len());
     buf
 }
@@ -171,7 +173,10 @@ mod tests {
     fn rejects_bad_version_and_lengths() {
         let mut buf = build(SRC, DST, PROTO_UDP, 16, b"data");
         buf[0] = 0x65; // version 6
-        assert_eq!(Packet::new_checked(&buf[..]).unwrap_err(), WireError::BadValue("ipv4 version"));
+        assert_eq!(
+            Packet::new_checked(&buf[..]).unwrap_err(),
+            WireError::BadValue("ipv4 version")
+        );
 
         let mut buf2 = build(SRC, DST, PROTO_UDP, 16, b"data");
         buf2[2] = 0xff; // total length beyond the buffer

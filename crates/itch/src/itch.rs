@@ -218,7 +218,11 @@ impl ItchMessage {
                 b.push(*code);
                 b
             }
-            ItchMessage::OrderExecuted { order_ref, shares, match_no } => {
+            ItchMessage::OrderExecuted {
+                order_ref,
+                shares,
+                match_no,
+            } => {
                 let mut b = prefix(b'E');
                 b.extend_from_slice(&order_ref.to_be_bytes());
                 b.extend_from_slice(&shares.to_be_bytes());
@@ -236,7 +240,14 @@ impl ItchMessage {
                 b.extend_from_slice(&order_ref.to_be_bytes());
                 b
             }
-            ItchMessage::Trade { order_ref, side, shares, stock, price, match_no } => {
+            ItchMessage::Trade {
+                order_ref,
+                side,
+                shares,
+                stock,
+                price,
+                match_no,
+            } => {
                 let mut b = prefix(b'P');
                 b.extend_from_slice(&order_ref.to_be_bytes());
                 b.push(side.to_byte());
@@ -333,10 +344,7 @@ mod tests {
     #[test]
     fn stock_u64_matches_symbol_encoding() {
         let a = AddOrder::new("MSFT", Side::Buy, 1, 1);
-        assert_eq!(
-            a.stock_u64(),
-            u64::from_be_bytes(*b"MSFT    ")
-        );
+        assert_eq!(a.stock_u64(), u64::from_be_bytes(*b"MSFT    "));
     }
 
     #[test]
@@ -344,8 +352,15 @@ mod tests {
         let msgs = vec![
             ItchMessage::AddOrder(AddOrder::new("AAPL", Side::Sell, 100, 99_0000)),
             ItchMessage::SystemEvent { code: b'O' },
-            ItchMessage::OrderExecuted { order_ref: 1, shares: 2, match_no: 3 },
-            ItchMessage::OrderCancel { order_ref: 4, shares: 5 },
+            ItchMessage::OrderExecuted {
+                order_ref: 1,
+                shares: 2,
+                match_no: 3,
+            },
+            ItchMessage::OrderCancel {
+                order_ref: 4,
+                shares: 5,
+            },
             ItchMessage::OrderDelete { order_ref: 6 },
             ItchMessage::Trade {
                 order_ref: 7,
@@ -358,7 +373,12 @@ mod tests {
         ];
         for m in msgs {
             let wire = m.encode();
-            assert_eq!(ItchMessage::decode(&wire).unwrap(), m, "type {}", m.type_byte() as char);
+            assert_eq!(
+                ItchMessage::decode(&wire).unwrap(),
+                m,
+                "type {}",
+                m.type_byte() as char
+            );
         }
     }
 
@@ -367,7 +387,7 @@ mod tests {
         assert!(ItchMessage::decode(&[]).is_err());
         assert!(ItchMessage::decode(b"Z123").is_err());
         assert!(ItchMessage::decode(b"A").is_err()); // truncated add-order
-        // Bad side byte.
+                                                     // Bad side byte.
         let mut wire = AddOrder::new("X", Side::Buy, 1, 1).encode();
         wire[19] = b'Q';
         assert_eq!(

@@ -21,8 +21,11 @@
 //!   order-delete and trade;
 //! * [`feed`] — end-to-end feed packet building and parsing;
 //! * [`pcap`] — capture-file writing/reading for tcpdump/Wireshark
-//!   interoperability and trace replay.
+//!   interoperability and trace replay;
+//! * [`arena`] — a flat packet arena (contiguous bytes + offsets) for
+//!   allocation-cheap trace storage and replay.
 
+pub mod arena;
 pub mod ether;
 pub mod feed;
 pub mod ipv4;
@@ -31,6 +34,7 @@ pub mod moldudp;
 pub mod pcap;
 pub mod udp;
 
+pub use arena::PacketArena;
 pub use feed::{build_feed_packet, parse_feed_packet, FeedConfig};
 pub use itch::{AddOrder, ItchMessage, Side};
 

@@ -59,7 +59,11 @@ impl<T: AsRef<[u8]>> MoldPacket<T> {
 
     /// Iterates the message payloads.
     pub fn messages(&self) -> MessageIter<'_> {
-        MessageIter { buf: self.b(), off: HEADER_LEN, remaining: self.message_count() }
+        MessageIter {
+            buf: self.b(),
+            off: HEADER_LEN,
+            remaining: self.message_count(),
+        }
     }
 }
 
@@ -78,7 +82,10 @@ impl<'a> Iterator for MessageIter<'a> {
             return None;
         }
         // Bounds were validated in new_checked.
-        let len = usize::from(u16::from_be_bytes([self.buf[self.off], self.buf[self.off + 1]]));
+        let len = usize::from(u16::from_be_bytes([
+            self.buf[self.off],
+            self.buf[self.off + 1],
+        ]));
         let start = self.off + 2;
         self.off = start + len;
         self.remaining -= 1;

@@ -125,7 +125,12 @@ mod tests {
                 bytes: build_feed_packet(
                     &FeedConfig::default(),
                     i as u64,
-                    &[ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 1, 1))],
+                    &[ItchMessage::AddOrder(AddOrder::new(
+                        "GOOGL",
+                        Side::Buy,
+                        1,
+                        1,
+                    ))],
                 ),
             })
             .collect()
@@ -170,7 +175,10 @@ mod tests {
         let mut buf = Vec::new();
         write_capture(&mut buf, sample(1)).unwrap();
         buf[0] = 0;
-        assert_eq!(read_capture(&mut buf.as_slice()).unwrap_err(), WireError::BadValue("pcap magic"));
+        assert_eq!(
+            read_capture(&mut buf.as_slice()).unwrap_err(),
+            WireError::BadValue("pcap magic")
+        );
 
         let mut buf2 = Vec::new();
         write_capture(&mut buf2, sample(1)).unwrap();

@@ -24,12 +24,18 @@ pub struct FieldRef {
 impl FieldRef {
     /// Builds a fully-qualified reference `header.field`.
     pub fn qualified(header: impl Into<String>, field: impl Into<String>) -> Self {
-        FieldRef { header: Some(header.into()), field: field.into() }
+        FieldRef {
+            header: Some(header.into()),
+            field: field.into(),
+        }
     }
 
     /// Builds a shorthand reference `field`.
     pub fn short(field: impl Into<String>) -> Self {
-        FieldRef { header: None, field: field.into() }
+        FieldRef {
+            header: None,
+            field: field.into(),
+        }
     }
 }
 
@@ -100,7 +106,10 @@ pub enum Operand {
     StateVar(String),
     /// An aggregate macro, e.g. `avg(price)`. `field` is `None` for
     /// zero-argument macros such as `count()`.
-    Agg { func: AggFn, field: Option<FieldRef> },
+    Agg {
+        func: AggFn,
+        field: Option<FieldRef>,
+    },
 }
 
 impl fmt::Display for Operand {
@@ -108,7 +117,10 @@ impl fmt::Display for Operand {
         match self {
             Operand::Field(fr) => write!(f, "{fr}"),
             Operand::StateVar(v) => write!(f, "{v}"),
-            Operand::Agg { func, field: Some(fr) } => write!(f, "{func}({fr})"),
+            Operand::Agg {
+                func,
+                field: Some(fr),
+            } => write!(f, "{func}({fr})"),
             Operand::Agg { func, field: None } => write!(f, "{func}()"),
         }
     }
@@ -257,6 +269,7 @@ impl Cond {
     }
 
     /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Cond {
         Cond::Not(Box::new(self))
     }
@@ -388,14 +401,28 @@ mod tests {
 
     #[test]
     fn relop_negation_is_involutive() {
-        for op in [RelOp::Lt, RelOp::Gt, RelOp::Eq, RelOp::Le, RelOp::Ge, RelOp::Ne] {
+        for op in [
+            RelOp::Lt,
+            RelOp::Gt,
+            RelOp::Eq,
+            RelOp::Le,
+            RelOp::Ge,
+            RelOp::Ne,
+        ] {
             assert_eq!(op.negated().negated(), op);
         }
     }
 
     #[test]
     fn relop_negation_complements_eval() {
-        for op in [RelOp::Lt, RelOp::Gt, RelOp::Eq, RelOp::Le, RelOp::Ge, RelOp::Ne] {
+        for op in [
+            RelOp::Lt,
+            RelOp::Gt,
+            RelOp::Eq,
+            RelOp::Le,
+            RelOp::Ge,
+            RelOp::Ne,
+        ] {
             for (l, r) in [(1u64, 2u64), (2, 2), (3, 2)] {
                 assert_eq!(op.eval(l, r), !op.negated().eval(l, r), "{op} {l} {r}");
             }
@@ -404,8 +431,8 @@ mod tests {
 
     #[test]
     fn atom_count_walks_tree() {
-        let c = atom("a", RelOp::Lt, 1)
-            .and(atom("b", RelOp::Gt, 2).or(atom("c", RelOp::Eq, 3)).not());
+        let c =
+            atom("a", RelOp::Lt, 1).and(atom("b", RelOp::Gt, 2).or(atom("c", RelOp::Eq, 3)).not());
         assert_eq!(c.atom_count(), 3);
     }
 

@@ -123,7 +123,10 @@ fn dnf_of_nnf(cond: &Cond) -> Result<Vec<Conjunction>, DnfOverflow> {
             }
             Ok(out)
         }
-        Cond::Atom(a) => Ok(vec![vec![Literal { atom: a.clone(), positive: true }]]),
+        Cond::Atom(a) => Ok(vec![vec![Literal {
+            atom: a.clone(),
+            positive: true,
+        }]]),
         Cond::True => Ok(vec![vec![]]),
         // Sentinel from push_negations: unsatisfiable.
         Cond::Not(inner) if matches!(inner.as_ref(), Cond::True) => Ok(vec![]),
@@ -250,8 +253,14 @@ mod tests {
             value: Value::Int(2),
         };
         let conj: Conjunction = vec![
-            Literal { atom: a, positive: true },
-            Literal { atom: b, positive: true },
+            Literal {
+                atom: a,
+                positive: true,
+            },
+            Literal {
+                atom: b,
+                positive: true,
+            },
         ];
         assert!(!trivially_unsat(&conj));
     }

@@ -16,7 +16,11 @@ pub struct ParseError {
 impl ParseError {
     /// Builds an error at an explicit position.
     pub fn at(message: impl Into<String>, line: u32, col: u32) -> Self {
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 }
 

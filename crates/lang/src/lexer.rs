@@ -114,7 +114,11 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
 
     macro_rules! push {
         ($t:expr, $l:expr, $c:expr) => {
-            toks.push(SpannedTok { tok: $t, line: $l, col: $c })
+            toks.push(SpannedTok {
+                tok: $t,
+                line: $l,
+                col: $c,
+            })
         };
     }
 
@@ -310,11 +314,7 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                                 oct = oct * 10 + u64::from(d);
                                 any = true;
                                 if oct > 255 {
-                                    return Err(ParseError::at(
-                                        "IPv4 octet exceeds 255",
-                                        tl,
-                                        tc,
-                                    ));
+                                    return Err(ParseError::at("IPv4 octet exceeds 255", tl, tc));
                                 }
                             } else {
                                 break;
@@ -351,11 +351,19 @@ pub fn lex(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
                 }
             }
             other => {
-                return Err(ParseError::at(format!("unexpected character `{other}`"), tl, tc))
+                return Err(ParseError::at(
+                    format!("unexpected character `{other}`"),
+                    tl,
+                    tc,
+                ))
             }
         }
     }
-    toks.push(SpannedTok { tok: Tok::Eof, line, col });
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(toks)
 }
 
@@ -424,14 +432,17 @@ mod tests {
     #[test]
     fn lexes_dotted_quad_ipv4() {
         assert_eq!(toks("192.168.0.1"), vec![Tok::Int(0xc0a8_0001), Tok::Eof]);
-        assert_eq!(toks("ip.dst == 10.0.0.1"), vec![
-            Tok::Ident("ip".into()),
-            Tok::Dot,
-            Tok::Ident("dst".into()),
-            Tok::EqEq,
-            Tok::Int(0x0a00_0001),
-            Tok::Eof,
-        ]);
+        assert_eq!(
+            toks("ip.dst == 10.0.0.1"),
+            vec![
+                Tok::Ident("ip".into()),
+                Tok::Dot,
+                Tok::Ident("dst".into()),
+                Tok::EqEq,
+                Tok::Int(0x0a00_0001),
+                Tok::Eof,
+            ]
+        );
     }
 
     #[test]
@@ -455,7 +466,10 @@ mod tests {
 
     #[test]
     fn lexes_strings() {
-        assert_eq!(toks("\"GOO GL\""), vec![Tok::Str("GOO GL".into()), Tok::Eof]);
+        assert_eq!(
+            toks("\"GOO GL\""),
+            vec![Tok::Str("GOO GL".into()), Tok::Eof]
+        );
         assert!(lex("\"unterminated").is_err());
     }
 }

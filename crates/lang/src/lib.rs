@@ -37,7 +37,7 @@ pub mod spec;
 pub mod symbol;
 
 pub use ast::{Action, Atom, Cond, Operand, RelOp, Rule, Value};
-pub use dnf::{Conjunction, Literal, to_dnf};
+pub use dnf::{to_dnf, Conjunction, Literal};
 pub use error::ParseError;
 pub use parser::{parse_program, parse_rule};
 pub use spec::{parse_spec, Spec};

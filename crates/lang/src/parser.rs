@@ -40,9 +40,8 @@ pub fn parse_program(input: &str) -> Result<Vec<Rule>, ParseError> {
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("//") {
             continue;
         }
-        let rule = parse_rule(trimmed).map_err(|e| {
-            ParseError::at(e.message, i as u32 + 1, e.col)
-        })?;
+        let rule =
+            parse_rule(trimmed).map_err(|e| ParseError::at(e.message, i as u32 + 1, e.col))?;
         rules.push(rule);
     }
     Ok(rules)
@@ -81,7 +80,11 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(self.err(format!("expected {}, found {}", want.describe(), self.peek().describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                want.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
@@ -166,7 +169,12 @@ impl Parser {
             Tok::Le => RelOp::Le,
             Tok::Ge => RelOp::Ge,
             Tok::Ne => RelOp::Ne,
-            t => return Err(self.err(format!("expected relational operator, found {}", t.describe()))),
+            t => {
+                return Err(self.err(format!(
+                    "expected relational operator, found {}",
+                    t.describe()
+                )))
+            }
         };
         let value = match self.bump() {
             Tok::Int(n) => Value::Int(n),
@@ -236,12 +244,20 @@ impl Parser {
                                 .map_err(|_| self.err(format!("port {n} out of range")))?;
                             ports.push(port);
                         }
-                        t => return Err(self.err(format!("expected port number, found {}", t.describe()))),
+                        t => {
+                            return Err(
+                                self.err(format!("expected port number, found {}", t.describe()))
+                            )
+                        }
                     }
                     match self.bump() {
                         Tok::Comma => continue,
                         Tok::RParen => break,
-                        t => return Err(self.err(format!("expected `,` or `)`, found {}", t.describe()))),
+                        t => {
+                            return Err(
+                                self.err(format!("expected `,` or `)`, found {}", t.describe()))
+                            )
+                        }
                     }
                 }
                 Ok(Action::Fwd(ports))
@@ -295,7 +311,10 @@ impl Parser {
                         self.expect(&Tok::RParen)?;
                         Ok(UpdateFn::SetField(f))
                     }
-                    t => Err(self.err(format!("expected constant or field, found {}", t.describe()))),
+                    t => Err(self.err(format!(
+                        "expected constant or field, found {}",
+                        t.describe()
+                    ))),
                 }
             }
             other => Err(self.err(format!("unknown update function `{other}`"))),
@@ -337,7 +356,10 @@ mod tests {
                 Cond::Atom(a) => {
                     assert_eq!(
                         a.operand,
-                        Operand::Agg { func: AggFn::Avg, field: Some(FieldRef::short("price")) }
+                        Operand::Agg {
+                            func: AggFn::Avg,
+                            field: Some(FieldRef::short("price"))
+                        }
                     );
                 }
                 c => panic!("unexpected rhs {c:?}"),
@@ -374,7 +396,10 @@ mod tests {
         assert_eq!(r.actions.len(), 2);
         assert_eq!(
             r.actions[1],
-            Action::StateUpdate { var: "my_counter".into(), func: UpdateFn::Increment }
+            Action::StateUpdate {
+                var: "my_counter".into(),
+                func: UpdateFn::Increment
+            }
         );
     }
 

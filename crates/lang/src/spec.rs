@@ -137,12 +137,14 @@ impl Spec {
     /// instance has a queryable field of that name.
     pub fn resolve(&self, fr: &FieldRef) -> Option<&QueryField> {
         match &fr.header {
-            Some(h) => self
-                .query_fields
-                .iter()
-                .find(|q| q.field.header.as_deref() == Some(h.as_str()) && q.field.field == fr.field),
+            Some(h) => self.query_fields.iter().find(|q| {
+                q.field.header.as_deref() == Some(h.as_str()) && q.field.field == fr.field
+            }),
             None => {
-                let mut hits = self.query_fields.iter().filter(|q| q.field.field == fr.field);
+                let mut hits = self
+                    .query_fields
+                    .iter()
+                    .filter(|q| q.field.field == fr.field);
                 let first = hits.next()?;
                 if hits.next().is_some() {
                     None // ambiguous shorthand
@@ -199,7 +201,11 @@ impl SpecParser {
             self.bump();
             Ok(())
         } else {
-            Err(self.err(format!("expected {}, found {}", want.describe(), self.peek().describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                want.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
@@ -281,7 +287,11 @@ impl SpecParser {
             if seen.insert(fname.clone(), ()).is_some() {
                 return Err(self.err(format!("duplicate field `{fname}`")));
             }
-            fields.push(FieldDecl { name: fname, bits: bits as u32, bit_offset: offset });
+            fields.push(FieldDecl {
+                name: fname,
+                bits: bits as u32,
+                bit_offset: offset,
+            });
             offset += bits as u32;
         }
         self.expect(&Tok::RBrace)?; // fields
@@ -293,7 +303,11 @@ impl SpecParser {
         let name = self.ident()?;
         match name.as_str() {
             "query_field" | "query_field_exact" => {
-                let hint = if name.ends_with("_exact") { MatchHint::Exact } else { MatchHint::Range };
+                let hint = if name.ends_with("_exact") {
+                    MatchHint::Exact
+                } else {
+                    MatchHint::Range
+                };
                 self.expect(&Tok::LParen)?;
                 let inst = self.ident()?;
                 self.expect(&Tok::Dot)?;
@@ -336,7 +350,10 @@ impl SpecParser {
                 if spec.counter(&cname).is_some() {
                     return Err(self.err(format!("duplicate counter `{cname}`")));
                 }
-                spec.counters.push(CounterDecl { name: cname, window_us });
+                spec.counters.push(CounterDecl {
+                    name: cname,
+                    window_us,
+                });
                 Ok(())
             }
             other => Err(self.err(format!("unknown annotation `@{other}`"))),
@@ -379,7 +396,13 @@ mod tests {
         assert_eq!(s.header_types.len(), 1);
         assert_eq!(s.instances.len(), 1);
         assert_eq!(s.query_fields.len(), 4);
-        assert_eq!(s.counters, vec![CounterDecl { name: "my_counter".into(), window_us: 100 }]);
+        assert_eq!(
+            s.counters,
+            vec![CounterDecl {
+                name: "my_counter".into(),
+                window_us: 100
+            }]
+        );
         let stock = s.resolve(&FieldRef::short("stock")).unwrap();
         assert_eq!(stock.hint, MatchHint::Exact);
         assert_eq!(stock.bits, 64);
@@ -393,14 +416,19 @@ mod tests {
         let h = s.header_type("itch_add_order_t").unwrap();
         assert_eq!(h.field("msg_type").unwrap().bit_offset, 0);
         assert_eq!(h.field("stock_locate").unwrap().bit_offset, 8);
-        assert_eq!(h.field("shares").unwrap().bit_offset, 8 + 16 + 16 + 48 + 64 + 8);
+        assert_eq!(
+            h.field("shares").unwrap().bit_offset,
+            8 + 16 + 16 + 48 + 64 + 8
+        );
         assert_eq!(h.total_bits(), 288);
     }
 
     #[test]
     fn resolves_qualified_and_shorthand() {
         let s = parse_spec(ITCH_SPEC).unwrap();
-        assert!(s.resolve(&FieldRef::qualified("add_order", "price")).is_some());
+        assert!(s
+            .resolve(&FieldRef::qualified("add_order", "price"))
+            .is_some());
         assert!(s.resolve(&FieldRef::short("price")).is_some());
         assert!(s.resolve(&FieldRef::short("nope")).is_none());
         assert!(s.resolve(&FieldRef::qualified("other", "price")).is_none());
@@ -442,7 +470,10 @@ mod tests {
     #[test]
     fn rejects_duplicates() {
         assert!(parse_spec("header_type t { fields { x: 8; x: 8; } }").is_err());
-        assert!(parse_spec("header_type t { fields { x: 8; } }\nheader_type t { fields { y: 8; } }").is_err());
+        assert!(parse_spec(
+            "header_type t { fields { x: 8; } }\nheader_type t { fields { y: 8; } }"
+        )
+        .is_err());
         let src = "header_type t { fields { x: 8; } }\nheader t h;\n@query_field(h.x)\n@query_field_exact(h.x)";
         assert!(parse_spec(src).is_err());
         assert!(parse_spec("@query_counter(c, 1)\n@query_counter(c, 2)").is_err());

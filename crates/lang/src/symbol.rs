@@ -66,7 +66,10 @@ mod tests {
 
     #[test]
     fn truncates_to_field_width() {
-        assert_eq!(decode_symbol(encode_symbol("ABCDEFGHIJ", 64), 64), "ABCDEFGH");
+        assert_eq!(
+            decode_symbol(encode_symbol("ABCDEFGHIJ", 64), 64),
+            "ABCDEFGH"
+        );
         assert_eq!(decode_symbol(encode_symbol("ABCD", 16), 16), "AB");
     }
 

@@ -291,7 +291,10 @@ mod tests {
     #[test]
     fn host_queue_cap_drops_under_sustained_overload() {
         let cfg = ExperimentConfig {
-            host: HostModel { rx_backlog_cap_ns: 50_000, ..Default::default() },
+            host: HostModel {
+                rx_backlog_cap_ns: 50_000,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut trace = small_trace(10_000, TraceConfig::synthetic);
@@ -305,7 +308,9 @@ mod tests {
 
     #[test]
     fn latency_stats_percentiles() {
-        let s = LatencyStats { latencies_ns: (1..=100).collect() };
+        let s = LatencyStats {
+            latencies_ns: (1..=100).collect(),
+        };
         assert_eq!(s.percentile(0.0), 1);
         assert_eq!(s.percentile(1.0), 100);
         assert_eq!(s.percentile(0.5), 51); // idx = round(99 * 0.5) = 50

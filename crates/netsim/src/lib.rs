@@ -26,5 +26,7 @@ pub mod experiment;
 pub mod model;
 pub mod sim;
 
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, FilterMode, LatencyStats};
+pub use experiment::{
+    run_experiment, ExperimentConfig, ExperimentResult, FilterMode, LatencyStats,
+};
 pub use model::{HostModel, LinkModel, SwitchModel};

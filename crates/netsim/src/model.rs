@@ -15,12 +15,18 @@ pub struct LinkModel {
 impl LinkModel {
     /// A 100 Gb/s switch-fabric-facing link.
     pub fn gbps100() -> Self {
-        LinkModel { rate_gbps: 100.0, prop_ns: 300 }
+        LinkModel {
+            rate_gbps: 100.0,
+            prop_ns: 300,
+        }
     }
 
     /// The testbed's 25 Gb/s server NIC links.
     pub fn gbps25() -> Self {
-        LinkModel { rate_gbps: 25.0, prop_ns: 300 }
+        LinkModel {
+            rate_gbps: 25.0,
+            prop_ns: 300,
+        }
     }
 
     /// Serialization time for a frame of `bytes`.
@@ -43,7 +49,10 @@ impl Default for SwitchModel {
     fn default() -> Self {
         // ~400ns cut-through latency; ~ 1 MB per-port buffer at 25 Gb/s
         // ≈ 320 µs of backlog.
-        SwitchModel { pipeline_latency_ns: 400, egress_backlog_cap_ns: 320_000 }
+        SwitchModel {
+            pipeline_latency_ns: 400,
+            egress_backlog_cap_ns: 320_000,
+        }
     }
 }
 
@@ -66,7 +75,11 @@ impl Default for HostModel {
         // ~350 ns parsing and filtering each ITCH message — ≈2 M msg/s
         // of filtering capacity, comfortably above the 500 k msg/s
         // average offered load but far below burst peaks.
-        HostModel { per_packet_ns: 150, per_message_ns: 350, rx_backlog_cap_ns: 4_000_000 }
+        HostModel {
+            per_packet_ns: 150,
+            per_message_ns: 350,
+            rx_backlog_cap_ns: 4_000_000,
+        }
     }
 }
 

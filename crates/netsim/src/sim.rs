@@ -26,7 +26,11 @@ pub struct EventQueue<E> {
 impl<E: Ord> EventQueue<E> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now_ns: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now_ns: 0,
+        }
     }
 
     /// Current simulation time (the timestamp of the last popped
@@ -41,7 +45,11 @@ impl<E: Ord> EventQueue<E> {
         let t = time_ns.max(self.now_ns);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { time_ns: t, seq, event }));
+        self.heap.push(Reverse(Scheduled {
+            time_ns: t,
+            seq,
+            event,
+        }));
     }
 
     /// Pops the next event, advancing the clock.
@@ -85,12 +93,7 @@ impl FifoServer {
     /// subject to a backlog cap (the queue's capacity expressed as
     /// waiting time). Returns the completion time, or `None` when the
     /// backlog would exceed `max_backlog_ns` (a tail drop).
-    pub fn admit(
-        &mut self,
-        arrival_ns: u64,
-        service_ns: u64,
-        max_backlog_ns: u64,
-    ) -> Option<u64> {
+    pub fn admit(&mut self, arrival_ns: u64, service_ns: u64, max_backlog_ns: u64) -> Option<u64> {
         let backlog = self.free_at_ns.saturating_sub(arrival_ns);
         if backlog > max_backlog_ns {
             return None;
@@ -156,7 +159,7 @@ mod tests {
     fn fifo_drops_over_backlog_cap() {
         let mut s = FifoServer::new();
         assert!(s.admit(0, 100, 50).is_some()); // empty: admitted
-        // Backlog now 100ns at t=0; cap 50 → drop.
+                                                // Backlog now 100ns at t=0; cap 50 → drop.
         assert_eq!(s.admit(0, 10, 50), None);
         // After the backlog drains, admission resumes.
         assert!(s.admit(90, 10, 50).is_some());

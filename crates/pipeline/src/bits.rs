@@ -29,7 +29,11 @@ pub fn extract_bits(buf: &[u8], bit_offset: u64, bits: u32) -> Option<u64> {
         // Bits of this byte, MSB first: select `take` bits starting at
         // `bit_in_byte`.
         let shifted = (byte as u64) >> (avail - take);
-        let mask = if take == 64 { u64::MAX } else { (1u64 << take) - 1 };
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            (1u64 << take) - 1
+        };
         v = (v << take) | (shifted & mask);
         taken += take;
         pos += u64::from(take);
@@ -43,7 +47,9 @@ pub fn insert_bits(buf: &mut [u8], bit_offset: u64, bits: u32, value: u64) -> bo
     if bits == 0 || bits > 64 {
         return false;
     }
-    let Some(end) = bit_offset.checked_add(u64::from(bits)) else { return false };
+    let Some(end) = bit_offset.checked_add(u64::from(bits)) else {
+        return false;
+    };
     if end > (buf.len() as u64) * 8 {
         return false;
     }
@@ -102,9 +108,18 @@ mod tests {
     #[test]
     fn insert_then_extract_roundtrips() {
         let mut buf = [0u8; 16];
-        for (off, bits, v) in [(0u64, 8u32, 0xabu64), (13, 11, 0x5a5), (24, 64, 0x0123_4567_89ab_cdef), (100, 1, 1)] {
+        for (off, bits, v) in [
+            (0u64, 8u32, 0xabu64),
+            (13, 11, 0x5a5),
+            (24, 64, 0x0123_4567_89ab_cdef),
+            (100, 1, 1),
+        ] {
             assert!(insert_bits(&mut buf, off, bits, v));
-            assert_eq!(extract_bits(&buf, off, bits), Some(v), "off={off} bits={bits}");
+            assert_eq!(
+                extract_bits(&buf, off, bits),
+                Some(v),
+                "off={off} bits={bits}"
+            );
         }
     }
 

@@ -53,19 +53,38 @@ pub enum PipelineError {
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PipelineError::ParseUnderflow { state, missing_bits } => {
-                write!(f, "parser underflow in state `{state}`: needs {missing_bits} more bits")
+            PipelineError::ParseUnderflow {
+                state,
+                missing_bits,
+            } => {
+                write!(
+                    f,
+                    "parser underflow in state `{state}`: needs {missing_bits} more bits"
+                )
             }
             PipelineError::ParseNoTransition { state, value } => {
-                write!(f, "no parser transition from `{state}` on selector value {value:#x}")
+                write!(
+                    f,
+                    "no parser transition from `{state}` on selector value {value:#x}"
+                )
             }
             PipelineError::ParseLoopBound => write!(f, "parser loop bound exceeded"),
             PipelineError::UnknownPhvField(name) => write!(f, "unknown PHV field `{name}`"),
-            PipelineError::EntryShapeMismatch { table, expected, got } => {
-                write!(f, "table `{table}`: entry has {got} match values, keys require {expected}")
+            PipelineError::EntryShapeMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "table `{table}`: entry has {got} match values, keys require {expected}"
+                )
             }
             PipelineError::EntryKindMismatch { table, key } => {
-                write!(f, "table `{table}`: match value incompatible with key {key}")
+                write!(
+                    f,
+                    "table `{table}`: match value incompatible with key {key}"
+                )
             }
             PipelineError::UnknownGroup(g) => write!(f, "unknown multicast group {g}"),
             PipelineError::RegisterOutOfRange(i) => write!(f, "register slot {i} out of range"),
@@ -82,7 +101,11 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = PipelineError::EntryShapeMismatch { table: "stock".into(), expected: 2, got: 1 };
+        let e = PipelineError::EntryShapeMismatch {
+            table: "stock".into(),
+            expected: 2,
+            got: 1,
+        };
         assert!(e.to_string().contains("stock"));
         assert!(PipelineError::ParseLoopBound.to_string().contains("loop"));
     }

@@ -40,7 +40,7 @@ pub mod table;
 
 pub use error::PipelineError;
 pub use multicast::{GroupId, MulticastTable, PortId};
-pub use phv::{Phv, PhvField, PhvLayout};
-pub use pipeline::{ForwardDecision, Pipeline};
+pub use phv::{Phv, PhvBuf, PhvField, PhvLayout};
+pub use pipeline::{DecisionBuf, ExecState, ExecStats, ForwardDecision, Pipeline};
 pub use resources::{AsicModel, PlacementReport};
 pub use table::{ActionOp, Entry, Key, MatchKind, MatchValue, Table};

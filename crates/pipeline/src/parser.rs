@@ -16,7 +16,7 @@
 
 use crate::bits::extract_bits;
 use crate::error::PipelineError;
-use crate::phv::{Phv, PhvField, PhvLayout};
+use crate::phv::{Phv, PhvBuf, PhvField, PhvLayout};
 
 /// Index of a parse state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,7 +96,11 @@ pub struct ParserSpec {
 impl ParserSpec {
     /// Builds a spec with the default step bound (4096).
     pub fn new(states: Vec<ParseState>, start: StateId) -> Self {
-        ParserSpec { states, start, max_steps: 4096 }
+        ParserSpec {
+            states,
+            start,
+            max_steps: 4096,
+        }
     }
 
     /// Parses a packet, producing one PHV per emitted message.
@@ -107,10 +111,32 @@ impl ParserSpec {
     /// whose blocks were all skipped yields zero messages, not a
     /// phantom PHV of unparsed fields.
     pub fn parse(&self, layout: &PhvLayout, bytes: &[u8]) -> Result<Vec<Phv>, PipelineError> {
+        let mut work = layout.instantiate();
+        let mut out = PhvBuf::default();
+        self.parse_into(layout, bytes, &mut work, &mut out)?;
+        Ok(out.into_vec())
+    }
+
+    /// Allocation-free variant of [`ParserSpec::parse`]: appends the
+    /// emitted messages to `out` (which the caller clears), using `work`
+    /// as the running PHV. Once `work` and `out` have warmed up to the
+    /// packet shape, steady-state parsing performs no heap allocation.
+    pub fn parse_into(
+        &self,
+        layout: &PhvLayout,
+        bytes: &[u8],
+        work: &mut Phv,
+        out: &mut PhvBuf,
+    ) -> Result<(), PipelineError> {
+        if work.len() != layout.len() {
+            *work = layout.instantiate();
+        } else {
+            work.reset();
+        }
+        let phv = work;
         let has_emitters = self.states.iter().any(|s| s.emit);
         let total_bits = (bytes.len() as u64) * 8;
-        let mut phv = layout.instantiate();
-        let mut out: Vec<Phv> = Vec::new();
+        let start_len = out.len();
         let mut cursor: u64 = 0;
         let mut state_id = self.start;
         let mut steps = 0usize;
@@ -125,8 +151,7 @@ impl ParserSpec {
                 let v = extract_bits(bytes, off, e.bits).ok_or_else(|| {
                     PipelineError::ParseUnderflow {
                         state: state.name.clone(),
-                        missing_bits: ((off + u64::from(e.bits)).saturating_sub(total_bits))
-                            as u32,
+                        missing_bits: ((off + u64::from(e.bits)).saturating_sub(total_bits)) as u32,
                     }
                 })?;
                 phv.set(e.dst, v);
@@ -142,17 +167,21 @@ impl ParserSpec {
                 });
             }
             if state.emit {
-                out.push(phv.clone());
+                out.push_copy(phv);
             }
             match &state.next {
                 Transition::Accept => {
-                    if out.is_empty() && !has_emitters {
-                        out.push(phv);
+                    if out.len() == start_len && !has_emitters {
+                        out.push_copy(phv);
                     }
-                    return Ok(out);
+                    return Ok(());
                 }
                 Transition::Always(next) => state_id = *next,
-                Transition::Select { field, cases, default } => {
+                Transition::Select {
+                    field,
+                    cases,
+                    default,
+                } => {
                     let v = phv.get_or_zero(*field);
                     match cases.iter().find(|(c, _)| *c == v) {
                         Some((_, next)) => state_id = *next,
@@ -169,10 +198,10 @@ impl ParserSpec {
                 }
                 Transition::SelectRemaining { more } => {
                     if cursor >= total_bits {
-                        if out.is_empty() && !has_emitters {
-                            out.push(phv);
+                        if out.len() == start_len && !has_emitters {
+                            out.push_copy(phv);
                         }
-                        return Ok(out);
+                        return Ok(());
                     }
                     state_id = *more;
                 }
@@ -200,7 +229,11 @@ mod tests {
             vec![
                 ParseState {
                     name: "start".into(),
-                    extracts: vec![Extract { dst: tag, bit_offset: 0, bits: 8 }],
+                    extracts: vec![Extract {
+                        dst: tag,
+                        bit_offset: 0,
+                        bits: 8,
+                    }],
                     advance_bits: 8,
                     advance_bytes_from: None,
                     emit: false,
@@ -212,7 +245,11 @@ mod tests {
                 },
                 ParseState {
                     name: "parse_a".into(),
-                    extracts: vec![Extract { dst: a, bit_offset: 0, bits: 16 }],
+                    extracts: vec![Extract {
+                        dst: a,
+                        bit_offset: 0,
+                        bits: 16,
+                    }],
                     advance_bits: 16,
                     advance_bytes_from: None,
                     emit: false,
@@ -220,7 +257,11 @@ mod tests {
                 },
                 ParseState {
                     name: "parse_b".into(),
-                    extracts: vec![Extract { dst: b, bit_offset: 0, bits: 8 }],
+                    extracts: vec![Extract {
+                        dst: b,
+                        bit_offset: 0,
+                        bits: 8,
+                    }],
                     advance_bits: 8,
                     advance_bytes_from: None,
                     emit: false,
@@ -250,7 +291,10 @@ mod tests {
         let (l, tag, a, b) = tagged_layout();
         let p = tagged_parser(tag, a, b);
         let err = p.parse(&l, &[9]).unwrap_err();
-        assert!(matches!(err, PipelineError::ParseNoTransition { value: 9, .. }));
+        assert!(matches!(
+            err,
+            PipelineError::ParseNoTransition { value: 9, .. }
+        ));
     }
 
     #[test]
@@ -278,7 +322,11 @@ mod tests {
                 },
                 ParseState {
                     name: "msg".into(),
-                    extracts: vec![Extract { dst: val, bit_offset: 0, bits: 16 }],
+                    extracts: vec![Extract {
+                        dst: val,
+                        bit_offset: 0,
+                        bits: 16,
+                    }],
                     advance_bits: 16,
                     advance_bytes_from: None,
                     emit: true,
@@ -287,7 +335,9 @@ mod tests {
             ],
             StateId(0),
         );
-        let msgs = p.parse(&l, &[3, 0x00, 0x01, 0x00, 0x02, 0x00, 0x03]).unwrap();
+        let msgs = p
+            .parse(&l, &[3, 0x00, 0x01, 0x00, 0x02, 0x00, 0x03])
+            .unwrap();
         assert_eq!(msgs.len(), 3);
         let vals: Vec<u64> = msgs.iter().map(|m| m.get(val).unwrap()).collect();
         assert_eq!(vals, vec![1, 2, 3]);
@@ -328,7 +378,10 @@ mod tests {
             }],
             StateId(0),
         );
-        assert_eq!(p.parse(&l, &[0, 1, 2]).unwrap_err(), PipelineError::ParseLoopBound);
+        assert_eq!(
+            p.parse(&l, &[0, 1, 2]).unwrap_err(),
+            PipelineError::ParseLoopBound
+        );
     }
 
     #[test]
@@ -342,8 +395,16 @@ mod tests {
             vec![ParseState {
                 name: "block".into(),
                 extracts: vec![
-                    Extract { dst: len, bit_offset: 0, bits: 8 },
-                    Extract { dst: v, bit_offset: 8, bits: 8 },
+                    Extract {
+                        dst: len,
+                        bit_offset: 0,
+                        bits: 8,
+                    },
+                    Extract {
+                        dst: v,
+                        bit_offset: 8,
+                        bits: 8,
+                    },
                 ],
                 advance_bits: 8,
                 advance_bytes_from: Some(len),
@@ -366,7 +427,11 @@ mod tests {
         let p = ParserSpec::new(
             vec![ParseState {
                 name: "block".into(),
-                extracts: vec![Extract { dst: len, bit_offset: 0, bits: 8 }],
+                extracts: vec![Extract {
+                    dst: len,
+                    bit_offset: 0,
+                    bits: 8,
+                }],
                 advance_bits: 8,
                 advance_bytes_from: Some(len),
                 emit: true,
@@ -395,6 +460,9 @@ mod tests {
             }],
             StateId(0),
         );
-        assert!(matches!(p.parse(&l, &[0]).unwrap_err(), PipelineError::ParseUnderflow { .. }));
+        assert!(matches!(
+            p.parse(&l, &[0]).unwrap_err(),
+            PipelineError::ParseUnderflow { .. }
+        ));
     }
 }

@@ -33,7 +33,10 @@ impl PhvLayout {
     pub fn add(&mut self, name: impl Into<String>, bits: u32) -> PhvField {
         let name = name.into();
         if let Some(&f) = self.index.get(&name) {
-            assert_eq!(self.bits[f.0 as usize], bits, "field `{name}` re-added with new width");
+            assert_eq!(
+                self.bits[f.0 as usize], bits,
+                "field `{name}` re-added with new width"
+            );
             return f;
         }
         let f = PhvField(self.names.len() as u32);
@@ -70,18 +73,46 @@ impl PhvLayout {
 
     /// Creates a PHV with every field invalid.
     pub fn instantiate(&self) -> Phv {
-        Phv { values: vec![0; self.len()], valid: vec![false; self.len()] }
+        Phv {
+            values: vec![0; self.len()],
+            valid: vec![false; self.len()],
+        }
     }
 }
 
 /// A packet header vector instance.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Phv {
     values: Vec<u64>,
     valid: Vec<bool>,
 }
 
 impl Phv {
+    /// Number of field slots.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the PHV has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Invalidates every field without releasing storage, so one PHV
+    /// can be reused across packets in the batch hot path.
+    pub fn reset(&mut self) {
+        self.valid.fill(false);
+    }
+
+    /// Becomes a copy of `other`, reusing this PHV's buffers (no
+    /// allocation once capacities match).
+    pub fn copy_from(&mut self, other: &Phv) {
+        self.values.clear();
+        self.values.extend_from_slice(&other.values);
+        self.valid.clear();
+        self.valid.extend_from_slice(&other.valid);
+    }
+
     /// Sets a field (marks it valid).
     pub fn set(&mut self, f: PhvField, v: u64) {
         self.values[f.0 as usize] = v;
@@ -115,6 +146,67 @@ impl Phv {
     /// Invalidates a field.
     pub fn invalidate(&mut self, f: PhvField) {
         self.valid[f.0 as usize] = false;
+    }
+}
+
+/// A growable pool of message PHVs with cheap logical clearing.
+///
+/// The parser emits one PHV per application message; allocating a fresh
+/// `Vec<Phv>` (and fresh `Phv`s) per packet is the single biggest
+/// allocation cost on the hot path. A `PhvBuf` keeps its `Phv`s alive
+/// across [`PhvBuf::clear`] calls, so steady-state parsing copies field
+/// values into existing buffers instead of allocating.
+#[derive(Debug, Clone, Default)]
+pub struct PhvBuf {
+    slots: Vec<Phv>,
+    len: usize,
+}
+
+impl PhvBuf {
+    /// Logically empties the buffer, keeping every `Phv`'s storage.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of live messages.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no live messages.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a copy of `phv`, reusing a retired slot when available.
+    pub fn push_copy(&mut self, phv: &Phv) {
+        if self.len < self.slots.len() {
+            self.slots[self.len].copy_from(phv);
+        } else {
+            self.slots.push(phv.clone());
+        }
+        self.len += 1;
+    }
+
+    /// Mutable access to a live message.
+    pub fn get_mut(&mut self, i: usize) -> &mut Phv {
+        assert!(
+            i < self.len,
+            "PhvBuf index {i} out of bounds ({})",
+            self.len
+        );
+        &mut self.slots[i]
+    }
+
+    /// Iterates the live messages.
+    pub fn iter(&self) -> impl Iterator<Item = &Phv> {
+        self.slots[..self.len].iter()
+    }
+
+    /// Converts into an owned `Vec<Phv>` of the live messages.
+    pub fn into_vec(mut self) -> Vec<Phv> {
+        self.slots.truncate(self.len);
+        self.slots
     }
 }
 
@@ -165,5 +257,45 @@ mod tests {
         assert!(phv.is_valid(f));
         phv.invalidate(f);
         assert_eq!(phv.get(f), None);
+    }
+
+    #[test]
+    fn reset_and_copy_reuse_storage() {
+        let mut l = PhvLayout::new();
+        let a = l.add("a", 8);
+        let b = l.add("b", 8);
+        let mut src = l.instantiate();
+        src.set(a, 1);
+        let mut dst = Phv::default();
+        dst.copy_from(&src);
+        assert_eq!(dst.get(a), Some(1));
+        assert_eq!(dst.get(b), None);
+        assert_eq!(dst.len(), 2);
+        dst.reset();
+        assert_eq!(dst.get(a), None);
+        assert_eq!(dst.len(), 2);
+    }
+
+    #[test]
+    fn phv_buf_recycles_slots() {
+        let mut l = PhvLayout::new();
+        let f = l.add("f", 8);
+        let mut phv = l.instantiate();
+        let mut buf = PhvBuf::default();
+        phv.set(f, 7);
+        buf.push_copy(&phv);
+        phv.set(f, 8);
+        buf.push_copy(&phv);
+        assert_eq!(buf.len(), 2);
+        let vals: Vec<u64> = buf.iter().map(|p| p.get(f).unwrap()).collect();
+        assert_eq!(vals, vec![7, 8]);
+
+        buf.clear();
+        assert!(buf.is_empty());
+        phv.set(f, 9);
+        buf.push_copy(&phv);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.get_mut(0).get(f), Some(9));
+        assert_eq!(buf.into_vec().len(), 1);
     }
 }

@@ -11,7 +11,7 @@
 use crate::error::PipelineError;
 use crate::multicast::{MulticastTable, PortId};
 use crate::parser::ParserSpec;
-use crate::phv::{Phv, PhvLayout};
+use crate::phv::{Phv, PhvBuf, PhvLayout};
 use crate::register::{AggKind, RegisterFile};
 use crate::table::{ActionOp, RegOp, Table};
 
@@ -31,6 +31,142 @@ impl ForwardDecision {
     pub fn dropped(&self) -> bool {
         self.ports.is_empty()
     }
+}
+
+/// A reusable buffer of [`ForwardDecision`]s for the batch API.
+///
+/// [`DecisionBuf::clear`] retires decisions without freeing their
+/// `ports` vectors, so a warmed buffer serves subsequent batches with
+/// zero allocation.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionBuf {
+    slots: Vec<ForwardDecision>,
+    len: usize,
+}
+
+impl DecisionBuf {
+    /// Logically empties the buffer, keeping per-decision storage.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of live decisions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no live decisions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live decisions, in submission order.
+    pub fn as_slice(&self) -> &[ForwardDecision] {
+        &self.slots[..self.len]
+    }
+
+    /// Iterates the live decisions.
+    pub fn iter(&self) -> impl Iterator<Item = &ForwardDecision> {
+        self.as_slice().iter()
+    }
+
+    /// Claims the next slot, recycling a retired decision's storage.
+    fn next_slot(&mut self) -> &mut ForwardDecision {
+        if self.len == self.slots.len() {
+            self.slots.push(ForwardDecision::default());
+        }
+        let d = &mut self.slots[self.len];
+        self.len += 1;
+        d.ports.clear();
+        d.messages = 0;
+        d.matched_messages = 0;
+        d
+    }
+}
+
+impl<'a> IntoIterator for &'a DecisionBuf {
+    type Item = &'a ForwardDecision;
+    type IntoIter = std::slice::Iter<'a, ForwardDecision>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Execution counters accumulated by the executor (never consulted by
+/// it). Message-level counters also accumulate through
+/// [`Pipeline::evaluate_message`]; packet-level ones only through
+/// [`Pipeline::process`] / [`Pipeline::process_batch`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Application messages evaluated.
+    pub messages: u64,
+    /// Messages that matched at least one forwarding rule.
+    pub matched_messages: u64,
+    /// Packets forwarded to at least one port.
+    pub forwarded_packets: u64,
+    /// Packets forwarded nowhere.
+    pub dropped_packets: u64,
+    /// Per-table (stage) entry-hit counts, indexed like
+    /// [`Pipeline::tables`].
+    pub table_hits: Vec<u64>,
+    /// Per-table default-action (miss) counts.
+    pub table_misses: Vec<u64>,
+}
+
+impl ExecStats {
+    /// Zeroes every counter (keeping the per-table vectors' storage).
+    pub fn reset(&mut self) {
+        self.packets = 0;
+        self.messages = 0;
+        self.matched_messages = 0;
+        self.forwarded_packets = 0;
+        self.dropped_packets = 0;
+        self.table_hits.fill(0);
+        self.table_misses.fill(0);
+    }
+
+    /// Adds `other`'s counters into `self` (for cross-worker
+    /// aggregation).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.packets += other.packets;
+        self.messages += other.messages;
+        self.matched_messages += other.matched_messages;
+        self.forwarded_packets += other.forwarded_packets;
+        self.dropped_packets += other.dropped_packets;
+        if self.table_hits.len() < other.table_hits.len() {
+            self.table_hits.resize(other.table_hits.len(), 0);
+        }
+        for (a, b) in self.table_hits.iter_mut().zip(&other.table_hits) {
+            *a += *b;
+        }
+        if self.table_misses.len() < other.table_misses.len() {
+            self.table_misses.resize(other.table_misses.len(), 0);
+        }
+        for (a, b) in self.table_misses.iter_mut().zip(&other.table_misses) {
+            *a += *b;
+        }
+    }
+}
+
+/// Reusable per-pipeline execution state: scratch buffers for the
+/// allocation-free hot path, counters, and the prepared hoisting plan.
+/// Cloned with the pipeline (each engine worker gets its own).
+#[derive(Debug, Clone, Default)]
+pub struct ExecState {
+    /// Execution counters.
+    pub stats: ExecStats,
+    /// Parsed-message pool (reused across packets).
+    msgs: PhvBuf,
+    /// The parser's working PHV.
+    work: Phv,
+    /// Per-binding flag: true when the register slot is never written
+    /// by any table action, so its value is message-invariant within a
+    /// packet and the read can be hoisted out of the per-message loop.
+    hoist: Vec<bool>,
+    /// Per-packet cache of hoisted aggregate values.
+    hoist_vals: Vec<u64>,
 }
 
 /// Descriptor binding a PHV pseudo-field to a register aggregate, so
@@ -66,24 +202,237 @@ pub struct Pipeline {
     /// table chain (e.g. the BDD entry state, which is nonzero after
     /// incremental recompilations).
     pub init_fields: Vec<(crate::phv::PhvField, u64)>,
+    /// Scratch buffers, counters and the prepared hoisting plan.
+    pub exec: ExecState,
+}
+
+/// Runs the prepared table chain on one message PHV, appending matched
+/// ports to `ports`. Free function so the caller can hold disjoint
+/// borrows of the pipeline's fields: `ops` stays a borrow of `tables`
+/// (no per-table clone) while `phv` and `registers` are mutated.
+fn eval_tables(
+    tables: &[Table],
+    mcast: &MulticastTable,
+    registers: &mut RegisterFile,
+    phv: &mut Phv,
+    now_us: u64,
+    ports: &mut Vec<PortId>,
+    stats: &mut ExecStats,
+) -> Result<bool, PipelineError> {
+    let mut dropped = false;
+    for (ti, t) in tables.iter().enumerate() {
+        let ops: &[ActionOp] = match t.lookup_prepared(phv) {
+            Some(e) => {
+                stats.table_hits[ti] += 1;
+                &e.ops
+            }
+            None => {
+                stats.table_misses[ti] += 1;
+                &t.default_ops
+            }
+        };
+        for &op in ops {
+            match op {
+                ActionOp::SetField(f, v) => phv.set(f, v),
+                ActionOp::Forward(p) => ports.push(p),
+                ActionOp::Multicast(g) => {
+                    let members = mcast.ports(g).ok_or(PipelineError::UnknownGroup(g.0))?;
+                    ports.extend_from_slice(members);
+                }
+                ActionOp::Drop => dropped = true,
+                ActionOp::Register { slot, op } => {
+                    let res = match op {
+                        RegOp::Increment => registers.increment(slot, now_us),
+                        RegOp::Observe(f) => registers.observe(slot, phv.get_or_zero(f), now_us),
+                        RegOp::SetConst(v) => registers.set(slot, v, now_us),
+                        RegOp::SetField(f) => registers.set(slot, phv.get_or_zero(f), now_us),
+                    };
+                    res.map_err(PipelineError::RegisterOutOfRange)?;
+                }
+            }
+        }
+    }
+    Ok(dropped)
 }
 
 impl Pipeline {
+    /// Prepares the pipeline for (batched) execution: builds every
+    /// table's lookup index, sizes the per-table counters, and computes
+    /// which state bindings can be hoisted out of the per-message loop
+    /// (those whose register slot no table action writes). Idempotent
+    /// and cheap when nothing changed; called automatically by the
+    /// processing entry points.
+    pub fn prepare(&mut self) {
+        let up_to_date = self.tables.iter().all(|t| t.is_prepared())
+            && self.exec.hoist.len() == self.state_bindings.len()
+            && self.exec.stats.table_hits.len() == self.tables.len();
+        if up_to_date {
+            return;
+        }
+        for t in &mut self.tables {
+            t.prepare();
+        }
+        let mut written: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for t in &self.tables {
+            for ops in t
+                .entries()
+                .map(|e| &e.ops)
+                .chain(std::iter::once(&t.default_ops))
+            {
+                for op in ops {
+                    if let ActionOp::Register { slot, .. } = op {
+                        written.insert(*slot);
+                    }
+                }
+            }
+        }
+        self.exec.hoist = self
+            .state_bindings
+            .iter()
+            .map(|b| !written.contains(&b.slot))
+            .collect();
+        let n = self.tables.len();
+        self.exec.stats.table_hits.resize(n, 0);
+        self.exec.stats.table_misses.resize(n, 0);
+    }
+
     /// Processes one packet arriving at `now_us`, returning its
     /// forwarding decision.
-    pub fn process(&mut self, packet: &[u8], now_us: u64) -> Result<ForwardDecision, PipelineError> {
-        let phvs = self.parser.parse(&self.layout, packet)?;
-        let mut decision = ForwardDecision { messages: phvs.len(), ..Default::default() };
-        for mut phv in phvs {
-            let ports = self.evaluate_message(&mut phv, now_us)?;
-            if !ports.is_empty() {
+    pub fn process(
+        &mut self,
+        packet: &[u8],
+        now_us: u64,
+    ) -> Result<ForwardDecision, PipelineError> {
+        self.prepare();
+        let mut decision = ForwardDecision::default();
+        self.process_one(packet, now_us, &mut decision)?;
+        Ok(decision)
+    }
+
+    /// Processes a batch of `(packet, now_us)` pairs, appending one
+    /// decision per packet to `out` (in order; the caller clears `out`).
+    ///
+    /// This is the allocation-free hot path: parsing reuses the
+    /// pipeline's PHV pool, lookups borrow table entries instead of
+    /// cloning action lists, and `out` recycles its decisions' port
+    /// vectors. After a warmup batch has sized every buffer,
+    /// steady-state processing performs zero heap allocations per
+    /// packet. Decisions are identical to calling [`Pipeline::process`]
+    /// per packet.
+    ///
+    /// On error, decisions for the packets preceding the failing one
+    /// remain in `out` (the failing packet's slot holds a partial
+    /// decision).
+    pub fn process_batch<'a, I>(
+        &mut self,
+        packets: I,
+        out: &mut DecisionBuf,
+    ) -> Result<(), PipelineError>
+    where
+        I: IntoIterator<Item = (&'a [u8], u64)>,
+    {
+        self.prepare();
+        for (bytes, now_us) in packets {
+            let slot = out.next_slot();
+            self.process_one(bytes, now_us, slot)?;
+        }
+        Ok(())
+    }
+
+    /// Core per-packet path; assumes [`Pipeline::prepare`] has run.
+    fn process_one(
+        &mut self,
+        packet: &[u8],
+        now_us: u64,
+        decision: &mut ForwardDecision,
+    ) -> Result<(), PipelineError> {
+        let Pipeline {
+            layout,
+            parser,
+            tables,
+            mcast,
+            registers,
+            state_bindings,
+            init_fields,
+            exec,
+        } = self;
+        let ExecState {
+            stats,
+            msgs,
+            work,
+            hoist,
+            hoist_vals,
+        } = exec;
+
+        msgs.clear();
+        parser.parse_into(layout, packet, work, msgs)?;
+        decision.messages = msgs.len();
+
+        // Message-invariant aggregates: read once per packet. Register
+        // reads are idempotent at a fixed `now_us` (the window roll is
+        // aligned to the timestamp), so this is decision-identical to
+        // re-reading per message as long as no table action writes the
+        // slot — exactly the condition `hoist` encodes.
+        hoist_vals.clear();
+        for (b, &h) in state_bindings.iter().zip(hoist.iter()) {
+            let v = if h {
+                registers
+                    .read(b.slot, b.agg, now_us)
+                    .map_err(PipelineError::RegisterOutOfRange)?
+            } else {
+                0
+            };
+            hoist_vals.push(v);
+        }
+
+        for mi in 0..msgs.len() {
+            let phv = msgs.get_mut(mi);
+            for &(f, v) in init_fields.iter() {
+                phv.set(f, v);
+            }
+            for (i, b) in state_bindings.iter().enumerate() {
+                let v = if hoist[i] {
+                    hoist_vals[i]
+                } else {
+                    registers
+                        .read(b.slot, b.agg, now_us)
+                        .map_err(PipelineError::RegisterOutOfRange)?
+                };
+                phv.set(b.dst, v);
+            }
+            let before = decision.ports.len();
+            // An explicit drop() wins only if nothing forwards: per §2
+            // all matching rules' actions execute, and forwarding to
+            // *some* subscriber must not be vetoed by an unrelated drop
+            // rule. A drop-only message simply contributes no ports.
+            let _dropped = eval_tables(
+                tables,
+                mcast,
+                registers,
+                phv,
+                now_us,
+                &mut decision.ports,
+                stats,
+            )?;
+            if decision.ports.len() > before {
                 decision.matched_messages += 1;
             }
-            decision.ports.extend(ports);
         }
+        // One packet-level sort+dedup subsumes the per-message merge the
+        // executor used to do (the union of per-message port sets is
+        // insensitive to inner ordering/duplication).
         decision.ports.sort_unstable();
         decision.ports.dedup();
-        Ok(decision)
+
+        stats.packets += 1;
+        stats.messages += decision.messages as u64;
+        stats.matched_messages += decision.matched_messages as u64;
+        if decision.ports.is_empty() {
+            stats.dropped_packets += 1;
+        } else {
+            stats.forwarded_packets += 1;
+        }
+        Ok(())
     }
 
     /// Runs the match-action chain on a single message PHV.
@@ -92,60 +441,38 @@ impl Pipeline {
         phv: &mut Phv,
         now_us: u64,
     ) -> Result<Vec<PortId>, PipelineError> {
-        for &(f, v) in &self.init_fields {
+        self.prepare();
+        let Pipeline {
+            tables,
+            mcast,
+            registers,
+            state_bindings,
+            init_fields,
+            exec,
+            ..
+        } = self;
+        for &(f, v) in init_fields.iter() {
             phv.set(f, v);
         }
         // Materialize stateful aggregates into their pseudo-fields.
-        for b in &self.state_bindings {
-            let v = self
-                .registers
+        for b in state_bindings.iter() {
+            let v = registers
                 .read(b.slot, b.agg, now_us)
                 .map_err(PipelineError::RegisterOutOfRange)?;
             phv.set(b.dst, v);
         }
-
         let mut ports: Vec<PortId> = Vec::new();
-        let mut dropped = false;
-        for t in &mut self.tables {
-            let ops: Vec<ActionOp> = match t.lookup(phv) {
-                Some(e) => e.ops.clone(),
-                None => t.default_ops.clone(),
-            };
-            for op in ops {
-                match op {
-                    ActionOp::SetField(f, v) => phv.set(f, v),
-                    ActionOp::Forward(p) => ports.push(p),
-                    ActionOp::Multicast(g) => {
-                        let members = self
-                            .mcast
-                            .ports(g)
-                            .ok_or(PipelineError::UnknownGroup(g.0))?;
-                        ports.extend_from_slice(members);
-                    }
-                    ActionOp::Drop => dropped = true,
-                    ActionOp::Register { slot, op } => {
-                        let res = match op {
-                            RegOp::Increment => self.registers.increment(slot, now_us),
-                            RegOp::Observe(f) => {
-                                self.registers.observe(slot, phv.get_or_zero(f), now_us)
-                            }
-                            RegOp::SetConst(v) => self.registers.set(slot, v, now_us),
-                            RegOp::SetField(f) => {
-                                self.registers.set(slot, phv.get_or_zero(f), now_us)
-                            }
-                        };
-                        res.map_err(PipelineError::RegisterOutOfRange)?;
-                    }
-                }
-            }
-        }
-        if dropped {
-            // An explicit drop() wins only if nothing forwards: per §2 all
-            // matching rules' actions execute, and forwarding to *some*
-            // subscriber must not be vetoed by an unrelated drop rule.
-            if ports.is_empty() {
-                return Ok(Vec::new());
-            }
+        let dropped = eval_tables(
+            tables,
+            mcast,
+            registers,
+            phv,
+            now_us,
+            &mut ports,
+            &mut exec.stats,
+        )?;
+        if dropped && ports.is_empty() {
+            return Ok(Vec::new());
         }
         ports.sort_unstable();
         ports.dedup();
@@ -169,7 +496,11 @@ mod tests {
         let parser = ParserSpec::new(
             vec![ParseState {
                 name: "start".into(),
-                extracts: vec![Extract { dst: sym, bit_offset: 0, bits: 8 }],
+                extracts: vec![Extract {
+                    dst: sym,
+                    bit_offset: 0,
+                    bits: 8,
+                }],
                 advance_bits: 8,
                 advance_bytes_from: None,
                 emit: false,
@@ -179,7 +510,11 @@ mod tests {
         );
         let mut table = Table::new(
             "leaf",
-            vec![Key { field: sym, kind: MatchKind::Exact, bits: 8 }],
+            vec![Key {
+                field: sym,
+                kind: MatchKind::Exact,
+                bits: 8,
+            }],
             vec![],
         );
         table
@@ -188,7 +523,10 @@ mod tests {
                 matches: vec![MatchValue::Exact(1)],
                 ops: vec![
                     ActionOp::Forward(PortId(1)),
-                    ActionOp::Register { slot: 0, op: RegOp::Increment },
+                    ActionOp::Register {
+                        slot: 0,
+                        op: RegOp::Increment,
+                    },
                 ],
             })
             .unwrap();
@@ -203,7 +541,16 @@ mod tests {
         mcast.install(GroupId(0), vec![PortId(2), PortId(3)]);
         let mut registers = RegisterFile::new();
         registers.allocate(0);
-        Pipeline { layout, parser, tables: vec![table], mcast, registers, state_bindings: vec![], init_fields: vec![] }
+        Pipeline {
+            layout,
+            parser,
+            tables: vec![table],
+            mcast,
+            registers,
+            state_bindings: vec![],
+            init_fields: vec![],
+            exec: ExecState::default(),
+        }
     }
 
     #[test]
@@ -243,7 +590,10 @@ mod tests {
                 ops: vec![ActionOp::Multicast(GroupId(99))],
             })
             .unwrap();
-        assert_eq!(p.process(&[7], 0).unwrap_err(), PipelineError::UnknownGroup(99));
+        assert_eq!(
+            p.process(&[7], 0).unwrap_err(),
+            PipelineError::UnknownGroup(99)
+        );
     }
 
     #[test]
@@ -253,23 +603,37 @@ mod tests {
         // New table matching on the aggregate pseudo-field.
         let mut t = Table::new(
             "state",
-            vec![Key { field: agg_field, kind: MatchKind::Range, bits: 64 }],
+            vec![Key {
+                field: agg_field,
+                kind: MatchKind::Range,
+                bits: 64,
+            }],
             vec![],
         );
         t.add_entry(Entry {
             priority: 0,
-            matches: vec![MatchValue::Range { lo: 2, hi: u64::MAX }],
+            matches: vec![MatchValue::Range {
+                lo: 2,
+                hi: u64::MAX,
+            }],
             ops: vec![ActionOp::Forward(PortId(9))],
         })
         .unwrap();
         p.tables.push(t);
-        p.state_bindings.push(StateBinding { dst: agg_field, slot: 0, agg: AggKind::Count });
+        p.state_bindings.push(StateBinding {
+            dst: agg_field,
+            slot: 0,
+            agg: AggKind::Count,
+        });
 
         // First two packets: count 0 then 1 at evaluation time → no port 9.
         assert_eq!(p.process(&[1], 0).unwrap().ports, vec![PortId(1)]);
         assert_eq!(p.process(&[1], 1).unwrap().ports, vec![PortId(1)]);
         // Third packet: count reads 2 → port 9 too.
-        assert_eq!(p.process(&[1], 2).unwrap().ports, vec![PortId(1), PortId(9)]);
+        assert_eq!(
+            p.process(&[1], 2).unwrap().ports,
+            vec![PortId(1), PortId(9)]
+        );
     }
 
     #[test]
@@ -279,7 +643,11 @@ mod tests {
         let parser = ParserSpec::new(
             vec![ParseState {
                 name: "msg".into(),
-                extracts: vec![Extract { dst: sym, bit_offset: 0, bits: 8 }],
+                extracts: vec![Extract {
+                    dst: sym,
+                    bit_offset: 0,
+                    bits: 8,
+                }],
                 advance_bits: 8,
                 advance_bytes_from: None,
                 emit: true,

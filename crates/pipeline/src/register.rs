@@ -44,7 +44,15 @@ pub struct Slot {
 
 impl Slot {
     fn new(window_us: u64) -> Self {
-        Slot { window_us, window_start_us: 0, count: 0, sum: 0, min: 0, max: 0, last: 0 }
+        Slot {
+            window_us,
+            window_start_us: 0,
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            last: 0,
+        }
     }
 
     fn roll(&mut self, now_us: u64) {
@@ -79,13 +87,7 @@ impl Slot {
         match kind {
             AggKind::Count => self.count,
             AggKind::Sum => self.sum,
-            AggKind::Avg => {
-                if self.count == 0 {
-                    0
-                } else {
-                    self.sum / self.count
-                }
-            }
+            AggKind::Avg => self.sum.checked_div(self.count).unwrap_or(0),
             AggKind::Min => self.min,
             AggKind::Max => self.max,
             AggKind::Last => self.last,
@@ -124,7 +126,10 @@ impl RegisterFile {
 
     /// Folds an observation into a slot's window aggregates.
     pub fn observe(&mut self, slot: usize, v: u64, now_us: u64) -> Result<(), usize> {
-        self.slots.get_mut(slot).map(|s| s.observe(v, now_us)).ok_or(slot)
+        self.slots
+            .get_mut(slot)
+            .map(|s| s.observe(v, now_us))
+            .ok_or(slot)
     }
 
     /// Increments a slot (a `count()`-style observation of 1).
@@ -152,7 +157,10 @@ impl RegisterFile {
 
     /// Reads an aggregate from a slot.
     pub fn read(&mut self, slot: usize, kind: AggKind, now_us: u64) -> Result<u64, usize> {
-        self.slots.get_mut(slot).map(|s| s.read(kind, now_us)).ok_or(slot)
+        self.slots
+            .get_mut(slot)
+            .map(|s| s.read(kind, now_us))
+            .ok_or(slot)
     }
 }
 

@@ -88,7 +88,11 @@ impl AsicModel {
     /// The 64-port, 6.5 Tb/s configuration (§4: "on the 64-port version
     /// of the switch, we would support 6.5 Tbps").
     pub fn tofino64() -> Self {
-        AsicModel { name: "tofino-64x100G".into(), ports: 64, ..Self::tofino32() }
+        AsicModel {
+            name: "tofino-64x100G".into(),
+            ports: 64,
+            ..Self::tofino32()
+        }
     }
 
     /// Aggregate switching bandwidth in Tb/s.
@@ -103,7 +107,11 @@ impl AsicModel {
 pub fn range_to_prefixes(lo: u64, hi: u64, bits: u32) -> Vec<(u64, u64)> {
     assert!(lo <= hi, "empty range");
     let bits = bits.min(64);
-    let full: u128 = if bits == 64 { 1u128 << 64 } else { 1u128 << bits };
+    let full: u128 = if bits == 64 {
+        1u128 << 64
+    } else {
+        1u128 << bits
+    };
     assert!((hi as u128) < full, "range exceeds field domain");
     let mut out = Vec::new();
     let mut lo = lo as u128;
@@ -111,7 +119,11 @@ pub fn range_to_prefixes(lo: u64, hi: u64, bits: u32) -> Vec<(u64, u64)> {
     while lo <= hi {
         // Largest power-of-two block that starts at `lo` (alignment)
         // and does not overshoot `hi`.
-        let align = if lo == 0 { full } else { lo & lo.wrapping_neg() };
+        let align = if lo == 0 {
+            full
+        } else {
+            lo & lo.wrapping_neg()
+        };
         let mut size = align;
         while lo + size - 1 > hi {
             size >>= 1;
@@ -171,7 +183,7 @@ pub fn table_cost(table: &Table, model: &AsicModel) -> TableCost {
         .sum();
     let slices_per_entry = match memory {
         Memory::Sram => 1,
-        Memory::Tcam => ((key_bits + model.tcam_slice_bits - 1) / model.tcam_slice_bits) as usize,
+        Memory::Tcam => key_bits.div_ceil(model.tcam_slice_bits) as usize,
     };
     let mut physical = 0usize;
     let mut logical = 0usize;
@@ -287,7 +299,11 @@ pub fn place_leveled(tables: &[(&Table, usize)], model: &AsicModel) -> Placement
         }
         if stage >= model.stages {
             failure = Some(format!("table `{}`: out of stages", cost.name));
-            placements.push(TablePlacement { cost, first_stage: stage, last_stage: stage });
+            placements.push(TablePlacement {
+                cost,
+                first_stage: stage,
+                last_stage: stage,
+            });
             break;
         }
         let first_stage = stage;
@@ -297,7 +313,11 @@ pub fn place_leveled(tables: &[(&Table, usize)], model: &AsicModel) -> Placement
                     "table `{}`: {} entry-slices left but no stages remain",
                     cost.name, remaining
                 ));
-                placements.push(TablePlacement { cost, first_stage, last_stage: stage - 1 });
+                placements.push(TablePlacement {
+                    cost,
+                    first_stage,
+                    last_stage: stage - 1,
+                });
                 break 'outer;
             }
             let budget = match cost.memory {
@@ -312,7 +332,11 @@ pub fn place_leveled(tables: &[(&Table, usize)], model: &AsicModel) -> Placement
             }
         }
         let last_stage = stage;
-        placements.push(TablePlacement { cost, first_stage, last_stage });
+        placements.push(TablePlacement {
+            cost,
+            first_stage,
+            last_stage,
+        });
     }
 
     let sram_entries: usize = placements
@@ -325,8 +349,19 @@ pub fn place_leveled(tables: &[(&Table, usize)], model: &AsicModel) -> Placement
         .filter(|p| p.cost.memory == Memory::Tcam)
         .map(|p| p.cost.charge())
         .sum();
-    let stages_used = placements.iter().map(|p| p.last_stage + 1).max().unwrap_or(0);
-    PlacementReport { model: model.clone(), placements, stages_used, sram_entries, tcam_slices, failure }
+    let stages_used = placements
+        .iter()
+        .map(|p| p.last_stage + 1)
+        .max()
+        .unwrap_or(0);
+    PlacementReport {
+        model: model.clone(),
+        placements,
+        stages_used,
+        sram_entries,
+        tcam_slices,
+        failure,
+    }
 }
 
 #[cfg(test)]
@@ -337,9 +372,14 @@ mod tests {
 
     #[test]
     fn range_expansion_covers_exactly() {
-        for (lo, hi, bits) in
-            [(0u64, 255u64, 8u32), (1, 6, 4), (0, 59, 8), (101, 255, 8), (60, 100, 8), (7, 7, 8)]
-        {
+        for (lo, hi, bits) in [
+            (0u64, 255u64, 8u32),
+            (1, 6, 4),
+            (0, 59, 8),
+            (101, 255, 8),
+            (60, 100, 8),
+            (7, 7, 8),
+        ] {
             let prefixes = range_to_prefixes(lo, hi, bits);
             for v in 0..(1u64 << bits) {
                 let covered = prefixes.iter().any(|&(val, mask)| v & mask == val & mask);
@@ -347,7 +387,10 @@ mod tests {
             }
             // No overlap between prefixes.
             for v in lo..=hi {
-                let n = prefixes.iter().filter(|&&(val, mask)| v & mask == val & mask).count();
+                let n = prefixes
+                    .iter()
+                    .filter(|&&(val, mask)| v & mask == val & mask)
+                    .count();
                 assert_eq!(n, 1, "v={v} covered {n} times");
             }
         }
@@ -370,7 +413,11 @@ mod tests {
         let keys: Vec<Key> = kinds
             .iter()
             .enumerate()
-            .map(|(i, &(kind, bits))| Key { field: layout.add(format!("f{i}"), bits), kind, bits })
+            .map(|(i, &(kind, bits))| Key {
+                field: layout.add(format!("f{i}"), bits),
+                kind,
+                bits,
+            })
             .collect();
         Table::new(name, keys, vec![])
     }
@@ -395,7 +442,13 @@ mod tests {
         let mut t = mk_table("t", &[(MatchKind::Exact, 16), (MatchKind::Range, 32)]);
         t.add_entry(Entry {
             priority: 0,
-            matches: vec![MatchValue::Exact(1), MatchValue::Range { lo: 1, hi: (1 << 32) - 2 }],
+            matches: vec![
+                MatchValue::Exact(1),
+                MatchValue::Range {
+                    lo: 1,
+                    hi: (1 << 32) - 2,
+                },
+            ],
             ops: vec![],
         })
         .unwrap();
@@ -419,8 +472,12 @@ mod tests {
     fn placement_chains_dependent_tables() {
         let mk = |name: &str| {
             let mut t = mk_table(name, &[(MatchKind::Exact, 16)]);
-            t.add_entry(Entry { priority: 0, matches: vec![MatchValue::Exact(0)], ops: vec![] })
-                .unwrap();
+            t.add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(0)],
+                ops: vec![],
+            })
+            .unwrap();
             t
         };
         let (a, b, c) = (mk("a"), mk("b"), mk("c"));
@@ -452,7 +509,9 @@ mod tests {
 
     #[test]
     fn too_many_tables_fail_placement() {
-        let tables: Vec<Table> = (0..20).map(|i| mk_table(&format!("t{i}"), &[(MatchKind::Exact, 8)])).collect();
+        let tables: Vec<Table> = (0..20)
+            .map(|i| mk_table(&format!("t{i}"), &[(MatchKind::Exact, 8)]))
+            .collect();
         let refs: Vec<&Table> = tables.iter().collect();
         let rep = place(&refs, &AsicModel::tofino32());
         assert!(!rep.fits());

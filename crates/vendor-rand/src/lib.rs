@@ -1,0 +1,252 @@
+//! Vendored, std-only stand-in for the subset of the crates.io `rand`
+//! 0.8 API this workspace uses.
+//!
+//! The build environment has no network access to a crates registry, so
+//! external dependencies cannot be downloaded; the workload generators
+//! only need a deterministic, seedable PRNG with `gen`, `gen_range` and
+//! `gen_bool`. This crate provides exactly that, source-compatible with
+//! the call sites (`StdRng::seed_from_u64`, `Rng` bounds, half-open and
+//! inclusive integer ranges, `f64` ranges).
+//!
+//! The generator is xoshiro256** seeded via SplitMix64 — *not* the same
+//! stream as upstream `rand`'s ChaCha12-based `StdRng`. Every consumer
+//! in this workspace only relies on determinism-per-seed and reasonable
+//! statistical quality, both of which hold; absolute draw values differ
+//! from upstream.
+
+/// Low-level entropy source: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Range arguments accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Draws a value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// The user-facing generator trait, blanket-implemented for every
+/// [`RngCore`] (including unsized `dyn` / generic `R: Rng + ?Sized`
+/// receivers, which the Zipf sampler relies on).
+pub trait Rng: RngCore {
+    /// Draws a value of an inferred type (`f64` → uniform `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits onto a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → the full double mantissa, exactly representable.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform integer in `[0, span)`; `span` must be nonzero. Uses 128-bit
+/// multiply-shift (Lemire) rather than modulo — unbiased enough for
+/// workload synthesis and fast.
+fn below(rng: &mut (impl RngCore + ?Sized), span: u64) -> u64 {
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+/// Integer types usable as `gen_range` endpoints. A single generic
+/// `SampleRange` impl (rather than one impl per type) keeps inference
+/// working at call sites like `rng.gen_range(1..=1000) * 100u32`, where
+/// the element type is only pinned down by surrounding arithmetic.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Reinterprets as raw bits, sign-extending signed types so that
+    /// `end_bits - start_bits` is the span for ordered ranges.
+    fn to_bits(self) -> u64;
+    /// Inverse of [`UniformInt::to_bits`] (truncating).
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),+) => {$(
+        impl UniformInt for $t {
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )+};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = self.end.to_bits().wrapping_sub(self.start.to_bits());
+        T::from_bits(self.start.to_bits().wrapping_add(below(rng, span)))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        let span = end.to_bits().wrapping_sub(start.to_bits());
+        if span == u64::MAX {
+            return T::from_bits(rng.next_u64());
+        }
+        T::from_bits(start.to_bits().wrapping_add(below(rng, span + 1)))
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** (Blackman &
+    /// Vigna), seeded through SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro
+            // authors for seeding from narrow state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen_range(0..1_000_000u64)).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u8 = r.gen_range(0..4u8);
+            assert!(v < 4);
+            let w = r.gen_range(10..=12u16);
+            assert!((10..=12).contains(&w));
+            let f = r.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01, "{hits}");
+    }
+
+    #[test]
+    fn works_through_unsized_receivers() {
+        fn draw(rng: &mut (impl Rng + ?Sized)) -> u64 {
+            rng.gen_range(0..10u64)
+        }
+        let mut r = StdRng::seed_from_u64(3);
+        let dynr: &mut dyn super::RngCore = &mut r;
+        assert!(draw(dynr) < 10);
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0..8usize)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 500, "{counts:?}");
+        }
+    }
+}

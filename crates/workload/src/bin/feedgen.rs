@@ -34,16 +34,20 @@ fn main() {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> String {
-            it.next().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
         };
         match a.as_str() {
             "--kind" => kind = val("--kind"),
             "--messages" => {
-                messages = val("--messages").parse().unwrap_or_else(|_| usage("--messages N"))
+                messages = val("--messages")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--messages N"))
             }
             "--per-packet" => {
-                per_packet =
-                    val("--per-packet").parse().unwrap_or_else(|_| usage("--per-packet K"))
+                per_packet = val("--per-packet")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--per-packet K"))
             }
             "--seed" => seed = Some(val("--seed").parse().unwrap_or_else(|_| usage("--seed S"))),
             "--out" => out = val("--out"),

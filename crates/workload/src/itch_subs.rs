@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn generates_requested_count_and_shape() {
-        let cfg = ItchSubsConfig { subscriptions: 50, ..Default::default() };
+        let cfg = ItchSubsConfig {
+            subscriptions: 50,
+            ..Default::default()
+        };
         let rules = generate_itch_subscriptions(&cfg);
         assert_eq!(rules.len(), 50);
         for r in &rules {
@@ -88,14 +91,27 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let cfg = ItchSubsConfig::default();
-        assert_eq!(generate_itch_subscriptions(&cfg), generate_itch_subscriptions(&cfg));
-        let other = ItchSubsConfig { seed: 9, ..Default::default() };
-        assert_ne!(generate_itch_subscriptions(&cfg), generate_itch_subscriptions(&other));
+        assert_eq!(
+            generate_itch_subscriptions(&cfg),
+            generate_itch_subscriptions(&cfg)
+        );
+        let other = ItchSubsConfig {
+            seed: 9,
+            ..Default::default()
+        };
+        assert_ne!(
+            generate_itch_subscriptions(&cfg),
+            generate_itch_subscriptions(&other)
+        );
     }
 
     #[test]
     fn symbols_stay_in_universe() {
-        let cfg = ItchSubsConfig { subscriptions: 200, symbols: 5, ..Default::default() };
+        let cfg = ItchSubsConfig {
+            subscriptions: 200,
+            symbols: 5,
+            ..Default::default()
+        };
         for r in generate_itch_subscriptions(&cfg) {
             let s = r.condition.to_string();
             assert!((0..5).any(|i| s.contains(&stock_symbol(i))), "{s}");

@@ -111,7 +111,10 @@ impl SienaConfig {
         let wtotal = weq + wlt + wgt;
         let mut rules = Vec::with_capacity(self.subscriptions);
         for _ in 0..self.subscriptions {
-            let k = self.predicates_per_subscription.max(1).min(attributes.len());
+            let k = self
+                .predicates_per_subscription
+                .max(1)
+                .min(attributes.len());
             // Choose k distinct attributes.
             let mut chosen: Vec<usize> = (0..attributes.len()).collect();
             for i in 0..k {
@@ -157,9 +160,17 @@ impl SienaConfig {
                 });
             }
             let port = rng.gen_range(1..=self.hosts);
-            rules.push(Rule::new(cond.unwrap_or(Cond::True), vec![Action::Fwd(vec![port])]));
+            rules.push(Rule::new(
+                cond.unwrap_or(Cond::True),
+                vec![Action::Fwd(vec![port])],
+            ));
         }
-        SienaWorkload { spec, spec_source: src, rules, attributes }
+        SienaWorkload {
+            spec,
+            spec_source: src,
+            rules,
+            attributes,
+        }
     }
 
     /// Generates `n` events as raw packets for the workload's spec
@@ -200,7 +211,10 @@ mod tests {
 
     #[test]
     fn generates_requested_counts() {
-        let cfg = SienaConfig { subscriptions: 40, ..Default::default() };
+        let cfg = SienaConfig {
+            subscriptions: 40,
+            ..Default::default()
+        };
         let w = cfg.generate();
         assert_eq!(w.rules.len(), 40);
         assert_eq!(w.attributes.len(), 5);
@@ -210,7 +224,10 @@ mod tests {
     #[test]
     fn predicate_count_is_respected() {
         for k in 1..=5 {
-            let cfg = SienaConfig { predicates_per_subscription: k, ..Default::default() };
+            let cfg = SienaConfig {
+                predicates_per_subscription: k,
+                ..Default::default()
+            };
             let w = cfg.generate();
             for r in &w.rules {
                 assert_eq!(r.condition.atom_count(), k, "k={k}");
@@ -245,7 +262,11 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = SienaConfig::default().generate();
-        let b = SienaConfig { seed: 99, ..Default::default() }.generate();
+        let b = SienaConfig {
+            seed: 99,
+            ..Default::default()
+        }
+        .generate();
         assert_ne!(a.rules, b.rules);
     }
 

@@ -129,7 +129,12 @@ pub fn synthesize_feed(cfg: &TraceConfig) -> Vec<TimedPacket> {
         for _ in 0..k {
             let msg = if rng.gen_bool(cfg.target_fraction.clamp(0.0, 1.0)) {
                 target_count += 1;
-                ItchMessage::AddOrder(new_order(&mut rng, &cfg.target_symbol, &mut order_ref, now_ns))
+                ItchMessage::AddOrder(new_order(
+                    &mut rng,
+                    &cfg.target_symbol,
+                    &mut order_ref,
+                    now_ns,
+                ))
             } else if rng.gen_bool(cfg.add_order_fraction.clamp(0.0, 1.0)) {
                 let sym = stock_symbol(zipf.sample(&mut rng));
                 ItchMessage::AddOrder(new_order(&mut rng, &sym, &mut order_ref, now_ns))
@@ -139,7 +144,11 @@ pub fn synthesize_feed(cfg: &TraceConfig) -> Vec<TimedPacket> {
             msgs.push(msg);
         }
         let bytes = build_feed_packet(&feed_cfg, seq, &msgs);
-        out.push(TimedPacket { time_ns: now_ns as u64, bytes, target_messages: target_count });
+        out.push(TimedPacket {
+            time_ns: now_ns as u64,
+            bytes,
+            target_messages: target_count,
+        });
         seq += msgs.len() as u64;
         generated += k;
 
@@ -159,7 +168,11 @@ pub fn synthesize_feed(cfg: &TraceConfig) -> Vec<TimedPacket> {
 fn new_order(rng: &mut StdRng, symbol: &str, order_ref: &mut u64, now_ns: f64) -> AddOrder {
     let mut a = AddOrder::new(
         symbol,
-        if rng.gen_bool(0.5) { Side::Buy } else { Side::Sell },
+        if rng.gen_bool(0.5) {
+            Side::Buy
+        } else {
+            Side::Sell
+        },
         rng.gen_range(1..=1000) * 100,
         rng.gen_range(1..=5000) * 100,
     );
@@ -178,7 +191,10 @@ fn noise_message(rng: &mut StdRng, zipf: &Zipf, order_ref: &mut u64) -> ItchMess
             shares: rng.gen_range(1..1000),
             match_no: r,
         },
-        1 => ItchMessage::OrderCancel { order_ref: r, shares: rng.gen_range(1..1000) },
+        1 => ItchMessage::OrderCancel {
+            order_ref: r,
+            shares: rng.gen_range(1..1000),
+        },
         2 => ItchMessage::OrderDelete { order_ref: r },
         _ => ItchMessage::Trade {
             order_ref: r,
@@ -217,7 +233,10 @@ mod tests {
 
     #[test]
     fn packets_are_parseable_and_counted() {
-        let cfg = TraceConfig { messages_per_packet: 3, ..TraceConfig::synthetic(99) };
+        let cfg = TraceConfig {
+            messages_per_packet: 3,
+            ..TraceConfig::synthetic(99)
+        };
         let trace = synthesize_feed(&cfg);
         assert_eq!(trace.len(), 33);
         let mut expected_seq = 0u64;
@@ -252,13 +271,20 @@ mod tests {
             ..TraceConfig::nasdaq_like(20_000)
         });
         let cv = |t: &[TimedPacket]| {
-            let d: Vec<f64> =
-                t.windows(2).map(|w| (w[1].time_ns - w[0].time_ns) as f64).collect();
+            let d: Vec<f64> = t
+                .windows(2)
+                .map(|w| (w[1].time_ns - w[0].time_ns) as f64)
+                .collect();
             let mean = d.iter().sum::<f64>() / d.len() as f64;
             let var = d.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / d.len() as f64;
             var.sqrt() / mean
         };
-        assert!(cv(&bursty) > cv(&smooth), "{} <= {}", cv(&bursty), cv(&smooth));
+        assert!(
+            cv(&bursty) > cv(&smooth),
+            "{} <= {}",
+            cv(&bursty),
+            cv(&smooth)
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ fn compile_and_route(generation: &str, rules_src: &str) {
     let program = compiler.compile(&rules).expect("rules compile");
     let mut pipeline = program.pipeline;
 
-    println!("== {generation} ({} entries) ==", program.stats.total_entries);
+    println!(
+        "== {generation} ({} entries) ==",
+        program.stats.total_entries
+    );
     let flows = [
         ("auth svc, shard 3", packet(1001, 3, 0)),
         ("auth svc, shard 40", packet(1001, 40, 0)),

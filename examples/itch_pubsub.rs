@@ -55,7 +55,9 @@ fn main() {
     let mut per_port = [0usize; 4];
     let mut delivered_msgs = 0usize;
     for pkt in &trace {
-        let d = pipeline.process(&pkt.bytes, pkt.time_ns / 1000).expect("feed parses");
+        let d = pipeline
+            .process(&pkt.bytes, pkt.time_ns / 1000)
+            .expect("feed parses");
         for p in &d.ports {
             per_port[usize::from(p.0).min(3)] += 1;
         }
@@ -70,7 +72,11 @@ fn main() {
     // Sanity: decode one delivered packet to show it's a real feed.
     if let Some(pkt) = trace.iter().find(|p| p.target_messages > 0) {
         let (seq, msgs) = parse_feed_packet(&pkt.bytes).expect("well-formed feed");
-        println!("  e.g. seq {seq}: {} ITCH message(s), first type '{}'", msgs.len(), msgs[0].type_byte() as char);
+        println!(
+            "  e.g. seq {seq}: {} ITCH message(s), first type '{}'",
+            msgs.len(),
+            msgs[0].type_byte() as char
+        );
     }
 
     // --- Latency experiment (Figure 7a, reduced size). ----------------

@@ -81,11 +81,10 @@ fn main() {
         }
     }
     println!("\n== web VIP split over 10k connections (want ~50/25/25) ==");
-    for b in 1..=3 {
+    for (b, &count) in per_backend.iter().enumerate().take(4).skip(1) {
         println!(
-            "  backend {b}: {:>5} connections ({:>4.1}%)",
-            per_backend[b],
-            per_backend[b] as f64 / 100.0
+            "  backend {b}: {count:>5} connections ({:>4.1}%)",
+            count as f64 / 100.0
         );
     }
 

@@ -57,11 +57,26 @@ fn main() {
     let mut pipeline = program.pipeline;
     println!("\n== forwarding decisions ==");
     let packets = [
-        ("GOOGL buy 100 @ 500", AddOrder::new("GOOGL", Side::Buy, 100, 500)),
-        ("MSFT sell 50 @ 2000", AddOrder::new("MSFT", Side::Sell, 50, 2000)),
-        ("MSFT sell 50 @ 900", AddOrder::new("MSFT", Side::Sell, 50, 900)),
-        ("ORCL buy 5000 @ 10", AddOrder::new("ORCL", Side::Buy, 5000, 10)),
-        ("GOOGL buy 500 @ 10", AddOrder::new("GOOGL", Side::Buy, 500, 10)),
+        (
+            "GOOGL buy 100 @ 500",
+            AddOrder::new("GOOGL", Side::Buy, 100, 500),
+        ),
+        (
+            "MSFT sell 50 @ 2000",
+            AddOrder::new("MSFT", Side::Sell, 50, 2000),
+        ),
+        (
+            "MSFT sell 50 @ 900",
+            AddOrder::new("MSFT", Side::Sell, 50, 900),
+        ),
+        (
+            "ORCL buy 5000 @ 10",
+            AddOrder::new("ORCL", Side::Buy, 5000, 10),
+        ),
+        (
+            "GOOGL buy 500 @ 10",
+            AddOrder::new("GOOGL", Side::Buy, 500, 10),
+        ),
     ];
     for (label, msg) in packets {
         let decision = pipeline.process(&msg.encode(), 0).expect("packet parses");

@@ -43,7 +43,9 @@ fn main() {
 
     let send = |label: &str, price: u32, t_us: u64, pipeline: &mut camus::pipeline::Pipeline| {
         let msg = AddOrder::new("GOOGL", Side::Buy, 100, price);
-        let d = pipeline.process(&msg.encode(), t_us).expect("packet parses");
+        let d = pipeline
+            .process(&msg.encode(), t_us)
+            .expect("packet parses");
         let ports: Vec<u16> = d.ports.iter().map(|p| p.0).collect();
         println!("  t={t_us:>4}us  {label:<26} -> {ports:?}");
     };

@@ -24,6 +24,7 @@
 //! | [`itch`] | `camus-itch` | Ethernet/IPv4/UDP/MoldUDP64/ITCH wire formats |
 //! | [`workload`] | `camus-workload` | Siena-style generators, ITCH subscriptions, feed synthesis |
 //! | [`netsim`] | `camus-netsim` | discrete-event simulation of the Figure 7 experiments |
+//! | [`engine`] | `camus-engine` | multi-core sharded forwarding engine (batched, allocation-free replay) |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@
 
 pub use camus_bdd as bdd;
 pub use camus_core as compiler;
+pub use camus_engine as engine;
 pub use camus_itch as itch;
 pub use camus_lang as lang;
 pub use camus_netsim as netsim;

@@ -40,7 +40,10 @@ fn packet_with_only_noise_is_dropped() {
     let mut pipe = prog.pipeline;
     let pkt = feed(&[
         ItchMessage::OrderDelete { order_ref: 1 },
-        ItchMessage::OrderCancel { order_ref: 2, shares: 5 },
+        ItchMessage::OrderCancel {
+            order_ref: 2,
+            shares: 5,
+        },
     ]);
     let d = pipe.process(&pkt, 0).unwrap();
     assert!(d.dropped());
@@ -61,7 +64,12 @@ fn garbage_bytes_are_a_parse_error() {
     let mut pipe = prog.pipeline;
     assert!(pipe.process(&[0u8; 10], 0).is_err());
     // Non-IPv4 ethertype.
-    let mut pkt = feed(&[ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 1, 1))]);
+    let mut pkt = feed(&[ItchMessage::AddOrder(AddOrder::new(
+        "GOOGL",
+        Side::Buy,
+        1,
+        1,
+    ))]);
     pkt[12] = 0x86;
     pkt[13] = 0xdd;
     assert!(pipe.process(&pkt, 0).is_err());
@@ -77,24 +85,46 @@ fn multicast_merging_matches_paper_semantics() {
     );
     let mut pipe = prog.pipeline;
     let d = pipe
-        .process(&feed(&[ItchMessage::AddOrder(AddOrder::new("AAPL", Side::Buy, 50, 1))]), 0)
+        .process(
+            &feed(&[ItchMessage::AddOrder(AddOrder::new(
+                "AAPL",
+                Side::Buy,
+                50,
+                1,
+            ))]),
+            0,
+        )
         .unwrap();
     assert_eq!(d.ports, vec![PortId(1), PortId(2)]);
     let d = pipe
-        .process(&feed(&[ItchMessage::AddOrder(AddOrder::new("AAPL", Side::Buy, 80, 1))]), 0)
+        .process(
+            &feed(&[ItchMessage::AddOrder(AddOrder::new(
+                "AAPL",
+                Side::Buy,
+                80,
+                1,
+            ))]),
+            0,
+        )
         .unwrap();
     assert_eq!(d.ports, vec![PortId(2)]);
     let d = pipe
-        .process(&feed(&[ItchMessage::AddOrder(AddOrder::new("MSFT", Side::Buy, 500, 1))]), 0)
+        .process(
+            &feed(&[ItchMessage::AddOrder(AddOrder::new(
+                "MSFT",
+                Side::Buy,
+                500,
+                1,
+            ))]),
+            0,
+        )
         .unwrap();
     assert_eq!(d.ports, vec![PortId(3)]);
 }
 
 #[test]
 fn negation_and_disjunction_compile_and_run() {
-    let prog = compiled(
-        "!(stock == GOOGL) and (price < 10 or price > 1000) : fwd(5)",
-    );
+    let prog = compiled("!(stock == GOOGL) and (price < 10 or price > 1000) : fwd(5)");
     let mut pipe = prog.pipeline;
     let cases = [
         ("MSFT", 5u32, true),
@@ -104,7 +134,15 @@ fn negation_and_disjunction_compile_and_run() {
     ];
     for (sym, price, hits) in cases {
         let d = pipe
-            .process(&feed(&[ItchMessage::AddOrder(AddOrder::new(sym, Side::Buy, 1, price))]), 0)
+            .process(
+                &feed(&[ItchMessage::AddOrder(AddOrder::new(
+                    sym,
+                    Side::Buy,
+                    1,
+                    price,
+                ))]),
+                0,
+            )
             .unwrap();
         assert_eq!(!d.dropped(), hits, "{sym} @ {price}");
     }
@@ -115,12 +153,21 @@ fn recompilation_updates_behaviour_without_new_image() {
     // Dynamic compilation step only: same spec, new rules, fresh tables.
     let spec = parse_spec(camus::lang::spec::ITCH_SPEC).unwrap();
     let compiler = Compiler::new(spec, CompilerOptions::default()).unwrap();
-    let gen1 = compiler.compile(&parse_program("stock == GOOGL : fwd(1)").unwrap()).unwrap();
-    let gen2 = compiler.compile(&parse_program("stock == GOOGL : fwd(9)").unwrap()).unwrap();
+    let gen1 = compiler
+        .compile(&parse_program("stock == GOOGL : fwd(1)").unwrap())
+        .unwrap();
+    let gen2 = compiler
+        .compile(&parse_program("stock == GOOGL : fwd(9)").unwrap())
+        .unwrap();
     // The static halves agree (same parser program).
     assert_eq!(gen1.pipeline.parser, gen2.pipeline.parser);
 
-    let pkt = feed(&[ItchMessage::AddOrder(AddOrder::new("GOOGL", Side::Buy, 1, 1))]);
+    let pkt = feed(&[ItchMessage::AddOrder(AddOrder::new(
+        "GOOGL",
+        Side::Buy,
+        1,
+        1,
+    ))]);
     let mut p1 = gen1.pipeline;
     let mut p2 = gen2.pipeline;
     assert_eq!(p1.process(&pkt, 0).unwrap().ports, vec![PortId(1)]);

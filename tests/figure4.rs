@@ -53,7 +53,12 @@ fn build() -> camus::compiler::CompiledProgram {
 #[test]
 fn pipeline_has_figure4_tables() {
     let prog = build();
-    let names: Vec<&str> = prog.pipeline.tables.iter().map(|t| t.name.as_str()).collect();
+    let names: Vec<&str> = prog
+        .pipeline
+        .tables
+        .iter()
+        .map(|t| t.name.as_str())
+        .collect();
     assert_eq!(names, vec!["t_order_shares", "t_order_stock", "t_actions"]);
     // Figure 4's Shares table has exactly three rows: <60, >100, and
     // the middle range.
@@ -68,14 +73,14 @@ fn decision_regions_match_figure3() {
     let mut pipe = prog.pipeline;
     // (shares, stock) → expected ports, per the BDD of Figure 3.
     let cases: &[(u32, &str, &[u16])] = &[
-        (50, "AAPL", &[1, 2]),  // shares<60 ∧ AAPL: rules 1+2 merge
+        (50, "AAPL", &[1, 2]), // shares<60 ∧ AAPL: rules 1+2 merge
         (59, "AAPL", &[1, 2]),
-        (60, "AAPL", &[2]),     // middle region: rule 2 only
+        (60, "AAPL", &[2]), // middle region: rule 2 only
         (100, "AAPL", &[2]),
-        (101, "AAPL", &[2]),    // shares>100 but AAPL ≠ MSFT
-        (50, "MSFT", &[]),      // left path, not AAPL
+        (101, "AAPL", &[2]), // shares>100 but AAPL ≠ MSFT
+        (50, "MSFT", &[]),   // left path, not AAPL
         (80, "MSFT", &[]),
-        (101, "MSFT", &[3]),    // rule 3
+        (101, "MSFT", &[3]), // rule 3
         (u32::MAX, "MSFT", &[3]),
         (50, "ORCL", &[]),
         (101, "ORCL", &[]),
@@ -112,7 +117,11 @@ fn exhaustive_sweep_matches_reference_semantics() {
         for shares in (0..=200).chain([1000, u32::MAX - 1, u32::MAX]) {
             let d = pipe.process(&packet(shares, stock), 0).unwrap();
             let got: Vec<u16> = d.ports.iter().map(|p| p.0).collect();
-            assert_eq!(got, reference(shares, stock), "shares={shares} stock={stock}");
+            assert_eq!(
+                got,
+                reference(shares, stock),
+                "shares={shares} stock={stock}"
+            );
         }
     }
 }
@@ -123,7 +132,10 @@ fn every_heuristic_preserves_figure3_semantics() {
         let spec = parse_spec(SPEC).unwrap();
         let compiler = Compiler::new(
             spec,
-            CompilerOptions { heuristic: h, ..CompilerOptions::raw() },
+            CompilerOptions {
+                heuristic: h,
+                ..CompilerOptions::raw()
+            },
         )
         .unwrap();
         let prog = compiler.compile(&parse_program(RULES).unwrap()).unwrap();

@@ -35,7 +35,11 @@ fn switch_filtering_beats_baseline_tail_latency() {
     let b99 = baseline.stats.percentile(0.99);
     let c99 = camus.stats.percentile(0.99);
     assert!(b99 > 5 * c99, "baseline p99 {b99}ns vs camus p99 {c99}ns");
-    assert!(camus.stats.max() < 50_000, "camus max {}ns", camus.stats.max());
+    assert!(
+        camus.stats.max() < 50_000,
+        "camus max {}ns",
+        camus.stats.max()
+    );
 }
 
 #[test]
@@ -55,7 +59,10 @@ fn baseline_receives_everything() {
     let trace = synthesize_feed(&TraceConfig::synthetic(10_000));
     let cfg = ExperimentConfig::default();
     let r = run_experiment(&trace, FilterMode::Baseline, &cfg);
-    assert_eq!(r.packets_to_subscriber + r.drops_switch + r.drops_host, trace.len());
+    assert_eq!(
+        r.packets_to_subscriber + r.drops_switch + r.drops_host,
+        trace.len()
+    );
 }
 
 #[test]
@@ -65,9 +72,16 @@ fn smooth_traffic_sees_no_queueing_in_either_mode() {
     cfg_trace.rate_msgs_per_sec = 100_000.0; // well under host capacity
     let trace = synthesize_feed(&cfg_trace);
     let cfg = ExperimentConfig::default();
-    for mode in [FilterMode::Baseline, FilterMode::Switch(Box::new(camus_pipeline()))] {
+    for mode in [
+        FilterMode::Baseline,
+        FilterMode::Switch(Box::new(camus_pipeline())),
+    ] {
         let r = run_experiment(&trace, mode, &cfg);
-        assert!(r.stats.max() < 10_000, "uncongested max {}ns", r.stats.max());
+        assert!(
+            r.stats.max() < 10_000,
+            "uncongested max {}ns",
+            r.stats.max()
+        );
         assert_eq!(r.drops_switch + r.drops_host, 0);
     }
 }

@@ -30,7 +30,11 @@ fn eval_cond(cond: &Cond, fields: &dyn Fn(&str) -> u64, bits: &dyn Fn(&str) -> u
     }
 }
 
-fn naive_ports(rules: &[Rule], fields: &dyn Fn(&str) -> u64, bits: &dyn Fn(&str) -> u32) -> Vec<u16> {
+fn naive_ports(
+    rules: &[Rule],
+    fields: &dyn Fn(&str) -> u64,
+    bits: &dyn Fn(&str) -> u32,
+) -> Vec<u16> {
     let mut out = Vec::new();
     for r in rules {
         if eval_cond(&r.condition, fields, bits) {
@@ -80,7 +84,14 @@ fn siena_default_workload_matches_interpreter() {
 #[test]
 fn siena_across_seeds() {
     for seed in [1u64, 7, 42, 1234] {
-        run_differential(SienaConfig { seed, subscriptions: 20, ..Default::default() }, 150);
+        run_differential(
+            SienaConfig {
+                seed,
+                subscriptions: 20,
+                ..Default::default()
+            },
+            150,
+        );
     }
 }
 
