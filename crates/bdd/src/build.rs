@@ -154,6 +154,14 @@ impl Bdd {
         &self.vars
     }
 
+    /// Whether `p` is in the declared predicate alphabet. Incremental
+    /// sessions use this to validate a whole rule batch *before*
+    /// mutating the BDD, keeping installs atomic when one conjunction
+    /// would need a full recompile.
+    pub fn has_pred(&self, p: &Pred) -> bool {
+        self.var_index.contains_key(p)
+    }
+
     /// The predicate tested by a variable.
     pub fn var_pred(&self, v: VarId) -> Pred {
         self.vars[v.0 as usize]

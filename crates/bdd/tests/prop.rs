@@ -7,7 +7,7 @@
 // and enable the `proptest` feature to run this suite.
 #![cfg(feature = "proptest")]
 
-use camus_bdd::pred::{ActionId, FieldId, FieldInfo, Pred, PredOp};
+use camus_bdd::pred::{ActionId, FieldId, FieldInfo, Pred};
 use camus_bdd::Bdd;
 use proptest::prelude::*;
 

@@ -1,0 +1,205 @@
+//! Live-churn benchmark: update-plane latency and data-path throughput
+//! while subscriptions are added and removed at runtime. Writes
+//! `results/BENCH_churn.json`.
+//!
+//! Three questions, one row group each:
+//!
+//! * how long does compiling + applying one update take, on the delta
+//!   path (pure in-alphabet adds) vs. the full-rebuild path (removals)?
+//! * what does the engine's data path deliver with **no** churn?
+//! * what does it deliver while updates are published mid-trace, with
+//!   no quiescing — i.e. what does churn actually cost the hot path?
+//!
+//! The host's core count is recorded alongside every row, as in
+//! `BENCH_engine.json`: single-core containers measure scheduling
+//! overhead, not parallel speedup.
+
+use camus_bench::harness::Bench;
+use camus_bench::{impl_to_json, json};
+use camus_core::{CompilerOptions, IncrementalCompiler};
+use camus_engine::{shard, Engine, EngineConfig};
+use camus_lang::parse_spec;
+use camus_workload::{itch_churn, synthesize_feed, ChurnConfig, ItchSubsConfig, TraceConfig};
+
+#[derive(Debug, Clone)]
+struct ChurnRow {
+    config: String,
+    workers: usize,
+    host_cores: usize,
+    packets_per_iter: u64,
+    updates_per_iter: u64,
+    ns_per_iter: f64,
+    pkts_per_sec: f64,
+    update_latency_ns: f64,
+}
+
+impl_to_json!(ChurnRow {
+    config,
+    workers,
+    host_cores,
+    packets_per_iter,
+    updates_per_iter,
+    ns_per_iter,
+    pkts_per_sec,
+    update_latency_ns,
+});
+
+fn main() {
+    let bench = Bench::from_env();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+    let opts = CompilerOptions::default();
+
+    // Figure-5c-shaped churn: `stock == S ∧ price > P : fwd(H)`. The
+    // pool doubles as the session alphabet, so adds splice; the
+    // `rebuild` schedule's removals force full recompiles.
+    let itch = ItchSubsConfig::default();
+    let base_churn = ChurnConfig {
+        initial_rules: 64,
+        steps: 8,
+        adds_per_step: 8,
+        removes_per_step: 0,
+        seed: 0xBE11,
+        ..Default::default()
+    };
+    let delta = itch_churn(&itch, &base_churn);
+    let rebuild = itch_churn(
+        &itch,
+        &ChurnConfig {
+            removes_per_step: 4,
+            ..base_churn.clone()
+        },
+    );
+
+    let mut rows: Vec<ChurnRow> = Vec::new();
+
+    // Baseline: session creation + initial install alone, so the
+    // update rows below can report marginal per-update latency.
+    let setup = bench
+        .run("churn/session_setup_64_rules", 1, || {
+            let mut session = IncrementalCompiler::new(spec.clone(), &opts, &delta.0).unwrap();
+            session.install(&delta.1.initial).unwrap().total_entries
+        })
+        .report()
+        .ns_per_iter;
+
+    for (name, (pool, schedule)) in [("delta", &delta), ("rebuild", &rebuild)] {
+        let updates = schedule.steps.len() as u64;
+        let r = bench.run(
+            &format!("churn/update_{name}_compile_and_apply_x{updates}"),
+            updates,
+            || {
+                let mut session = IncrementalCompiler::new(spec.clone(), &opts, pool).unwrap();
+                let mut pipe = session.install(&schedule.initial).unwrap().pipeline;
+                for step in &schedule.steps {
+                    let report = session.update(&step.add, &step.remove).unwrap();
+                    report.apply_to(&mut pipe).unwrap();
+                }
+                pipe.tables.len()
+            },
+        );
+        r.report();
+        rows.push(ChurnRow {
+            config: format!("update_{name}"),
+            workers: 0,
+            host_cores,
+            packets_per_iter: 0,
+            updates_per_iter: updates,
+            ns_per_iter: r.ns_per_iter,
+            pkts_per_sec: 0.0,
+            update_latency_ns: (r.ns_per_iter - setup).max(0.0) / updates as f64,
+        });
+    }
+
+    // Data path: the same 4k-packet synthetic feed the engine
+    // line-rate bench replays.
+    let trace = synthesize_feed(&TraceConfig {
+        target_fraction: 0.0,
+        add_order_fraction: 1.0,
+        burst_multiplier: 1.0,
+        ..TraceConfig::synthetic(4_000)
+    });
+    let packets: Vec<&[u8]> = trace.iter().map(|p| p.bytes.as_slice()).collect();
+    let n = packets.len() as u64;
+    let workers = host_cores.clamp(1, 4);
+    let cfg = EngineConfig {
+        workers,
+        ..Default::default()
+    };
+    let shard_fn = shard::itch_symbol_shard();
+
+    let mut quiet_session = IncrementalCompiler::new(spec.clone(), &opts, &rebuild.0).unwrap();
+    let initial_pipeline = quiet_session.install(&rebuild.1.initial).unwrap().pipeline;
+
+    let quiet = bench.run(&format!("churn/engine_no_churn_w{workers}"), n, || {
+        let mut engine = Engine::start(&initial_pipeline, &cfg, shard_fn.clone());
+        for p in &packets {
+            engine.submit(p, 0);
+        }
+        engine.finish().stats.packets
+    });
+    quiet.report();
+    rows.push(ChurnRow {
+        config: "engine_no_churn".into(),
+        workers,
+        host_cores,
+        packets_per_iter: n,
+        updates_per_iter: 0,
+        ns_per_iter: quiet.ns_per_iter,
+        pkts_per_sec: quiet.elems_per_sec().unwrap(),
+        update_latency_ns: 0.0,
+    });
+
+    // Under churn: one generation published per trace slice, no
+    // quiescing — the workers adopt at batch boundaries while packets
+    // keep flowing. The iteration includes the update compiles, which
+    // is exactly the cost a live control plane would impose.
+    let steps = rebuild.1.steps.len();
+    let burst = packets.len() / (steps + 1);
+    let churned = bench.run(
+        &format!("churn/engine_under_churn_w{workers}_x{steps}_updates"),
+        n,
+        || {
+            let mut session = IncrementalCompiler::new(spec.clone(), &opts, &rebuild.0).unwrap();
+            let initial = session.install(&rebuild.1.initial).unwrap();
+            let mut engine = Engine::start(&initial.pipeline, &cfg, shard_fn.clone());
+            let mut fed = 0;
+            for step in &rebuild.1.steps {
+                for p in &packets[fed..fed + burst] {
+                    engine.submit(p, 0);
+                }
+                fed += burst;
+                let report = session.update(&step.add, &step.remove).unwrap();
+                engine.apply_update(&report).unwrap();
+            }
+            for p in &packets[fed..] {
+                engine.submit(p, 0);
+            }
+            engine.finish().stats.packets
+        },
+    );
+    churned.report();
+    rows.push(ChurnRow {
+        config: "engine_under_churn".into(),
+        workers,
+        host_cores,
+        packets_per_iter: n,
+        updates_per_iter: steps as u64,
+        ns_per_iter: churned.ns_per_iter,
+        pkts_per_sec: churned.elems_per_sec().unwrap(),
+        update_latency_ns: 0.0,
+    });
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_churn.json");
+    std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();
+    println!(
+        "wrote {} ({} rows, host_cores={host_cores})",
+        path.display(),
+        rows.len()
+    );
+}

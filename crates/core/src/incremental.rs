@@ -18,14 +18,23 @@
 //!   unchanged port sets, so the regenerated tables share most entries
 //!   with the installed ones;
 //! * reports a per-table **entry diff** (adds/removes/kept) — exactly
-//!   what a控 control plane would push to the switch.
+//!   what a control plane would push to the switch. The diff is
+//!   directly executable: [`apply_delta`] splices it into a running
+//!   [`Pipeline`] without reallocating the match engines, and
+//!   [`UpdateReport::apply_to`] is the one-call version the engine's
+//!   update plane uses.
 //!
 //! The predicate alphabet and the field table are fixed when the
-//! session is created (they determine the static pipeline). Updates
-//! that need new predicates or new state slots fail with
-//! [`CompileError::NeedsFullRecompile`]; callers then do a full
-//! [`crate::Compiler::compile`] — the paper's "mostly stable queries"
-//! assumption.
+//! session is created (they determine the static pipeline). A bare
+//! [`IncrementalCompiler::install`] of rules that need new predicates
+//! or new state slots fails *atomically* with
+//! [`CompileError::NeedsFullRecompile`] — the session is left exactly
+//! as it was. [`IncrementalCompiler::update`] goes one step further
+//! and round-trips that fallback through the same channel: rule
+//! removals and out-of-alphabet additions trigger an internal full
+//! recompile over the cumulative rule set (with a widened alphabet),
+//! and the resulting [`UpdateReport`] is flagged `full_rebuild` so
+//! consumers swap the whole pipeline instead of splicing entries.
 
 use std::collections::HashMap;
 
@@ -34,7 +43,7 @@ use camus_bdd::Bdd;
 use camus_lang::ast::Rule;
 use camus_lang::spec::Spec;
 use camus_pipeline::pipeline::Pipeline;
-use camus_pipeline::table::{Entry, Table};
+use camus_pipeline::table::{ActionOp, Entry, Key, Table};
 
 use crate::compile::CompilerOptions;
 use crate::dynamic::{emit_tables, EmissionState};
@@ -43,16 +52,41 @@ use crate::resolve::{resolve, resolve_incremental, FieldTable, ResolveOptions};
 use crate::statics::{build_static, StaticPipeline};
 
 /// Per-table entry delta of one update.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Carries everything a data plane needs to apply the update in place:
+/// the exact entries to pull and push (multiset semantics), plus the
+/// table's key/default shape so a table that first appears mid-session
+/// can be created on the fly. An update's deltas enumerate the *full*
+/// table list of the new program in execution order; tables that
+/// vanished entirely trail the list with `dropped` set.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableDelta {
     /// Table name.
     pub table: String,
+    /// The table's keys (to create it if the data plane lacks it).
+    pub keys: Vec<Key>,
+    /// The table's miss action (ditto).
+    pub default_ops: Vec<ActionOp>,
     /// Entries present now but not before.
-    pub added: usize,
+    pub adds: Vec<Entry>,
     /// Entries present before but not now.
-    pub removed: usize,
+    pub removes: Vec<Entry>,
     /// Entries unchanged (reused on the switch).
     pub kept: usize,
+    /// The table no longer exists in the new program.
+    pub dropped: bool,
+}
+
+impl TableDelta {
+    /// Number of entries added.
+    pub fn added(&self) -> usize {
+        self.adds.len()
+    }
+
+    /// Number of entries removed.
+    pub fn removed(&self) -> usize {
+        self.removes.len()
+    }
 }
 
 /// The result of one incremental installation.
@@ -60,6 +94,8 @@ pub struct TableDelta {
 pub struct UpdateReport {
     /// Rules installed by this update.
     pub rules_added: usize,
+    /// Rules removed by this update (always via full rebuild).
+    pub rules_removed: usize,
     /// Conjunctions rejected as unsatisfiable.
     pub unsat_conjunctions: usize,
     /// Per-table entry deltas vs. the previously installed tables.
@@ -74,20 +110,96 @@ pub struct UpdateReport {
     pub entries_kept: usize,
     /// Cumulative BDD apply-memo (hits, misses).
     pub memo: (u64, u64),
+    /// The update required a full recompile (rule removal or a widened
+    /// alphabet): the statics may have moved, so consumers must swap
+    /// `pipeline` wholesale instead of splicing `deltas`.
+    pub full_rebuild: bool,
     /// A fresh executable pipeline reflecting the updated program.
     pub pipeline: Pipeline,
 }
 
-/// A long-lived compilation session supporting additive rule updates.
+impl UpdateReport {
+    /// Applies this update to a running pipeline in place.
+    ///
+    /// Delta updates splice the per-table entry diffs (reusing the
+    /// existing match-engine allocations) and refresh the multicast
+    /// groups and initial-state assignment. Full rebuilds replace the
+    /// whole pipeline, carrying register state over positionally so
+    /// `@query_counter` windows survive the swap. Either way the
+    /// pipeline comes back prepared.
+    ///
+    /// On a delta-application error (possible only if `pipeline` has
+    /// diverged from the session's lineage) the pipeline may be left
+    /// partially updated; callers should fall back to a full swap of
+    /// [`UpdateReport::pipeline`].
+    pub fn apply_to(&self, pipeline: &mut Pipeline) -> Result<(), CompileError> {
+        if self.full_rebuild {
+            let old_registers = std::mem::take(&mut pipeline.registers);
+            *pipeline = self.pipeline.clone();
+            pipeline.registers.carry_from(&old_registers);
+        } else {
+            apply_delta(pipeline, &self.deltas)?;
+            pipeline.mcast = self.pipeline.mcast.clone();
+            pipeline.init_fields = self.pipeline.init_fields.clone();
+        }
+        pipeline.prepare();
+        Ok(())
+    }
+}
+
+/// Applies per-table entry deltas to a pipeline in place — the
+/// reusable core of the update plane.
+///
+/// The delta list is treated as the complete table enumeration of the
+/// new program (which is what [`IncrementalCompiler`] emits): tables
+/// are reordered to match it, tables appearing for the first time are
+/// created from the delta's carried keys, and `dropped` tables are
+/// removed. Entry removal uses multiset semantics; kept entries keep
+/// their relative order so equal-priority tie-breaks are stable. Any
+/// pre-existing table the deltas do not mention is kept untouched
+/// after the enumerated ones (this cannot happen for deltas from the
+/// owning session).
+pub fn apply_delta(pipeline: &mut Pipeline, deltas: &[TableDelta]) -> Result<(), CompileError> {
+    fn take(old: &mut [Option<Table>], name: &str) -> Option<Table> {
+        old.iter_mut()
+            .find(|t| t.as_ref().is_some_and(|t| t.name == name))
+            .and_then(Option::take)
+    }
+    let mut old: Vec<Option<Table>> = std::mem::take(&mut pipeline.tables)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let mut tables = Vec::with_capacity(deltas.len());
+    for d in deltas {
+        if d.dropped {
+            take(&mut old, &d.table);
+            continue;
+        }
+        let mut t = take(&mut old, &d.table)
+            .unwrap_or_else(|| Table::new(d.table.clone(), d.keys.clone(), d.default_ops.clone()));
+        t.splice_entries(&d.removes, &d.adds)?;
+        tables.push(t);
+    }
+    tables.extend(old.into_iter().flatten());
+    pipeline.tables = tables;
+    Ok(())
+}
+
+/// A long-lived compilation session supporting rule updates.
 #[derive(Debug)]
 pub struct IncrementalCompiler {
     spec: Spec,
+    options: CompilerOptions,
     fields: FieldTable,
     statics: StaticPipeline,
     bdd: Bdd,
     es: EmissionState,
     /// Entry multisets of the currently installed tables.
     installed: HashMap<String, HashMap<Entry, usize>>,
+    /// The rules that fixed the predicate alphabet (grows on rebuild).
+    alphabet: Vec<Rule>,
+    /// The cumulative active rule set, in installation order.
+    active: Vec<Rule>,
     rules_installed: usize,
 }
 
@@ -117,11 +229,14 @@ impl IncrementalCompiler {
         bdd.set_semantic_pruning(options.semantic_pruning);
         Ok(IncrementalCompiler {
             spec,
+            options: options.clone(),
             fields: resolved.fields,
             statics,
             bdd,
             es: EmissionState::new(),
             installed: HashMap::new(),
+            alphabet: alphabet_rules.to_vec(),
+            active: Vec::new(),
             rules_installed: 0,
         })
     }
@@ -131,15 +246,38 @@ impl IncrementalCompiler {
         self.rules_installed
     }
 
-    /// The session's field table (frozen).
+    /// The session's field table (frozen between rebuilds).
     pub fn fields(&self) -> &FieldTable {
         &self.fields
     }
 
+    /// The cumulative active rule set, in installation order.
+    pub fn active_rules(&self) -> &[Rule] {
+        &self.active
+    }
+
     /// Installs additional rules and regenerates the tables, reporting
     /// the entry diff against the previously installed version.
+    ///
+    /// Atomic: if any rule needs a predicate outside the session's
+    /// alphabet (or a new state slot), the whole batch is rejected with
+    /// [`CompileError::NeedsFullRecompile`] and the session is left
+    /// untouched. Use [`IncrementalCompiler::update`] to fall back to
+    /// a rebuild automatically.
     pub fn install(&mut self, rules: &[Rule]) -> Result<UpdateReport, CompileError> {
         let conjs = resolve_incremental(&self.spec, &self.fields, rules)?;
+        // Validate the whole batch against the alphabet before any
+        // mutation so a rejected install cannot leave the BDD (or the
+        // action intern table) half-updated.
+        for conj in &conjs {
+            for (p, _) in &conj.literals {
+                if !self.bdd.has_pred(p) {
+                    return Err(CompileError::NeedsFullRecompile(format!(
+                        "predicate {p} is outside the session's alphabet"
+                    )));
+                }
+            }
+        }
         let mut unsat = 0usize;
         for conj in &conjs {
             let ids: Vec<ActionId> = conj
@@ -161,35 +299,20 @@ impl IncrementalCompiler {
             }
         }
         self.rules_installed += rules.len();
+        self.active.extend_from_slice(rules);
 
         let (tables, initial_state) = emit_tables(&self.bdd, &self.statics, &mut self.es)?;
-
-        // Diff vs. installed entries.
-        let mut deltas = Vec::with_capacity(tables.len());
-        let (mut added, mut removed, mut kept) = (0usize, 0usize, 0usize);
-        let mut new_installed: HashMap<String, HashMap<Entry, usize>> = HashMap::new();
-        for t in &tables {
-            let mut multiset: HashMap<Entry, usize> = HashMap::new();
-            for e in t.entries() {
-                *multiset.entry(e.clone()).or_insert(0) += 1;
-            }
-            let old = self.installed.remove(&t.name).unwrap_or_default();
-            let d = diff_multisets(&t.name, &old, &multiset);
-            added += d.added;
-            removed += d.removed;
-            kept += d.kept;
-            deltas.push(d);
-            new_installed.insert(t.name.clone(), multiset);
-        }
-        // Tables that disappeared entirely (possible when a field's last
-        // predicate goes away — cannot happen with additive installs,
-        // but keep the diff total).
-        for (name, old) in self.installed.drain() {
-            let d = diff_multisets(&name, &old, &HashMap::new());
-            removed += d.removed;
-            deltas.push(d);
-        }
-        self.installed = new_installed;
+        let (deltas, added, removed, kept) = diff_tables(&tables, &mut self.installed);
+        self.installed = tables
+            .iter()
+            .map(|t| {
+                let mut multiset: HashMap<Entry, usize> = HashMap::new();
+                for e in t.entries() {
+                    *multiset.entry(e.clone()).or_insert(0) += 1;
+                }
+                (t.name.clone(), multiset)
+            })
+            .collect();
 
         let total_entries = tables.iter().map(Table::len).sum();
         let pipeline = Pipeline {
@@ -204,6 +327,7 @@ impl IncrementalCompiler {
         };
         Ok(UpdateReport {
             rules_added: rules.len(),
+            rules_removed: 0,
             unsat_conjunctions: unsat,
             deltas,
             total_entries,
@@ -211,34 +335,136 @@ impl IncrementalCompiler {
             entries_removed: removed,
             entries_kept: kept,
             memo: self.bdd.memo_stats(),
+            full_rebuild: false,
             pipeline,
         })
     }
+
+    /// Applies a combined add/remove update, reporting through the
+    /// same delta channel whichever path it takes.
+    ///
+    /// Pure additions within the alphabet go through the incremental
+    /// [`IncrementalCompiler::install`] path. Removals — the BDD's
+    /// node store is append-only — and additions needing new
+    /// predicates or state slots fall back to an internal full
+    /// recompile of the cumulative rule set (widening the alphabet
+    /// with the new rules); the report then carries
+    /// [`UpdateReport::full_rebuild`] so consumers swap the pipeline
+    /// wholesale. Removing a rule that is not active is a no-op.
+    pub fn update(&mut self, add: &[Rule], remove: &[Rule]) -> Result<UpdateReport, CompileError> {
+        if remove.is_empty() {
+            match self.install(add) {
+                Err(CompileError::NeedsFullRecompile(_)) => {}
+                r => return r,
+            }
+        }
+        self.rebuild(add, remove)
+    }
+
+    /// Full-recompile fallback: rebuilds a fresh session over the
+    /// cumulative rule set and adopts it, re-expressing the change as
+    /// a diff against *this* session's installed tables.
+    fn rebuild(&mut self, add: &[Rule], remove: &[Rule]) -> Result<UpdateReport, CompileError> {
+        let mut target = self.active.clone();
+        let mut rules_removed = 0usize;
+        for r in remove {
+            if let Some(i) = target.iter().position(|t| t == r) {
+                target.remove(i);
+                rules_removed += 1;
+            }
+        }
+        target.extend_from_slice(add);
+        let mut alphabet = self.alphabet.clone();
+        alphabet.extend_from_slice(add);
+
+        let mut fresh = IncrementalCompiler::new(self.spec.clone(), &self.options, &alphabet)?;
+        let mut report = fresh.install(&target)?;
+
+        // The fresh session diffed against nothing; recompute the
+        // deltas against the tables this session had installed so the
+        // rebuild flows through the same reporting channel. (With a
+        // moved field layout entries may compare unequal even when
+        // behaviourally identical — the `full_rebuild` flag tells
+        // consumers to swap wholesale regardless.)
+        let mut old = std::mem::take(&mut self.installed);
+        let (deltas, added, removed, kept) = diff_tables(&report.pipeline.tables, &mut old);
+        report.deltas = deltas;
+        report.entries_added = added;
+        report.entries_removed = removed;
+        report.entries_kept = kept;
+        report.rules_added = add.len();
+        report.rules_removed = rules_removed;
+        report.full_rebuild = true;
+        *self = fresh;
+        Ok(report)
+    }
 }
 
-fn diff_multisets(
-    name: &str,
-    old: &HashMap<Entry, usize>,
-    new: &HashMap<Entry, usize>,
-) -> TableDelta {
-    let mut added = 0usize;
-    let mut removed = 0usize;
-    let mut kept = 0usize;
-    for (e, &n) in new {
-        let o = old.get(e).copied().unwrap_or(0);
-        added += n.saturating_sub(o);
-        kept += n.min(o);
+/// Diffs freshly emitted tables against the previously installed
+/// multisets (consumed), returning the deltas — full table enumeration
+/// in execution order, dropped tables trailing — plus the aggregate
+/// (added, removed, kept) counts.
+fn diff_tables(
+    tables: &[Table],
+    installed: &mut HashMap<String, HashMap<Entry, usize>>,
+) -> (Vec<TableDelta>, usize, usize, usize) {
+    let mut deltas = Vec::with_capacity(tables.len());
+    let (mut added, mut removed, mut kept) = (0usize, 0usize, 0usize);
+    for t in tables {
+        let mut old = installed.remove(&t.name).unwrap_or_default();
+        let mut adds = Vec::new();
+        let mut kept_here = 0usize;
+        for e in t.entries() {
+            match old.get_mut(e) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    kept_here += 1;
+                }
+                _ => adds.push(e.clone()),
+            }
+        }
+        let mut removes = Vec::new();
+        for (e, c) in &old {
+            for _ in 0..*c {
+                removes.push(e.clone());
+            }
+        }
+        added += adds.len();
+        removed += removes.len();
+        kept += kept_here;
+        deltas.push(TableDelta {
+            table: t.name.clone(),
+            keys: t.keys.clone(),
+            default_ops: t.default_ops.clone(),
+            adds,
+            removes,
+            kept: kept_here,
+            dropped: false,
+        });
     }
-    for (e, &o) in old {
-        let n = new.get(e).copied().unwrap_or(0);
-        removed += o.saturating_sub(n);
+    // Tables that disappeared entirely (a field's last predicate went
+    // away): everything they held is removed.
+    let mut dropped: Vec<(String, HashMap<Entry, usize>)> = installed.drain().collect();
+    dropped.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, old) in dropped {
+        let mut removes = Vec::new();
+        for (e, c) in &old {
+            for _ in 0..*c {
+                removes.push(e.clone());
+            }
+        }
+        removed += removes.len();
+        deltas.push(TableDelta {
+            table: name,
+            keys: Vec::new(),
+            default_ops: Vec::new(),
+            adds: Vec::new(),
+            removes,
+            kept: 0,
+            dropped: true,
+        });
     }
-    TableDelta {
-        table: name.to_string(),
-        added,
-        removed,
-        kept,
-    }
+    (deltas, added, removed, kept)
 }
 
 #[cfg(test)]
@@ -365,6 +591,28 @@ mod tests {
     }
 
     #[test]
+    fn rejected_install_leaves_the_session_untouched() {
+        let mut s = session(ALPHABET);
+        s.install(&parse_program("stock == GOOGL : fwd(1)").unwrap())
+            .unwrap();
+        // A batch mixing an in-alphabet rule with an out-of-alphabet
+        // one must be rejected atomically: neither rule lands.
+        let err = s
+            .install(&parse_program("stock == MSFT : fwd(2)\nprice > 999 : fwd(4)").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CompileError::NeedsFullRecompile(_)), "{err}");
+        assert_eq!(s.rules_installed(), 1);
+        assert_eq!(s.active_rules().len(), 1);
+        // An empty install after the rejection reports a clean no-op —
+        // the BDD and tables were not half-mutated.
+        let r = s.install(&[]).unwrap();
+        assert_eq!(r.entries_added, 0);
+        assert_eq!(r.entries_removed, 0);
+        let mut p = r.pipeline;
+        assert!(p.process(&packet("MSFT", 1, 1), 0).unwrap().dropped());
+    }
+
+    #[test]
     fn same_action_alphabet_ports_are_fine() {
         // Actions are not part of the alphabet: any fwd() target works.
         let mut s = session(ALPHABET);
@@ -398,5 +646,104 @@ mod tests {
         assert_eq!(r.entries_added, 0);
         assert_eq!(r.entries_removed, 0);
         assert!(r.entries_kept > 0);
+    }
+
+    #[test]
+    fn deltas_replay_onto_a_running_pipeline() {
+        // Maintain a mirror pipeline purely by applying deltas and
+        // check it tracks the session's fresh pipelines exactly.
+        let mut s = session(ALPHABET);
+        let r0 = s.install(&[]).unwrap();
+        let mut mirror = r0.pipeline.clone();
+        let steps = [
+            "stock == GOOGL : fwd(1)",
+            "price > 100 : fwd(3)",
+            "stock == MSFT : fwd(2)",
+        ];
+        for step in steps {
+            let r = s.install(&parse_program(step).unwrap()).unwrap();
+            assert!(!r.full_rebuild);
+            r.apply_to(&mut mirror).unwrap();
+            let mut fresh = r.pipeline;
+            for sym in ["GOOGL", "MSFT", "ORCL"] {
+                for price in [0u32, 101] {
+                    let pkt = packet(sym, 10, price);
+                    assert_eq!(
+                        mirror.process(&pkt, 0).unwrap().ports,
+                        fresh.process(&pkt, 0).unwrap().ports,
+                        "{sym} @ {price} after `{step}`"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_removal_round_trips_as_full_rebuild() {
+        let mut s = session(ALPHABET);
+        let rules = parse_program("stock == GOOGL : fwd(1)\nstock == MSFT : fwd(2)").unwrap();
+        let r0 = s.update(&rules, &[]).unwrap();
+        assert!(!r0.full_rebuild);
+        let mut mirror = r0.pipeline.clone();
+
+        // Remove the GOOGL rule: append-only BDD forces a rebuild.
+        let remove = parse_program("stock == GOOGL : fwd(1)").unwrap();
+        let r = s.update(&[], &remove).unwrap();
+        assert!(r.full_rebuild);
+        assert_eq!(r.rules_removed, 1);
+        assert_eq!(s.active_rules().len(), 1);
+        r.apply_to(&mut mirror).unwrap();
+        assert!(mirror.process(&packet("GOOGL", 1, 1), 0).unwrap().dropped());
+        assert_eq!(
+            mirror.process(&packet("MSFT", 1, 1), 0).unwrap().ports,
+            vec![PortId(2)]
+        );
+        // Removing an inactive rule is a no-op.
+        let r = s.update(&[], &remove).unwrap();
+        assert_eq!(r.rules_removed, 0);
+        assert_eq!(s.active_rules().len(), 1);
+    }
+
+    #[test]
+    fn update_widens_the_alphabet_on_demand() {
+        let mut s = session(ALPHABET);
+        s.update(&parse_program("stock == GOOGL : fwd(1)").unwrap(), &[])
+            .unwrap();
+        // `price > 999` is outside the alphabet: update() rebuilds
+        // where install() refuses.
+        let novel = parse_program("price > 999 : fwd(4)").unwrap();
+        let r = s.update(&novel, &[]).unwrap();
+        assert!(r.full_rebuild);
+        let mut p = r.pipeline;
+        assert_eq!(
+            p.process(&packet("ORCL", 1, 5000), 0).unwrap().ports,
+            vec![PortId(4)]
+        );
+        // The widened alphabet persists: the same predicate now
+        // installs incrementally.
+        let r = s
+            .update(&parse_program("price > 999 : fwd(5)").unwrap(), &[])
+            .unwrap();
+        assert!(!r.full_rebuild);
+    }
+
+    #[test]
+    fn rebuild_report_diffs_against_the_old_tables() {
+        let mut s = session(ALPHABET);
+        s.install(&parse_program("stock == GOOGL : fwd(1)\nstock == MSFT : fwd(2)").unwrap())
+            .unwrap();
+        let total_before: usize = s
+            .installed
+            .values()
+            .map(|m| m.values().sum::<usize>())
+            .sum();
+        assert!(total_before > 0);
+        let r = s
+            .update(&[], &parse_program("stock == MSFT : fwd(2)").unwrap())
+            .unwrap();
+        // The delta channel reports the transition, not a from-scratch
+        // install: some entries survive the rebuild unchanged.
+        assert!(r.entries_kept > 0, "{r:?}");
+        assert!(r.entries_removed > 0, "{r:?}");
     }
 }

@@ -86,4 +86,4 @@ pub mod statics;
 pub use compile::{CompiledProgram, Compiler, CompilerOptions, Encap};
 pub use dynamic::CompileStats;
 pub use error::CompileError;
-pub use incremental::{IncrementalCompiler, TableDelta, UpdateReport};
+pub use incremental::{apply_delta, IncrementalCompiler, TableDelta, UpdateReport};

@@ -203,3 +203,69 @@ proptest! {
         prop_assert_eq!(a.control_plane, b.control_plane);
     }
 }
+
+// ------------------------------------------------------- live churn
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Live churn: random update sequences driven through
+    /// `IncrementalCompiler::update` and replayed onto a running
+    /// pipeline with `UpdateReport::apply_to` must forward identically
+    /// to a fresh full compile of the cumulative rule set after every
+    /// step (and both must match the naive interpreter). Covers the
+    /// delta path, removal rebuilds and out-of-alphabet fallbacks.
+    #[test]
+    fn incremental_churn_matches_full_recompile(
+        seed in 0u64..100_000,
+        removes_per_step in 0usize..3,
+        out_of_alphabet in 0usize..2,
+    ) {
+        use camus_core::IncrementalCompiler;
+        use camus_workload::{naive_ports_for_event, siena_churn, ChurnConfig, SienaConfig};
+
+        let siena = SienaConfig {
+            int_attributes: 2,
+            symbol_attributes: 1,
+            symbol_alphabet: 8,
+            int_range: 60,
+            predicates_per_subscription: 2,
+            seed,
+            ..Default::default()
+        };
+        let churn = ChurnConfig {
+            initial_rules: 5,
+            steps: 3,
+            adds_per_step: 2,
+            removes_per_step,
+            seed: seed ^ 0xFEED,
+            ..Default::default()
+        };
+        let plan = siena_churn(&siena, &churn, out_of_alphabet);
+        let spec = plan.base.spec.clone();
+        let opts = CompilerOptions::raw();
+
+        let mut session = IncrementalCompiler::new(spec.clone(), &opts, &plan.base.rules).unwrap();
+        let mut mirror = session.install(&plan.schedule.initial).unwrap().pipeline;
+        let full_compiler = Compiler::new(spec.clone(), opts).unwrap();
+        let events = siena.generate_events(&plan.base, 10);
+
+        for (k, step) in plan.schedule.steps.iter().enumerate() {
+            let report = session.update(&step.add, &step.remove).unwrap();
+            report.apply_to(&mut mirror).unwrap();
+
+            let active = plan.schedule.rules_after(k + 1);
+            prop_assert_eq!(session.active_rules(), active.as_slice());
+            let mut full = full_compiler.compile(&active).unwrap().pipeline;
+            for ev in &events {
+                let inc: Vec<u16> =
+                    mirror.process(ev, 0).unwrap().ports.iter().map(|p| p.0).collect();
+                let fresh: Vec<u16> =
+                    full.process(ev, 0).unwrap().ports.iter().map(|p| p.0).collect();
+                let oracle = naive_ports_for_event(&spec, &active, ev);
+                prop_assert_eq!(&inc, &fresh, "step {}, event {:x?}", k, ev);
+                prop_assert_eq!(&inc, &oracle, "step {}, event {:x?}", k, ev);
+            }
+        }
+    }
+}

@@ -17,6 +17,25 @@
 //! are recycled through a return channel, so the steady state allocates
 //! nothing per packet on either side of the queue.
 //!
+//! ## Update plane
+//!
+//! The engine doubles as the consumer of the incremental compiler's
+//! delta channel (§3's "highly dynamic queries"): feed an
+//! [`UpdateReport`](camus_core::UpdateReport) to
+//! [`Engine::apply_update`] and the next-generation tables are built
+//! *off* the packet hot path — spliced into a master template via
+//! [`camus_core::apply_delta`] (or swapped wholesale on a
+//! `full_rebuild`), then published RCU-style behind an atomic
+//! generation counter. Workers poll the counter once per batch and
+//! adopt the published pipeline at the batch boundary, carrying their
+//! `@query_counter` register state and execution counters over — so
+//! every packet is processed by exactly one complete rule-set
+//! generation, none is dropped during an update, and stateful windows
+//! never reset. [`Engine::quiesce`] drains every in-flight batch,
+//! after which forwarding is bit-identical to a fresh full compile of
+//! the cumulative rule set (the differential churn tests enforce
+//! this).
+//!
 //! ```no_run
 //! use camus_engine::{shard, Engine, EngineConfig};
 //! # fn demo(pipeline: &camus_pipeline::Pipeline, trace: &[(Vec<u8>, u64)]) {
@@ -33,12 +52,46 @@
 
 pub mod shard;
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use camus_core::{CompileError, UpdateReport};
 use camus_pipeline::{DecisionBuf, ExecStats, ForwardDecision, Pipeline, PipelineError};
 
 pub use shard::ShardFn;
+
+/// The RCU-style publication slot shared between the control plane
+/// and the workers: a monotonically increasing generation counter and
+/// the pipeline it corresponds to. The `Release` bump in
+/// [`Engine::publish`] paired with the `Acquire` load at each batch
+/// boundary guarantees a worker that observes generation `g` also
+/// observes the pipeline published with it; batches submitted after
+/// `apply_update` returns are always processed at generation ≥ `g`.
+struct Published {
+    generation: AtomicU64,
+    slot: Mutex<Arc<Pipeline>>,
+}
+
+/// Update-plane counters, aggregated into the [`EngineReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Pipeline generations published (delta updates + full swaps).
+    pub published: u64,
+    /// Updates applied by splicing table deltas into the template.
+    pub delta_updates: u64,
+    /// Updates applied as full pipeline swaps (the
+    /// `NeedsFullRecompile` fallback, or [`Engine::install_pipeline`]).
+    pub full_swaps: u64,
+    /// Generation adoptions performed by workers at batch boundaries
+    /// (summed across workers).
+    pub adoptions: u64,
+    /// Generations a worker skipped over because several were
+    /// published between two of its batches — updates deferred to a
+    /// batch boundary and coalesced there (summed across workers).
+    pub coalesced: u64,
+}
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
@@ -150,12 +203,19 @@ struct WorkerOutput {
     stats: ExecStats,
     decisions: Vec<(u64, ForwardDecision)>,
     error: Option<EngineError>,
+    adoptions: u64,
+    coalesced: u64,
 }
 
 struct WorkerHandle {
     tx: SyncSender<Batch>,
     recycle_rx: Receiver<Batch>,
     pending: Batch,
+    /// Batches sent but not yet returned through the recycle channel —
+    /// i.e. not yet fully processed by the worker.
+    outstanding: usize,
+    /// Drained batches ready for reuse.
+    pool: Vec<Batch>,
     handle: JoinHandle<WorkerOutput>,
 }
 
@@ -176,6 +236,9 @@ pub struct EngineReport {
     /// First error any worker hit, if any. The failing worker stops
     /// processing further batches; other shards run to completion.
     pub error: Option<EngineError>,
+    /// Update-plane counters: generations published, how they were
+    /// applied, and how workers picked them up.
+    pub updates: UpdateStats,
 }
 
 /// A running multi-core engine. Create with [`Engine::start`], feed it
@@ -186,6 +249,12 @@ pub struct Engine {
     shard: ShardFn,
     batch_packets: usize,
     next_seq: u64,
+    /// Master copy the control plane mutates off the hot path; every
+    /// publish clones it into the shared slot.
+    template: Pipeline,
+    published: Arc<Published>,
+    delta_updates: u64,
+    full_swaps: u64,
 }
 
 fn worker_loop(
@@ -194,11 +263,33 @@ fn worker_loop(
     rx: Receiver<Batch>,
     recycle_tx: Sender<Batch>,
     record: bool,
+    published: Arc<Published>,
 ) -> WorkerOutput {
     let mut out = DecisionBuf::default();
     let mut decisions: Vec<(u64, ForwardDecision)> = Vec::new();
     let mut error: Option<EngineError> = None;
+    // The engine publishes generation 0 implicitly at start; a bump
+    // racing the spawn is simply adopted at the first batch.
+    let mut seen_gen = 0u64;
+    let mut adoptions = 0u64;
+    let mut coalesced = 0u64;
     while let Ok(batch) = rx.recv() {
+        // Batch boundary: adopt the latest published generation, so
+        // every packet in this batch runs under one complete rule set.
+        let generation = published.generation.load(Ordering::Acquire);
+        if generation != seen_gen {
+            let next_arc = published.slot.lock().expect("publish slot lock").clone();
+            let mut next = (*next_arc).clone();
+            // Stateful continuity across the swap: `@query_counter`
+            // windows and execution counters carry over, never reset.
+            next.registers.carry_from(&pipeline.registers);
+            next.exec.stats = pipeline.exec.stats.clone();
+            next.prepare();
+            adoptions += 1;
+            coalesced += generation - seen_gen - 1;
+            seen_gen = generation;
+            pipeline = next;
+        }
         if error.is_none() {
             out.clear();
             match pipeline.process_batch(batch.iter(), &mut out) {
@@ -228,6 +319,8 @@ fn worker_loop(
         stats: pipeline.exec.stats.clone(),
         decisions,
         error,
+        adoptions,
+        coalesced,
     }
 }
 
@@ -241,20 +334,36 @@ impl Engine {
         let mut template = pipeline.clone();
         template.prepare();
         template.exec.stats.reset();
+        let published = Arc::new(Published {
+            generation: AtomicU64::new(0),
+            slot: Mutex::new(Arc::new(template.clone())),
+        });
         let workers = (0..n)
             .map(|wi| {
                 let (tx, rx) = sync_channel::<Batch>(cfg.queue_batches.max(1));
                 let (recycle_tx, recycle_rx) = channel::<Batch>();
                 let worker_pipeline = template.clone();
                 let record = cfg.record_decisions;
+                let worker_published = Arc::clone(&published);
                 let handle = std::thread::Builder::new()
                     .name(format!("camus-engine-{wi}"))
-                    .spawn(move || worker_loop(wi, worker_pipeline, rx, recycle_tx, record))
+                    .spawn(move || {
+                        worker_loop(
+                            wi,
+                            worker_pipeline,
+                            rx,
+                            recycle_tx,
+                            record,
+                            worker_published,
+                        )
+                    })
                     .expect("spawn engine worker");
                 WorkerHandle {
                     tx,
                     recycle_rx,
                     pending: Batch::default(),
+                    outstanding: 0,
+                    pool: Vec::new(),
                     handle,
                 }
             })
@@ -264,6 +373,10 @@ impl Engine {
             shard,
             batch_packets: cfg.batch_packets.max(1),
             next_seq: 0,
+            template,
+            published,
+            delta_updates: 0,
+            full_swaps: 0,
         }
     }
 
@@ -293,12 +406,102 @@ impl Engine {
         }
         // Reuse a batch the worker has already drained, if one is
         // waiting; otherwise grow the pool by one.
-        let mut next = w.recycle_rx.try_recv().unwrap_or_default();
+        let mut next = match w.pool.pop() {
+            Some(b) => b,
+            None => match w.recycle_rx.try_recv() {
+                Ok(b) => {
+                    w.outstanding -= 1;
+                    b
+                }
+                Err(_) => Batch::default(),
+            },
+        };
         next.clear();
         let full = std::mem::replace(&mut w.pending, next);
+        w.outstanding += 1;
         // A send error means the worker died; the panic surfaces when
         // finish() joins the thread.
         let _ = w.tx.send(full);
+    }
+
+    /// Flushes every pending batch and blocks until all workers have
+    /// fully processed everything submitted so far. On return the data
+    /// plane is quiescent: no packet is in flight, and the guarantee
+    /// that post-quiescence forwarding matches a fresh full compile of
+    /// the cumulative rule set is testable. (A worker that died keeps
+    /// its panic for [`Engine::finish`] to surface.)
+    pub fn quiesce(&mut self) {
+        for w in &mut self.workers {
+            Self::flush_worker(w);
+            while w.outstanding > 0 {
+                match w.recycle_rx.recv() {
+                    Ok(b) => {
+                        w.outstanding -= 1;
+                        w.pool.push(b);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+
+    /// Applies an incremental-compiler update to the running engine.
+    ///
+    /// The next-generation pipeline is built off the packet hot path:
+    /// delta reports splice their per-table entry diffs into the
+    /// engine's master template (reusing the match-engine
+    /// allocations), while `full_rebuild` reports — the
+    /// `NeedsFullRecompile` fallback round-tripped through the same
+    /// channel — replace the template wholesale. Either way the result
+    /// is published with an atomic generation bump; workers adopt it
+    /// at their next batch boundary, carrying register state and
+    /// counters over. Packets submitted after this returns are
+    /// guaranteed to be processed by the new generation (or a later
+    /// one); packets already in flight finish under the generation
+    /// their batch started with — never a half-applied rule set.
+    pub fn apply_update(&mut self, report: &UpdateReport) -> Result<(), CompileError> {
+        report.apply_to(&mut self.template)?;
+        if report.full_rebuild {
+            self.full_swaps += 1;
+        } else {
+            self.delta_updates += 1;
+        }
+        self.publish();
+        Ok(())
+    }
+
+    /// Full-swap fallback with an arbitrary pipeline (e.g. from a
+    /// from-scratch [`Compiler::compile`](camus_core::Compiler) when no
+    /// incremental session exists): replaces the template wholesale and
+    /// publishes it. Workers still carry their register state over
+    /// positionally on adoption.
+    pub fn install_pipeline(&mut self, pipeline: &Pipeline) {
+        self.template = pipeline.clone();
+        self.template.exec.stats.reset();
+        self.template.prepare();
+        self.full_swaps += 1;
+        self.publish();
+    }
+
+    /// Update-plane counters accumulated so far (worker adoption
+    /// counts are only known at [`Engine::finish`]).
+    pub fn update_stats(&self) -> UpdateStats {
+        UpdateStats {
+            published: self.delta_updates + self.full_swaps,
+            delta_updates: self.delta_updates,
+            full_swaps: self.full_swaps,
+            adoptions: 0,
+            coalesced: 0,
+        }
+    }
+
+    fn publish(&mut self) {
+        self.template.prepare();
+        let next = Arc::new(self.template.clone());
+        *self.published.slot.lock().expect("publish slot lock") = next;
+        // Release pairs with the workers' Acquire load: a worker that
+        // sees the new generation sees the new pipeline.
+        self.published.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Flushes remaining packets, joins every worker and aggregates
@@ -308,6 +511,7 @@ impl Engine {
         let mut per_worker = Vec::with_capacity(workers);
         let mut all_decisions: Vec<(u64, ForwardDecision)> = Vec::new();
         let mut error: Option<EngineError> = None;
+        let mut updates = self.update_stats();
 
         let mut handles = Vec::with_capacity(workers);
         for mut w in self.workers {
@@ -321,6 +525,8 @@ impl Engine {
             let out = handle.join().expect("engine worker panicked");
             per_worker.push(out.stats);
             all_decisions.extend(out.decisions);
+            updates.adoptions += out.adoptions;
+            updates.coalesced += out.coalesced;
             if error.is_none() {
                 error = out.error;
             }
@@ -338,6 +544,7 @@ impl Engine {
             per_worker,
             decisions,
             error,
+            updates,
         }
     }
 }
@@ -504,6 +711,120 @@ mod tests {
         assert_eq!(err.worker, 0);
         // The packet before the failure still has its decision.
         assert_eq!(report.decisions[0].ports, vec![PortId(1)]);
+    }
+
+    #[test]
+    fn install_pipeline_swaps_rules_at_a_quiescence_point() {
+        let pipeline = byte_pipeline();
+        // Alternate generation: byte 1 forwards to port 9 instead of 1,
+        // spliced in via the same table API the delta path uses.
+        let mut alt = byte_pipeline();
+        let entry = |port| Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(1)],
+            ops: vec![ActionOp::Forward(PortId(port))],
+        };
+        alt.tables[0]
+            .splice_entries(&[entry(1)], &[entry(9)])
+            .unwrap();
+
+        let cfg = EngineConfig {
+            workers: 2,
+            batch_packets: 4,
+            record_decisions: true,
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        for _ in 0..40 {
+            engine.submit(&[1], 0);
+        }
+        engine.quiesce();
+        engine.install_pipeline(&alt);
+        for _ in 0..40 {
+            engine.submit(&[1], 0);
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none(), "{:?}", report.error);
+        // Zero loss: every submitted packet has a decision.
+        assert_eq!(report.decisions.len(), 80);
+        // Quiescence before the swap makes the cutover exact.
+        for d in &report.decisions[..40] {
+            assert_eq!(d.ports, vec![PortId(1)]);
+        }
+        for d in &report.decisions[40..] {
+            assert_eq!(d.ports, vec![PortId(9)]);
+        }
+        assert_eq!(report.stats.packets, 80);
+        assert_eq!(report.updates.published, 1);
+        assert_eq!(report.updates.full_swaps, 1);
+        assert_eq!(report.updates.delta_updates, 0);
+        assert!(report.updates.adoptions >= 1, "{:?}", report.updates);
+    }
+
+    #[test]
+    fn quiesce_is_reentrant_and_safe_when_idle() {
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 3,
+            batch_packets: 5,
+            record_decisions: true,
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        engine.quiesce(); // nothing submitted yet
+        for i in 0..57u32 {
+            engine.submit(&[(i % 7) as u8], 0);
+        }
+        engine.quiesce();
+        engine.quiesce(); // already drained: no-op
+        for i in 0..13u32 {
+            engine.submit(&[(i % 7) as u8], 0);
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none());
+        assert_eq!(report.stats.packets, 70);
+        assert_eq!(report.decisions.len(), 70);
+    }
+
+    #[test]
+    fn coalesced_generations_are_counted() {
+        let pipeline = byte_pipeline();
+        let mut alt = byte_pipeline();
+        let entry = |port| Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(1)],
+            ops: vec![ActionOp::Forward(PortId(port))],
+        };
+        alt.tables[0]
+            .splice_entries(&[entry(1)], &[entry(9)])
+            .unwrap();
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 8,
+            record_decisions: true,
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        engine.submit(&[1], 0);
+        engine.quiesce();
+        // Three generations published back-to-back while the worker has
+        // no traffic: it adopts only the last one.
+        engine.install_pipeline(&alt);
+        engine.install_pipeline(&pipeline);
+        engine.install_pipeline(&alt);
+        for _ in 0..8 {
+            engine.submit(&[1], 0);
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none());
+        assert_eq!(report.updates.published, 3);
+        assert_eq!(report.updates.adoptions, 1);
+        assert_eq!(report.updates.coalesced, 2);
+        assert_eq!(report.decisions.len(), 9);
+        assert_eq!(report.decisions[0].ports, vec![PortId(1)]);
+        for d in &report.decisions[1..] {
+            assert_eq!(d.ports, vec![PortId(9)]);
+        }
     }
 
     #[test]

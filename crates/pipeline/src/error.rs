@@ -42,6 +42,12 @@ pub enum PipelineError {
         /// Key position.
         key: usize,
     },
+    /// A delta asked to remove an entry the table does not hold —
+    /// the control plane and data plane have diverged.
+    EntryNotFound {
+        /// Table name.
+        table: String,
+    },
     /// An action referenced a multicast group that was never configured.
     UnknownGroup(u32),
     /// An action referenced a register slot out of range.
@@ -85,6 +91,9 @@ impl fmt::Display for PipelineError {
                     f,
                     "table `{table}`: match value incompatible with key {key}"
                 )
+            }
+            PipelineError::EntryNotFound { table } => {
+                write!(f, "table `{table}`: entry to remove is not installed")
             }
             PipelineError::UnknownGroup(g) => write!(f, "unknown multicast group {g}"),
             PipelineError::RegisterOutOfRange(i) => write!(f, "register slot {i} out of range"),

@@ -155,6 +155,23 @@ impl RegisterFile {
         }
     }
 
+    /// Carries state over from an old register file across a pipeline
+    /// generation swap: slot contents (window position, aggregates,
+    /// last value) copy positionally for slots present in both files,
+    /// while each slot keeps its *own* configured window length.
+    /// `@query_counter` state therefore survives rule updates instead
+    /// of resetting. Positional copy is exact whenever the static
+    /// register allocation is unchanged — which is every delta update,
+    /// since the statics only move on a full recompile with a widened
+    /// alphabet.
+    pub fn carry_from(&mut self, old: &RegisterFile) {
+        for (dst, src) in self.slots.iter_mut().zip(&old.slots) {
+            let window_us = dst.window_us;
+            *dst = *src;
+            dst.window_us = window_us;
+        }
+    }
+
     /// Reads an aggregate from a slot.
     pub fn read(&mut self, slot: usize, kind: AggKind, now_us: u64) -> Result<u64, usize> {
         self.slots
@@ -230,6 +247,39 @@ mod tests {
         // A later incr() accumulates on top.
         rf.increment(s, 1).unwrap();
         assert_eq!(rf.read(s, AggKind::Sum, 2).unwrap(), 43);
+    }
+
+    #[test]
+    fn carry_from_preserves_counts_across_swap() {
+        let mut old = RegisterFile::new();
+        let s = old.allocate(0);
+        old.increment(s, 0).unwrap();
+        old.increment(s, 1).unwrap();
+        // A fresh generation of the same layout starts empty…
+        let mut fresh = RegisterFile::new();
+        fresh.allocate(0);
+        assert_eq!(fresh.read(s, AggKind::Count, 2).unwrap(), 0);
+        // …until the swap carries the old state over.
+        fresh.carry_from(&old);
+        assert_eq!(fresh.read(s, AggKind::Count, 2).unwrap(), 2);
+        fresh.increment(s, 3).unwrap();
+        assert_eq!(fresh.read(s, AggKind::Count, 4).unwrap(), 3);
+    }
+
+    #[test]
+    fn carry_from_keeps_the_new_window_config() {
+        let mut old = RegisterFile::new();
+        let s = old.allocate(100);
+        old.observe(s, 5, 10).unwrap();
+        let mut fresh = RegisterFile::new();
+        fresh.allocate(50); // reconfigured window
+        fresh.carry_from(&old);
+        assert_eq!(fresh.slots[s].window_us, 50);
+        assert_eq!(fresh.read(s, AggKind::Sum, 20).unwrap(), 5);
+        // Extra old slots beyond the new layout are ignored.
+        let mut short = RegisterFile::new();
+        short.carry_from(&old);
+        assert!(short.is_empty());
     }
 
     #[test]

@@ -197,8 +197,7 @@ impl Table {
         }
     }
 
-    /// Adds an entry after validating its shape against the keys.
-    pub fn add_entry(&mut self, entry: Entry) -> Result<(), PipelineError> {
+    fn validate_entry(&self, entry: &Entry) -> Result<(), PipelineError> {
         if entry.matches.len() != self.keys.len() {
             return Err(PipelineError::EntryShapeMismatch {
                 table: self.name.clone(),
@@ -214,7 +213,59 @@ impl Table {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Adds an entry after validating its shape against the keys.
+    pub fn add_entry(&mut self, entry: Entry) -> Result<(), PipelineError> {
+        self.validate_entry(&entry)?;
         self.entries.push(entry);
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Removes one occurrence of `entry` (the first in insertion
+    /// order).
+    pub fn remove_entry(&mut self, entry: &Entry) -> Result<(), PipelineError> {
+        self.splice_entries(std::slice::from_ref(entry), &[])
+    }
+
+    /// Applies a batched entry diff: removes one occurrence per entry
+    /// in `removes` (multiset semantics), then appends every entry in
+    /// `adds` — all-or-nothing, validated up front, with a single index
+    /// refresh deferred to the next `prepare`. Kept entries preserve
+    /// their relative insertion order, so equal-priority tie-breaks
+    /// stay stable across a splice.
+    pub fn splice_entries(
+        &mut self,
+        removes: &[Entry],
+        adds: &[Entry],
+    ) -> Result<(), PipelineError> {
+        for a in adds {
+            self.validate_entry(a)?;
+        }
+        let mut drop = vec![false; self.entries.len()];
+        for r in removes {
+            let i = self
+                .entries
+                .iter()
+                .enumerate()
+                .find(|&(i, e)| !drop[i] && e == r)
+                .map(|(i, _)| i)
+                .ok_or_else(|| PipelineError::EntryNotFound {
+                    table: self.name.clone(),
+                })?;
+            drop[i] = true;
+        }
+        if !removes.is_empty() {
+            let mut i = 0;
+            self.entries.retain(|_| {
+                let keep = !drop[i];
+                i += 1;
+                keep
+            });
+        }
+        self.entries.extend(adds.iter().cloned());
         self.dirty = true;
         Ok(())
     }
@@ -236,10 +287,24 @@ impl Table {
 
     /// Rebuilds the lookup index. Called lazily by `lookup`; exposed so
     /// construction cost can be paid eagerly in benchmarks.
+    ///
+    /// Reuses the previous index's map and bucket allocations so that
+    /// update-plane refreshes recycle the match engine instead of
+    /// reallocating it. Buckets for first-key values that no longer
+    /// have entries are kept (empty) — lookups on them simply fall
+    /// through to the wildcard list.
     pub fn build_index(&mut self) {
-        self.index = if self.keys.first().map(|k| k.kind) == Some(MatchKind::Exact) {
-            let mut map: HashMap<u64, Vec<usize>> = HashMap::new();
-            let mut wild = Vec::new();
+        if self.keys.first().map(|k| k.kind) == Some(MatchKind::Exact) {
+            let (mut map, mut wild) = match std::mem::replace(&mut self.index, Index::Linear) {
+                Index::ByFirstExact { mut map, mut wild } => {
+                    for bucket in map.values_mut() {
+                        bucket.clear();
+                    }
+                    wild.clear();
+                    (map, wild)
+                }
+                Index::Linear => (HashMap::new(), Vec::new()),
+            };
             for (i, e) in self.entries.iter().enumerate() {
                 match e.matches[0] {
                     MatchValue::Exact(v) => map.entry(v).or_default().push(i),
@@ -247,10 +312,10 @@ impl Table {
                     _ => unreachable!("validated exact-compatible"),
                 }
             }
-            Index::ByFirstExact { map, wild }
+            self.index = Index::ByFirstExact { map, wild };
         } else {
-            Index::Linear
-        };
+            self.index = Index::Linear;
+        }
         self.dirty = false;
     }
 
@@ -609,6 +674,143 @@ mod tests {
         })
         .unwrap();
         assert!(t.lookup(&phv).is_some());
+    }
+
+    #[test]
+    fn splice_removes_then_adds() {
+        let (l, _s, f) = layout2();
+        let mut t = Table::new(
+            "t",
+            vec![Key {
+                field: f,
+                kind: MatchKind::Exact,
+                bits: 64,
+            }],
+            vec![],
+        );
+        let e = |v, port| Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(v)],
+            ops: vec![ActionOp::Forward(PortId(port))],
+        };
+        t.add_entry(e(1, 10)).unwrap();
+        t.add_entry(e(2, 20)).unwrap();
+        t.add_entry(e(2, 20)).unwrap(); // duplicate: multiset semantics
+        t.splice_entries(&[e(2, 20)], &[e(3, 30)]).unwrap();
+        assert_eq!(t.len(), 3);
+        let mut got = |v: u64| {
+            let mut phv = l.instantiate();
+            phv.set(f, v);
+            t.lookup(&phv).map(|e| e.ops.clone())
+        };
+        assert_eq!(got(1), Some(vec![ActionOp::Forward(PortId(10))]));
+        // One duplicate removed, one kept.
+        assert_eq!(got(2), Some(vec![ActionOp::Forward(PortId(20))]));
+        assert_eq!(got(3), Some(vec![ActionOp::Forward(PortId(30))]));
+    }
+
+    #[test]
+    fn splice_is_all_or_nothing() {
+        let (l, _s, f) = layout2();
+        let mut t = Table::new(
+            "t",
+            vec![Key {
+                field: f,
+                kind: MatchKind::Exact,
+                bits: 64,
+            }],
+            vec![],
+        );
+        let e = |v| Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(v)],
+            ops: vec![ActionOp::Drop],
+        };
+        t.add_entry(e(1)).unwrap();
+        // Removing a present entry and an absent one fails without
+        // touching the table.
+        assert!(matches!(
+            t.splice_entries(&[e(1), e(9)], &[]),
+            Err(PipelineError::EntryNotFound { .. })
+        ));
+        assert_eq!(t.len(), 1);
+        // A bad add is rejected before any remove is applied.
+        let bad = Entry {
+            priority: 0,
+            matches: vec![],
+            ops: vec![],
+        };
+        assert!(t.splice_entries(&[e(1)], &[bad]).is_err());
+        assert_eq!(t.len(), 1);
+        let mut phv = l.instantiate();
+        phv.set(f, 1);
+        assert!(t.lookup(&phv).is_some());
+    }
+
+    #[test]
+    fn remove_entry_takes_first_occurrence() {
+        let (l, _s, f) = layout2();
+        let mut t = Table::new(
+            "t",
+            vec![Key {
+                field: f,
+                kind: MatchKind::Exact,
+                bits: 64,
+            }],
+            vec![],
+        );
+        let e = |v| Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(v)],
+            ops: vec![ActionOp::Drop],
+        };
+        t.add_entry(e(5)).unwrap();
+        t.add_entry(e(5)).unwrap();
+        t.remove_entry(&e(5)).unwrap();
+        assert_eq!(t.len(), 1);
+        t.remove_entry(&e(5)).unwrap();
+        assert!(t.is_empty());
+        assert!(t.remove_entry(&e(5)).is_err());
+        let mut phv = l.instantiate();
+        phv.set(f, 5);
+        assert!(t.lookup(&phv).is_none());
+    }
+
+    #[test]
+    fn index_rebuild_after_splice_stays_correct() {
+        // Exercise the allocation-reusing rebuild: a value whose
+        // bucket empties must miss, not hit stale indices.
+        let (l, state, stock) = layout2();
+        let mut t = Table::new(
+            "t",
+            vec![
+                Key {
+                    field: state,
+                    kind: MatchKind::Exact,
+                    bits: 16,
+                },
+                Key {
+                    field: stock,
+                    kind: MatchKind::Exact,
+                    bits: 64,
+                },
+            ],
+            vec![],
+        );
+        let e = |s, v| Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(s), MatchValue::Exact(v)],
+            ops: vec![ActionOp::Drop],
+        };
+        t.add_entry(e(1, 10)).unwrap();
+        t.add_entry(e(2, 20)).unwrap();
+        t.prepare();
+        t.splice_entries(&[e(1, 10)], &[e(3, 30)]).unwrap();
+        t.prepare();
+        for (s, v, hit) in [(1u64, 10u64, false), (2, 20, true), (3, 30, true)] {
+            let phv = phv_with(&l, state, stock, s, v);
+            assert_eq!(t.lookup_prepared(&phv).is_some(), hit, "state={s}");
+        }
     }
 
     #[test]

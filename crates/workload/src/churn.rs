@@ -1,0 +1,301 @@
+//! Rule-churn plans: timed add/remove sequences over generated rule
+//! sets.
+//!
+//! §3.2 splits the compiler so "new subscriptions can be installed
+//! without recompiling the static program". The churn generator
+//! produces the workload for exercising that path end to end: a pool
+//! of subscriptions, an initial active set, and a deterministic
+//! schedule of timed update steps (each adding and removing a few
+//! rules) to feed through [`IncrementalCompiler::update`] and the
+//! engine's update plane. Plans over both the Siena universe
+//! ([`siena_churn`]) and the ITCH subscription workload
+//! ([`itch_churn`]) are provided.
+//!
+//! [`IncrementalCompiler::update`]: https://docs.rs/camus-core
+//!
+//! Everything is deterministic given the seeds, so differential tests
+//! can replay a plan against a fresh full compile at every step.
+
+use camus_lang::ast::Rule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::itch_subs::{generate_itch_subscriptions, ItchSubsConfig};
+use crate::siena::{SienaConfig, SienaWorkload};
+
+/// Shape of a churn schedule.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Rules active before the first update step.
+    pub initial_rules: usize,
+    /// Number of update steps.
+    pub steps: usize,
+    /// Rules added per step (drawn from the pool, never reused).
+    pub adds_per_step: usize,
+    /// Rules removed per step (drawn from the then-active set; capped
+    /// at the active count so the set never underflows).
+    pub removes_per_step: usize,
+    /// Microseconds between steps; step `i` fires at `(i+1) * gap`.
+    pub step_gap_us: u64,
+    /// Seed for removal choices and out-of-alphabet placement.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            initial_rules: 16,
+            steps: 8,
+            adds_per_step: 4,
+            removes_per_step: 2,
+            step_gap_us: 100_000,
+            seed: 0xC412,
+        }
+    }
+}
+
+impl ChurnConfig {
+    /// Pool size a schedule of this shape consumes.
+    pub fn pool_size(&self) -> usize {
+        self.initial_rules + self.steps * self.adds_per_step
+    }
+}
+
+/// One timed update step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnStep {
+    /// When the step fires, relative to trace start.
+    pub at_us: u64,
+    /// Rules to install.
+    pub add: Vec<Rule>,
+    /// Rules to retire (always a subset of the set active before the
+    /// step).
+    pub remove: Vec<Rule>,
+}
+
+/// An initial rule set plus a timed sequence of updates.
+#[derive(Debug, Clone)]
+pub struct ChurnSchedule {
+    /// Rules active at time zero.
+    pub initial: Vec<Rule>,
+    /// The update steps, in firing order.
+    pub steps: Vec<ChurnStep>,
+}
+
+impl ChurnSchedule {
+    /// Builds a schedule from a rule pool. The first
+    /// `cfg.initial_rules` pool entries form the initial set; each
+    /// step adds the next `adds_per_step` pool entries and removes
+    /// `removes_per_step` random members of the then-active set.
+    ///
+    /// Panics if the pool is smaller than [`ChurnConfig::pool_size`].
+    pub fn from_pool(pool: &[Rule], cfg: &ChurnConfig) -> ChurnSchedule {
+        assert!(
+            pool.len() >= cfg.pool_size(),
+            "churn pool has {} rules but the schedule consumes {}",
+            pool.len(),
+            cfg.pool_size()
+        );
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let initial: Vec<Rule> = pool[..cfg.initial_rules].to_vec();
+        let mut active = initial.clone();
+        let mut next = cfg.initial_rules;
+        let mut steps = Vec::with_capacity(cfg.steps);
+        for i in 0..cfg.steps {
+            let mut remove = Vec::new();
+            for _ in 0..cfg.removes_per_step.min(active.len()) {
+                let j = rng.gen_range(0..active.len());
+                remove.push(active.swap_remove(j));
+            }
+            let add: Vec<Rule> = pool[next..next + cfg.adds_per_step].to_vec();
+            next += cfg.adds_per_step;
+            active.extend(add.iter().cloned());
+            steps.push(ChurnStep {
+                at_us: (i as u64 + 1) * cfg.step_gap_us,
+                add,
+                remove,
+            });
+        }
+        ChurnSchedule { initial, steps }
+    }
+
+    /// The active rule set after the first `steps_applied` steps,
+    /// replayed with the same first-match removal semantics the
+    /// incremental compiler uses.
+    pub fn rules_after(&self, steps_applied: usize) -> Vec<Rule> {
+        let mut active = self.initial.clone();
+        for step in &self.steps[..steps_applied] {
+            for r in &step.remove {
+                if let Some(i) = active.iter().position(|a| a == r) {
+                    active.remove(i);
+                }
+            }
+            active.extend(step.add.iter().cloned());
+        }
+        active
+    }
+
+    /// The active rule set once every step has fired.
+    pub fn final_rules(&self) -> Vec<Rule> {
+        self.rules_after(self.steps.len())
+    }
+}
+
+/// A churn plan over the Siena universe: the pool workload (spec,
+/// events, and the in-alphabet rule pool) plus the schedule.
+#[derive(Debug, Clone)]
+pub struct SienaChurn {
+    /// The pool workload. `base.rules` is the in-alphabet pool — seed
+    /// an [`IncrementalCompiler`] session with it and every scheduled
+    /// add except the out-of-alphabet extras takes the delta path.
+    ///
+    /// [`IncrementalCompiler`]: https://docs.rs/camus-core
+    pub base: SienaWorkload,
+    /// Extra rules generated outside the pool (different seed, same
+    /// universe) and spliced into random steps' adds: with high
+    /// probability their constants are not in the alphabet, forcing
+    /// the `NeedsFullRecompile` fallback.
+    pub out_of_alphabet: Vec<Rule>,
+    /// The timed schedule (out-of-alphabet extras already spliced in).
+    pub schedule: ChurnSchedule,
+}
+
+/// Generates a Siena churn plan. `out_of_alphabet_adds` extra rules
+/// are drawn from an independent generator pass and appended to random
+/// steps, so a plan with `out_of_alphabet_adds > 0` exercises the
+/// full-recompile fallback alongside the delta path.
+pub fn siena_churn(
+    siena: &SienaConfig,
+    cfg: &ChurnConfig,
+    out_of_alphabet_adds: usize,
+) -> SienaChurn {
+    let pool_cfg = SienaConfig {
+        subscriptions: cfg.pool_size(),
+        ..siena.clone()
+    };
+    let base = pool_cfg.generate();
+    let mut schedule = ChurnSchedule::from_pool(&base.rules, cfg);
+    let oob_cfg = SienaConfig {
+        subscriptions: out_of_alphabet_adds,
+        seed: siena.seed ^ 0x00B,
+        ..siena.clone()
+    };
+    let out_of_alphabet = oob_cfg.generate().rules;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x00B);
+    for r in &out_of_alphabet {
+        let i = rng.gen_range(0..schedule.steps.len().max(1));
+        schedule.steps[i].add.push(r.clone());
+    }
+    SienaChurn {
+        base,
+        out_of_alphabet,
+        schedule,
+    }
+}
+
+/// Generates a churn schedule over ITCH subscriptions
+/// (`stock == S ∧ price > P : fwd(H)`). The pool doubles as the
+/// session alphabet.
+pub fn itch_churn(itch: &ItchSubsConfig, cfg: &ChurnConfig) -> (Vec<Rule>, ChurnSchedule) {
+    let pool_cfg = ItchSubsConfig {
+        subscriptions: cfg.pool_size(),
+        ..itch.clone()
+    };
+    let pool = generate_itch_subscriptions(&pool_cfg);
+    let schedule = ChurnSchedule::from_pool(&pool, cfg);
+    (pool, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_consumes_the_pool_in_order() {
+        let cfg = ChurnConfig {
+            initial_rules: 4,
+            steps: 3,
+            adds_per_step: 2,
+            removes_per_step: 1,
+            ..Default::default()
+        };
+        let (pool, s) = itch_churn(&ItchSubsConfig::default(), &cfg);
+        assert_eq!(pool.len(), cfg.pool_size());
+        assert_eq!(s.initial, pool[..4]);
+        assert_eq!(s.steps.len(), 3);
+        for (i, step) in s.steps.iter().enumerate() {
+            assert_eq!(step.add, pool[4 + 2 * i..4 + 2 * (i + 1)]);
+            assert_eq!(step.remove.len(), 1);
+            assert_eq!(step.at_us, (i as u64 + 1) * cfg.step_gap_us);
+        }
+    }
+
+    #[test]
+    fn removes_always_target_active_rules() {
+        let cfg = ChurnConfig {
+            initial_rules: 3,
+            steps: 10,
+            adds_per_step: 1,
+            removes_per_step: 2,
+            ..Default::default()
+        };
+        let (_, s) = itch_churn(&ItchSubsConfig::default(), &cfg);
+        for k in 0..=s.steps.len() {
+            let active = s.rules_after(k);
+            if k < s.steps.len() {
+                for r in &s.steps[k].remove {
+                    assert!(active.contains(r), "step {k} removes an inactive rule");
+                }
+            }
+        }
+        // Net drift: +1 −2 per step, but never below zero.
+        assert_eq!(
+            s.final_rules().len(),
+            3 + 10 - s.steps.iter().map(|s| s.remove.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn rules_after_replays_cumulatively() {
+        let cfg = ChurnConfig {
+            initial_rules: 5,
+            steps: 4,
+            adds_per_step: 3,
+            removes_per_step: 1,
+            ..Default::default()
+        };
+        let (_, s) = itch_churn(&ItchSubsConfig::default(), &cfg);
+        let mut active = s.initial.clone();
+        for (k, step) in s.steps.iter().enumerate() {
+            for r in &step.remove {
+                let i = active.iter().position(|a| a == r).unwrap();
+                active.remove(i);
+            }
+            active.extend(step.add.iter().cloned());
+            assert_eq!(s.rules_after(k + 1), active);
+        }
+    }
+
+    #[test]
+    fn siena_churn_splices_out_of_alphabet_rules() {
+        let cfg = ChurnConfig::default();
+        let plan = siena_churn(&SienaConfig::default(), &cfg, 3);
+        assert_eq!(plan.out_of_alphabet.len(), 3);
+        let scheduled: usize = plan.schedule.steps.iter().map(|s| s.add.len()).sum();
+        assert_eq!(scheduled, cfg.steps * cfg.adds_per_step + 3);
+        // The extras are scheduled, not silently dropped.
+        for r in &plan.out_of_alphabet {
+            assert!(plan.schedule.steps.iter().any(|s| s.add.contains(r)));
+            assert!(!plan.base.rules.contains(r));
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let cfg = ChurnConfig::default();
+        let a = siena_churn(&SienaConfig::default(), &cfg, 2);
+        let b = siena_churn(&SienaConfig::default(), &cfg, 2);
+        assert_eq!(a.schedule.initial, b.schedule.initial);
+        assert_eq!(a.schedule.steps, b.schedule.steps);
+    }
+}

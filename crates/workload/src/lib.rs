@@ -14,13 +14,25 @@
 //!   popularity, 0.5 % GOOGL) and a uniform synthetic feed (5 % GOOGL);
 //! * [`zipf`] — the Zipf sampler behind symbol popularity.
 //!
+//! Two additions serve the update-plane (live churn) work:
+//!
+//! * [`churn`] — timed add/remove schedules over Siena and ITCH rule
+//!   sets, driving the incremental compiler and the engine's update
+//!   plane;
+//! * [`interp`] — the naive AST interpreter the differential tests use
+//!   as their ground-truth oracle.
+//!
 //! All generators are deterministic given a seed.
 
+pub mod churn;
+pub mod interp;
 pub mod itch_subs;
 pub mod siena;
 pub mod trace;
 pub mod zipf;
 
+pub use churn::{itch_churn, siena_churn, ChurnConfig, ChurnSchedule, ChurnStep, SienaChurn};
+pub use interp::{eval_cond, naive_ports, naive_ports_for_event};
 pub use itch_subs::{generate_itch_subscriptions, ItchSubsConfig};
 pub use siena::{SienaConfig, SienaWorkload};
 pub use trace::{synthesize_feed, TimedPacket, TraceConfig, TraceKind};

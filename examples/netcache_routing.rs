@@ -107,7 +107,13 @@ fn main() {
         r2.entries_added, r2.entries_removed, r2.entries_kept
     );
     for d in &r2.deltas {
-        println!("  {:<18} +{} -{} ={}", d.table, d.added, d.removed, d.kept);
+        println!(
+            "  {:<18} +{} -{} ={}",
+            d.table,
+            d.added(),
+            d.removed(),
+            d.kept
+        );
     }
 
     let mut pipe = r2.pipeline;

@@ -1,54 +1,12 @@
 //! Differential testing over generated workloads: for Siena-style
 //! subscription sets, the compiled pipeline must forward each event to
 //! exactly the union of the ports of the matching subscriptions —
-//! checked against a direct AST interpreter, across seeds and
+//! checked against the direct AST interpreter in `camus::workload`
+//! (shared with the churn differential tests), across seeds and
 //! predicate counts.
 
 use camus::compiler::{Compiler, CompilerOptions};
-use camus::lang::ast::{Atom, Cond, Operand, Rule, Value};
-use camus::workload::SienaConfig;
-
-/// Direct interpreter for rule conditions on a decoded event.
-fn eval_cond(cond: &Cond, fields: &dyn Fn(&str) -> u64, bits: &dyn Fn(&str) -> u32) -> bool {
-    match cond {
-        Cond::And(a, b) => eval_cond(a, fields, bits) && eval_cond(b, fields, bits),
-        Cond::Or(a, b) => eval_cond(a, fields, bits) || eval_cond(b, fields, bits),
-        Cond::Not(a) => !eval_cond(a, fields, bits),
-        Cond::Atom(Atom { operand, op, value }) => {
-            let name = match operand {
-                Operand::Field(fr) => fr.field.as_str(),
-                other => panic!("siena rules are stateless: {other:?}"),
-            };
-            let lhs = fields(name);
-            let rhs = match value {
-                Value::Int(n) => *n,
-                Value::Symbol(_) => value.as_u64(bits(name)),
-            };
-            op.eval(lhs, rhs)
-        }
-        Cond::True => true,
-    }
-}
-
-fn naive_ports(
-    rules: &[Rule],
-    fields: &dyn Fn(&str) -> u64,
-    bits: &dyn Fn(&str) -> u32,
-) -> Vec<u16> {
-    let mut out = Vec::new();
-    for r in rules {
-        if eval_cond(&r.condition, fields, bits) {
-            for a in &r.actions {
-                if let camus::lang::ast::Action::Fwd(ports) = a {
-                    out.extend_from_slice(ports);
-                }
-            }
-        }
-    }
-    out.sort_unstable();
-    out.dedup();
-    out
-}
+use camus::workload::{naive_ports_for_event, SienaConfig};
 
 fn run_differential(cfg: SienaConfig, events: usize) {
     let w = cfg.generate();
@@ -58,20 +16,10 @@ fn run_differential(cfg: SienaConfig, events: usize) {
     assert!(prog.bdd.validate().is_ok());
     let mut pipe = prog.pipeline;
 
-    // Decode each event by walking the spec layout (fields are
-    // concatenated in declaration order).
-    let ht = &w.spec.header_types[0];
-    let field_at = |ev: &[u8], name: &str| -> u64 {
-        let f = ht.field(name).expect("field exists");
-        camus::pipeline::bits::extract_bits(ev, u64::from(f.bit_offset), f.bits)
-            .expect("event covers the header")
-    };
-    let bits_of = |name: &str| ht.field(name).unwrap().bits;
-
     for ev in cfg.generate_events(&w, events) {
         let d = pipe.process(&ev, 0).expect("event parses");
         let got: Vec<u16> = d.ports.iter().map(|p| p.0).collect();
-        let want = naive_ports(&w.rules, &|n| field_at(&ev, n), &bits_of);
+        let want = naive_ports_for_event(&w.spec, &w.rules, &ev);
         assert_eq!(got, want, "event {ev:x?}");
     }
 }
