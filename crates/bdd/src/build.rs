@@ -13,10 +13,12 @@
 //! satisfiable path between any pair of component boundary nodes —
 //! the property Algorithm 1's path enumeration relies on.
 
-use std::collections::HashMap;
 use std::fmt;
 
+use fxhash::FxHashMap;
+
 use crate::ctx::FieldCtx;
+use crate::memo_key;
 use crate::pred::{ActionId, FieldId, FieldInfo, Pred, PredOp};
 use crate::store::{NodeRef, Store, VarId, EMPTY_ACTIONS};
 use crate::Bdd;
@@ -113,7 +115,7 @@ impl Bdd {
         // Context id 0 is the "no constraints" sentinel; its field id is
         // out of range so it never compares equal to a real field.
         let sentinel = FieldCtx::full(FieldId(u32::MAX), 0);
-        let mut ctx_index = HashMap::new();
+        let mut ctx_index = FxHashMap::default();
         ctx_index.insert(sentinel.clone(), CTX_NONE);
 
         Ok(Bdd {
@@ -122,13 +124,13 @@ impl Bdd {
             var_index,
             store: Store::new(),
             root: NodeRef::Term(EMPTY_ACTIONS),
-            memo: HashMap::new(),
+            memo: FxHashMap::default(),
             memo_hits: 0,
             memo_misses: 0,
             semantic_pruning: true,
             ctxs: vec![sentinel],
             ctx_index,
-            prune_memo: HashMap::new(),
+            prune_memo: FxHashMap::default(),
         })
     }
 
@@ -311,7 +313,7 @@ impl Bdd {
 
     /// Memoized union of two diagrams under a same-field constraint
     /// context.
-    fn apply(&mut self, a: NodeRef, b: NodeRef, ctx_id: u32) -> NodeRef {
+    pub(crate) fn apply(&mut self, a: NodeRef, b: NodeRef, ctx_id: u32) -> NodeRef {
         if a == b {
             // Idempotent union — but the shared subtree may still hold
             // predicates forced by the context (same argument as the
@@ -357,7 +359,7 @@ impl Bdd {
         };
         let cid = self.intern_ctx(cur.clone());
 
-        let key = if a <= b { (a, b, cid) } else { (b, a, cid) };
+        let key = memo_key(a, b, cid);
         if let Some(&r) = self.memo.get(&key) {
             self.memo_hits += 1;
             return r;
@@ -421,7 +423,8 @@ impl Bdd {
             // > the context's field: the constraint is irrelevant below.
             return r;
         }
-        if let Some(&res) = self.prune_memo.get(&(r, ctx_id)) {
+        let pkey = (u64::from(r.pack()) << 32) | u64::from(ctx_id);
+        if let Some(&res) = self.prune_memo.get(&pkey) {
             return res;
         }
         let cur = self.ctxs[ctx_id as usize].clone();
@@ -438,7 +441,7 @@ impl Bdd {
                 self.store.make_node(n.var, lo, hi)
             }
         };
-        self.prune_memo.insert((r, ctx_id), res);
+        self.prune_memo.insert(pkey, res);
         res
     }
 }

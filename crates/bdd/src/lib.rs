@@ -67,6 +67,7 @@ pub mod build;
 pub mod ctx;
 pub mod dot;
 pub mod eval;
+pub mod merge;
 pub mod order;
 pub mod pred;
 pub mod slice;
@@ -76,7 +77,7 @@ pub use build::BddError;
 pub use pred::{ActionId, FieldId, FieldInfo, Pred, PredOp};
 pub use store::{ActionSetId, NodeRef, VarId};
 
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// A multi-terminal ordered BDD over packet-filter predicates.
 ///
@@ -88,11 +89,13 @@ pub struct Bdd {
     pub(crate) fields: Vec<FieldInfo>,
     /// Variable table in evaluation order (field-major).
     pub(crate) vars: Vec<Pred>,
-    pub(crate) var_index: HashMap<Pred, VarId>,
+    pub(crate) var_index: FxHashMap<Pred, VarId>,
     pub(crate) store: store::Store,
     pub(crate) root: NodeRef,
-    /// `apply` memo, cleared per `add_rule` call to bound memory.
-    pub(crate) memo: HashMap<(NodeRef, NodeRef, u32), NodeRef>,
+    /// `apply` memo, cleared per `add_rule` call to bound memory. Keyed
+    /// on the packed `(a, b)` pair (see [`NodeRef::pack`]) plus the
+    /// context id — 12 bytes instead of three enum words.
+    pub(crate) memo: FxHashMap<(u64, u32), NodeRef>,
     /// Cumulative memo statistics, for the incremental-compilation
     /// ablation (DESIGN.md §7).
     pub(crate) memo_hits: u64,
@@ -103,9 +106,23 @@ pub struct Bdd {
     /// Hash-consed constraint contexts; index 0 is the "no constraints"
     /// sentinel.
     pub(crate) ctxs: Vec<ctx::FieldCtx>,
-    pub(crate) ctx_index: HashMap<ctx::FieldCtx, u32>,
-    /// Persistent memo for `prune` — a pure function of (node, ctx).
-    pub(crate) prune_memo: HashMap<(NodeRef, u32), NodeRef>,
+    pub(crate) ctx_index: FxHashMap<ctx::FieldCtx, u32>,
+    /// Persistent memo for `prune` — a pure function of (node, ctx),
+    /// keyed on `packed(node) << 32 | ctx`.
+    pub(crate) prune_memo: FxHashMap<u64, NodeRef>,
+}
+
+/// Packs an apply-memo key: the symmetric `(a, b)` pair in one `u64`
+/// (smaller packed value in the high half) plus the context id.
+#[inline]
+pub(crate) fn memo_key(a: NodeRef, b: NodeRef, cid: u32) -> (u64, u32) {
+    let (pa, pb) = (a.pack(), b.pack());
+    let pair = if pa <= pb {
+        (u64::from(pa) << 32) | u64::from(pb)
+    } else {
+        (u64::from(pb) << 32) | u64::from(pa)
+    };
+    (pair, cid)
 }
 
 impl std::fmt::Debug for Bdd {

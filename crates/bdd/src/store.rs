@@ -10,8 +10,25 @@
 //!
 //! Terminals are *action sets* (this is a multi-terminal BDD); they are
 //! hash-consed the same way so terminal equality is id equality.
+//!
+//! The store is the compiler's hottest data structure, so it is built
+//! to be allocation-lean:
+//!
+//! * all maps use the vendored Fx hasher (`fxhash`), which is several
+//!   times cheaper than SipHash on these short fixed-width keys;
+//! * action sets live in a single **arena** (`Vec<ActionId>` plus
+//!   `(offset, len)` spans) instead of one `Vec` per set, and the
+//!   interning index keys on the *hash* of a set's contents with a tiny
+//!   collision bucket — so interning never clones a candidate set and
+//!   misses probe the map exactly once;
+//! * set union is memoized on the `(a, b)` id pair: churn workloads
+//!   re-union the same terminal sets on every rule insertion;
+//! * a reused scratch buffer makes `intern_actions`/`union_actions`
+//!   allocation-free in the steady state.
 
-use std::collections::HashMap;
+use std::collections::hash_map::Entry as MapEntry;
+
+use fxhash::FxHashMap;
 
 use crate::pred::ActionId;
 
@@ -41,6 +58,17 @@ impl NodeRef {
     pub fn is_term(&self) -> bool {
         matches!(self, NodeRef::Term(_))
     }
+
+    /// Packs the reference into 32 bits (tag in the low bit) for
+    /// compact memo keys. Store indices stay below 2^31 (debug-asserted
+    /// on creation), so the shift cannot lose bits.
+    #[inline]
+    pub fn pack(self) -> u32 {
+        match self {
+            NodeRef::Term(ActionSetId(i)) => i << 1,
+            NodeRef::Node(NodeIdx(i)) => (i << 1) | 1,
+        }
+    }
 }
 
 /// Index of an internal node in the store.
@@ -63,36 +91,71 @@ pub struct Node {
 #[derive(Debug, Default)]
 pub struct Store {
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeIdx>,
-    /// Terminal action sets, sorted and deduplicated; index 0 is empty.
-    action_sets: Vec<Vec<ActionId>>,
-    set_index: HashMap<Vec<ActionId>, ActionSetId>,
+    unique: FxHashMap<Node, NodeIdx>,
+    /// All interned action sets, back to back (sorted + deduplicated
+    /// within each span).
+    arena: Vec<ActionId>,
+    /// `(offset, len)` of each set id's span in the arena; index 0 is
+    /// the empty set.
+    spans: Vec<(u32, u32)>,
+    /// Fx hash of a set's contents → ids whose spans carry that hash
+    /// (bucket length is ~1 in practice).
+    set_index: FxHashMap<u64, Vec<ActionSetId>>,
+    /// Union results memoized on the packed `(min, max)` id pair.
+    union_memo: FxHashMap<u64, ActionSetId>,
+    /// Reused sort/merge scratch, so interning allocates nothing in the
+    /// steady state.
+    scratch: Vec<ActionId>,
 }
 
 impl Store {
     /// Creates an empty store (with the empty action set preinstalled).
     pub fn new() -> Self {
         let mut s = Store::default();
-        s.action_sets.push(Vec::new());
-        s.set_index.insert(Vec::new(), EMPTY_ACTIONS);
+        s.spans.push((0, 0));
+        s.set_index
+            .insert(fxhash::hash_one(&[] as &[ActionId]), vec![EMPTY_ACTIONS]);
         s
     }
 
     /// Interns an action set (sorted + deduplicated first).
     pub fn intern_actions(&mut self, actions: &[ActionId]) -> ActionSetId {
-        let mut v = actions.to_vec();
-        v.sort_unstable();
-        v.dedup();
-        if let Some(&id) = self.set_index.get(&v) {
-            return id;
-        }
-        let id = ActionSetId(self.action_sets.len() as u32);
-        self.action_sets.push(v.clone());
-        self.set_index.insert(v, id);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.extend_from_slice(actions);
+        scratch.sort_unstable();
+        scratch.dedup();
+        let id = self.intern_sorted(&scratch);
+        self.scratch = scratch;
         id
     }
 
-    /// Union of two interned action sets.
+    /// Interns an already sorted + deduplicated set: hash once, probe
+    /// the index once, and on a miss append the span to the arena.
+    fn intern_sorted(&mut self, set: &[ActionId]) -> ActionSetId {
+        let h = fxhash::hash_one(set);
+        let Store {
+            arena,
+            spans,
+            set_index,
+            ..
+        } = self;
+        let bucket = set_index.entry(h).or_default();
+        for &id in bucket.iter() {
+            let (off, len) = spans[id.0 as usize];
+            if arena[off as usize..(off + len) as usize] == *set {
+                return id;
+            }
+        }
+        debug_assert!(spans.len() < (1 << 31), "action-set ids exceed pack range");
+        let id = ActionSetId(spans.len() as u32);
+        spans.push((arena.len() as u32, set.len() as u32));
+        arena.extend_from_slice(set);
+        bucket.push(id);
+        id
+    }
+
+    /// Union of two interned action sets, memoized on the id pair.
     pub fn union_actions(&mut self, a: ActionSetId, b: ActionSetId) -> ActionSetId {
         if a == b {
             return a;
@@ -103,36 +166,73 @@ impl Store {
         if b == EMPTY_ACTIONS {
             return a;
         }
-        let mut v: Vec<ActionId> = Vec::with_capacity(
-            self.action_sets[a.0 as usize].len() + self.action_sets[b.0 as usize].len(),
-        );
-        v.extend_from_slice(&self.action_sets[a.0 as usize]);
-        v.extend_from_slice(&self.action_sets[b.0 as usize]);
-        self.intern_actions(&v)
+        let (lo, hi) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        let key = (u64::from(lo.0) << 32) | u64::from(hi.0);
+        if let Some(&id) = self.union_memo.get(&key) {
+            return id;
+        }
+        // Merge the two sorted spans into the scratch buffer.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        {
+            let sa = self.actions(lo);
+            let sb = self.actions(hi);
+            let (mut i, mut j) = (0, 0);
+            while i < sa.len() && j < sb.len() {
+                match sa[i].cmp(&sb[j]) {
+                    std::cmp::Ordering::Less => {
+                        scratch.push(sa[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        scratch.push(sb[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        scratch.push(sa[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            scratch.extend_from_slice(&sa[i..]);
+            scratch.extend_from_slice(&sb[j..]);
+        }
+        let id = self.intern_sorted(&scratch);
+        self.scratch = scratch;
+        self.union_memo.insert(key, id);
+        id
     }
 
     /// The actions in an interned set (sorted).
     pub fn actions(&self, id: ActionSetId) -> &[ActionId] {
-        &self.action_sets[id.0 as usize]
+        let (off, len) = self.spans[id.0 as usize];
+        &self.arena[off as usize..(off + len) as usize]
     }
 
     /// Number of distinct action sets created (including the empty set).
     pub fn action_set_count(&self) -> usize {
-        self.action_sets.len()
+        self.spans.len()
     }
 
     /// Creates (or reuses) a node, applying reductions (i) and (ii).
+    /// The miss path probes the unique table exactly once (`entry`
+    /// API), moving the node in instead of re-hashing it.
     pub fn make_node(&mut self, var: VarId, lo: NodeRef, hi: NodeRef) -> NodeRef {
         if lo == hi {
             return lo; // reduction (ii): redundant test
         }
         let node = Node { var, lo, hi };
-        if let Some(&idx) = self.unique.get(&node) {
-            return NodeRef::Node(idx); // reduction (i): isomorphic node
-        }
-        let idx = NodeIdx(self.nodes.len() as u32);
-        self.nodes.push(node);
-        self.unique.insert(node, idx);
+        let Store { nodes, unique, .. } = self;
+        let idx = match unique.entry(node) {
+            MapEntry::Occupied(o) => *o.get(), // reduction (i): isomorphic node
+            MapEntry::Vacant(v) => {
+                debug_assert!(nodes.len() < (1 << 31), "node ids exceed pack range");
+                let idx = NodeIdx(nodes.len() as u32);
+                nodes.push(node);
+                *v.insert(idx)
+            }
+        };
         NodeRef::Node(idx)
     }
 
@@ -174,6 +274,13 @@ mod tests {
     }
 
     #[test]
+    fn reinterning_the_empty_set_yields_id_zero() {
+        let mut s = Store::new();
+        assert_eq!(s.intern_actions(&[]), EMPTY_ACTIONS);
+        assert_eq!(s.action_set_count(), 1);
+    }
+
+    #[test]
     fn union_is_set_union() {
         let mut s = Store::new();
         let a = s.intern_actions(&[aid(1), aid(2)]);
@@ -183,6 +290,31 @@ mod tests {
         assert_eq!(s.union_actions(a, EMPTY_ACTIONS), a);
         assert_eq!(s.union_actions(EMPTY_ACTIONS, b), b);
         assert_eq!(s.union_actions(u, u), u);
+    }
+
+    #[test]
+    fn union_memo_is_symmetric_and_consistent() {
+        let mut s = Store::new();
+        let a = s.intern_actions(&[aid(1), aid(5)]);
+        let b = s.intern_actions(&[aid(2)]);
+        let u1 = s.union_actions(a, b);
+        let u2 = s.union_actions(b, a); // memo hit via the (min, max) key
+        assert_eq!(u1, u2);
+        assert_eq!(s.actions(u1), &[aid(1), aid(2), aid(5)]);
+        // The memoized result must equal what fresh interning gives.
+        assert_eq!(s.intern_actions(&[aid(2), aid(1), aid(5)]), u1);
+    }
+
+    #[test]
+    fn arena_spans_stay_valid_across_growth() {
+        let mut s = Store::new();
+        let ids: Vec<ActionSetId> = (0..200u32)
+            .map(|i| s.intern_actions(&[aid(i), aid(i + 1), aid(i + 2)]))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(s.actions(id), &[aid(i), aid(i + 1), aid(i + 2)]);
+        }
     }
 
     #[test]
@@ -206,6 +338,21 @@ mod tests {
         let n3 = s.make_node(VarId(1), t0, t1);
         assert_ne!(n1, n3);
         assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    fn packed_refs_are_injective() {
+        let refs = [
+            NodeRef::Term(ActionSetId(0)),
+            NodeRef::Term(ActionSetId(1)),
+            NodeRef::Node(NodeIdx(0)),
+            NodeRef::Node(NodeIdx(1)),
+        ];
+        for (i, a) in refs.iter().enumerate() {
+            for (j, b) in refs.iter().enumerate() {
+                assert_eq!(a.pack() == b.pack(), i == j, "{a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Compile-throughput sweep: dynamic compilation (rules → BDD → table
+//! entries) across subscription-pool sizes and shard counts.
+//!
+//! Each row is one end-to-end `Compiler::compile` run — the sharded
+//! BDD build, canonical renumbering, table emission and domain
+//! compression all included — so `rules_per_sec` is the figure a
+//! control plane would actually see. Sharded rows are only faster than
+//! `shards = 1` on multi-core hosts; `host_cores` is recorded so
+//! single-core CI numbers are not mistaken for parallel speedups.
+//!
+//! Output: `results/BENCH_compile.json`.
+//!
+//! Env knobs:
+//! * `CAMUS_BENCH_QUICK=1` — small pools only (≤10K rules), for CI.
+
+use std::time::Instant;
+
+use camus_bench::impl_to_json;
+use camus_bench::json::to_string_pretty;
+use camus_core::{Compiler, CompilerOptions};
+use camus_lang::ast::Rule;
+use camus_lang::parse_spec;
+use camus_lang::spec::Spec;
+use camus_workload::{generate_itch_subscriptions, ItchSubsConfig, SienaConfig};
+
+#[derive(Debug)]
+struct Row {
+    workload: String,
+    subscriptions: usize,
+    shards: usize,
+    host_cores: usize,
+    secs: f64,
+    rules_per_sec: f64,
+    /// Node allocation of the build store before canonical renumbering
+    /// (the build's peak working set).
+    peak_nodes: usize,
+    /// Reachable nodes after renumbering.
+    reachable_nodes: usize,
+    memo_hits: u64,
+    memo_misses: u64,
+    memo_hit_rate: f64,
+    total_entries: usize,
+    mcast_groups: usize,
+    states: usize,
+}
+
+impl_to_json!(Row {
+    workload,
+    subscriptions,
+    shards,
+    host_cores,
+    secs,
+    rules_per_sec,
+    peak_nodes,
+    reachable_nodes,
+    memo_hits,
+    memo_misses,
+    memo_hit_rate,
+    total_entries,
+    mcast_groups,
+    states,
+});
+
+const SHARDS: [usize; 3] = [1, 2, 8];
+
+fn measure(workload: &str, spec: &Spec, opts: &CompilerOptions, rules: &[Rule]) -> Vec<Row> {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    SHARDS
+        .iter()
+        .map(|&shards| {
+            let compiler = Compiler::new(
+                spec.clone(),
+                CompilerOptions {
+                    compile_shards: shards,
+                    ..opts.clone()
+                },
+            )
+            .expect("spec compiles");
+            let t = Instant::now();
+            let prog = compiler.compile(rules).expect("rules compile");
+            let secs = t.elapsed().as_secs_f64();
+            let s = &prog.stats;
+            let row = Row {
+                workload: workload.to_string(),
+                subscriptions: rules.len(),
+                shards,
+                host_cores,
+                secs,
+                rules_per_sec: rules.len() as f64 / secs,
+                peak_nodes: s.allocated_nodes,
+                reachable_nodes: s.bdd_nodes,
+                memo_hits: s.memo_hits,
+                memo_misses: s.memo_misses,
+                memo_hit_rate: s.memo_hits as f64 / (s.memo_hits + s.memo_misses).max(1) as f64,
+                total_entries: s.total_entries,
+                mcast_groups: s.mcast_groups,
+                states: s.states,
+            };
+            println!(
+                "{workload} subs={} shards={shards} secs={secs:.3} rules/s={:.1} \
+                 peak_nodes={} entries={}",
+                rules.len(),
+                row.rules_per_sec,
+                row.peak_nodes,
+                row.total_entries,
+            );
+            row
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::var("CAMUS_BENCH_QUICK").is_ok_and(|v| v != "0");
+
+    let itch_sizes: &[usize] = if quick {
+        &[1_000, 5_000, 10_000]
+    } else {
+        &[1_000, 10_000, 50_000, 100_000, 200_000]
+    };
+    // Raw Siena subscriptions are path-explosive (the paper's Fig. 5a
+    // shows superlinear entry growth and stops at 45): 1K subscriptions
+    // already emit ~11M entries. Sizes stay small so the sweep measures
+    // the build, not an out-of-budget emission.
+    let siena_sizes: &[usize] = if quick { &[100] } else { &[100, 300, 600] };
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ITCH subscriptions over the paper's add-order spec, with the
+    // low-resolution domain mapping on (the Figure 5 configuration;
+    // also what the pre-PR baseline in EXPERIMENTS.md was measured
+    // with).
+    let itch_spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+    let itch_opts = CompilerOptions {
+        compress_bits: Some(10),
+        ..CompilerOptions::default()
+    };
+    for &subs in itch_sizes {
+        let rules = generate_itch_subscriptions(&ItchSubsConfig {
+            subscriptions: subs,
+            ..Default::default()
+        });
+        rows.extend(measure("itch", &itch_spec, &itch_opts, &rules));
+    }
+
+    // Siena-style multi-attribute subscriptions over a generated spec.
+    for &subs in siena_sizes {
+        let w = SienaConfig {
+            subscriptions: subs,
+            ..Default::default()
+        }
+        .generate();
+        rows.extend(measure("siena", &w.spec, &CompilerOptions::raw(), &w.rules));
+    }
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results/");
+    std::fs::write(dir.join("BENCH_compile.json"), to_string_pretty(&rows))
+        .expect("write results/BENCH_compile.json");
+    println!("wrote results/BENCH_compile.json ({} rows)", rows.len());
+}

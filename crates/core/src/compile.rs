@@ -42,6 +42,10 @@ pub struct CompilerOptions {
     /// BDD reduction (iii) — same-field implication pruning. On by
     /// default; exposed for the ablation benches.
     pub semantic_pruning: bool,
+    /// Shards for the parallel BDD build: rules are partitioned, built
+    /// on worker threads and merged. `0` = one shard per available
+    /// core. The compiled program is bit-identical at any value.
+    pub compile_shards: usize,
 }
 
 impl Default for CompilerOptions {
@@ -58,6 +62,7 @@ impl Default for CompilerOptions {
             enforce_placement: false,
             compress_bits: None,
             semantic_pruning: true,
+            compile_shards: 0,
         }
     }
 }
@@ -138,6 +143,7 @@ impl Compiler {
             &statics,
             rules.len(),
             self.options.semantic_pruning,
+            self.options.compile_shards,
         )?;
 
         let mut layout = statics.layout.clone();

@@ -8,6 +8,23 @@
 //! state to the merged action set — unicast, a multicast group
 //! (allocated here, deduplicated by port set), register updates, or
 //! drop.
+//!
+//! ## Sharded construction
+//!
+//! BDD construction dominates compile time at large rule counts, so it
+//! is parallelized: the normalized conjunctions are partitioned into
+//! fixed-size *logical shards* ([`SHARD_CHUNK`] conjunctions each),
+//! each shard builds its own diagram, and the shards are folded
+//! together with [`camus_bdd::Bdd::union_with`] along a fixed pairwise
+//! merge tree. Both the partition and the merge tree depend only on
+//! the rule count — never on the worker count `K` — so every store
+//! operation is the same at any `K`; the workers merely execute nodes
+//! of a pinned DAG. That, plus the deterministic renumbering of
+//! [`camus_bdd::Bdd::canonical_copy`], is what makes the emitted
+//! tables, multicast groups and statistics bit-identical regardless of
+//! `K` (pruned union itself is *not* confluent — see [`SHARD_CHUNK`]).
+//! Table-entry translation (phase 2 of [`emit_tables`]) also fans out
+//! across field components.
 
 use std::collections::HashMap;
 
@@ -46,6 +63,18 @@ pub struct CompileStats {
     pub mcast_groups: usize,
     /// Distinct pipeline states (BDD entry nodes + terminals).
     pub states: usize,
+    /// Worker threads the BDD build ran on (1 = sequential). The
+    /// output is bit-identical at any worker count; this records the
+    /// schedule.
+    pub shards: usize,
+    /// Nodes allocated in the final build store before canonical
+    /// renumbering — a proxy for the build's peak working set
+    /// (`bdd_nodes` counts reachable nodes after renumbering).
+    pub allocated_nodes: usize,
+    /// Cumulative apply-memo hits across all shards and merges.
+    pub memo_hits: u64,
+    /// Cumulative apply-memo misses across all shards and merges.
+    pub memo_misses: u64,
 }
 
 /// The dynamic half of a compiled program.
@@ -143,18 +172,82 @@ impl EmissionState {
     }
 }
 
+/// Translates one field component's paths into its match-action table.
+/// Reads — but never mutates — the emission state, so components can be
+/// translated concurrently once all states are assigned.
+fn field_table(
+    bdd: &Bdd,
+    statics: &StaticPipeline,
+    es: &EmissionState,
+    comp: &camus_bdd::slice::Component,
+    paths: &[camus_bdd::slice::CompPath],
+) -> Result<Table, CompileError> {
+    let info = bdd.field_info(comp.field);
+    let phv = statics.field_phv[comp.field.0 as usize];
+    let kind = if info.exact {
+        MatchKind::Exact
+    } else {
+        MatchKind::Range
+    };
+    let mut table = Table::new(
+        format!("t_{}", info.name.replace('.', "_")),
+        vec![
+            Key {
+                field: statics.state_meta,
+                kind: MatchKind::Exact,
+                bits: 32,
+            },
+            Key {
+                field: phv,
+                kind,
+                bits: info.bits,
+            },
+        ],
+        vec![], // miss: keep state (pass-through for skipped components)
+    );
+    let field_max = info.max_value();
+    for p in paths {
+        let m = if let Some(v) = p.pinned() {
+            MatchValue::Exact(v)
+        } else if p.is_wildcard(field_max) {
+            MatchValue::Any
+        } else if info.exact {
+            // Exclusion-only constraint on an exact field: express as
+            // a wildcard shadowed by the higher-priority pinned
+            // entries (Figure 4's `*` rows).
+            MatchValue::Any
+        } else {
+            MatchValue::Range {
+                lo: p.ctx.lo,
+                hi: p.ctx.hi,
+            }
+        };
+        table.add_entry(Entry {
+            priority: p.rank as u32,
+            matches: vec![MatchValue::Exact(es.state_of[&p.entry]), m],
+            ops: vec![ActionOp::SetField(statics.state_meta, es.state_of[&p.exit])],
+        })?;
+    }
+    Ok(table)
+}
+
 /// Runs Algorithm 1 against the current BDD: slices it into per-field
 /// components and emits the table chain plus the leaf table. Returns
 /// the tables, the pipeline's initial state (the root's id), and the
 /// number of multicast groups allocated so far.
+///
+/// `threads` bounds the worker count for phase 2 (path → entry
+/// translation); the output is identical at any value.
 pub(crate) fn emit_tables(
     bdd: &Bdd,
     statics: &StaticPipeline,
     es: &mut EmissionState,
+    threads: usize,
 ) -> Result<(Vec<Table>, u64), CompileError> {
-    // Assign pipeline states: entry nodes and terminals in
-    // deterministic traversal order (stable across incremental runs
-    // because the node store is append-only and `state_of` persists).
+    // Phase 1 (sequential): assign pipeline states — entry nodes and
+    // terminals in deterministic traversal order (stable across
+    // incremental runs because the node store is append-only and
+    // `state_of` persists).
     let comps = slice(bdd);
     let initial_state = es.state(bdd.root());
     let mut comp_paths = Vec::with_capacity(comps.len());
@@ -169,59 +262,54 @@ pub(crate) fn emit_tables(
         comp_paths.push(paths);
     }
 
-    // Per-field tables.
-    let mut tables: Vec<Table> = Vec::new();
-    for (comp, paths) in comps.iter().zip(&comp_paths) {
-        let info = bdd.field_info(comp.field);
-        let phv = statics.field_phv[comp.field.0 as usize];
-        let kind = if info.exact {
-            MatchKind::Exact
-        } else {
-            MatchKind::Range
-        };
-        let mut table = Table::new(
-            format!("t_{}", info.name.replace('.', "_")),
-            vec![
-                Key {
-                    field: statics.state_meta,
-                    kind: MatchKind::Exact,
-                    bits: 32,
-                },
-                Key {
-                    field: phv,
-                    kind,
-                    bits: info.bits,
-                },
-            ],
-            vec![], // miss: keep state (pass-through for skipped components)
-        );
-        let field_max = info.max_value();
-        for p in paths {
-            let m = if let Some(v) = p.pinned() {
-                MatchValue::Exact(v)
-            } else if p.is_wildcard(field_max) {
-                MatchValue::Any
-            } else if info.exact {
-                // Exclusion-only constraint on an exact field: express as
-                // a wildcard shadowed by the higher-priority pinned
-                // entries (Figure 4's `*` rows).
-                MatchValue::Any
-            } else {
-                MatchValue::Range {
-                    lo: p.ctx.lo,
-                    hi: p.ctx.hi,
+    // Phase 2: per-field tables. Every state is assigned by now, so the
+    // translation only *reads* the emission state and field components
+    // fan out across worker threads; results are scattered back by
+    // component index, keeping the table order deterministic.
+    let threads = threads.clamp(1, comps.len().max(1));
+    let mut tables: Vec<Table> = if threads <= 1 {
+        comps
+            .iter()
+            .zip(&comp_paths)
+            .map(|(c, p)| field_table(bdd, statics, es, c, p))
+            .collect::<Result<_, _>>()?
+    } else {
+        let es_ro: &EmissionState = es;
+        let comps_ref = &comps;
+        let paths_ref = &comp_paths;
+        let mut slots: Vec<Option<Result<Table, CompileError>>> =
+            (0..comps.len()).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    s.spawn(move || {
+                        (w..comps_ref.len())
+                            .step_by(threads)
+                            .map(|i| {
+                                (
+                                    i,
+                                    field_table(bdd, statics, es_ro, &comps_ref[i], &paths_ref[i]),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("emission worker panicked") {
+                    slots[i] = Some(r);
                 }
-            };
-            table.add_entry(Entry {
-                priority: p.rank as u32,
-                matches: vec![MatchValue::Exact(es.state_of[&p.entry]), m],
-                ops: vec![ActionOp::SetField(statics.state_meta, es.state_of[&p.exit])],
-            })?;
-        }
-        tables.push(table);
-    }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every component translated"))
+            .collect::<Result<_, _>>()?
+    };
 
-    // Leaf table: terminal state → merged actions.
+    // Phase 3 (sequential): the leaf table — terminal state → merged
+    // actions. Mutates the emission state (multicast-group allocation),
+    // so it stays single-threaded.
     let mut leaf = Table::new(
         "t_actions",
         vec![Key {
@@ -308,38 +396,232 @@ pub(crate) fn emit_tables(
     Ok((tables, initial_state))
 }
 
+/// Resolves a worker-thread request: 0 means one worker per available
+/// core; never more workers than rules, never fewer than one.
+fn resolve_shards(requested: usize, rules: usize) -> usize {
+    let k = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    k.clamp(1, rules.max(1))
+}
+
+/// Conjunctions per logical shard.
+///
+/// The rule list is partitioned into fixed-size chunks — a function of
+/// the pool size alone, never of the worker count. Union under the
+/// semantic-pruning reduction is *not* confluent: merging the same
+/// rules along different trees can leave different (semantically
+/// equivalent) residue on unsatisfiable paths, which no
+/// structure-preserving renumbering can erase. Pinning the partition
+/// and the merge tree pins the entire sequence of store operations, so
+/// the worker count only decides which thread executes each build or
+/// merge — and the output is bit-identical at any thread count by
+/// construction.
+const SHARD_CHUNK: usize = 512;
+
+/// Inserts a slice of conjunctions into a (shard) BDD, counting
+/// unsatisfiable ones. Satisfiability is a per-conjunction property, so
+/// shard-local counts sum to the sequential total.
+fn build_shard(
+    mut bdd: Bdd,
+    rules: &[crate::resolve::ResolvedConj],
+    rule_actions: &[Vec<ActionId>],
+) -> Result<(Bdd, usize), CompileError> {
+    let mut unsat = 0usize;
+    for (conj, ids) in rules.iter().zip(rule_actions) {
+        if !bdd.add_rule(&conj.literals, ids)? {
+            unsat += 1;
+        }
+    }
+    Ok((bdd, unsat))
+}
+
+/// A built shard: its diagram and its unsatisfiable-conjunction count.
+type BuiltShard = (Bdd, usize);
+
+/// Builds the rule BDD over the fixed logical-shard DAG on `threads`
+/// worker threads and canonicalizes the result. Returns the canonical
+/// diagram, the unsat-conjunction count, and the node allocation of the
+/// build store before renumbering.
+///
+/// Logical shards are contiguous [`SHARD_CHUNK`]-sized rule ranges and
+/// merge along a fixed pairwise tree (pairs per level in order; an odd
+/// trailing diagram passes through to the next level). Both the
+/// partition and the tree depend only on the rule count, so every
+/// build and merge operation — and therefore the final store — is
+/// identical at any `threads`; workers merely execute DAG nodes.
+/// [`Bdd::canonical_copy`] then drops garbage from intermediate merges
+/// and renumbers vertices deterministically.
+fn build_sharded(
+    proto: Bdd,
+    rules: &[crate::resolve::ResolvedConj],
+    rule_actions: &[Vec<ActionId>],
+    threads: usize,
+) -> Result<(Bdd, usize, usize), CompileError> {
+    let bounds: Vec<(usize, usize)> = (0..rules.len())
+        .step_by(SHARD_CHUNK)
+        .map(|lo| (lo, (lo + SHARD_CHUNK).min(rules.len())))
+        .collect();
+
+    // Phase 1: build one diagram per logical shard.
+    let mut level: Vec<BuiltShard> = if bounds.is_empty() {
+        vec![(proto, 0)]
+    } else if threads <= 1 || bounds.len() == 1 {
+        let mut out = Vec::with_capacity(bounds.len());
+        for &(lo, hi) in &bounds {
+            out.push(build_shard(
+                proto.clone_empty(),
+                &rules[lo..hi],
+                &rule_actions[lo..hi],
+            )?);
+        }
+        out
+    } else {
+        let workers = threads.min(bounds.len());
+        std::thread::scope(|s| {
+            let bounds = &bounds;
+            let proto = &proto;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for i in (w..bounds.len()).step_by(workers) {
+                            let (lo, hi) = bounds[i];
+                            let built = build_shard(
+                                proto.clone_empty(),
+                                &rules[lo..hi],
+                                &rule_actions[lo..hi],
+                            );
+                            out.push((i, built));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<BuiltShard>> = bounds.iter().map(|_| None).collect();
+            for h in handles {
+                for (i, built) in h.join().expect("shard build panicked") {
+                    slots[i] = Some(built?);
+                }
+            }
+            Ok::<_, CompileError>(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every logical shard built"))
+                    .collect(),
+            )
+        })?
+    };
+
+    // Phase 2: fold the fixed pairwise merge tree, level by level.
+    while level.len() > 1 {
+        let odd = if level.len() % 2 == 1 {
+            level.pop()
+        } else {
+            None
+        };
+        let mut pairs = Vec::with_capacity(level.len() / 2);
+        let mut it = level.into_iter();
+        while let (Some(a), Some(b)) = (it.next(), it.next()) {
+            pairs.push((a, b));
+        }
+        level = if threads <= 1 || pairs.len() == 1 {
+            pairs
+                .into_iter()
+                .map(|((mut a, ua), (b, ub))| {
+                    a.union_with(&b);
+                    (a, ua + ub)
+                })
+                .collect()
+        } else {
+            let workers = threads.min(pairs.len());
+            let per_chunk = pairs.len().div_ceil(workers);
+            let mut slots: Vec<Option<BuiltShard>> = pairs.iter().map(|_| None).collect();
+            let mut pairs: Vec<Option<(BuiltShard, BuiltShard)>> =
+                pairs.into_iter().map(Some).collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = pairs
+                    .chunks_mut(per_chunk)
+                    .enumerate()
+                    .map(|(c, chunk)| {
+                        s.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .enumerate()
+                                .map(|(j, slot)| {
+                                    let ((mut a, ua), (b, ub)) =
+                                        slot.take().expect("pair taken once");
+                                    a.union_with(&b);
+                                    (c, j, (a, ua + ub))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (c, j, merged) in h.join().expect("merge worker panicked") {
+                        slots[c * per_chunk + j] = Some(merged);
+                    }
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every pair merged"))
+                .collect()
+        };
+        level.extend(odd);
+    }
+    let (merged, unsat) = level.pop().expect("at least one shard");
+    let allocated = merged.node_count();
+    Ok((merged.canonical_copy(), unsat, allocated))
+}
+
 /// Runs dynamic compilation against a static pipeline.
+///
+/// `shards` controls the worker-thread count of the parallel BDD build
+/// (0 = one worker per available core); the emitted program is
+/// bit-identical at any value.
 pub fn compile_dynamic(
     resolved: &Resolved,
     statics: &StaticPipeline,
     rules_in: usize,
     semantic_pruning: bool,
+    shards: usize,
 ) -> Result<DynamicProgram, CompileError> {
     let mut es = EmissionState::new();
 
-    // Build the BDD over the full predicate alphabet.
+    // The full predicate alphabet — every shard shares one variable
+    // order, the precondition for merging.
     let alphabet: Vec<Pred> = resolved
         .rules
         .iter()
         .flat_map(|r| r.literals.iter().map(|(p, _)| *p))
         .collect();
-    let mut bdd = Bdd::new(resolved.fields.infos.clone(), alphabet)?;
-    bdd.set_semantic_pruning(semantic_pruning);
-    let mut unsat = 0usize;
-    for conj in &resolved.rules {
-        let ids: Vec<ActionId> = conj.actions.iter().map(|a| es.intern_action(a)).collect();
-        if !bdd.add_rule(&conj.literals, &ids)? {
-            unsat += 1;
-        }
-    }
+    let mut proto = Bdd::new(resolved.fields.infos.clone(), alphabet)?;
+    proto.set_semantic_pruning(semantic_pruning);
 
-    let (tables, initial_state) = emit_tables(&bdd, statics, &mut es)?;
+    // Intern actions sequentially, before sharding, so action ids are a
+    // function of rule order alone.
+    let rule_actions: Vec<Vec<ActionId>> = resolved
+        .rules
+        .iter()
+        .map(|conj| conj.actions.iter().map(|a| es.intern_action(a)).collect())
+        .collect();
+
+    let shards = resolve_shards(shards, resolved.rules.len());
+    let (bdd, unsat, allocated_nodes) =
+        build_sharded(proto, &resolved.rules, &rule_actions, shards)?;
+
+    let (tables, initial_state) = emit_tables(&bdd, statics, &mut es, shards)?;
     debug_assert_eq!(initial_state, 0, "fresh emission numbers the root first");
 
     let table_entries: Vec<(String, usize)> =
         tables.iter().map(|t| (t.name.clone(), t.len())).collect();
     let total_entries = table_entries.iter().map(|(_, n)| n).sum();
     let bdd_stats = bdd.stats();
+    let (memo_hits, memo_misses) = bdd.memo_stats();
     let stats = CompileStats {
         rules_in,
         conjunctions: resolved.rules.len(),
@@ -350,6 +632,10 @@ pub fn compile_dynamic(
         total_entries,
         mcast_groups: es.mcast.len(),
         states: es.next_state as usize,
+        shards,
+        allocated_nodes,
+        memo_hits,
+        memo_misses,
     };
     Ok(DynamicProgram {
         tables,
@@ -376,7 +662,7 @@ mod tests {
         };
         let resolved = resolve(&spec, &rules, &opts).unwrap();
         let statics = build_static(&spec, &resolved.fields, &Encap::Raw).unwrap();
-        let dynp = compile_dynamic(&resolved, &statics, rules.len(), true).unwrap();
+        let dynp = compile_dynamic(&resolved, &statics, rules.len(), true, 0).unwrap();
         (dynp, statics)
     }
 

@@ -301,7 +301,9 @@ impl IncrementalCompiler {
         self.rules_installed += rules.len();
         self.active.extend_from_slice(rules);
 
-        let (tables, initial_state) = emit_tables(&self.bdd, &self.statics, &mut self.es)?;
+        // Deltas are small; single-threaded translation avoids spawning
+        // workers on every update.
+        let (tables, initial_state) = emit_tables(&self.bdd, &self.statics, &mut self.es, 1)?;
         let (deltas, added, removed, kept) = diff_tables(&tables, &mut self.installed);
         self.installed = tables
             .iter()

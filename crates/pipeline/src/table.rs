@@ -10,7 +10,7 @@
 //! lookup is indexed on the first exact key so that per-packet matching
 //! stays O(entries-per-state) instead of O(table).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::error::PipelineError;
 use crate::multicast::{GroupId, PortId};
@@ -245,17 +245,23 @@ impl Table {
             self.validate_entry(a)?;
         }
         let mut drop = vec![false; self.entries.len()];
-        for r in removes {
-            let i = self
-                .entries
-                .iter()
-                .enumerate()
-                .find(|&(i, e)| !drop[i] && e == r)
-                .map(|(i, _)| i)
-                .ok_or_else(|| PipelineError::EntryNotFound {
-                    table: self.name.clone(),
-                })?;
-            drop[i] = true;
+        if !removes.is_empty() {
+            // One index over the current entries, consumed front-first
+            // per removal — earliest-occurrence multiset semantics at
+            // O(n + r) instead of a scan per removal.
+            let mut occurrences: HashMap<&Entry, VecDeque<usize>> = HashMap::new();
+            for (i, e) in self.entries.iter().enumerate() {
+                occurrences.entry(e).or_default().push_back(i);
+            }
+            for r in removes {
+                let i = occurrences
+                    .get_mut(r)
+                    .and_then(|q| q.pop_front())
+                    .ok_or_else(|| PipelineError::EntryNotFound {
+                        table: self.name.clone(),
+                    })?;
+                drop[i] = true;
+            }
         }
         if !removes.is_empty() {
             let mut i = 0;
@@ -745,6 +751,37 @@ mod tests {
         let mut phv = l.instantiate();
         phv.set(f, 1);
         assert!(t.lookup(&phv).is_some());
+    }
+
+    #[test]
+    fn splice_duplicate_removes_consume_distinct_occurrences() {
+        let (_l, _s, f) = layout2();
+        let mut t = Table::new(
+            "t",
+            vec![Key {
+                field: f,
+                kind: MatchKind::Exact,
+                bits: 64,
+            }],
+            vec![],
+        );
+        let e = |v| Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(v)],
+            ops: vec![ActionOp::Drop],
+        };
+        t.add_entry(e(1)).unwrap();
+        t.add_entry(e(1)).unwrap();
+        t.add_entry(e(2)).unwrap();
+        // Two removes of the same entry consume both copies.
+        t.splice_entries(&[e(1), e(1)], &[]).unwrap();
+        assert_eq!(t.len(), 1);
+        // A third remove has nothing left to consume.
+        assert!(matches!(
+            t.splice_entries(&[e(2), e(2)], &[]),
+            Err(PipelineError::EntryNotFound { .. })
+        ));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Vendored, std-only FxHash-style hasher.
+//!
+//! The workspace builds offline, so the `rustc-hash`/`fxhash` crates
+//! cannot be pulled from a registry; this crate provides the small
+//! subset the compiler's hot maps need. The algorithm is the classic
+//! Firefox/rustc "Fx" mix: fold each machine word into the state with
+//! a rotate + xor + multiply by a large odd constant. It is *not*
+//! DoS-resistant — it trades that for being several times faster than
+//! SipHash on the short fixed-width keys (node triples, packed memo
+//! keys, id pairs) that dominate BDD construction, which is exactly
+//! the trade hash-consed stores want.
+//!
+//! Drop-in usage mirrors the real crates:
+//!
+//! ```
+//! use fxhash::FxHashMap;
+//! let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+//! m.insert(7, 1);
+//! assert_eq!(m[&7], 1);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// Large odd constant from the golden ratio, as used by rustc's FxHash
+/// (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher state.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using Fx hashing.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using Fx hashing.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one value to a `u64` with Fx (for hand-rolled bucket maps
+/// that key on a precomputed hash, e.g. slice interning without an
+/// owned key).
+#[inline]
+pub fn hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: FxHashMap<(u32, u32), u64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(31)), u64::from(i));
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m[&(i, i.wrapping_mul(31))], u64::from(i));
+        }
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        assert_eq!(hash_one(&0xDEADu64), hash_one(&0xDEADu64));
+        // Sequential keys must not collapse onto few buckets.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..256u64 {
+            low_bits.insert(hash_one(&i) >> 56);
+        }
+        assert!(low_bits.len() > 32, "top bits too clustered");
+    }
+
+    #[test]
+    fn unaligned_byte_tails_differ() {
+        assert_ne!(hash_one("abcdefghi"), hash_one("abcdefghj"));
+        assert_ne!(hash_one(&[1u8, 2, 3][..]), hash_one(&[1u8, 2, 4][..]));
+    }
+}
