@@ -1,0 +1,254 @@
+//! Fault-plane benchmark: what robustness costs on the hot path and
+//! how fast the control plane says no. Writes
+//! `results/BENCH_faults.json`.
+//!
+//! Row groups:
+//!
+//! * supervision overhead — the same clean trace through the engine
+//!   with the per-batch `catch_unwind` supervisor on vs. off;
+//! * corrupted wire — a trace where 10 % of frames are truncated or
+//!   bit-flipped, absorbed as typed drops by the total parse path;
+//! * panic recovery — scripted worker panics mid-trace, batches
+//!   quarantined and the run still completing;
+//! * admission control — the latency of charging an update against the
+//!   ASIC model, for an accepted update and for a rejected capacity
+//!   bomb (both are pure `place_chain` arithmetic plus a clone).
+//!
+//! The host's core count rides along, as in `BENCH_engine.json`.
+
+use std::sync::Arc;
+
+use camus_bench::harness::Bench;
+use camus_bench::{impl_to_json, json};
+use camus_core::{Compiler, CompilerOptions};
+use camus_engine::{shard, Engine, EngineConfig, FaultInjection, ShardFn};
+use camus_lang::parse_spec;
+use camus_pipeline::resources::place_chain;
+use camus_pipeline::AsicModel;
+use camus_workload::{
+    capacity_bomb, generate_itch_subscriptions, synthesize_feed, FaultPlan, FaultPlanConfig,
+    ItchSubsConfig, TraceConfig,
+};
+
+#[derive(Debug, Clone)]
+struct FaultRow {
+    config: String,
+    workers: usize,
+    host_cores: usize,
+    packets_per_iter: u64,
+    faults_per_iter: u64,
+    ns_per_iter: f64,
+    pkts_per_sec: f64,
+}
+
+impl_to_json!(FaultRow {
+    config,
+    workers,
+    host_cores,
+    packets_per_iter,
+    faults_per_iter,
+    ns_per_iter,
+    pkts_per_sec,
+});
+
+/// Total shard: corrupted frames get a constant shard, never a panic.
+fn total_symbol_shard() -> ShardFn {
+    let inner = shard::itch_symbol_shard();
+    Arc::new(move |p: &[u8]| {
+        if p.len() >= 64 {
+            inner(p)
+        } else {
+            shard::mix64(shard::fnv1a(p))
+        }
+    })
+}
+
+fn main() {
+    // The scripted-panic rows intentionally panic inside supervised
+    // workers; keep those unwinds out of the bench output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected worker panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let bench = Bench::from_env();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = host_cores.clamp(1, 4);
+
+    let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+    let compiler = Compiler::new(spec, CompilerOptions::default()).unwrap();
+    let itch = ItchSubsConfig {
+        subscriptions: 64,
+        ..Default::default()
+    };
+    let pipeline = compiler
+        .compile(&generate_itch_subscriptions(&itch))
+        .unwrap()
+        .pipeline;
+
+    let trace = synthesize_feed(&TraceConfig {
+        target_fraction: 0.0,
+        add_order_fraction: 1.0,
+        burst_multiplier: 1.0,
+        ..TraceConfig::synthetic(4_000)
+    });
+    let clean: Vec<Vec<u8>> = trace.iter().map(|p| p.bytes.clone()).collect();
+    let n = clean.len() as u64;
+    let shard_fn = total_symbol_shard();
+
+    let mut rows: Vec<FaultRow> = Vec::new();
+    let engine_row = |name: &str,
+                      rows: &mut Vec<FaultRow>,
+                      packets: &[Vec<u8>],
+                      cfg: &EngineConfig,
+                      faults_per_iter: u64| {
+        let r = bench.run(&format!("faults/{name}_w{}", cfg.workers), n, || {
+            let mut engine = Engine::start(&pipeline, cfg, shard_fn.clone());
+            for p in packets {
+                engine.submit(p, 0);
+            }
+            let report = engine.finish();
+            assert!(report.error.is_none());
+            report.stats.packets
+        });
+        r.report();
+        rows.push(FaultRow {
+            config: name.into(),
+            workers: cfg.workers,
+            host_cores,
+            packets_per_iter: n,
+            faults_per_iter,
+            ns_per_iter: r.ns_per_iter,
+            pkts_per_sec: r.elems_per_sec().unwrap(),
+        });
+    };
+
+    // Supervision overhead on a clean trace.
+    let supervised = EngineConfig {
+        workers,
+        supervise: true,
+        ..Default::default()
+    };
+    let unsupervised = EngineConfig {
+        supervise: false,
+        ..supervised.clone()
+    };
+    engine_row("engine_clean_supervised", &mut rows, &clean, &supervised, 0);
+    engine_row(
+        "engine_clean_unsupervised",
+        &mut rows,
+        &clean,
+        &unsupervised,
+        0,
+    );
+
+    // Corrupted wire: 10 % of frames truncated or bit-flipped.
+    let plan = FaultPlan::generate(
+        &clean,
+        &FaultPlanConfig {
+            seed: 0xC0DE,
+            truncate_fraction: 0.05,
+            bitflip_fraction: 0.05,
+            panics: 0,
+            deaths: 0,
+            stalls: 0,
+        },
+    );
+    engine_row(
+        "engine_corrupted_wire",
+        &mut rows,
+        &plan.packets,
+        &supervised,
+        plan.mutations.len() as u64,
+    );
+
+    // Scripted panics: four batches quarantined per iteration.
+    let panic_plan = FaultPlan::generate(
+        &clean,
+        &FaultPlanConfig {
+            seed: 0xD1E,
+            truncate_fraction: 0.0,
+            bitflip_fraction: 0.0,
+            panics: 4,
+            deaths: 0,
+            stalls: 0,
+        },
+    );
+    let panicky = EngineConfig {
+        faults: FaultInjection {
+            panic_seqs: Arc::new(panic_plan.panic_seqs.clone()),
+            ..Default::default()
+        },
+        ..supervised.clone()
+    };
+    engine_row(
+        "engine_scripted_panics",
+        &mut rows,
+        &clean,
+        &panicky,
+        panic_plan.panic_seqs.len() as u64,
+    );
+
+    // Admission arithmetic: accept (the installed program fits the
+    // default model) and reject (a capacity bomb against a small one).
+    let model = AsicModel::tofino32();
+    let accept = bench.run("faults/admission_accept", 1, || {
+        let placement = place_chain(&pipeline.tables, &model);
+        assert!(placement.failure.is_none());
+        placement.placements.len()
+    });
+    accept.report();
+    rows.push(FaultRow {
+        config: "admission_accept".into(),
+        workers: 0,
+        host_cores,
+        packets_per_iter: 0,
+        faults_per_iter: 0,
+        ns_per_iter: accept.ns_per_iter,
+        pkts_per_sec: 0.0,
+    });
+
+    let tiny = AsicModel {
+        stages: 2,
+        sram_entries_per_stage: 8,
+        tcam_entries_per_stage: 8,
+        ..AsicModel::tofino32()
+    };
+    let bomb_pipeline = compiler
+        .compile(&capacity_bomb(&itch, 16, 0xB0B))
+        .unwrap()
+        .pipeline;
+    let reject = bench.run("faults/admission_reject", 1, || {
+        let placement = place_chain(&bomb_pipeline.tables, &tiny);
+        assert!(placement.failure.is_some());
+        placement.placements.len()
+    });
+    reject.report();
+    rows.push(FaultRow {
+        config: "admission_reject".into(),
+        workers: 0,
+        host_cores,
+        packets_per_iter: 0,
+        faults_per_iter: 1,
+        ns_per_iter: reject.ns_per_iter,
+        pkts_per_sec: 0.0,
+    });
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_faults.json");
+    std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();
+    println!(
+        "wrote {} ({} rows, host_cores={host_cores})",
+        path.display(),
+        rows.len()
+    );
+}

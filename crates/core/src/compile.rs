@@ -10,7 +10,7 @@ use camus_lang::ast::Rule;
 use camus_lang::spec::Spec;
 use camus_pipeline::phv::PhvLayout;
 use camus_pipeline::pipeline::Pipeline;
-use camus_pipeline::resources::{place_leveled, AsicModel, PlacementReport};
+use camus_pipeline::resources::{place_chain, AsicModel, PlacementReport};
 use camus_pipeline::table::{ActionOp, Entry, Key, MatchKind, MatchValue, Table};
 
 use crate::dynamic::{compile_dynamic, CompileStats, DynamicProgram};
@@ -151,38 +151,15 @@ impl Compiler {
             compress_domains(&mut dynp, &mut layout, bits)?;
         }
 
-        // Dependency levels: compression tables read only parser fields
-        // (level 0 — they can share the earliest stages); each per-field
-        // table must follow both the previous per-field table (the
-        // state-metadata chain) and its own compression table, if any;
-        // the leaf comes last.
-        let mut prev_main: Option<usize> = None;
-        let mut last_was_cmp = false;
-        let leveled: Vec<(&Table, usize)> = dynp
-            .tables
-            .iter()
-            .map(|t| {
-                if t.name.starts_with("t_cmp_") {
-                    last_was_cmp = true;
-                    (t, 0)
-                } else {
-                    let mut level = prev_main.map_or(0, |l| l + 1);
-                    if last_was_cmp {
-                        level = level.max(1);
-                    }
-                    last_was_cmp = false;
-                    prev_main = Some(level);
-                    (t, level)
-                }
-            })
-            .collect();
-        let placement = place_leveled(&leveled, &self.options.asic);
-        if self.options.enforce_placement && !placement.fits() {
-            return Err(CompileError::Pipeline(
-                camus_pipeline::PipelineError::PlacementFailure(
-                    placement.failure.clone().unwrap_or_default(),
-                ),
-            ));
+        // Dependency levels and stage placement share one convention
+        // with the live update plane (`place_chain`): compression
+        // tables at level 0, main tables chained behind them. That
+        // keeps offline `fits()` and runtime admission byte-identical.
+        let placement = place_chain(&dynp.tables, &self.options.asic);
+        if self.options.enforce_placement {
+            if let Some(err) = &placement.failure {
+                return Err(CompileError::Admission(err.clone()));
+            }
         }
 
         let p4_source = crate::p4gen::render_p4(&self.spec, &statics, &dynp, &layout);
@@ -462,7 +439,11 @@ mod tests {
             .map(|i| format!("stock == S{i} and price > {i} : fwd({})\n", i % 8 + 1))
             .collect();
         let rules = parse_program(&src).unwrap();
-        assert!(matches!(c.compile(&rules), Err(CompileError::Pipeline(_))));
+        let err = c.compile(&rules).unwrap_err();
+        let CompileError::Admission(adm) = err else {
+            panic!("expected Admission error, got {err}");
+        };
+        assert!(adm.needed > adm.available);
     }
 
     #[test]

@@ -36,6 +36,34 @@
 //! the cumulative rule set (the differential churn tests enforce
 //! this).
 //!
+//! ## Fault tolerance
+//!
+//! The paper's feasibility argument (§4) is that compiled subscription
+//! tables *fit in switch memory*; this engine makes that a runtime
+//! invariant rather than an offline observation. Every
+//! [`Engine::apply_update`] / [`Engine::install_pipeline`] is charged
+//! against the configured [`AsicModel`] (the same
+//! [`place_chain`](camus_pipeline::place_chain) arithmetic the offline
+//! compiler reports) *before* publication: an over-committing update
+//! is rejected with a typed [`EngineFault::Admission`] and **zero
+//! observable state change** — no generation bump, no half-spliced
+//! tables, entry-for-entry identical state before and after.
+//!
+//! On the data plane, workers are supervised: each batch runs under
+//! `catch_unwind`, a panicking batch is quarantined (its packets get
+//! no decisions; counters roll back to the batch boundary) and the
+//! worker keeps serving its shard. A worker thread that dies outright
+//! is detected at the next send, its unprocessed batches are counted
+//! as quarantined, and a replacement is respawned from the published
+//! pipeline with [`RegisterFile::carry_from`]-seeded register state.
+//! [`Engine::quiesce`] waits on a bounded watchdog and returns a typed
+//! [`EngineFault::QuiesceTimeout`] instead of spinning forever on a
+//! wedged worker. All of it surfaces in the report as [`FaultStats`]
+//! plus the exact quarantined sequence numbers, so zero-loss
+//! accounting (`submitted == decided + quarantined`) is checkable.
+//!
+//! [`RegisterFile::carry_from`]: camus_pipeline::register::RegisterFile::carry_from
+//!
 //! ```no_run
 //! use camus_engine::{shard, Engine, EngineConfig};
 //! # fn demo(pipeline: &camus_pipeline::Pipeline, trace: &[(Vec<u8>, u64)]) {
@@ -49,16 +77,24 @@
 //!          report.stats.packets, report.stats.matched_messages);
 //! # }
 //! ```
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod shard;
 
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, SendError, Sender, SyncSender,
+};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use camus_core::{CompileError, UpdateReport};
-use camus_pipeline::{DecisionBuf, ExecStats, ForwardDecision, Pipeline, PipelineError};
+use camus_pipeline::resources::place_chain;
+use camus_pipeline::{
+    AdmissionError, AsicModel, DecisionBuf, ExecStats, ForwardDecision, Pipeline, PipelineError,
+};
 
 pub use shard::ShardFn;
 
@@ -72,6 +108,15 @@ pub use shard::ShardFn;
 struct Published {
     generation: AtomicU64,
     slot: Mutex<Arc<Pipeline>>,
+}
+
+impl Published {
+    /// Clones the current slot, recovering from a poisoned lock (the
+    /// slot is only ever *replaced* under the lock, never left
+    /// half-written, so the value is valid even after a panic).
+    fn snapshot(&self) -> Arc<Pipeline> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
 }
 
 /// Update-plane counters, aggregated into the [`EngineReport`].
@@ -93,6 +138,68 @@ pub struct UpdateStats {
     pub coalesced: u64,
 }
 
+/// Fault-plane counters, aggregated into the [`EngineReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Worker panics caught by the per-batch supervisor, plus worker
+    /// threads that unwound entirely (unsupervised panics).
+    pub panics_caught: u64,
+    /// Batches quarantined (panicked under supervision, scripted to
+    /// die, or lost inside a dead worker).
+    pub batches_quarantined: u64,
+    /// Packets inside quarantined batches — these get no forwarding
+    /// decision and are listed in [`EngineReport::quarantined`].
+    pub packets_quarantined: u64,
+    /// Worker threads that stopped serving their shard (scripted
+    /// deaths + unsupervised panics).
+    pub worker_deaths: u64,
+    /// Replacement workers spawned after a death was detected.
+    pub respawns: u64,
+    /// Control-plane updates rejected by admission control.
+    pub updates_rejected: u64,
+}
+
+impl FaultStats {
+    fn merge(&mut self, other: &FaultStats) {
+        self.panics_caught += other.panics_caught;
+        self.batches_quarantined += other.batches_quarantined;
+        self.packets_quarantined += other.packets_quarantined;
+        self.worker_deaths += other.worker_deaths;
+        self.respawns += other.respawns;
+        self.updates_rejected += other.updates_rejected;
+    }
+}
+
+/// Deterministic fault-injection hooks, consulted by workers on the
+/// batch path. Empty sets (the default) cost one branch per batch.
+/// Sequence numbers refer to [`Engine::submit`] order, matching the
+/// seqs a [`FaultPlan`](camus_workload) produces.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjection {
+    /// A batch containing any of these seqs panics before processing.
+    /// Under supervision ([`EngineConfig::supervise`]) the batch is
+    /// quarantined and the worker survives; unsupervised, the worker
+    /// thread unwinds and dies.
+    pub panic_seqs: Arc<HashSet<u64>>,
+    /// A batch containing any of these seqs makes the worker exit
+    /// cleanly without processing it (a scripted crash): the batch is
+    /// quarantined and the engine respawns the worker on detection.
+    pub die_seqs: Arc<HashSet<u64>>,
+    /// A batch containing any of these seqs stalls for
+    /// [`FaultInjection::stall_ms`] before processing — the hook the
+    /// quiesce watchdog is tested against.
+    pub stall_seqs: Arc<HashSet<u64>>,
+    /// Stall duration for `stall_seqs`, milliseconds.
+    pub stall_ms: u64,
+}
+
+impl FaultInjection {
+    /// Whether any hook is armed.
+    pub fn is_armed(&self) -> bool {
+        !self.panic_seqs.is_empty() || !self.die_seqs.is_empty() || !self.stall_seqs.is_empty()
+    }
+}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -107,6 +214,21 @@ pub struct EngineConfig {
     /// (needed by the determinism test; costs an allocation per packet,
     /// so leave off when benchmarking throughput).
     pub record_decisions: bool,
+    /// Run each batch under `catch_unwind`: a panicking batch is
+    /// quarantined and the worker survives. On (the default) this
+    /// costs a counter snapshot per batch; off, a panic kills the
+    /// worker thread and the engine falls back to respawning it.
+    pub supervise: bool,
+    /// Bounded wait (milliseconds) for one in-flight batch during
+    /// [`Engine::quiesce`] before it gives up with
+    /// [`EngineFault::QuiesceTimeout`].
+    pub watchdog_ms: u64,
+    /// Resource model every update is charged against before
+    /// publication ([`EngineFault::Admission`] on over-commit);
+    /// `None` disables admission control.
+    pub admission: Option<AsicModel>,
+    /// Deterministic fault-injection hooks (empty by default).
+    pub faults: FaultInjection,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +240,10 @@ impl Default for EngineConfig {
             batch_packets: 64,
             queue_batches: 8,
             record_decisions: false,
+            supervise: true,
+            watchdog_ms: 2_000,
+            admission: Some(AsicModel::tofino32()),
+            faults: FaultInjection::default(),
         }
     }
 }
@@ -176,7 +302,10 @@ impl Batch {
     }
 }
 
-/// A pipeline error annotated with where it happened.
+/// A pipeline error annotated with where it happened. Only
+/// *config-class* errors surface this way (unknown multicast group,
+/// register out of range — the program is broken); malformed packets
+/// are typed drop decisions, not errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineError {
     /// Worker that hit the error.
@@ -199,12 +328,57 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// A typed control-plane fault from the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineFault {
+    /// The candidate rule set does not fit the configured ASIC model;
+    /// nothing was published and the installed state is unchanged.
+    Admission(AdmissionError),
+    /// Building the candidate pipeline failed (delta splice mismatch,
+    /// recompile error); nothing was published.
+    Update(CompileError),
+    /// A worker failed to return an in-flight batch within the
+    /// watchdog window; the engine state is unchanged and the call
+    /// can be retried.
+    QuiesceTimeout {
+        /// Worker that failed to drain.
+        worker: usize,
+        /// Batches still outstanding on that worker.
+        outstanding: usize,
+        /// How long the watchdog waited, milliseconds.
+        waited_ms: u64,
+    },
+}
+
+impl std::fmt::Display for EngineFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineFault::Admission(e) => write!(f, "update rejected by admission control: {e}"),
+            EngineFault::Update(e) => write!(f, "update could not be built: {e}"),
+            EngineFault::QuiesceTimeout {
+                worker,
+                outstanding,
+                waited_ms,
+            } => write!(
+                f,
+                "quiesce timed out after {waited_ms} ms: worker {worker} holds {outstanding} batch(es)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineFault {}
+
 struct WorkerOutput {
+    index: usize,
     stats: ExecStats,
     decisions: Vec<(u64, ForwardDecision)>,
     error: Option<EngineError>,
     adoptions: u64,
     coalesced: u64,
+    faults: FaultStats,
+    quarantined: Vec<u64>,
+    died: bool,
 }
 
 struct WorkerHandle {
@@ -214,6 +388,13 @@ struct WorkerHandle {
     /// Batches sent but not yet returned through the recycle channel —
     /// i.e. not yet fully processed by the worker.
     outstanding: usize,
+    /// Sequence numbers of each outstanding batch, FIFO (batches come
+    /// back in send order). This is what lets the engine account for
+    /// every packet inside a worker that died mid-stream.
+    in_flight: VecDeque<Vec<u64>>,
+    /// Recycled seq vectors for `in_flight` (allocation-free steady
+    /// state, like the batch pool).
+    seq_pool: Vec<Vec<u64>>,
     /// Drained batches ready for reuse.
     pool: Vec<Batch>,
     handle: JoinHandle<WorkerOutput>,
@@ -227,18 +408,29 @@ pub struct EngineReport {
     pub workers: usize,
     /// Aggregated execution counters across all workers.
     pub stats: ExecStats,
-    /// Per-worker execution counters (index = worker).
+    /// Per-worker execution counters (index = worker slot; a respawned
+    /// worker's counters merge into its slot).
     pub per_worker: Vec<ExecStats>,
     /// Per-packet decisions in submission order; empty unless
-    /// [`EngineConfig::record_decisions`] was set. With an `error`,
-    /// holds whatever completed, still in submission order.
+    /// [`EngineConfig::record_decisions`] was set. Quarantined packets
+    /// have no decision — their seqs are in
+    /// [`EngineReport::quarantined`] instead.
     pub decisions: Vec<ForwardDecision>,
-    /// First error any worker hit, if any. The failing worker stops
-    /// processing further batches; other shards run to completion.
+    /// First config-class error any worker hit, if any. The failing
+    /// worker stops processing further batches; other shards run to
+    /// completion.
     pub error: Option<EngineError>,
     /// Update-plane counters: generations published, how they were
     /// applied, and how workers picked them up.
     pub updates: UpdateStats,
+    /// Fault-plane counters: panics, quarantines, deaths, respawns,
+    /// admission rejections.
+    pub faults: FaultStats,
+    /// Submission seqs of every quarantined packet, sorted. Zero-loss
+    /// invariant: `submitted == stats.packets + quarantined.len()`
+    /// (exact whenever no *unsupervised* panic destroyed a worker's
+    /// counters).
+    pub quarantined: Vec<u64>,
 }
 
 /// A running multi-core engine. Create with [`Engine::start`], feed it
@@ -247,7 +439,7 @@ pub struct EngineReport {
 pub struct Engine {
     workers: Vec<WorkerHandle>,
     shard: ShardFn,
-    batch_packets: usize,
+    cfg: EngineConfig,
     next_seq: u64,
     /// Master copy the control plane mutates off the hot path; every
     /// publish clones it into the shared slot.
@@ -255,8 +447,19 @@ pub struct Engine {
     published: Arc<Published>,
     delta_updates: u64,
     full_swaps: u64,
+    updates_rejected: u64,
+    respawns: u64,
+    /// Panics that unwound a whole worker thread (no output survived).
+    unwound_workers: u64,
+    /// Seqs of packets that went down with a dead worker.
+    lost: Vec<u64>,
+    /// Batches those seqs arrived in (for quarantine accounting).
+    lost_batches: u64,
+    /// Outputs harvested from workers that died and were replaced.
+    retired: Vec<WorkerOutput>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     index: usize,
     mut pipeline: Pipeline,
@@ -264,21 +467,30 @@ fn worker_loop(
     recycle_tx: Sender<Batch>,
     record: bool,
     published: Arc<Published>,
+    start_gen: u64,
+    supervise: bool,
+    injection: FaultInjection,
 ) -> WorkerOutput {
     let mut out = DecisionBuf::default();
     let mut decisions: Vec<(u64, ForwardDecision)> = Vec::new();
     let mut error: Option<EngineError> = None;
-    // The engine publishes generation 0 implicitly at start; a bump
-    // racing the spawn is simply adopted at the first batch.
-    let mut seen_gen = 0u64;
+    let mut seen_gen = start_gen;
     let mut adoptions = 0u64;
     let mut coalesced = 0u64;
+    let mut faults = FaultStats::default();
+    let mut quarantined: Vec<u64> = Vec::new();
+    let mut died = false;
+    // Counter snapshot for panic rollback; reused every batch.
+    let mut stats_backup = ExecStats::default();
+    let has_panics = !injection.panic_seqs.is_empty();
+    let has_deaths = !injection.die_seqs.is_empty();
+    let has_stalls = !injection.stall_seqs.is_empty();
     while let Ok(batch) = rx.recv() {
         // Batch boundary: adopt the latest published generation, so
         // every packet in this batch runs under one complete rule set.
         let generation = published.generation.load(Ordering::Acquire);
         if generation != seen_gen {
-            let next_arc = published.slot.lock().expect("publish slot lock").clone();
+            let next_arc = published.snapshot();
             let mut next = (*next_arc).clone();
             // Stateful continuity across the swap: `@query_counter`
             // windows and execution counters carry over, never reset.
@@ -290,17 +502,46 @@ fn worker_loop(
             seen_gen = generation;
             pipeline = next;
         }
+        if has_deaths && batch.seqs.iter().any(|s| injection.die_seqs.contains(s)) {
+            // Scripted worker death: abandon the batch *without*
+            // recycling it and stop serving the shard, with everything
+            // accumulated so far intact. Leaving the batch outstanding
+            // is what makes detection deterministic — the engine's
+            // next wait on the recycle channel sees the disconnect,
+            // and its in-flight ledger quarantines the batch.
+            died = true;
+            break;
+        }
         if error.is_none() {
+            if supervise {
+                stats_backup.copy_from(&pipeline.exec.stats);
+            }
             out.clear();
-            match pipeline.process_batch(batch.iter(), &mut out) {
-                Ok(()) => {
+            let run = |pipeline: &mut Pipeline, out: &mut DecisionBuf| {
+                if has_panics && batch.seqs.iter().any(|s| injection.panic_seqs.contains(s)) {
+                    panic!("injected worker panic (fault harness)");
+                }
+                if has_stalls && batch.seqs.iter().any(|s| injection.stall_seqs.contains(s)) {
+                    std::thread::sleep(Duration::from_millis(injection.stall_ms));
+                }
+                pipeline.process_batch(batch.iter(), out)
+            };
+            let result = if supervise {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run(&mut pipeline, &mut out)
+                }))
+            } else {
+                Ok(run(&mut pipeline, &mut out))
+            };
+            match result {
+                Ok(Ok(())) => {
                     if record {
                         for (i, d) in out.iter().enumerate() {
                             decisions.push((batch.seqs[i], d.clone()));
                         }
                     }
                 }
-                Err(e) => {
+                Ok(Err(e)) => {
                     // The failing packet's slot is the last one claimed.
                     let seq = batch.seqs[out.len().saturating_sub(1)];
                     error = Some(EngineError {
@@ -309,6 +550,21 @@ fn worker_loop(
                         error: e,
                     });
                 }
+                Err(_) => {
+                    // Caught panic: quarantine the whole batch and roll
+                    // the counters back to the batch boundary, so no
+                    // quarantined packet is half-counted. Register
+                    // side effects of the partial batch may persist
+                    // (counters carry forward like on a real switch
+                    // whose stage was reset mid-burst); the soak
+                    // harness uses stateless rules to keep the oracle
+                    // exact.
+                    faults.panics_caught += 1;
+                    faults.batches_quarantined += 1;
+                    faults.packets_quarantined += batch.len() as u64;
+                    quarantined.extend_from_slice(&batch.seqs);
+                    pipeline.exec.stats.copy_from(&stats_backup);
+                }
             }
         }
         // Hand the batch back for reuse; the engine may already be
@@ -316,11 +572,15 @@ fn worker_loop(
         let _ = recycle_tx.send(batch);
     }
     WorkerOutput {
+        index,
         stats: pipeline.exec.stats.clone(),
         decisions,
         error,
         adoptions,
         coalesced,
+        faults,
+        quarantined,
+        died,
     }
 }
 
@@ -328,7 +588,10 @@ impl Engine {
     /// Spawns the worker threads, each owning a clone of `pipeline`
     /// (tables prepared once up front, counters zeroed). Register
     /// *contents* are cloned as-is, so start from a freshly compiled
-    /// pipeline for reproducible runs.
+    /// pipeline for reproducible runs. The seed pipeline is trusted —
+    /// admission control applies to *updates* ([`Engine::apply_update`],
+    /// [`Engine::install_pipeline`]), where rejecting late would leave
+    /// a live engine half-updated.
     pub fn start(pipeline: &Pipeline, cfg: &EngineConfig, shard: ShardFn) -> Engine {
         let n = cfg.workers.max(1);
         let mut template = pipeline.clone();
@@ -338,45 +601,80 @@ impl Engine {
             generation: AtomicU64::new(0),
             slot: Mutex::new(Arc::new(template.clone())),
         });
-        let workers = (0..n)
-            .map(|wi| {
-                let (tx, rx) = sync_channel::<Batch>(cfg.queue_batches.max(1));
-                let (recycle_tx, recycle_rx) = channel::<Batch>();
-                let worker_pipeline = template.clone();
-                let record = cfg.record_decisions;
-                let worker_published = Arc::clone(&published);
-                let handle = std::thread::Builder::new()
-                    .name(format!("camus-engine-{wi}"))
-                    .spawn(move || {
-                        worker_loop(
-                            wi,
-                            worker_pipeline,
-                            rx,
-                            recycle_tx,
-                            record,
-                            worker_published,
-                        )
-                    })
-                    .expect("spawn engine worker");
-                WorkerHandle {
-                    tx,
-                    recycle_rx,
-                    pending: Batch::default(),
-                    outstanding: 0,
-                    pool: Vec::new(),
-                    handle,
-                }
-            })
-            .collect();
-        Engine {
-            workers,
+        let mut engine = Engine {
+            workers: Vec::with_capacity(n),
             shard,
-            batch_packets: cfg.batch_packets.max(1),
+            cfg: EngineConfig {
+                workers: n,
+                batch_packets: cfg.batch_packets.max(1),
+                queue_batches: cfg.queue_batches.max(1),
+                ..cfg.clone()
+            },
             next_seq: 0,
             template,
             published,
             delta_updates: 0,
             full_swaps: 0,
+            updates_rejected: 0,
+            respawns: 0,
+            unwound_workers: 0,
+            lost: Vec::new(),
+            lost_batches: 0,
+            retired: Vec::new(),
+        };
+        for wi in 0..n {
+            let handle = engine.spawn_worker(wi);
+            engine.workers.push(handle);
+        }
+        engine
+    }
+
+    /// Spawns one worker thread seeded from the currently published
+    /// pipeline, with register state carried over positionally from
+    /// the template ([`RegisterFile::carry_from`] — a respawned
+    /// worker restarts its stateful windows from the installed
+    /// program's initial state, since the dead worker's live counters
+    /// are unrecoverable).
+    ///
+    /// [`RegisterFile::carry_from`]: camus_pipeline::register::RegisterFile::carry_from
+    fn spawn_worker(&self, wi: usize) -> WorkerHandle {
+        let start_gen = self.published.generation.load(Ordering::Acquire);
+        let slot = self.published.snapshot();
+        let mut pipeline = (*slot).clone();
+        pipeline.registers.carry_from(&self.template.registers);
+        pipeline.exec.stats.reset();
+        pipeline.prepare();
+        let (tx, rx) = sync_channel::<Batch>(self.cfg.queue_batches);
+        let (recycle_tx, recycle_rx) = channel::<Batch>();
+        let record = self.cfg.record_decisions;
+        let supervise = self.cfg.supervise;
+        let injection = self.cfg.faults.clone();
+        let worker_published = Arc::clone(&self.published);
+        let handle = std::thread::Builder::new()
+            .name(format!("camus-engine-{wi}"))
+            .spawn(move || {
+                worker_loop(
+                    wi,
+                    pipeline,
+                    rx,
+                    recycle_tx,
+                    record,
+                    worker_published,
+                    start_gen,
+                    supervise,
+                    injection,
+                )
+            })
+            .unwrap_or_else(|e| panic!("spawn engine worker: {e}"));
+        WorkerHandle {
+            tx,
+            recycle_rx,
+            pending: Batch::default(),
+            outstanding: 0,
+            in_flight: VecDeque::new(),
+            seq_pool: Vec::new(),
+            pool: Vec::new(),
+            handle,
         }
     }
 
@@ -390,8 +688,8 @@ impl Engine {
         self.next_seq += 1;
         let w = &mut self.workers[wi];
         w.pending.push(seq, now_us, packet);
-        if w.pending.len() >= self.batch_packets {
-            Self::flush_worker(w);
+        if w.pending.len() >= self.cfg.batch_packets {
+            self.flush_worker(wi);
         }
     }
 
@@ -400,17 +698,27 @@ impl Engine {
         self.next_seq
     }
 
-    fn flush_worker(w: &mut WorkerHandle) {
-        if w.pending.is_empty() {
+    /// Pops an in-flight record, returning its seq vector to the pool.
+    fn note_returned(w: &mut WorkerHandle) {
+        w.outstanding -= 1;
+        if let Some(mut seqs) = w.in_flight.pop_front() {
+            seqs.clear();
+            w.seq_pool.push(seqs);
+        }
+    }
+
+    fn flush_worker(&mut self, wi: usize) {
+        if self.workers[wi].pending.is_empty() {
             return;
         }
+        let w = &mut self.workers[wi];
         // Reuse a batch the worker has already drained, if one is
         // waiting; otherwise grow the pool by one.
         let mut next = match w.pool.pop() {
             Some(b) => b,
             None => match w.recycle_rx.try_recv() {
                 Ok(b) => {
-                    w.outstanding -= 1;
+                    Self::note_returned(w);
                     b
                 }
                 Err(_) => Batch::default(),
@@ -418,49 +726,160 @@ impl Engine {
         };
         next.clear();
         let full = std::mem::replace(&mut w.pending, next);
-        w.outstanding += 1;
-        // A send error means the worker died; the panic surfaces when
-        // finish() joins the thread.
-        let _ = w.tx.send(full);
+        self.dispatch(wi, full, true);
     }
 
-    /// Flushes every pending batch and blocks until all workers have
-    /// fully processed everything submitted so far. On return the data
-    /// plane is quiescent: no packet is in flight, and the guarantee
-    /// that post-quiescence forwarding matches a fresh full compile of
-    /// the cumulative rule set is testable. (A worker that died keeps
-    /// its panic for [`Engine::finish`] to surface.)
-    pub fn quiesce(&mut self) {
-        for w in &mut self.workers {
-            Self::flush_worker(w);
-            while w.outstanding > 0 {
-                match w.recycle_rx.recv() {
-                    Ok(b) => {
-                        w.outstanding -= 1;
-                        w.pool.push(b);
-                    }
-                    Err(_) => break,
+    /// Sends a batch with in-flight bookkeeping. A send error means
+    /// the worker thread is gone: with `respawn` the engine replaces
+    /// it and re-sends the batch (zero loss — the batch never reached
+    /// the dead worker); without, the batch is counted as lost.
+    fn dispatch(&mut self, wi: usize, batch: Batch, respawn: bool) {
+        let w = &mut self.workers[wi];
+        let mut seqs = w.seq_pool.pop().unwrap_or_default();
+        seqs.clear();
+        seqs.extend_from_slice(&batch.seqs);
+        w.in_flight.push_back(seqs);
+        w.outstanding += 1;
+        match w.tx.send(batch) {
+            Ok(()) => {}
+            Err(SendError(batch)) => {
+                if let Some(mut seqs) = w.in_flight.pop_back() {
+                    seqs.clear();
+                    w.seq_pool.push(seqs);
+                }
+                w.outstanding -= 1;
+                if respawn {
+                    self.respawn_worker(wi);
+                    // The replacement gets the batch; a second failure
+                    // (replacement died instantly) drops to loss
+                    // accounting instead of recursing.
+                    self.dispatch(wi, batch, false);
+                } else {
+                    self.lost.extend_from_slice(&batch.seqs);
+                    self.lost_batches += 1;
                 }
             }
         }
     }
 
-    /// Applies an incremental-compiler update to the running engine.
+    /// Replaces a dead worker: joins the old thread, harvests its
+    /// output (stats, decisions, quarantined seqs), accounts any
+    /// batches that went down with it, and spawns a replacement from
+    /// the published pipeline.
+    fn respawn_worker(&mut self, wi: usize) {
+        let fresh = self.spawn_worker(wi);
+        let old = std::mem::replace(&mut self.workers[wi], fresh);
+        let WorkerHandle {
+            tx,
+            recycle_rx,
+            pending: _,
+            outstanding: _,
+            mut in_flight,
+            mut seq_pool,
+            mut pool,
+            handle,
+        } = old;
+        drop(tx);
+        match handle.join() {
+            Ok(out) => self.retired.push(out),
+            Err(_) => {
+                // The thread unwound: its counters and recorded
+                // decisions are unrecoverable. Counted so reports can
+                // flag the accounting gap.
+                self.unwound_workers += 1;
+            }
+        }
+        // Batches the dead worker finished before dying are recycled
+        // and reusable; anything still in flight went down with it.
+        while let Ok(b) = recycle_rx.try_recv() {
+            if let Some(mut seqs) = in_flight.pop_front() {
+                seqs.clear();
+                seq_pool.push(seqs);
+            }
+            self.workers[wi].pool.push(b);
+        }
+        for seqs in in_flight.drain(..) {
+            self.lost.extend_from_slice(&seqs);
+            self.lost_batches += 1;
+        }
+        let new_w = &mut self.workers[wi];
+        new_w.pool.append(&mut pool);
+        new_w.seq_pool.append(&mut seq_pool);
+        self.respawns += 1;
+    }
+
+    /// Flushes every pending batch and blocks until all workers have
+    /// fully processed everything submitted so far. On `Ok` the data
+    /// plane is quiescent: no packet is in flight, and the guarantee
+    /// that post-quiescence forwarding matches a fresh full compile of
+    /// the cumulative rule set is testable.
     ///
-    /// The next-generation pipeline is built off the packet hot path:
-    /// delta reports splice their per-table entry diffs into the
-    /// engine's master template (reusing the match-engine
-    /// allocations), while `full_rebuild` reports — the
-    /// `NeedsFullRecompile` fallback round-tripped through the same
-    /// channel — replace the template wholesale. Either way the result
-    /// is published with an atomic generation bump; workers adopt it
-    /// at their next batch boundary, carrying register state and
-    /// counters over. Packets submitted after this returns are
-    /// guaranteed to be processed by the new generation (or a later
-    /// one); packets already in flight finish under the generation
-    /// their batch started with — never a half-applied rule set.
-    pub fn apply_update(&mut self, report: &UpdateReport) -> Result<(), CompileError> {
-        report.apply_to(&mut self.template)?;
+    /// Each in-flight batch is waited on for at most
+    /// [`EngineConfig::watchdog_ms`]; a worker that fails to produce
+    /// one in that window yields [`EngineFault::QuiesceTimeout`]
+    /// (state unchanged — the call is re-entrant and can be retried).
+    /// A worker found dead is respawned and its lost batches are
+    /// quarantined, so quiesce also heals the engine.
+    pub fn quiesce(&mut self) -> Result<(), EngineFault> {
+        for wi in 0..self.workers.len() {
+            self.flush_worker(wi);
+            loop {
+                let watchdog = Duration::from_millis(self.cfg.watchdog_ms.max(1));
+                let w = &mut self.workers[wi];
+                if w.outstanding == 0 {
+                    break;
+                }
+                match w.recycle_rx.recv_timeout(watchdog) {
+                    Ok(b) => {
+                        Self::note_returned(w);
+                        w.pool.push(b);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(EngineFault::QuiesceTimeout {
+                            worker: wi,
+                            outstanding: w.outstanding,
+                            waited_ms: self.cfg.watchdog_ms,
+                        });
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Dead worker: harvest and replace, then keep
+                        // draining (the replacement starts idle).
+                        self.respawn_worker(wi);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies an incremental-compiler update to the running engine,
+    /// transactionally.
+    ///
+    /// The next-generation pipeline is built off the packet hot path
+    /// on a *candidate* clone: delta reports splice their per-table
+    /// entry diffs into it, `full_rebuild` reports replace it
+    /// wholesale. The candidate is then charged against the admission
+    /// model. Only if both steps succeed does the engine commit the
+    /// candidate as its template and publish it with an atomic
+    /// generation bump — on any error ([`EngineFault::Update`] or
+    /// [`EngineFault::Admission`]) the installed state is untouched:
+    /// no generation bump, no half-spliced tables, entry-for-entry
+    /// identical before and after.
+    ///
+    /// Workers adopt a published generation at their next batch
+    /// boundary, carrying register state and counters over. Packets
+    /// submitted after this returns are guaranteed to be processed by
+    /// the new generation (or a later one); packets already in flight
+    /// finish under the generation their batch started with — never a
+    /// half-applied rule set.
+    pub fn apply_update(&mut self, report: &UpdateReport) -> Result<(), EngineFault> {
+        let mut candidate = self.template.clone();
+        report
+            .apply_to(&mut candidate)
+            .map_err(EngineFault::Update)?;
+        candidate.prepare();
+        self.admit(&candidate)?;
+        self.template = candidate;
         if report.full_rebuild {
             self.full_swaps += 1;
         } else {
@@ -472,15 +891,35 @@ impl Engine {
 
     /// Full-swap fallback with an arbitrary pipeline (e.g. from a
     /// from-scratch [`Compiler::compile`](camus_core::Compiler) when no
-    /// incremental session exists): replaces the template wholesale and
-    /// publishes it. Workers still carry their register state over
-    /// positionally on adoption.
-    pub fn install_pipeline(&mut self, pipeline: &Pipeline) {
-        self.template = pipeline.clone();
-        self.template.exec.stats.reset();
-        self.template.prepare();
+    /// incremental session exists): admission-checks the candidate,
+    /// then replaces the template wholesale and publishes it. Workers
+    /// still carry their register state over positionally on adoption.
+    /// On rejection the installed state is untouched.
+    pub fn install_pipeline(&mut self, pipeline: &Pipeline) -> Result<(), EngineFault> {
+        let mut candidate = pipeline.clone();
+        candidate.exec.stats.reset();
+        candidate.prepare();
+        self.admit(&candidate)?;
+        self.template = candidate;
         self.full_swaps += 1;
         self.publish();
+        Ok(())
+    }
+
+    /// Charges a candidate against the admission model using the same
+    /// leveling/placement arithmetic as the offline compiler
+    /// ([`place_chain`]) — the runtime enforcement of the paper's
+    /// fits-in-switch-memory claim.
+    fn admit(&mut self, candidate: &Pipeline) -> Result<(), EngineFault> {
+        let Some(model) = &self.cfg.admission else {
+            return Ok(());
+        };
+        let placement = place_chain(&candidate.tables, model);
+        if let Some(err) = placement.failure {
+            self.updates_rejected += 1;
+            return Err(EngineFault::Admission(err));
+        }
+        Ok(())
     }
 
     /// Update-plane counters accumulated so far (worker adoption
@@ -498,39 +937,87 @@ impl Engine {
     fn publish(&mut self) {
         self.template.prepare();
         let next = Arc::new(self.template.clone());
-        *self.published.slot.lock().expect("publish slot lock") = next;
+        *self
+            .published
+            .slot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = next;
         // Release pairs with the workers' Acquire load: a worker that
         // sees the new generation sees the new pipeline.
         self.published.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Flushes remaining packets, joins every worker and aggregates
-    /// the report.
-    pub fn finish(self) -> EngineReport {
+    /// the report. Dead workers are harvested, not propagated: an
+    /// unsupervised panic shows up as [`FaultStats`] counts and
+    /// quarantined seqs rather than a panic out of `finish`.
+    pub fn finish(mut self) -> EngineReport {
+        for wi in 0..self.workers.len() {
+            self.flush_worker(wi);
+        }
         let workers = self.workers.len();
-        let mut per_worker = Vec::with_capacity(workers);
+        let mut outputs = std::mem::take(&mut self.retired);
+        let mut lost = std::mem::take(&mut self.lost);
+        let mut lost_batches = self.lost_batches;
+        let mut unwound = self.unwound_workers;
+
+        for w in std::mem::take(&mut self.workers) {
+            let WorkerHandle {
+                tx,
+                recycle_rx,
+                mut in_flight,
+                handle,
+                ..
+            } = w;
+            // Dropping the sender ends the worker's recv loop.
+            drop(tx);
+            match handle.join() {
+                Ok(out) => outputs.push(out),
+                Err(_) => unwound += 1,
+            }
+            // Everything the worker processed came back through the
+            // recycle channel; whatever didn't went down with it.
+            while recycle_rx.try_recv().is_ok() {
+                in_flight.pop_front();
+            }
+            for seqs in in_flight.drain(..) {
+                lost.extend_from_slice(&seqs);
+                lost_batches += 1;
+            }
+        }
+
+        let mut per_worker = vec![ExecStats::default(); workers];
         let mut all_decisions: Vec<(u64, ForwardDecision)> = Vec::new();
         let mut error: Option<EngineError> = None;
         let mut updates = self.update_stats();
-
-        let mut handles = Vec::with_capacity(workers);
-        for mut w in self.workers {
-            Self::flush_worker(&mut w);
-            // Dropping the sender ends the worker's recv loop.
-            drop(w.tx);
-            drop(w.recycle_rx);
-            handles.push(w.handle);
-        }
-        for handle in handles {
-            let out = handle.join().expect("engine worker panicked");
-            per_worker.push(out.stats);
+        let mut faults = FaultStats {
+            updates_rejected: self.updates_rejected,
+            respawns: self.respawns,
+            ..FaultStats::default()
+        };
+        let mut quarantined: Vec<u64> = Vec::new();
+        for out in outputs {
+            per_worker[out.index].merge(&out.stats);
             all_decisions.extend(out.decisions);
             updates.adoptions += out.adoptions;
             updates.coalesced += out.coalesced;
+            faults.merge(&out.faults);
+            if out.died {
+                faults.worker_deaths += 1;
+            }
+            quarantined.extend(out.quarantined);
             if error.is_none() {
                 error = out.error;
             }
         }
+        // Batches lost inside dead workers are quarantined too.
+        faults.panics_caught += unwound;
+        faults.worker_deaths += unwound;
+        faults.batches_quarantined += lost_batches;
+        faults.packets_quarantined += lost.len() as u64;
+        quarantined.append(&mut lost);
+        quarantined.sort_unstable();
+        quarantined.dedup();
 
         let mut stats = ExecStats::default();
         for s in &per_worker {
@@ -545,6 +1032,8 @@ impl Engine {
             decisions,
             error,
             updates,
+            faults,
+            quarantined,
         }
     }
 }
@@ -572,8 +1061,8 @@ mod tests {
     use camus_pipeline::parser::{Extract, ParseState, ParserSpec, StateId, Transition};
     use camus_pipeline::register::RegisterFile;
     use camus_pipeline::{
-        ActionOp, Entry, ExecState, Key, MatchKind, MatchValue, MulticastTable, PhvLayout, PortId,
-        Table,
+        ActionOp, Entry, ExecState, Key, MatchKind, MatchValue, MulticastTable, ParseDrop,
+        PhvLayout, PortId, Table,
     };
     use std::sync::Arc;
 
@@ -659,6 +1148,8 @@ mod tests {
             assert_eq!(report.decisions, expected, "workers={workers}");
             assert_eq!(report.stats.packets, packets.len() as u64);
             assert_eq!(report.per_worker.len(), workers);
+            assert_eq!(report.faults, FaultStats::default());
+            assert!(report.quarantined.is_empty());
         }
     }
 
@@ -690,8 +1181,9 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_reported_with_packet_seq() {
-        // The parser needs one byte; an empty packet underflows.
+    fn malformed_packets_are_typed_drops_with_reconciled_counters() {
+        // The parser needs one byte; an empty packet underflows — a
+        // typed drop decision, not an error, and never a dead worker.
         let pipeline = byte_pipeline();
         let packets: Vec<Vec<u8>> = vec![vec![1], vec![], vec![2]];
         let cfg = EngineConfig {
@@ -706,11 +1198,16 @@ mod tests {
             first_byte_shard(),
             packets.iter().map(|p| (p.as_slice(), 0u64)),
         );
-        let err = report.error.expect("parse error surfaces");
-        assert_eq!(err.packet_seq, 1);
-        assert_eq!(err.worker, 0);
-        // The packet before the failure still has its decision.
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert_eq!(report.decisions.len(), 3);
         assert_eq!(report.decisions[0].ports, vec![PortId(1)]);
+        assert_eq!(report.decisions[1].drop_reason, Some(ParseDrop::Underflow));
+        assert_eq!(report.decisions[2].ports, vec![PortId(2)]);
+        let s = &report.stats;
+        assert_eq!(s.packets, 3);
+        assert_eq!(s.drop_underflow, 1);
+        assert_eq!(s.packets, s.forwarded_packets + s.dropped_packets);
+        assert_eq!(s.malformed_packets(), 1);
     }
 
     #[test]
@@ -738,8 +1235,8 @@ mod tests {
         for _ in 0..40 {
             engine.submit(&[1], 0);
         }
-        engine.quiesce();
-        engine.install_pipeline(&alt);
+        engine.quiesce().unwrap();
+        engine.install_pipeline(&alt).unwrap();
         for _ in 0..40 {
             engine.submit(&[1], 0);
         }
@@ -771,12 +1268,12 @@ mod tests {
             ..Default::default()
         };
         let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
-        engine.quiesce(); // nothing submitted yet
+        engine.quiesce().unwrap(); // nothing submitted yet
         for i in 0..57u32 {
             engine.submit(&[(i % 7) as u8], 0);
         }
-        engine.quiesce();
-        engine.quiesce(); // already drained: no-op
+        engine.quiesce().unwrap();
+        engine.quiesce().unwrap(); // already drained: no-op
         for i in 0..13u32 {
             engine.submit(&[(i % 7) as u8], 0);
         }
@@ -806,12 +1303,12 @@ mod tests {
         };
         let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
         engine.submit(&[1], 0);
-        engine.quiesce();
+        engine.quiesce().unwrap();
         // Three generations published back-to-back while the worker has
         // no traffic: it adopts only the last one.
-        engine.install_pipeline(&alt);
-        engine.install_pipeline(&pipeline);
-        engine.install_pipeline(&alt);
+        engine.install_pipeline(&alt).unwrap();
+        engine.install_pipeline(&pipeline).unwrap();
+        engine.install_pipeline(&alt).unwrap();
         for _ in 0..8 {
             engine.submit(&[1], 0);
         }
@@ -839,5 +1336,204 @@ mod tests {
         assert_eq!(report.stats.packets, 0);
         assert!(report.error.is_none());
         assert_eq!(report.workers, 3);
+    }
+
+    #[test]
+    fn oversized_install_is_rejected_with_no_observable_change() {
+        let pipeline = byte_pipeline();
+        // Admission model that fits the 4-entry seed but not a 10-entry
+        // candidate.
+        let tiny = AsicModel {
+            stages: 1,
+            sram_entries_per_stage: 5,
+            ..AsicModel::tofino32()
+        };
+        let mut big = byte_pipeline();
+        for b in 5u64..=10 {
+            big.tables[0]
+                .add_entry(Entry {
+                    priority: 0,
+                    matches: vec![MatchValue::Exact(b)],
+                    ops: vec![ActionOp::Forward(PortId(b as u16))],
+                })
+                .unwrap();
+        }
+        let cfg = EngineConfig {
+            workers: 2,
+            batch_packets: 4,
+            record_decisions: true,
+            admission: Some(tiny),
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        for _ in 0..8 {
+            engine.submit(&[1], 0);
+        }
+        let before_tables = engine.template.tables.clone();
+        let err = engine.install_pipeline(&big).unwrap_err();
+        let EngineFault::Admission(adm) = &err else {
+            panic!("expected Admission, got {err}");
+        };
+        assert_eq!(adm.needed, 10);
+        assert_eq!(adm.available, 5);
+        // Zero observable state change: entry-for-entry identical
+        // tables, no generation bump.
+        let after_tables: Vec<_> = engine.template.tables.clone();
+        for (a, b) in before_tables.iter().zip(after_tables.iter()) {
+            let ea: Vec<_> = a.entries().collect();
+            let eb: Vec<_> = b.entries().collect();
+            assert_eq!(ea, eb);
+        }
+        assert_eq!(engine.published.generation.load(Ordering::Acquire), 0);
+        for _ in 0..8 {
+            engine.submit(&[1], 0);
+        }
+        let report = engine.finish();
+        assert_eq!(report.updates.published, 0);
+        assert_eq!(report.faults.updates_rejected, 1);
+        // Forwarding continued under the original rules throughout.
+        assert_eq!(report.decisions.len(), 16);
+        for d in &report.decisions {
+            assert_eq!(d.ports, vec![PortId(1)]);
+        }
+    }
+
+    #[test]
+    fn supervised_panic_quarantines_batch_and_worker_survives() {
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 2,
+            record_decisions: true,
+            faults: FaultInjection {
+                // Seq 3 lands in the second batch {2, 3}.
+                panic_seqs: Arc::new([3u64].into_iter().collect()),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        for _ in 0..8 {
+            engine.submit(&[1], 0);
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert_eq!(report.faults.panics_caught, 1);
+        assert_eq!(report.faults.batches_quarantined, 1);
+        assert_eq!(report.faults.packets_quarantined, 2);
+        assert_eq!(report.faults.worker_deaths, 0);
+        assert_eq!(report.quarantined, vec![2, 3]);
+        // The other six packets were all decided; counters reconcile.
+        assert_eq!(report.decisions.len(), 6);
+        assert_eq!(report.stats.packets, 6);
+        assert_eq!(report.stats.packets + report.quarantined.len() as u64, 8u64);
+        for d in &report.decisions {
+            assert_eq!(d.ports, vec![PortId(1)]);
+        }
+    }
+
+    #[test]
+    fn dead_worker_is_respawned_and_forwarding_resumes() {
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 2,
+            record_decisions: true,
+            faults: FaultInjection {
+                die_seqs: Arc::new([3u64].into_iter().collect()),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        for _ in 0..4 {
+            engine.submit(&[1], 0);
+        }
+        // Drain: detects the death, respawns, and quarantines the
+        // batch that killed the worker.
+        engine.quiesce().unwrap();
+        for _ in 0..4 {
+            engine.submit(&[1], 0);
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none(), "{:?}", report.error);
+        assert_eq!(report.faults.worker_deaths, 1);
+        assert_eq!(report.faults.respawns, 1);
+        assert_eq!(report.quarantined, vec![2, 3]);
+        // Post-recovery forwarding is identical to the healthy run.
+        assert_eq!(report.decisions.len(), 6);
+        for d in &report.decisions {
+            assert_eq!(d.ports, vec![PortId(1)]);
+        }
+        assert_eq!(report.stats.packets + report.quarantined.len() as u64, 8u64);
+    }
+
+    #[test]
+    fn quiesce_times_out_on_a_stalled_worker_and_recovers() {
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 1,
+            record_decisions: true,
+            watchdog_ms: 40,
+            faults: FaultInjection {
+                stall_seqs: Arc::new([0u64].into_iter().collect()),
+                stall_ms: 400,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        engine.submit(&[1], 0);
+        let err = engine.quiesce().unwrap_err();
+        let EngineFault::QuiesceTimeout {
+            worker,
+            outstanding,
+            waited_ms,
+        } = err
+        else {
+            panic!("expected QuiesceTimeout, got {err}");
+        };
+        assert_eq!(worker, 0);
+        assert_eq!(outstanding, 1);
+        assert_eq!(waited_ms, 40);
+        // Re-entrant: keep retrying until the stall clears.
+        let mut tries = 0;
+        while engine.quiesce().is_err() {
+            tries += 1;
+            assert!(tries < 100, "stall never cleared");
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none());
+        assert_eq!(report.decisions.len(), 1);
+        assert_eq!(report.decisions[0].ports, vec![PortId(1)]);
+    }
+
+    #[test]
+    fn unsupervised_panic_kills_worker_but_finish_stays_total() {
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 2,
+            record_decisions: true,
+            supervise: false,
+            faults: FaultInjection {
+                panic_seqs: Arc::new([1u64].into_iter().collect()),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        for _ in 0..4 {
+            engine.submit(&[1], 0);
+        }
+        // finish() must neither hang nor propagate the worker panic.
+        let report = engine.finish();
+        assert!(report.faults.worker_deaths >= 1);
+        assert!(report.faults.panics_caught >= 1);
+        // Every packet is either decided or quarantined (the panicking
+        // worker unwound, so its counters are gone — the quarantine
+        // list still accounts for the batches it took down).
+        assert_eq!(report.stats.packets + report.quarantined.len() as u64, 4u64);
     }
 }

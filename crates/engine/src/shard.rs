@@ -80,8 +80,10 @@ pub fn itch_symbol_key(packet: &[u8]) -> Option<u64> {
         }
         let msg = &mold[off..off + len];
         if len >= ADD_ORDER_LEN && msg[0] == b'A' {
-            let sym: [u8; 8] = msg[STOCK_OFFSET..STOCK_OFFSET + 8].try_into().unwrap();
-            return Some(u64::from_be_bytes(sym));
+            let sym = msg.get(STOCK_OFFSET..STOCK_OFFSET + 8)?;
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(sym);
+            return Some(u64::from_be_bytes(bytes));
         }
         off += len;
     }

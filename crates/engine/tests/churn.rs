@@ -138,7 +138,7 @@ fn churn_decisions_match_sequential_per_phase_for_any_worker_count() {
         for (k, pkts) in phases.iter().enumerate() {
             if k > 0 {
                 let step = &schedule.steps[k - 1];
-                engine.quiesce();
+                engine.quiesce().unwrap();
                 let report = session.update(&step.add, &step.remove).unwrap();
                 engine.apply_update(&report).unwrap();
             }
@@ -224,7 +224,7 @@ fn unquiesced_churn_never_shows_a_half_applied_rule_set() {
     // Quiesce: every packet above is decided, and all workers have
     // seen the final generation by their next batch. The tail must
     // then follow the final rules exactly.
-    engine.quiesce();
+    engine.quiesce().unwrap();
     for p in &tail_pkts {
         now += 1;
         engine.submit(p, now);
@@ -306,7 +306,7 @@ fn query_counter_state_survives_delta_and_full_rebuild_updates() {
     feed(&mut engine, &mut sequential, &mut seq_decisions, &googl);
 
     // Delta update (in-alphabet add): counter must keep its value 3.
-    engine.quiesce();
+    engine.quiesce().unwrap();
     let delta: UpdateReport = session
         .update(&parse_program("stock == MSFT : fwd(2)").unwrap(), &[])
         .unwrap();
@@ -325,7 +325,7 @@ fn query_counter_state_survives_delta_and_full_rebuild_updates() {
     feed(&mut engine, &mut sequential, &mut seq_decisions, &phase2);
 
     // Full rebuild (removal): counter must survive the wholesale swap.
-    engine.quiesce();
+    engine.quiesce().unwrap();
     let rebuild = session
         .update(
             &parse_program("stock == AAPL : fwd(4)").unwrap(),
@@ -381,7 +381,7 @@ fn out_of_alphabet_update_full_swaps_through_the_engine() {
     let mut engine = Engine::start(&initial.pipeline, &cfg, raw_stock_shard());
     engine.submit(&packet("GOOGL", 1, 10), 0);
     engine.submit(&packet("MSFT", 1, 10), 0);
-    engine.quiesce();
+    engine.quiesce().unwrap();
 
     // `stock == MSFT` is a new predicate and `my_counter` a new state
     // slot — both unknown to the alphabet, so the delta path must

@@ -1,0 +1,338 @@
+//! Deterministic fault-injection soak: the engine is driven through a
+//! seeded [`FaultPlan`] — truncated frames, single-bit flips, scripted
+//! worker panics and deaths, and a capacity-exceeding update — and must
+//! come out with:
+//!
+//! * **zero loss, zero duplication** — every submitted packet is either
+//!   decided exactly once or listed (exactly once) in the quarantine;
+//! * **oracle identity** — every non-quarantined decision is
+//!   bit-identical to a sequential executor run over the *same mutated
+//!   trace* (rules are stateless, so per-packet decisions are
+//!   independent and quarantine holes don't shift the oracle);
+//! * **typed corruption** — wire corruption surfaces as per-reason drop
+//!   counters, never as an error or a dead worker;
+//! * **transactional rejection** — the capacity bomb is refused by
+//!   admission control with zero observable state change: no
+//!   generation bump, and forwarding continues under the old rules.
+//!
+//! Everything is a pure function of the seeds, so a failure reproduces.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use camus_core::{Compiler, CompilerOptions};
+use camus_engine::{shard, Engine, EngineConfig, EngineFault, FaultInjection, ShardFn};
+use camus_lang::parse_spec;
+use camus_pipeline::resources::place_chain;
+use camus_pipeline::{AsicModel, Pipeline};
+use camus_workload::itch_subs::stock_symbol;
+use camus_workload::{capacity_bomb, FaultPlan, FaultPlanConfig, ItchSubsConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A raw ITCH add-order message (the `Raw` encapsulation): msg_type,
+/// locate/tracking/timestamp, order_ref, side, shares, stock, price.
+fn packet(symbol: &str, shares: u32, price: u32) -> Vec<u8> {
+    let mut m = vec![b'A'];
+    m.extend_from_slice(&[0; 10]);
+    m.extend_from_slice(&[0; 8]);
+    m.push(b'B');
+    m.extend_from_slice(&shares.to_be_bytes());
+    let mut stock = [b' '; 8];
+    for (i, c) in symbol.bytes().take(8).enumerate() {
+        stock[i] = c;
+    }
+    m.extend_from_slice(&stock);
+    m.extend_from_slice(&price.to_be_bytes());
+    m
+}
+
+/// Shards by the stock field — *totally*: a frame truncated before the
+/// stock field still gets a (constant) shard instead of a panic, since
+/// the fault plan feeds the engine corrupted bytes on purpose.
+fn total_stock_shard() -> ShardFn {
+    Arc::new(|p: &[u8]| shard::mix64(shard::fnv1a(p.get(24..32).unwrap_or(&[]))))
+}
+
+fn itch_cfg() -> ItchSubsConfig {
+    ItchSubsConfig {
+        subscriptions: 12,
+        symbols: 8,
+        price_range: 500,
+        hosts: 16,
+        ..Default::default()
+    }
+}
+
+fn compiled_pipeline(cfg: &ItchSubsConfig) -> Pipeline {
+    let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+    let compiler = Compiler::new(spec, CompilerOptions::raw()).unwrap();
+    let rules = camus_workload::generate_itch_subscriptions(cfg);
+    compiler.compile(&rules).unwrap().pipeline
+}
+
+/// Random packets over the workload's symbol/price universe.
+fn random_packets(n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let sym = stock_symbol(rng.gen_range(0..8));
+            packet(&sym, 1, rng.gen_range(0..600) as u32)
+        })
+        .collect()
+}
+
+/// The soak proper: corrupted wire + scripted panics + a scripted
+/// worker death, at 1, 2 and 8 workers. Non-quarantined decisions must
+/// be bit-identical to the sequential oracle; counters must reconcile
+/// exactly.
+#[test]
+fn fault_soak_recovers_and_matches_oracle() {
+    let pipeline = compiled_pipeline(&itch_cfg());
+    let clean = random_packets(600, 0xFA11);
+    let plan = FaultPlan::generate(
+        &clean,
+        &FaultPlanConfig {
+            seed: 0x50AC,
+            truncate_fraction: 0.05,
+            bitflip_fraction: 0.05,
+            panics: 2,
+            deaths: 1,
+            stalls: 0,
+        },
+    );
+    assert!(!plan.mutations.is_empty(), "plan must corrupt something");
+
+    // Oracle: the sequential executor over the same mutated trace.
+    // Stateless rules make each packet's decision independent, so the
+    // oracle stays exact for non-quarantined packets.
+    let mut oracle_pipe = pipeline.clone();
+    let oracle: Vec<_> = plan
+        .packets
+        .iter()
+        .map(|p| {
+            oracle_pipe
+                .process(p, 0)
+                .expect("corruption is a typed drop, not an error")
+        })
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        let cfg = EngineConfig {
+            workers,
+            batch_packets: 8,
+            record_decisions: true,
+            faults: FaultInjection {
+                panic_seqs: Arc::new(plan.panic_seqs.clone()),
+                die_seqs: Arc::new(plan.die_seqs.clone()),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, total_stock_shard());
+        for p in &plan.packets {
+            engine.submit(p, 0);
+        }
+        let submitted = engine.submitted();
+        let report = engine.finish();
+        assert!(
+            report.error.is_none(),
+            "workers={workers}: {:?}",
+            report.error
+        );
+
+        // Zero loss, zero duplication.
+        let quarantined: HashSet<u64> = report.quarantined.iter().copied().collect();
+        assert_eq!(
+            quarantined.len(),
+            report.quarantined.len(),
+            "workers={workers}: duplicate quarantine entries"
+        );
+        assert_eq!(
+            report.decisions.len() as u64 + quarantined.len() as u64,
+            submitted,
+            "workers={workers}: packets lost or duplicated"
+        );
+
+        // Every scripted fault landed, and only whole batches went.
+        for s in plan.panic_seqs.iter().chain(&plan.die_seqs) {
+            assert!(
+                quarantined.contains(s),
+                "workers={workers}: scripted fault seq {s} not quarantined"
+            );
+        }
+        // Several scripted seqs can share one batch, so the counts are
+        // bounded, not exact.
+        assert!(
+            (1..=plan.panic_seqs.len() as u64).contains(&report.faults.panics_caught),
+            "workers={workers}: {:?}",
+            report.faults
+        );
+        assert!(
+            (1..=plan.die_seqs.len() as u64).contains(&report.faults.worker_deaths),
+            "workers={workers}: {:?}",
+            report.faults
+        );
+        assert!(report.faults.respawns >= report.faults.worker_deaths);
+        assert_eq!(report.faults.packets_quarantined, quarantined.len() as u64);
+
+        // Oracle identity for every surviving packet. Decisions are in
+        // submission order with quarantined seqs absent — a merge walk
+        // re-aligns them.
+        let mut di = 0usize;
+        let mut malformed_expected = 0u64;
+        for (seq, want) in oracle.iter().enumerate() {
+            if quarantined.contains(&(seq as u64)) {
+                continue;
+            }
+            assert_eq!(
+                &report.decisions[di], want,
+                "workers={workers}: packet {seq} diverged from the oracle"
+            );
+            if want.drop_reason.is_some() {
+                malformed_expected += 1;
+            }
+            di += 1;
+        }
+        assert_eq!(di, report.decisions.len());
+
+        // Counters reconcile exactly.
+        let s = &report.stats;
+        assert_eq!(s.packets, submitted - quarantined.len() as u64);
+        assert_eq!(s.packets, s.forwarded_packets + s.dropped_packets);
+        assert_eq!(s.malformed_packets(), malformed_expected);
+        assert!(
+            s.malformed_packets() > 0,
+            "workers={workers}: corruption never reached the parser"
+        );
+    }
+}
+
+/// Admission control under fire: a capacity bomb (a subscription set
+/// compiled to blow past the configured ASIC budget) is pushed at a
+/// live engine mid-trace. The update must be rejected as
+/// [`EngineFault::Admission`] with zero observable state change —
+/// forwarding before and after the rejected update is bit-identical to
+/// the *original* rules, and no generation is ever published.
+#[test]
+fn capacity_bomb_is_rejected_with_zero_observable_state_change() {
+    let cfg = itch_cfg();
+    let pipeline = compiled_pipeline(&cfg);
+
+    // Size the admission model around the seed program: the smallest
+    // power-of-two per-stage budget that fits it. The bomb then has to
+    // out-grow the budget, not our guess.
+    let mut per_stage = 1usize;
+    let model = loop {
+        let candidate = AsicModel {
+            stages: 4,
+            sram_entries_per_stage: per_stage,
+            tcam_entries_per_stage: per_stage,
+            ..AsicModel::tofino32()
+        };
+        if place_chain(&pipeline.tables, &candidate).failure.is_none() {
+            break candidate;
+        }
+        per_stage *= 2;
+        assert!(per_stage < 1 << 20, "seed program never fit");
+    };
+    let budget = model.stages * model.sram_entries_per_stage;
+
+    // The bomb: enough subscriptions to exceed the whole budget.
+    let bomb = capacity_bomb(&cfg, budget, 0xB0B);
+    let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+    let compiler = Compiler::new(spec, CompilerOptions::raw()).unwrap();
+    let bomb_pipeline = compiler.compile(&bomb).unwrap().pipeline;
+    assert!(
+        place_chain(&bomb_pipeline.tables, &model).failure.is_some(),
+        "bomb unexpectedly fits the admission model"
+    );
+
+    let trace = random_packets(200, 0xB0B2);
+    let engine_cfg = EngineConfig {
+        workers: 2,
+        batch_packets: 8,
+        record_decisions: true,
+        admission: Some(model),
+        ..Default::default()
+    };
+    let mut engine = Engine::start(&pipeline, &engine_cfg, total_stock_shard());
+    for p in &trace[..100] {
+        engine.submit(p, 0);
+    }
+    engine.quiesce().unwrap();
+
+    let err = engine.install_pipeline(&bomb_pipeline).unwrap_err();
+    let EngineFault::Admission(adm) = &err else {
+        panic!("expected Admission rejection, got {err}");
+    };
+    assert!(adm.needed > adm.available, "{adm:?}");
+
+    for p in &trace[100..] {
+        engine.submit(p, 0);
+    }
+    let report = engine.finish();
+    assert!(report.error.is_none(), "{:?}", report.error);
+    assert_eq!(report.updates.published, 0, "rejected update was published");
+    assert_eq!(report.faults.updates_rejected, 1);
+    assert!(report.quarantined.is_empty());
+
+    // Forwarding throughout — including after the rejection — is
+    // bit-identical to the original rules.
+    let mut oracle_pipe = pipeline.clone();
+    assert_eq!(report.decisions.len(), trace.len());
+    for (i, p) in trace.iter().enumerate() {
+        let want = oracle_pipe.process(p, 0).unwrap();
+        assert_eq!(report.decisions[i], want, "packet {i}");
+    }
+}
+
+/// The supervisor and the parser's total path compose: a trace that is
+/// *mostly* garbage (every flavour of truncation) plus scripted panics
+/// still yields a fully reconciled report at every worker count.
+#[test]
+fn garbage_heavy_trace_reconciles_at_every_worker_count() {
+    let pipeline = compiled_pipeline(&itch_cfg());
+    let clean = random_packets(300, 0x6A12);
+    let plan = FaultPlan::generate(
+        &clean,
+        &FaultPlanConfig {
+            seed: 0x6A12,
+            truncate_fraction: 0.5,
+            bitflip_fraction: 0.3,
+            panics: 1,
+            deaths: 0,
+            stalls: 0,
+        },
+    );
+    for workers in [1usize, 2, 8] {
+        let cfg = EngineConfig {
+            workers,
+            batch_packets: 4,
+            faults: FaultInjection {
+                panic_seqs: Arc::new(plan.panic_seqs.clone()),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, total_stock_shard());
+        for p in &plan.packets {
+            engine.submit(p, 0);
+        }
+        let submitted = engine.submitted();
+        let report = engine.finish();
+        assert!(
+            report.error.is_none(),
+            "workers={workers}: {:?}",
+            report.error
+        );
+        let s = &report.stats;
+        assert_eq!(
+            s.packets + report.quarantined.len() as u64,
+            submitted,
+            "workers={workers}"
+        );
+        assert_eq!(s.packets, s.forwarded_packets + s.dropped_packets);
+        assert!(s.malformed_packets() > 50, "workers={workers}: {s:?}");
+    }
+}

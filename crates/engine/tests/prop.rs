@@ -1,0 +1,108 @@
+//! Property tests for the engine's robustness contract: arbitrary
+//! bytes pushed through parser → pipeline → engine never panic, and
+//! the engine's counters always reconcile
+//! (`submitted == decided + quarantined`,
+//! `packets == forwarded + dropped_by_reason`).
+
+// Gated off by default: the vendored `proptest` subset is heavier than
+// the tier-1 tests. Enable with `cargo test --features proptest`.
+#![cfg(feature = "proptest")]
+
+use std::sync::{Arc, OnceLock};
+
+use camus_core::{Compiler, CompilerOptions};
+use camus_engine::{shard, Engine, EngineConfig, ShardFn};
+use camus_lang::parse_spec;
+use camus_pipeline::Pipeline;
+use camus_workload::{generate_itch_subscriptions, ItchSubsConfig};
+use proptest::prelude::*;
+
+/// One compiled ITCH pipeline shared across cases (compilation is the
+/// expensive part; each case clones it).
+fn pipeline() -> &'static Pipeline {
+    static PIPE: OnceLock<Pipeline> = OnceLock::new();
+    PIPE.get_or_init(|| {
+        let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
+        let compiler = Compiler::new(spec, CompilerOptions::raw()).unwrap();
+        let rules = generate_itch_subscriptions(&ItchSubsConfig {
+            subscriptions: 10,
+            symbols: 8,
+            price_range: 500,
+            hosts: 16,
+            ..Default::default()
+        });
+        compiler.compile(&rules).unwrap().pipeline
+    })
+}
+
+/// Total shard function: any byte soup gets a shard, never a panic.
+fn total_shard() -> ShardFn {
+    Arc::new(|p: &[u8]| shard::mix64(shard::fnv1a(p.get(24..32).unwrap_or(&[]))))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Arbitrary byte soup through the full engine: no panic, no
+    /// config-class error, and the counters reconcile exactly.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_counters_reconcile(
+        packets in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..40),
+        workers in 1usize..4,
+        batch in 1usize..8,
+    ) {
+        let cfg = EngineConfig {
+            workers,
+            batch_packets: batch,
+            record_decisions: true,
+            ..Default::default()
+        };
+        let mut engine = Engine::start(pipeline(), &cfg, total_shard());
+        for p in &packets {
+            engine.submit(p, 0);
+        }
+        let submitted = engine.submitted();
+        let report = engine.finish();
+        // Malformed input is a typed drop, never an error.
+        prop_assert!(report.error.is_none(), "{:?}", report.error);
+        prop_assert!(report.quarantined.is_empty());
+        prop_assert_eq!(report.decisions.len() as u64, submitted);
+        let s = &report.stats;
+        prop_assert_eq!(s.packets, submitted);
+        prop_assert_eq!(s.packets, s.forwarded_packets + s.dropped_packets);
+        // Per-reason drop counters agree with the recorded decisions.
+        let typed_drops = report
+            .decisions
+            .iter()
+            .filter(|d| d.drop_reason.is_some())
+            .count() as u64;
+        prop_assert_eq!(s.malformed_packets(), typed_drops);
+    }
+
+    /// The same soup through the bare sequential pipeline: total, and
+    /// bit-identical to what the engine produced (determinism holds on
+    /// garbage too).
+    #[test]
+    fn engine_matches_sequential_on_garbage(
+        packets in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..24),
+    ) {
+        let mut seq = pipeline().clone();
+        let expected: Vec<_> = packets
+            .iter()
+            .map(|p| seq.process(p, 0).unwrap())
+            .collect();
+        let cfg = EngineConfig {
+            workers: 2,
+            batch_packets: 4,
+            record_decisions: true,
+            ..Default::default()
+        };
+        let mut engine = Engine::start(pipeline(), &cfg, total_shard());
+        for p in &packets {
+            engine.submit(p, 0);
+        }
+        let report = engine.finish();
+        prop_assert!(report.error.is_none(), "{:?}", report.error);
+        prop_assert_eq!(&report.decisions, &expected);
+    }
+}

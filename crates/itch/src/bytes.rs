@@ -1,0 +1,54 @@
+//! Total fixed-width byte readers for the wire-format views.
+//!
+//! Every accessor in this crate sits behind a `new_checked`/length
+//! guard, so in-bounds reads are the only ones that ever happen on the
+//! hot path — but the robustness contract for the data plane is
+//! stronger: *no byte input may panic*, even through a misused view.
+//! These helpers make out-of-range reads total (missing bytes read as
+//! zero) instead of panicking, which is what lets the parse path carry
+//! a crate-wide `clippy::unwrap_used` deny.
+
+/// Reads `N` bytes at `off`, zero-filling anything past the end.
+pub(crate) fn arr<const N: usize>(b: &[u8], off: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    if let Some(src) = off.checked_add(N).and_then(|end| b.get(off..end)) {
+        out.copy_from_slice(src);
+    }
+    out
+}
+
+/// Big-endian u32 at `off` (zero-filled when out of range).
+pub(crate) fn be_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes(arr(b, off))
+}
+
+/// Big-endian u64 at `off` (zero-filled when out of range).
+pub(crate) fn be_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_be_bytes(arr(b, off))
+}
+
+/// Little-endian u32 at `off` (zero-filled when out of range).
+pub(crate) fn le_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(arr(b, off))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_bounds_reads_match_std() {
+        let b = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        assert_eq!(be_u32(&b, 1), u32::from_be_bytes([2, 3, 4, 5]));
+        assert_eq!(be_u64(&b, 0), u64::from_be_bytes([1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(le_u32(&b, 5), u32::from_le_bytes([6, 7, 8, 9]));
+    }
+
+    #[test]
+    fn out_of_bounds_reads_are_zero_not_panics() {
+        let b = [0xFFu8; 4];
+        assert_eq!(be_u32(&b, 1), 0);
+        assert_eq!(be_u64(&b, 0), 0);
+        assert_eq!(arr::<6>(&b, usize::MAX), [0u8; 6]);
+    }
+}

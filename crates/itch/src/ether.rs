@@ -1,5 +1,6 @@
 //! Ethernet II frames.
 
+use crate::bytes::arr;
 use crate::WireError;
 
 /// Length of an Ethernet II header.
@@ -25,12 +26,12 @@ impl<T: AsRef<[u8]>> Frame<T> {
 
     /// Destination MAC.
     pub fn dst(&self) -> [u8; 6] {
-        self.buffer.as_ref()[0..6].try_into().unwrap()
+        arr(self.buffer.as_ref(), 0)
     }
 
     /// Source MAC.
     pub fn src(&self) -> [u8; 6] {
-        self.buffer.as_ref()[6..12].try_into().unwrap()
+        arr(self.buffer.as_ref(), 6)
     }
 
     /// EtherType.
@@ -68,9 +69,10 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
 /// Builds a frame around a payload.
 pub fn build(dst: [u8; 6], src: [u8; 6], ethertype: u16, payload: &[u8]) -> Vec<u8> {
     let mut buf = vec![0u8; HEADER_LEN + payload.len()];
-    let mut f = Frame::new_checked(&mut buf[..]).expect("sized correctly");
-    f.set_header(dst, src, ethertype);
-    f.payload_mut().copy_from_slice(payload);
+    if let Ok(mut f) = Frame::new_checked(&mut buf[..]) {
+        f.set_header(dst, src, ethertype);
+        f.payload_mut().copy_from_slice(payload);
+    }
     buf
 }
 

@@ -62,12 +62,12 @@ impl<T: AsRef<[u8]>> Packet<T> {
 
     /// Source address, big-endian u32.
     pub fn src(&self) -> u32 {
-        u32::from_be_bytes(self.b()[12..16].try_into().unwrap())
+        crate::bytes::be_u32(self.b(), 12)
     }
 
     /// Destination address, big-endian u32.
     pub fn dst(&self) -> u32 {
-        u32::from_be_bytes(self.b()[16..20].try_into().unwrap())
+        crate::bytes::be_u32(self.b(), 16)
     }
 
     /// Header checksum field.

@@ -7,6 +7,7 @@
 //! dominate real ITCH traffic so trace synthesis can mix realistic
 //! non-add-order noise.
 
+use crate::bytes::{arr, be_u32, be_u64};
 use crate::WireError;
 
 /// Buy/sell indicator of an order.
@@ -121,11 +122,11 @@ impl AddOrder {
             stock_locate: u16::from_be_bytes([b[1], b[2]]),
             tracking_number: u16::from_be_bytes([b[3], b[4]]),
             timestamp_ns: u64::from_be_bytes(ts),
-            order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
+            order_ref: be_u64(b, 11),
             side: Side::from_byte(b[19])?,
-            shares: u32::from_be_bytes(b[20..24].try_into().unwrap()),
-            stock: b[24..32].try_into().unwrap(),
-            price: u32::from_be_bytes(b[32..36].try_into().unwrap()),
+            shares: be_u32(b, 20),
+            stock: arr(b, 24),
+            price: be_u32(b, 32),
         })
     }
 
@@ -281,33 +282,33 @@ impl ItchMessage {
             b'E' => {
                 need(31)?;
                 Ok(ItchMessage::OrderExecuted {
-                    order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
-                    shares: u32::from_be_bytes(b[19..23].try_into().unwrap()),
-                    match_no: u64::from_be_bytes(b[23..31].try_into().unwrap()),
+                    order_ref: be_u64(b, 11),
+                    shares: be_u32(b, 19),
+                    match_no: be_u64(b, 23),
                 })
             }
             b'X' => {
                 need(23)?;
                 Ok(ItchMessage::OrderCancel {
-                    order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
-                    shares: u32::from_be_bytes(b[19..23].try_into().unwrap()),
+                    order_ref: be_u64(b, 11),
+                    shares: be_u32(b, 19),
                 })
             }
             b'D' => {
                 need(19)?;
                 Ok(ItchMessage::OrderDelete {
-                    order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
+                    order_ref: be_u64(b, 11),
                 })
             }
             b'P' => {
                 need(44)?;
                 Ok(ItchMessage::Trade {
-                    order_ref: u64::from_be_bytes(b[11..19].try_into().unwrap()),
+                    order_ref: be_u64(b, 11),
                     side: Side::from_byte(b[19])?,
-                    shares: u32::from_be_bytes(b[20..24].try_into().unwrap()),
-                    stock: b[24..32].try_into().unwrap(),
-                    price: u32::from_be_bytes(b[32..36].try_into().unwrap()),
-                    match_no: u64::from_be_bytes(b[36..44].try_into().unwrap()),
+                    shares: be_u32(b, 20),
+                    stock: arr(b, 24),
+                    price: be_u32(b, 32),
+                    match_no: be_u64(b, 36),
                 })
             }
             _ => Err(WireError::BadValue("itch message type")),

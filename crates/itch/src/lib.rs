@@ -24,8 +24,16 @@
 //!   interoperability and trace replay;
 //! * [`arena`] — a flat packet arena (contiguous bytes + offsets) for
 //!   allocation-cheap trace storage and replay.
+//!
+//! Robustness contract: decoding raw bytes never panics. Every view is
+//! gated by `new_checked`, fixed-width reads go through total helpers,
+//! and the crate denies `clippy::unwrap_used`/`expect_used` outside
+//! tests, so truncated or garbage frames surface as [`WireError`]s (or
+//! zero-filled reads through a misused view), never as worker crashes.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arena;
+pub(crate) mod bytes;
 pub mod ether;
 pub mod feed;
 pub mod ipv4;

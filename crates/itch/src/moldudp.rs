@@ -44,12 +44,12 @@ impl<T: AsRef<[u8]>> MoldPacket<T> {
 
     /// The 10-byte session id.
     pub fn session(&self) -> [u8; 10] {
-        self.b()[0..10].try_into().unwrap()
+        crate::bytes::arr(self.b(), 0)
     }
 
     /// Sequence number of the first message in the packet.
     pub fn sequence(&self) -> u64 {
-        u64::from_be_bytes(self.b()[10..18].try_into().unwrap())
+        crate::bytes::be_u64(self.b(), 10)
     }
 
     /// Number of message blocks.

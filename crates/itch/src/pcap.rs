@@ -61,11 +61,11 @@ pub fn write_capture<W: Write>(
 pub fn read_capture<R: Read>(r: &mut R) -> Result<Vec<PcapPacket>, WireError> {
     let mut hdr = [0u8; 24];
     read_exact(r, &mut hdr).map_err(|_| WireError::Truncated("pcap header"))?;
-    let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
+    let magic = crate::bytes::le_u32(&hdr, 0);
     if magic != MAGIC_US {
         return Err(WireError::BadValue("pcap magic"));
     }
-    let linktype = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
+    let linktype = crate::bytes::le_u32(&hdr, 20);
     if linktype != LINKTYPE_ETHERNET {
         return Err(WireError::BadValue("pcap linktype"));
     }
@@ -77,9 +77,9 @@ pub fn read_capture<R: Read>(r: &mut R) -> Result<Vec<PcapPacket>, WireError> {
             Err(ReadErr::Eof(0)) => break, // clean end
             Err(_) => return Err(WireError::Truncated("pcap record header")),
         }
-        let ts_sec = u32::from_le_bytes(rec[0..4].try_into().unwrap());
-        let ts_usec = u32::from_le_bytes(rec[4..8].try_into().unwrap());
-        let incl = u32::from_le_bytes(rec[8..12].try_into().unwrap()) as usize;
+        let ts_sec = crate::bytes::le_u32(&rec, 0);
+        let ts_usec = crate::bytes::le_u32(&rec, 4);
+        let incl = crate::bytes::le_u32(&rec, 8) as usize;
         if incl > 1 << 20 {
             return Err(WireError::BadLength("pcap record length"));
         }

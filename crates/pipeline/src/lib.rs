@@ -41,6 +41,6 @@ pub mod table;
 pub use error::PipelineError;
 pub use multicast::{GroupId, MulticastTable, PortId};
 pub use phv::{Phv, PhvBuf, PhvField, PhvLayout};
-pub use pipeline::{DecisionBuf, ExecState, ExecStats, ForwardDecision, Pipeline};
-pub use resources::{AsicModel, PlacementReport};
+pub use pipeline::{DecisionBuf, ExecState, ExecStats, ForwardDecision, ParseDrop, Pipeline};
+pub use resources::{place_chain, AdmissionError, AsicModel, Memory, PlacementReport};
 pub use table::{ActionOp, Entry, Key, MatchKind, MatchValue, Table};

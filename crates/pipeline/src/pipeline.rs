@@ -8,12 +8,60 @@
 //! message's matched ports (§2: the switch executes the actions of all
 //! matching rules).
 
+use std::fmt;
+
 use crate::error::PipelineError;
 use crate::multicast::{MulticastTable, PortId};
 use crate::parser::ParserSpec;
 use crate::phv::{Phv, PhvBuf, PhvLayout};
 use crate::register::{AggKind, RegisterFile};
 use crate::table::{ActionOp, RegOp, Table};
+
+/// Why a malformed packet was dropped at the parser, mirroring the
+/// parse-class [`PipelineError`] variants. Truncated or garbage frames
+/// are data-plane inputs, not program bugs: a real switch drops them
+/// and increments a counter, so the executor turns them into typed
+/// drop *decisions* rather than `Err`s (which would poison the rest of
+/// a batch) or panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseDrop {
+    /// The parser ran past the end of the packet (truncated frame).
+    Underflow,
+    /// A selector value matched no transition (unknown EtherType,
+    /// protocol, message type…).
+    NoTransition,
+    /// The parser exceeded its loop bound (malformed length fields).
+    LoopBound,
+}
+
+impl ParseDrop {
+    /// Classifies a pipeline error as a parse-class drop, or `None` for
+    /// config-class errors (which stay fatal: they mean the *program*
+    /// is broken, not the packet).
+    pub fn classify(e: &PipelineError) -> Option<ParseDrop> {
+        match e {
+            PipelineError::ParseUnderflow { .. } => Some(ParseDrop::Underflow),
+            PipelineError::ParseNoTransition { .. } => Some(ParseDrop::NoTransition),
+            PipelineError::ParseLoopBound => Some(ParseDrop::LoopBound),
+            _ => None,
+        }
+    }
+
+    /// Stable counter-style name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ParseDrop::Underflow => "parse_underflow",
+            ParseDrop::NoTransition => "parse_no_transition",
+            ParseDrop::LoopBound => "parse_loop_bound",
+        }
+    }
+}
+
+impl fmt::Display for ParseDrop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// The forwarding decision for one packet.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -24,12 +72,20 @@ pub struct ForwardDecision {
     pub messages: usize,
     /// Number of messages that matched at least one forwarding rule.
     pub matched_messages: usize,
+    /// `Some` when the packet was dropped because it failed to parse;
+    /// `None` for well-formed packets (which may still drop on miss).
+    pub drop_reason: Option<ParseDrop>,
 }
 
 impl ForwardDecision {
     /// Whether the packet is dropped.
     pub fn dropped(&self) -> bool {
         self.ports.is_empty()
+    }
+
+    /// Whether the packet was dropped because it failed to parse.
+    pub fn malformed(&self) -> bool {
+        self.drop_reason.is_some()
     }
 }
 
@@ -80,6 +136,7 @@ impl DecisionBuf {
         d.ports.clear();
         d.messages = 0;
         d.matched_messages = 0;
+        d.drop_reason = None;
         d
     }
 }
@@ -108,6 +165,13 @@ pub struct ExecStats {
     pub forwarded_packets: u64,
     /// Packets forwarded nowhere.
     pub dropped_packets: u64,
+    /// Truncated frames dropped at the parser ([`ParseDrop::Underflow`]).
+    /// Parse-drop counters are a subset of `dropped_packets`.
+    pub drop_underflow: u64,
+    /// Unknown-selector frames dropped ([`ParseDrop::NoTransition`]).
+    pub drop_no_transition: u64,
+    /// Loop-bound frames dropped ([`ParseDrop::LoopBound`]).
+    pub drop_loop_bound: u64,
     /// Per-table (stage) entry-hit counts, indexed like
     /// [`Pipeline::tables`].
     pub table_hits: Vec<u64>,
@@ -116,6 +180,40 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Total packets dropped because they failed to parse (the sum of
+    /// the per-reason drop counters).
+    pub fn malformed_packets(&self) -> u64 {
+        self.drop_underflow + self.drop_no_transition + self.drop_loop_bound
+    }
+
+    /// Records a parse-class drop.
+    fn count_parse_drop(&mut self, reason: ParseDrop) {
+        match reason {
+            ParseDrop::Underflow => self.drop_underflow += 1,
+            ParseDrop::NoTransition => self.drop_no_transition += 1,
+            ParseDrop::LoopBound => self.drop_loop_bound += 1,
+        }
+    }
+
+    /// Overwrites `self` with `src`, reusing the per-table vectors'
+    /// storage (allocation-free once sized). Used by the engine's
+    /// supervisor to snapshot/restore counters around a batch so a
+    /// caught panic never leaves half-counted packets.
+    pub fn copy_from(&mut self, src: &ExecStats) {
+        self.packets = src.packets;
+        self.messages = src.messages;
+        self.matched_messages = src.matched_messages;
+        self.forwarded_packets = src.forwarded_packets;
+        self.dropped_packets = src.dropped_packets;
+        self.drop_underflow = src.drop_underflow;
+        self.drop_no_transition = src.drop_no_transition;
+        self.drop_loop_bound = src.drop_loop_bound;
+        self.table_hits.clear();
+        self.table_hits.extend_from_slice(&src.table_hits);
+        self.table_misses.clear();
+        self.table_misses.extend_from_slice(&src.table_misses);
+    }
+
     /// Zeroes every counter (keeping the per-table vectors' storage).
     pub fn reset(&mut self) {
         self.packets = 0;
@@ -123,6 +221,9 @@ impl ExecStats {
         self.matched_messages = 0;
         self.forwarded_packets = 0;
         self.dropped_packets = 0;
+        self.drop_underflow = 0;
+        self.drop_no_transition = 0;
+        self.drop_loop_bound = 0;
         self.table_hits.fill(0);
         self.table_misses.fill(0);
     }
@@ -135,6 +236,9 @@ impl ExecStats {
         self.matched_messages += other.matched_messages;
         self.forwarded_packets += other.forwarded_packets;
         self.dropped_packets += other.dropped_packets;
+        self.drop_underflow += other.drop_underflow;
+        self.drop_no_transition += other.drop_no_transition;
+        self.drop_loop_bound += other.drop_loop_bound;
         if self.table_hits.len() < other.table_hits.len() {
             self.table_hits.resize(other.table_hits.len(), 0);
         }
@@ -365,7 +469,21 @@ impl Pipeline {
         } = exec;
 
         msgs.clear();
-        parser.parse_into(layout, packet, work, msgs)?;
+        if let Err(e) = parser.parse_into(layout, packet, work, msgs) {
+            // Parse-class failures are properties of the *packet*, not
+            // the program: total behavior is a typed drop decision, so
+            // one garbage frame can never abort a batch or wedge a
+            // worker. Config-class errors still propagate.
+            let Some(reason) = ParseDrop::classify(&e) else {
+                return Err(e);
+            };
+            decision.messages = 0;
+            decision.drop_reason = Some(reason);
+            stats.packets += 1;
+            stats.dropped_packets += 1;
+            stats.count_parse_drop(reason);
+            return Ok(());
+        }
         decision.messages = msgs.len();
 
         // Message-invariant aggregates: read once per packet. Register
@@ -662,6 +780,40 @@ mod tests {
         assert_eq!(d.ports, vec![PortId(1), PortId(2), PortId(3)]);
         assert_eq!(d.messages, 3);
         assert_eq!(d.matched_messages, 2);
+    }
+
+    #[test]
+    fn truncated_packet_is_a_typed_drop_not_an_error() {
+        let mut p = tiny_pipeline();
+        let d = p.process(&[], 0).unwrap();
+        assert!(d.dropped());
+        assert!(d.malformed());
+        assert_eq!(d.drop_reason, Some(ParseDrop::Underflow));
+        assert_eq!(d.messages, 0);
+        assert_eq!(p.exec.stats.packets, 1);
+        assert_eq!(p.exec.stats.dropped_packets, 1);
+        assert_eq!(p.exec.stats.drop_underflow, 1);
+        assert_eq!(p.exec.stats.malformed_packets(), 1);
+        // Counters reconcile: packets == forwarded + dropped.
+        let s = &p.exec.stats;
+        assert_eq!(s.packets, s.forwarded_packets + s.dropped_packets);
+    }
+
+    #[test]
+    fn malformed_packet_does_not_poison_a_batch() {
+        let mut p = tiny_pipeline();
+        let packets: Vec<(&[u8], u64)> = vec![(&[1][..], 0), (&[][..], 1), (&[2][..], 2)];
+        let mut out = DecisionBuf::default();
+        p.process_batch(packets, &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.as_slice()[0].ports, vec![PortId(1)]);
+        assert_eq!(out.as_slice()[1].drop_reason, Some(ParseDrop::Underflow));
+        assert_eq!(out.as_slice()[2].ports, vec![PortId(2), PortId(3)]);
+        // A recycled slot must not leak a stale drop reason.
+        out.clear();
+        let packets: Vec<(&[u8], u64)> = vec![(&[1][..], 3), (&[1][..], 4), (&[1][..], 5)];
+        p.process_batch(packets, &mut out).unwrap();
+        assert!(out.iter().all(|d| d.drop_reason.is_none()));
     }
 
     #[test]

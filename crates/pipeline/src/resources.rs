@@ -10,6 +10,8 @@
 //! program is placed onto a fixed number of stages with per-stage
 //! budgets patterned on a Tofino-class device.
 
+use std::fmt;
+
 use crate::table::{Key, MatchKind, MatchValue, Table};
 
 /// Which memory a table consumes.
@@ -213,6 +215,47 @@ fn entry_expansion(keys: &[Key], matches: &[MatchValue], memory: Memory, mode: R
     n
 }
 
+/// A typed resource-admission failure: which table could not be
+/// placed, where placement gave up, and the budget arithmetic — the
+/// error the live update plane rejects over-committing updates with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionError {
+    /// Table that failed to place.
+    pub table: String,
+    /// First stage the table was eligible to start in.
+    pub stage: usize,
+    /// Memory pool that ran out.
+    pub memory: Memory,
+    /// Entry-slices the table needs.
+    pub needed: usize,
+    /// Entry-slices still available in the eligible stages.
+    pub available: usize,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mem = match self.memory {
+            Memory::Sram => "SRAM",
+            Memory::Tcam => "TCAM",
+        };
+        if self.available == 0 {
+            write!(
+                f,
+                "table `{}`: out of stages ({} {mem} entry-slices needed from stage {})",
+                self.table, self.needed, self.stage
+            )
+        } else {
+            write!(
+                f,
+                "table `{}`: needs {} {mem} entry-slices from stage {}, only {} available",
+                self.table, self.needed, self.stage, self.available
+            )
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 /// Where one table landed in the stage plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TablePlacement {
@@ -237,8 +280,9 @@ pub struct PlacementReport {
     pub sram_entries: usize,
     /// Total TCAM entry-slices consumed.
     pub tcam_slices: usize,
-    /// `None` when the program fits; otherwise why not.
-    pub failure: Option<String>,
+    /// `None` when the program fits; otherwise the typed admission
+    /// failure (which table, which memory, needed vs available).
+    pub failure: Option<AdmissionError>,
 }
 
 impl PlacementReport {
@@ -246,6 +290,43 @@ impl PlacementReport {
     pub fn fits(&self) -> bool {
         self.failure.is_none()
     }
+}
+
+/// Assigns the compiler's dependency levels to a compiled table chain:
+/// `t_cmp_*` compression tables read only parser fields (level 0, so
+/// they may share the earliest stages); each main table must follow
+/// both the previous main table (the state-metadata chain) and its own
+/// compression table, if any. This is the leveling convention both the
+/// offline compiler and the live update plane charge admission with —
+/// keeping them byte-identical is what makes the engine's admission
+/// check authoritative.
+pub fn level_chain(tables: &[Table]) -> Vec<(&Table, usize)> {
+    let mut prev_main: Option<usize> = None;
+    let mut last_was_cmp = false;
+    tables
+        .iter()
+        .map(|t| {
+            if t.name.starts_with("t_cmp_") {
+                last_was_cmp = true;
+                (t, 0)
+            } else {
+                let mut level = prev_main.map_or(0, |l| l + 1);
+                if last_was_cmp {
+                    level = level.max(1);
+                }
+                last_was_cmp = false;
+                prev_main = Some(level);
+                (t, level)
+            }
+        })
+        .collect()
+}
+
+/// Places a compiled table chain ([`level_chain`] leveling) onto a
+/// model — the shared admission charge for full compiles and live
+/// updates.
+pub fn place_chain(tables: &[Table], model: &AsicModel) -> PlacementReport {
+    place_leveled(&level_chain(tables), model)
 }
 
 /// Greedy in-order placement of a pure dependency chain: every table
@@ -275,9 +356,9 @@ pub fn place_leveled(tables: &[(&Table, usize)], model: &AsicModel) -> Placement
     let mut sorted: Vec<&(&Table, usize)> = tables.iter().collect();
     sorted.sort_by_key(|(_, lvl)| *lvl);
 
-    'outer: for &&(t, level) in &sorted {
+    for &&(t, level) in &sorted {
         let cost = table_cost(t, model);
-        let mut remaining = cost.charge().max(1); // empty tables still occupy a stage
+        let needed = cost.charge().max(1); // empty tables still occupy a stage
         while level_start.len() <= level {
             let prev_end = placements
                 .iter()
@@ -297,29 +378,37 @@ pub fn place_leveled(tables: &[(&Table, usize)], model: &AsicModel) -> Placement
         while stage < model.stages && exhausted(stage, &sram_left, &tcam_left) {
             stage += 1;
         }
-        if stage >= model.stages {
-            failure = Some(format!("table `{}`: out of stages", cost.name));
+        // Admission arithmetic up front: the table spills greedily from
+        // `stage`, draining each stage's remaining budget, so it fits
+        // iff the eligible window holds its whole charge. Checking
+        // before consuming keeps a failed placement side-effect-free —
+        // the budgets (and the report's totals) reflect only tables
+        // that actually placed.
+        let available: usize = (stage..model.stages)
+            .map(|s| match cost.memory {
+                Memory::Sram => sram_left[s],
+                Memory::Tcam => tcam_left[s],
+            })
+            .sum();
+        if stage >= model.stages || needed > available {
+            failure = Some(AdmissionError {
+                table: cost.name.clone(),
+                stage: level_start[level].min(model.stages),
+                memory: cost.memory,
+                needed,
+                available,
+            });
+            let edge = stage.min(model.stages);
             placements.push(TablePlacement {
                 cost,
-                first_stage: stage,
-                last_stage: stage,
+                first_stage: edge,
+                last_stage: edge,
             });
             break;
         }
         let first_stage = stage;
+        let mut remaining = needed;
         while remaining > 0 {
-            if stage >= model.stages {
-                failure = Some(format!(
-                    "table `{}`: {} entry-slices left but no stages remain",
-                    cost.name, remaining
-                ));
-                placements.push(TablePlacement {
-                    cost,
-                    first_stage,
-                    last_stage: stage - 1,
-                });
-                break 'outer;
-            }
             let budget = match cost.memory {
                 Memory::Sram => &mut sram_left[stage],
                 Memory::Tcam => &mut tcam_left[stage],
@@ -515,7 +604,61 @@ mod tests {
         let refs: Vec<&Table> = tables.iter().collect();
         let rep = place(&refs, &AsicModel::tofino32());
         assert!(!rep.fits());
-        assert!(rep.failure.as_deref().unwrap().contains("out of stages"));
+        let err = rep.failure.as_ref().unwrap();
+        assert_eq!(err.table, "t12");
+        assert_eq!(err.stage, 12);
+        assert_eq!(err.available, 0);
+        assert!(err.to_string().contains("out of stages"));
+    }
+
+    #[test]
+    fn admission_failure_reports_budget_arithmetic() {
+        // One exact table larger than the whole device: the typed error
+        // must carry the exact needed-vs-available arithmetic so the
+        // update plane can explain rejections.
+        let model = AsicModel::tofino32();
+        let total = model.sram_entries_per_stage * model.stages;
+        let mut t = mk_table("huge", &[(MatchKind::Exact, 16)]);
+        for i in 0..(total + 1) {
+            t.add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(i as u64)],
+                ops: vec![],
+            })
+            .unwrap();
+        }
+        let rep = place(&[&t], &model);
+        assert!(!rep.fits());
+        let err = rep.failure.as_ref().unwrap();
+        assert_eq!(err.table, "huge");
+        assert_eq!(err.memory, Memory::Sram);
+        assert_eq!(err.stage, 0);
+        assert_eq!(err.needed, total + 1);
+        assert_eq!(err.available, total);
+        // A failed placement must be side-effect-free on the totals:
+        // nothing was actually consumed.
+        assert_eq!(rep.sram_entries, total + 1); // cost summary, not consumption
+        assert!(err.to_string().contains("only"));
+    }
+
+    #[test]
+    fn level_chain_matches_compiler_convention() {
+        let tables = vec![
+            mk_table("t_cmp_price", &[(MatchKind::Exact, 32)]),
+            mk_table("t_price", &[(MatchKind::Exact, 16)]),
+            mk_table("t_stock", &[(MatchKind::Exact, 64)]),
+            mk_table("t_leaf", &[(MatchKind::Exact, 16)]),
+        ];
+        let leveled = level_chain(&tables);
+        let levels: Vec<usize> = leveled.iter().map(|&(_, l)| l).collect();
+        assert_eq!(levels, vec![0, 1, 2, 3]);
+        // No compression tables: mains start at level 0.
+        let plain = vec![
+            mk_table("t_a", &[(MatchKind::Exact, 16)]),
+            mk_table("t_b", &[(MatchKind::Exact, 16)]),
+        ];
+        let levels: Vec<usize> = level_chain(&plain).iter().map(|&(_, l)| l).collect();
+        assert_eq!(levels, vec![0, 1]);
     }
 
     #[test]

@@ -8,8 +8,8 @@ use camus_pipeline::pipeline::StateBinding;
 use camus_pipeline::register::{AggKind, RegisterFile};
 use camus_pipeline::table::RegOp;
 use camus_pipeline::{
-    ActionOp, DecisionBuf, Entry, ExecState, Key, MatchKind, MatchValue, MulticastTable, Phv,
-    PhvLayout, Pipeline, PortId, Table,
+    ActionOp, DecisionBuf, Entry, ExecState, Key, MatchKind, MatchValue, MulticastTable, ParseDrop,
+    Phv, PhvLayout, Pipeline, PortId, Table,
 };
 
 /// A multi-message, stateful pipeline built by hand:
@@ -221,18 +221,28 @@ fn batch_equals_per_packet_across_chunked_batches() {
 }
 
 #[test]
-fn batch_error_preserves_completed_prefix() {
+fn malformed_packet_mid_batch_is_a_typed_drop() {
     let pipeline = stateful_pipeline();
     let mut batched = pipeline.clone();
     let mut out = DecisionBuf::default();
     // Second packet is empty: the parser's first extract underflows.
+    // The parse path is total — the batch completes with a typed drop
+    // decision in the malformed packet's slot, and the packets around
+    // it are unaffected.
     let packets: Vec<(Vec<u8>, u64)> = vec![(vec![1, 1], 10), (vec![], 20), (vec![1, 2], 30)];
-    let err = batched
+    batched
         .process_batch(packets.iter().map(|(p, t)| (p.as_slice(), *t)), &mut out)
-        .unwrap_err();
-    let _ = err; // specific variant is the parser's concern
-    assert_eq!(out.len(), 2, "failing packet's slot is claimed");
-    assert_eq!(out.iter().next().unwrap().ports, vec![PortId(1)]);
+        .unwrap();
+    assert_eq!(out.len(), 3);
+    let slots = out.as_slice();
+    assert_eq!(slots[0].ports, vec![PortId(1)]);
+    assert_eq!(slots[1].drop_reason, Some(ParseDrop::Underflow));
+    assert!(slots[1].dropped());
+    assert!(slots[2].drop_reason.is_none());
+    let s = &batched.exec.stats;
+    assert_eq!(s.packets, 3);
+    assert_eq!(s.drop_underflow, 1);
+    assert_eq!(s.packets, s.forwarded_packets + s.dropped_packets);
 }
 
 #[test]

@@ -20,11 +20,15 @@
 //!   sets, driving the incremental compiler and the engine's update
 //!   plane;
 //! * [`interp`] — the naive AST interpreter the differential tests use
-//!   as their ground-truth oracle.
+//!   as their ground-truth oracle;
+//! * [`faults`] — deterministic fault-injection plans (wire corruption,
+//!   scripted worker panics/deaths, capacity bombs) for the robustness
+//!   soak tests.
 //!
 //! All generators are deterministic given a seed.
 
 pub mod churn;
+pub mod faults;
 pub mod interp;
 pub mod itch_subs;
 pub mod siena;
@@ -32,6 +36,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use churn::{itch_churn, siena_churn, ChurnConfig, ChurnSchedule, ChurnStep, SienaChurn};
+pub use faults::{capacity_bomb, FaultPlan, FaultPlanConfig, Mutation};
 pub use interp::{eval_cond, naive_ports, naive_ports_for_event};
 pub use itch_subs::{generate_itch_subscriptions, ItchSubsConfig};
 pub use siena::{SienaConfig, SienaWorkload};

@@ -59,11 +59,15 @@ fn empty_feed_packet_is_dropped_not_an_error() {
 }
 
 #[test]
-fn garbage_bytes_are_a_parse_error() {
+fn garbage_bytes_are_typed_drops_not_errors() {
+    use camus::pipeline::ParseDrop;
     let prog = compiled("stock == GOOGL : fwd(1)");
     let mut pipe = prog.pipeline;
-    assert!(pipe.process(&[0u8; 10], 0).is_err());
-    // Non-IPv4 ethertype.
+    // Truncated frame: underflow drop.
+    let d = pipe.process(&[0u8; 10], 0).unwrap();
+    assert!(d.dropped());
+    assert_eq!(d.drop_reason, Some(ParseDrop::Underflow));
+    // Non-IPv4 ethertype: no parser transition.
     let mut pkt = feed(&[ItchMessage::AddOrder(AddOrder::new(
         "GOOGL",
         Side::Buy,
@@ -72,7 +76,13 @@ fn garbage_bytes_are_a_parse_error() {
     ))]);
     pkt[12] = 0x86;
     pkt[13] = 0xdd;
-    assert!(pipe.process(&pkt, 0).is_err());
+    let d = pipe.process(&pkt, 0).unwrap();
+    assert!(d.dropped());
+    assert_eq!(d.drop_reason, Some(ParseDrop::NoTransition));
+    // Per-reason counters reconcile with the packet count.
+    let s = &pipe.exec.stats;
+    assert_eq!(s.malformed_packets(), 2);
+    assert_eq!(s.packets, s.forwarded_packets + s.dropped_packets);
 }
 
 #[test]
