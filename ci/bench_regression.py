@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Throughput regression gate for the quick-mode CI benches.
+
+Compares measured results under results/ against the committed
+baselines in results/baselines.json:
+
+    python3 ci/bench_regression.py              # default tolerance
+    python3 ci/bench_regression.py --tolerance 50
+
+The check is one-sided: a run fails only when a metric drops below
+`baseline * (1 - tolerance_pct/100)`. Faster is always fine — CI
+runners vary wildly, so the tolerance is deliberately generous and the
+baselines are quick-mode numbers from a small container. A
+before/after table is appended to $GITHUB_STEP_SUMMARY when set.
+
+baselines.json schema:
+
+    {
+      "tolerance_pct": 35,
+      "metrics": [
+        {"file": "BENCH_engine.json",
+         "select": {"config": "engine_w1"},
+         "metric": "pkts_per_sec",
+         "baseline": 500000.0},
+        ...
+      ]
+    }
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_regression: {path}: {e}")
+
+
+def pick_row(rows, select, file, results_dir):
+    matches = [
+        row for row in rows
+        if all(row.get(k) == v for k, v in select.items())
+    ]
+    if len(matches) != 1:
+        sys.exit(
+            f"bench_regression: {file}: select {select} matched "
+            f"{len(matches)} rows (want exactly 1)"
+        )
+    return matches[0]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baselines", default="results/baselines.json")
+    ap.add_argument("--results-dir", default="results")
+    ap.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override tolerance_pct from baselines.json",
+    )
+    args = ap.parse_args()
+
+    spec = load(args.baselines)
+    tolerance = args.tolerance if args.tolerance is not None else spec["tolerance_pct"]
+    floor_frac = 1.0 - tolerance / 100.0
+
+    lines = [
+        "| file | selection | metric | baseline | measured | change | floor | status |",
+        "|---|---|---|---:|---:|---:|---:|---|",
+    ]
+    failures = []
+    cache = {}
+    for m in spec["metrics"]:
+        file, select, metric = m["file"], m["select"], m["metric"]
+        baseline = float(m["baseline"])
+        if file not in cache:
+            cache[file] = load(os.path.join(args.results_dir, file))
+        row = pick_row(cache[file], select, file, args.results_dir)
+        measured = float(row[metric])
+        floor = baseline * floor_frac
+        ok = measured >= floor
+        change = (measured / baseline - 1.0) * 100.0
+        status = "✅" if ok else "❌ regression"
+        sel = ", ".join(f"{k}={v}" for k, v in select.items())
+        lines.append(
+            f"| {file} | {sel} | {metric} | {baseline:,.0f} | {measured:,.0f} "
+            f"| {change:+.1f}% | {floor:,.0f} | {status} |"
+        )
+        if not ok:
+            failures.append(
+                f"{file} [{sel}] {metric}: {measured:,.0f} < floor {floor:,.0f} "
+                f"(baseline {baseline:,.0f}, tolerance {tolerance}%)"
+            )
+
+    table = "\n".join(lines)
+    print(f"tolerance: -{tolerance}% (one-sided)\n")
+    print(table)
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a") as f:
+            f.write("## Bench regression gate\n\n")
+            f.write(f"Tolerance: −{tolerance}% (one-sided lower bound)\n\n")
+            f.write(table + "\n")
+
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_regression: {len(spec['metrics'])} metric(s) within tolerance")
+
+
+if __name__ == "__main__":
+    main()

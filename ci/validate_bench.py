@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Schema validation for the bench result files under results/.
+
+One schema per basename, shared by every CI bench job (this replaces
+the inline heredoc validators that used to be duplicated across
+.github/workflows/ci.yml):
+
+    python3 ci/validate_bench.py results/BENCH_faults.json
+    python3 ci/validate_bench.py results/TELEMETRY_engine.json --max-overhead-pct 5
+    python3 ci/validate_bench.py results/*.json   # validates the known ones
+
+Unknown basenames are an error unless --ignore-unknown is passed (the
+glob form passes it), so a typo'd path cannot silently validate
+nothing.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg):
+    sys.exit(f"validate_bench: {msg}")
+
+
+def check_rows(name, rows, required, positive=()):
+    """Common list-of-row-objects checks; returns the set of configs."""
+    if not isinstance(rows, list) or not rows:
+        fail(f"{name}: expected a non-empty list")
+    configs = set()
+    for i, row in enumerate(rows):
+        missing = required - row.keys()
+        if missing:
+            fail(f"{name} row {i}: missing fields {sorted(missing)}")
+        for field in positive:
+            if row[field] <= 0:
+                fail(f"{name} row {i}: non-positive {field} ({row[field]})")
+        if "config" in row:
+            configs.add(row["config"])
+    return configs
+
+
+def require_configs(name, configs, needed):
+    if not needed <= configs:
+        fail(f"{name}: missing rows {sorted(needed - configs)}")
+
+
+def validate_engine(name, rows, args):
+    configs = check_rows(
+        name,
+        rows,
+        {
+            "config", "workers", "host_cores", "packets_per_iter",
+            "ns_per_iter", "pkts_per_sec", "speedup_vs_sequential",
+        },
+        positive=("ns_per_iter", "pkts_per_sec"),
+    )
+    needed = {"sequential_batch"}
+    for w in (1, 2, 4, 8):
+        needed |= {f"engine_w{w}", f"engine_w{w}_telemetry"}
+    require_configs(name, configs, needed)
+
+
+def validate_churn(name, rows, args):
+    configs = check_rows(
+        name,
+        rows,
+        {
+            "config", "workers", "host_cores", "packets_per_iter",
+            "updates_per_iter", "ns_per_iter", "pkts_per_sec",
+            "update_latency_ns",
+        },
+        positive=("ns_per_iter",),
+    )
+    require_configs(
+        name,
+        configs,
+        {"update_delta", "update_rebuild", "engine_no_churn", "engine_under_churn"},
+    )
+
+
+def validate_faults(name, rows, args):
+    configs = check_rows(
+        name,
+        rows,
+        {
+            "config", "workers", "host_cores", "packets_per_iter",
+            "faults_per_iter", "ns_per_iter", "pkts_per_sec",
+        },
+        positive=("ns_per_iter",),
+    )
+    require_configs(
+        name,
+        configs,
+        {
+            "engine_clean_supervised", "engine_clean_unsupervised",
+            "engine_corrupted_wire", "engine_scripted_panics",
+            "admission_accept", "admission_reject",
+        },
+    )
+
+
+def validate_compile(name, rows, args):
+    check_rows(
+        name,
+        rows,
+        {
+            "workload", "subscriptions", "shards", "host_cores", "secs",
+            "rules_per_sec", "peak_nodes", "reachable_nodes", "memo_hits",
+            "memo_misses", "memo_hit_rate", "total_entries", "mcast_groups",
+            "states",
+        },
+        positive=("secs", "rules_per_sec"),
+    )
+    # The pinned merge DAG must make output size shard-invariant.
+    by_pool = {}
+    for row in rows:
+        key = (row["workload"], row["subscriptions"])
+        by_pool.setdefault(key, set()).add(
+            (row["total_entries"], row["mcast_groups"], row["states"])
+        )
+    for key, outputs in by_pool.items():
+        if len(outputs) != 1:
+            fail(f"{name} {key}: output differs across shard counts: {outputs}")
+
+
+TELEMETRY_STAGES = {"batch", "parse", "match", "mcast"}
+
+
+def validate_telemetry(name, doc, args):
+    if not isinstance(doc, dict):
+        fail(f"{name}: expected an object")
+    required = {
+        "version", "bench", "host_cores", "workers", "packets", "batches",
+        "sampled_packets", "sample_interval", "stages", "tables", "spans",
+        "overhead",
+    }
+    missing = required - doc.keys()
+    if missing:
+        fail(f"{name}: missing fields {sorted(missing)}")
+    if doc["version"] != 1:
+        fail(f"{name}: unknown snapshot version {doc['version']}")
+    if doc["packets"] <= 0 or doc["batches"] <= 0 or doc["sampled_packets"] <= 0:
+        fail(f"{name}: empty telemetry (no packets/batches/samples recorded)")
+
+    stages = {s["stage"]: s for s in doc["stages"]}
+    if not TELEMETRY_STAGES <= stages.keys():
+        fail(f"{name}: missing stages {sorted(TELEMETRY_STAGES - stages.keys())}")
+    for sname, s in stages.items():
+        for field in ("count", "p50_ns", "p99_ns", "p999_ns", "min_ns", "max_ns", "mean_ns"):
+            if field not in s:
+                fail(f"{name} stage {sname}: missing {field}")
+        if s["count"] <= 0:
+            fail(f"{name} stage {sname}: no samples")
+        if not s["p50_ns"] <= s["p99_ns"] <= s["p999_ns"] <= s["max_ns"]:
+            fail(f"{name} stage {sname}: percentiles not monotone: {s}")
+
+    if not doc["tables"]:
+        fail(f"{name}: no per-table counters")
+    for t in doc["tables"]:
+        if {"table", "hits", "misses"} - t.keys():
+            fail(f"{name}: malformed table row {t}")
+    if sum(t["hits"] + t["misses"] for t in doc["tables"]) <= 0:
+        fail(f"{name}: table counters recorded nothing")
+
+    for s in doc["spans"]:
+        if {"span", "count", "total_ns", "min_ns", "max_ns", "mean_ns"} - s.keys():
+            fail(f"{name}: malformed span row {s}")
+
+    over = doc["overhead"]
+    for field in ("workers", "pkts_per_sec_instrumented",
+                  "pkts_per_sec_uninstrumented", "overhead_pct"):
+        if field not in over:
+            fail(f"{name}: overhead missing {field}")
+    if over["pkts_per_sec_uninstrumented"] <= 0 or over["pkts_per_sec_instrumented"] <= 0:
+        fail(f"{name}: non-positive A/B throughput")
+    if args.max_overhead_pct is not None and over["overhead_pct"] > args.max_overhead_pct:
+        fail(
+            f"{name}: telemetry overhead {over['overhead_pct']:.2f}% exceeds "
+            f"budget {args.max_overhead_pct}% "
+            f"(instrumented {over['pkts_per_sec_instrumented']:.0f} pps vs "
+            f"uninstrumented {over['pkts_per_sec_uninstrumented']:.0f} pps)"
+        )
+    print(
+        f"  telemetry overhead: {over['overhead_pct']:.2f}% at "
+        f"w{over['workers']}"
+    )
+
+
+VALIDATORS = {
+    "BENCH_engine.json": validate_engine,
+    "BENCH_churn.json": validate_churn,
+    "BENCH_faults.json": validate_faults,
+    "BENCH_compile.json": validate_compile,
+    "TELEMETRY_engine.json": validate_telemetry,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", help="result files to validate")
+    ap.add_argument(
+        "--max-overhead-pct", type=float, default=None,
+        help="fail if TELEMETRY overhead_pct exceeds this budget",
+    )
+    ap.add_argument(
+        "--ignore-unknown", action="store_true",
+        help="skip files with no registered schema instead of failing",
+    )
+    args = ap.parse_args()
+
+    validated = 0
+    for path in args.files:
+        base = os.path.basename(path)
+        validator = VALIDATORS.get(base)
+        if validator is None:
+            if args.ignore_unknown:
+                continue
+            fail(f"{base}: no schema registered (known: {sorted(VALIDATORS)})")
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(f"{path}: {e}")
+        print(f"validating {path}")
+        validator(base, doc, args)
+        n = len(doc) if isinstance(doc, list) else 1
+        print(f"  OK ({n} row(s))")
+        validated += 1
+
+    if validated == 0:
+        fail("no known result files validated")
+    print(f"validate_bench: {validated} file(s) OK")
+
+
+if __name__ == "__main__":
+    main()

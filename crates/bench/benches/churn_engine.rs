@@ -14,12 +14,13 @@
 //! `BENCH_engine.json`: single-core containers measure scheduling
 //! overhead, not parallel speedup.
 
+use camus_bench::engine_runs::{host_cores, results_dir, time_engine_trace};
 use camus_bench::harness::Bench;
 use camus_bench::{impl_to_json, json};
 use camus_core::{CompilerOptions, IncrementalCompiler};
 use camus_engine::{shard, Engine, EngineConfig};
 use camus_lang::parse_spec;
-use camus_workload::{itch_churn, synthesize_feed, ChurnConfig, ItchSubsConfig, TraceConfig};
+use camus_workload::{bench_feed, itch_churn, ChurnConfig, ItchSubsConfig};
 
 #[derive(Debug, Clone)]
 struct ChurnRow {
@@ -46,9 +47,7 @@ impl_to_json!(ChurnRow {
 
 fn main() {
     let bench = Bench::from_env();
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_cores = host_cores();
 
     let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
     let opts = CompilerOptions::default();
@@ -116,13 +115,7 @@ fn main() {
 
     // Data path: the same 4k-packet synthetic feed the engine
     // line-rate bench replays.
-    let trace = synthesize_feed(&TraceConfig {
-        target_fraction: 0.0,
-        add_order_fraction: 1.0,
-        burst_multiplier: 1.0,
-        ..TraceConfig::synthetic(4_000)
-    });
-    let packets: Vec<&[u8]> = trace.iter().map(|p| p.bytes.as_slice()).collect();
+    let packets: Vec<Vec<u8>> = bench_feed(4_000).into_iter().map(|p| p.bytes).collect();
     let n = packets.len() as u64;
     let workers = host_cores.clamp(1, 4);
     let cfg = EngineConfig {
@@ -134,14 +127,14 @@ fn main() {
     let mut quiet_session = IncrementalCompiler::new(spec.clone(), &opts, &rebuild.0).unwrap();
     let initial_pipeline = quiet_session.install(&rebuild.1.initial).unwrap().pipeline;
 
-    let quiet = bench.run(&format!("churn/engine_no_churn_w{workers}"), n, || {
-        let mut engine = Engine::start(&initial_pipeline, &cfg, shard_fn.clone());
-        for p in &packets {
-            engine.submit(p, 0);
-        }
-        engine.finish().stats.packets
-    });
-    quiet.report();
+    let quiet = time_engine_trace(
+        &bench,
+        &format!("churn/engine_no_churn_w{workers}"),
+        &initial_pipeline,
+        &cfg,
+        &shard_fn,
+        &packets,
+    );
     rows.push(ChurnRow {
         config: "engine_no_churn".into(),
         workers,
@@ -193,7 +186,7 @@ fn main() {
         update_latency_ns: 0.0,
     });
 
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let dir = results_dir();
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("BENCH_churn.json");
     std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();

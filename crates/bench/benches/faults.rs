@@ -18,16 +18,17 @@
 
 use std::sync::Arc;
 
+use camus_bench::engine_runs::{host_cores, results_dir, time_engine_trace};
 use camus_bench::harness::Bench;
 use camus_bench::{impl_to_json, json};
 use camus_core::{Compiler, CompilerOptions};
-use camus_engine::{shard, Engine, EngineConfig, FaultInjection, ShardFn};
+use camus_engine::{shard, EngineConfig, FaultInjection, ShardFn};
 use camus_lang::parse_spec;
 use camus_pipeline::resources::place_chain;
 use camus_pipeline::AsicModel;
 use camus_workload::{
-    capacity_bomb, generate_itch_subscriptions, synthesize_feed, FaultPlan, FaultPlanConfig,
-    ItchSubsConfig, TraceConfig,
+    bench_feed, capacity_bomb, generate_itch_subscriptions, FaultPlan, FaultPlanConfig,
+    ItchSubsConfig,
 };
 
 #[derive(Debug, Clone)]
@@ -78,9 +79,7 @@ fn main() {
     }));
 
     let bench = Bench::from_env();
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_cores = host_cores();
     let workers = host_cores.clamp(1, 4);
 
     let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
@@ -94,13 +93,7 @@ fn main() {
         .unwrap()
         .pipeline;
 
-    let trace = synthesize_feed(&TraceConfig {
-        target_fraction: 0.0,
-        add_order_fraction: 1.0,
-        burst_multiplier: 1.0,
-        ..TraceConfig::synthetic(4_000)
-    });
-    let clean: Vec<Vec<u8>> = trace.iter().map(|p| p.bytes.clone()).collect();
+    let clean: Vec<Vec<u8>> = bench_feed(4_000).into_iter().map(|p| p.bytes).collect();
     let n = clean.len() as u64;
     let shard_fn = total_symbol_shard();
 
@@ -110,16 +103,14 @@ fn main() {
                       packets: &[Vec<u8>],
                       cfg: &EngineConfig,
                       faults_per_iter: u64| {
-        let r = bench.run(&format!("faults/{name}_w{}", cfg.workers), n, || {
-            let mut engine = Engine::start(&pipeline, cfg, shard_fn.clone());
-            for p in packets {
-                engine.submit(p, 0);
-            }
-            let report = engine.finish();
-            assert!(report.error.is_none());
-            report.stats.packets
-        });
-        r.report();
+        let r = time_engine_trace(
+            &bench,
+            &format!("faults/{name}_w{}", cfg.workers),
+            &pipeline,
+            cfg,
+            &shard_fn,
+            packets,
+        );
         rows.push(FaultRow {
             config: name.into(),
             workers: cfg.workers,
@@ -242,7 +233,7 @@ fn main() {
         pkts_per_sec: 0.0,
     });
 
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let dir = results_dir();
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("BENCH_faults.json");
     std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();

@@ -1,19 +1,31 @@
 //! Throughput of the multi-core sharded engine vs. the sequential
-//! batch path, sweeping worker counts. Writes
+//! batch path, sweeping worker counts, plus the telemetry A/B. Writes
 //! `results/BENCH_engine.json` with packets/sec per configuration so
-//! the scaling curve is inspectable offline.
+//! the scaling curve is inspectable offline, and
+//! `results/TELEMETRY_engine.json` with the merged observability
+//! snapshot (per-stage latency percentiles, per-table hit counters,
+//! control-plane spans) from an instrumented replay.
+//!
+//! The `engine_w{N}_telemetry` rows re-run the worker sweep with
+//! histograms enabled; the A/B against the matching uninstrumented row
+//! is what proves instrumentation stays under its 5 % throughput
+//! budget (`overhead_pct` in the telemetry export, asserted by CI).
 //!
 //! The host's core count is recorded alongside every row: on a
 //! single-core container the worker sweep measures scheduling overhead,
 //! not parallel speedup, and the JSON must say so honestly.
 
+use camus_bench::engine_runs::{
+    capture_telemetry, host_cores, results_dir, telemetry_doc, telemetry_overhead_ab,
+    time_engine_trace, write_telemetry_json,
+};
 use camus_bench::harness::Bench;
 use camus_bench::{impl_to_json, json};
 use camus_core::{Compiler, CompilerOptions};
-use camus_engine::{shard, Engine, EngineConfig};
+use camus_engine::{shard, EngineConfig};
 use camus_lang::{parse_program, parse_spec};
 use camus_pipeline::DecisionBuf;
-use camus_workload::{synthesize_feed, TraceConfig};
+use camus_workload::bench_feed;
 
 #[derive(Debug, Clone)]
 struct EngineRow {
@@ -38,9 +50,7 @@ impl_to_json!(EngineRow {
 
 fn main() {
     let bench = Bench::from_env();
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let host_cores = host_cores();
 
     // Same table shape as linerate_pipeline: 200 symbols over 32 ports.
     let spec = parse_spec(camus_lang::spec::ITCH_SPEC).unwrap();
@@ -58,13 +68,7 @@ fn main() {
     let prog = compiler.compile(&rules).unwrap();
     let pipeline = prog.pipeline;
 
-    let trace = synthesize_feed(&TraceConfig {
-        target_fraction: 0.0,
-        add_order_fraction: 1.0,
-        burst_multiplier: 1.0,
-        ..TraceConfig::synthetic(4_000)
-    });
-    let packets: Vec<&[u8]> = trace.iter().map(|p| p.bytes.as_slice()).collect();
+    let packets: Vec<Vec<u8>> = bench_feed(4_000).into_iter().map(|p| p.bytes).collect();
     let n = packets.len() as u64;
 
     let mut rows: Vec<EngineRow> = Vec::new();
@@ -75,7 +79,7 @@ fn main() {
     let base = bench.run("engine/sequential_batch_4k_packets", n, || {
         out.clear();
         baseline
-            .process_batch(packets.iter().map(|p| (*p, 0u64)), &mut out)
+            .process_batch(packets.iter().map(|p| (p.as_slice(), 0u64)), &mut out)
             .unwrap();
         out.len()
     });
@@ -91,42 +95,69 @@ fn main() {
         speedup_vs_sequential: 1.0,
     });
 
-    // Worker sweep: each iteration starts the engine, replays the
-    // trace and joins — so the measured rate includes thread startup,
-    // matching how a replay tool would run it.
-    for workers in [1usize, 2, 4, 8] {
-        let cfg = EngineConfig {
-            workers,
-            ..Default::default()
-        };
-        let shard_fn = shard::itch_symbol_shard();
-        let r = bench.run(
-            &format!("engine/run_trace_4k_packets_w{workers}"),
-            n,
-            || {
-                let mut engine = Engine::start(&pipeline, &cfg, shard_fn.clone());
-                for p in &packets {
-                    engine.submit(p, 0);
-                }
-                engine.finish().stats.packets
-            },
-        );
-        r.report();
-        let pps = r.elems_per_sec().unwrap();
-        rows.push(EngineRow {
-            config: format!("engine_w{workers}"),
-            workers,
-            host_cores,
-            packets_per_iter: n,
-            ns_per_iter: r.ns_per_iter,
-            pkts_per_sec: pps,
-            speedup_vs_sequential: pps / base_pps,
-        });
+    // Worker sweep, uninstrumented then instrumented (the visible A/B
+    // rows). Each iteration starts the engine, replays the trace and
+    // joins — so the measured rate includes thread startup, matching
+    // how a replay tool would run it.
+    let shard_fn = shard::itch_symbol_shard();
+    let sweep = [1usize, 2, 4, 8];
+    for &workers in &sweep {
+        for telemetry in [false, true] {
+            let cfg = EngineConfig {
+                workers,
+                telemetry,
+                ..Default::default()
+            };
+            let suffix = if telemetry { "_telemetry" } else { "" };
+            let r = time_engine_trace(
+                &bench,
+                &format!("engine/run_trace_4k_packets_w{workers}{suffix}"),
+                &pipeline,
+                &cfg,
+                &shard_fn,
+                &packets,
+            );
+            let pps = r.elems_per_sec().unwrap();
+            rows.push(EngineRow {
+                config: format!("engine_w{workers}{suffix}"),
+                workers,
+                host_cores,
+                packets_per_iter: n,
+                ns_per_iter: r.ns_per_iter,
+                pkts_per_sec: pps,
+                speedup_vs_sequential: pps / base_pps,
+            });
+        }
     }
 
-    // Anchor to the workspace root: `cargo bench` runs the binary with
-    // the package directory (crates/bench) as its working directory.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    // Authoritative overhead number: paired alternating iterations at
+    // the largest worker count the host can actually run in parallel
+    // (larger sweep counts on a small host measure scheduling noise,
+    // not instrumentation).
+    let ab_workers = sweep
+        .iter()
+        .copied()
+        .filter(|&w| w <= host_cores)
+        .max()
+        .unwrap_or(1);
+    let ab_cfg = EngineConfig {
+        workers: ab_workers,
+        ..Default::default()
+    };
+    let overhead = telemetry_overhead_ab(&bench, &pipeline, &ab_cfg, &shard_fn, &packets);
+    println!(
+        "telemetry overhead @ w{} (paired A/B): {:.2}%",
+        overhead.workers, overhead.overhead_pct
+    );
+
+    // Telemetry export: one untimed instrumented replay at the A/B
+    // worker count for the distributions, plus the A/B numbers above.
+    let snap = capture_telemetry(&pipeline, &ab_cfg, &shard_fn, &packets);
+    let doc = telemetry_doc("linerate_engine", &snap, overhead);
+    let tpath = write_telemetry_json(&doc);
+    println!("wrote {}", tpath.display());
+
+    let dir = results_dir();
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("BENCH_engine.json");
     std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();

@@ -1,0 +1,337 @@
+//! Shared engine-bench plumbing.
+//!
+//! Every bench that replays a packet trace through
+//! [`camus_engine::Engine`] used to hand-roll the same loop (start,
+//! submit, finish, assert clean) and the same host-core probe; this
+//! module is that loop, written once. It also owns the telemetry
+//! export: [`capture_telemetry`] runs one instrumented replay and
+//! [`write_telemetry_json`] serializes the merged
+//! [`TelemetrySnapshot`] — per-stage percentiles, per-table hit
+//! counters, control-plane spans and the instrumented-vs-uninstrumented
+//! A/B overhead row — to `results/TELEMETRY_engine.json`.
+
+use crate::harness::{Bench, BenchResult};
+use crate::{impl_to_json, json};
+use camus_engine::{Engine, EngineConfig, ShardFn, TelemetrySnapshot};
+use camus_pipeline::Pipeline;
+use camus_telemetry::Histogram;
+
+/// Host core count, recorded alongside every row: on a single-core
+/// container a worker sweep measures scheduling overhead, not parallel
+/// speedup, and the JSON must say so honestly.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The workspace `results/` directory, anchored to the manifest so it
+/// works regardless of the bench binary's working directory.
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Times one full engine run per iteration — start, replay the trace,
+/// join — asserting every iteration completes without a fault. The
+/// measured rate includes thread startup, matching how a replay tool
+/// would run it. Prints the standard one-line report.
+pub fn time_engine_trace(
+    bench: &Bench,
+    name: &str,
+    pipeline: &Pipeline,
+    cfg: &EngineConfig,
+    shard_fn: &ShardFn,
+    packets: &[Vec<u8>],
+) -> BenchResult {
+    let n = packets.len() as u64;
+    let r = bench.run(name, n, || {
+        let mut engine = Engine::start(pipeline, cfg, shard_fn.clone());
+        for p in packets {
+            engine.submit(p, 0);
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none(), "engine fault during bench");
+        report.stats.packets
+    });
+    r.report();
+    r
+}
+
+/// One untimed instrumented replay, returning the merged cross-shard
+/// snapshot. Used to populate the telemetry export with real
+/// distributions without polluting a timed measurement.
+pub fn capture_telemetry(
+    pipeline: &Pipeline,
+    cfg: &EngineConfig,
+    shard_fn: &ShardFn,
+    packets: &[Vec<u8>],
+) -> TelemetrySnapshot {
+    let cfg = EngineConfig {
+        telemetry: true,
+        ..cfg.clone()
+    };
+    let mut engine = Engine::start(pipeline, &cfg, shard_fn.clone());
+    for p in packets {
+        engine.submit(p, 0);
+    }
+    let report = engine.finish();
+    assert!(report.error.is_none(), "engine fault during capture");
+    report
+        .telemetry
+        .expect("telemetry enabled but no snapshot returned")
+}
+
+/// Measures the telemetry A/B as *paired, alternating* iterations:
+/// each round runs one uninstrumented and one instrumented replay
+/// back-to-back (order swapping every round), so slow drift on a noisy
+/// host — frequency scaling, a busy sibling container — hits both
+/// sides equally instead of biasing whichever ran first. Sequential
+/// `Bench::run` calls proved unusable for this on single-core CI
+/// runners: run-to-run swing there exceeds the 5 % budget being
+/// verified.
+pub fn telemetry_overhead_ab(
+    bench: &Bench,
+    pipeline: &Pipeline,
+    cfg: &EngineConfig,
+    shard_fn: &ShardFn,
+    packets: &[Vec<u8>],
+) -> OverheadDoc {
+    use std::time::{Duration, Instant};
+    let run_once = |telemetry: bool| -> Duration {
+        let cfg = EngineConfig {
+            telemetry,
+            ..cfg.clone()
+        };
+        let start = Instant::now();
+        let mut engine = Engine::start(pipeline, &cfg, shard_fn.clone());
+        for p in packets {
+            engine.submit(p, 0);
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none(), "engine fault during A/B");
+        std::hint::black_box(report.stats.packets);
+        start.elapsed()
+    };
+
+    let warm_deadline = Instant::now() + bench.warmup_window();
+    loop {
+        run_once(false);
+        run_once(true);
+        if Instant::now() >= warm_deadline {
+            break;
+        }
+    }
+
+    // Minimum-of-rounds estimator: external noise (a busy sibling, a
+    // scheduler hiccup) only ever *adds* time, so each side's minimum
+    // converges on its true cost and the ratio isolates the
+    // instrumentation itself. Means proved too jittery on shared
+    // hosts to verify a 5 % bound.
+    let mut plain = Duration::MAX;
+    let mut instrumented = Duration::MAX;
+    let mut rounds = 0u64;
+    let deadline = Instant::now() + bench.measure_window();
+    loop {
+        if rounds.is_multiple_of(2) {
+            plain = plain.min(run_once(false));
+            instrumented = instrumented.min(run_once(true));
+        } else {
+            instrumented = instrumented.min(run_once(true));
+            plain = plain.min(run_once(false));
+        }
+        rounds += 1;
+        if rounds >= 8 && Instant::now() >= deadline {
+            break;
+        }
+    }
+
+    let n = packets.len() as u64;
+    let pps = |best: Duration| n as f64 * 1e9 / best.as_nanos() as f64;
+    let (plain_pps, telem_pps) = (pps(plain), pps(instrumented));
+    OverheadDoc {
+        workers: cfg.workers,
+        pkts_per_sec_instrumented: telem_pps,
+        pkts_per_sec_uninstrumented: plain_pps,
+        overhead_pct: (1.0 - telem_pps / plain_pps) * 100.0,
+    }
+}
+
+/// One latency-stage row in the telemetry export.
+#[derive(Debug, Clone)]
+pub struct StageDoc {
+    /// Stage name: `batch`, `parse`, `match` or `mcast`.
+    pub stage: String,
+    /// Samples in the histogram.
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+}
+
+impl_to_json!(StageDoc {
+    stage,
+    count,
+    p50_ns,
+    p99_ns,
+    p999_ns,
+    min_ns,
+    max_ns,
+    mean_ns,
+});
+
+impl StageDoc {
+    fn from_hist(stage: &str, h: &Histogram) -> Self {
+        StageDoc {
+            stage: stage.into(),
+            count: h.count(),
+            p50_ns: h.percentile(50.0),
+            p99_ns: h.percentile(99.0),
+            p999_ns: h.percentile(99.9),
+            min_ns: h.min(),
+            max_ns: h.max(),
+            mean_ns: h.mean(),
+        }
+    }
+}
+
+/// One per-table counter row.
+#[derive(Debug, Clone)]
+pub struct TableDoc {
+    pub table: String,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl_to_json!(TableDoc {
+    table,
+    hits,
+    misses
+});
+
+/// One control-plane span row.
+#[derive(Debug, Clone)]
+pub struct SpanDoc {
+    pub span: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+}
+
+impl_to_json!(SpanDoc {
+    span,
+    count,
+    total_ns,
+    min_ns,
+    max_ns,
+    mean_ns,
+});
+
+/// The instrumented-vs-uninstrumented A/B result.
+#[derive(Debug, Clone)]
+pub struct OverheadDoc {
+    /// Worker count both sides of the A/B ran with.
+    pub workers: usize,
+    pub pkts_per_sec_instrumented: f64,
+    pub pkts_per_sec_uninstrumented: f64,
+    /// `(1 - instrumented/uninstrumented) * 100`; negative values mean
+    /// the instrumented run measured faster (noise).
+    pub overhead_pct: f64,
+}
+
+impl_to_json!(OverheadDoc {
+    workers,
+    pkts_per_sec_instrumented,
+    pkts_per_sec_uninstrumented,
+    overhead_pct,
+});
+
+/// The `results/TELEMETRY_engine.json` document.
+#[derive(Debug, Clone)]
+pub struct TelemetryDoc {
+    /// Snapshot schema version (`camus_telemetry::SNAPSHOT_VERSION`).
+    pub version: u64,
+    /// Which bench produced this document.
+    pub bench: String,
+    pub host_cores: usize,
+    pub workers: usize,
+    pub packets: u64,
+    pub batches: u64,
+    pub sampled_packets: u64,
+    /// Packets between stage samples (1 = every packet).
+    pub sample_interval: u64,
+    pub stages: Vec<StageDoc>,
+    pub tables: Vec<TableDoc>,
+    pub spans: Vec<SpanDoc>,
+    pub overhead: OverheadDoc,
+}
+
+impl_to_json!(TelemetryDoc {
+    version,
+    bench,
+    host_cores,
+    workers,
+    packets,
+    batches,
+    sampled_packets,
+    sample_interval,
+    stages,
+    tables,
+    spans,
+    overhead,
+});
+
+/// Flattens a snapshot + A/B overhead pair into the export document.
+pub fn telemetry_doc(bench: &str, snap: &TelemetrySnapshot, overhead: OverheadDoc) -> TelemetryDoc {
+    TelemetryDoc {
+        version: snap.version,
+        bench: bench.into(),
+        host_cores: host_cores(),
+        workers: snap.workers,
+        packets: snap.packets,
+        batches: snap.data.batches,
+        sampled_packets: snap.data.sampled_packets,
+        sample_interval: snap.data.sample_interval(),
+        stages: vec![
+            StageDoc::from_hist("batch", &snap.data.batch_ns),
+            StageDoc::from_hist("parse", &snap.data.parse_ns),
+            StageDoc::from_hist("match", &snap.data.match_ns),
+            StageDoc::from_hist("mcast", &snap.data.mcast_ns),
+        ],
+        tables: snap
+            .tables
+            .iter()
+            .map(|t| TableDoc {
+                table: t.name.clone(),
+                hits: t.hits,
+                misses: t.misses,
+            })
+            .collect(),
+        spans: snap
+            .spans
+            .recorded()
+            .map(|(kind, s)| SpanDoc {
+                span: kind.as_str().into(),
+                count: s.count,
+                total_ns: s.total_ns,
+                min_ns: s.min_ns,
+                max_ns: s.max_ns,
+                mean_ns: s.mean_ns(),
+            })
+            .collect(),
+        overhead,
+    }
+}
+
+/// Writes the telemetry document to `results/TELEMETRY_engine.json`.
+pub fn write_telemetry_json(doc: &TelemetryDoc) -> std::path::PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("TELEMETRY_engine.json");
+    std::fs::write(&path, json::to_string_pretty(doc)).expect("write TELEMETRY_engine.json");
+    path
+}

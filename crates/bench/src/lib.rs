@@ -6,6 +6,7 @@
 //! (plain binaries built on [`harness`]; the environment has no
 //! registry access, so Criterion is not available).
 
+pub mod engine_runs;
 pub mod figures;
 pub mod harness;
 pub mod json;

@@ -12,6 +12,7 @@ use camus_pipeline::phv::PhvLayout;
 use camus_pipeline::pipeline::Pipeline;
 use camus_pipeline::resources::{place_chain, AsicModel, PlacementReport};
 use camus_pipeline::table::{ActionOp, Entry, Key, MatchKind, MatchValue, Table};
+use camus_telemetry::{SpanKind, SpanSet, SpanTimer};
 
 use crate::dynamic::{compile_dynamic, CompileStats, DynamicProgram};
 use crate::error::CompileError;
@@ -95,6 +96,10 @@ pub struct CompiledProgram {
     pub control_plane: String,
     /// The rule BDD, for introspection and DOT export.
     pub bdd: camus_bdd::Bdd,
+    /// Wall-clock phase timings: the dynamic compiler's shard
+    /// build/merge/emit spans plus the end-to-end compile span. Kept
+    /// out of [`CompileStats`], which must stay shard-count-invariant.
+    pub spans: SpanSet,
 }
 
 /// The Camus compiler (Fig. 6's "Camus compiler" box).
@@ -132,6 +137,7 @@ impl Compiler {
 
     /// Compiles a rule set end to end.
     pub fn compile(&self, rules: &[Rule]) -> Result<CompiledProgram, CompileError> {
+        let compile_timer = SpanTimer::start();
         let ropts = ResolveOptions {
             heuristic: self.options.heuristic,
             default_window_us: self.options.default_window_us,
@@ -171,7 +177,9 @@ impl Compiler {
             mcast,
             stats,
             bdd,
+            mut spans,
         } = dynp;
+        compile_timer.stop_into(&mut spans, SpanKind::Compile);
         let pipeline = Pipeline {
             layout,
             parser: statics.parser.clone(),
@@ -190,6 +198,7 @@ impl Compiler {
             p4_16_source,
             control_plane,
             bdd,
+            spans,
         })
     }
 }

@@ -34,6 +34,7 @@ use camus_bdd::store::EMPTY_ACTIONS;
 use camus_bdd::{Bdd, NodeRef};
 use camus_pipeline::multicast::{MulticastTable, PortId};
 use camus_pipeline::table::{ActionOp, Entry, Key, MatchKind, MatchValue, RegOp, Table};
+use camus_telemetry::{SpanKind, SpanSet, SpanTimer};
 
 use crate::error::CompileError;
 use crate::resolve::{CounterFunc, Resolved, RuleAction};
@@ -89,6 +90,10 @@ pub struct DynamicProgram {
     pub stats: CompileStats,
     /// The BDD, kept for introspection (DOT export, ablations).
     pub bdd: Bdd,
+    /// Wall-clock timing of the compile phases (shard build, merge,
+    /// emission). Deliberately *not* part of [`CompileStats`]: stats
+    /// are asserted bit-identical across shard counts, timings are not.
+    pub spans: SpanSet,
 }
 
 impl DynamicProgram {
@@ -459,7 +464,9 @@ fn build_sharded(
     rules: &[crate::resolve::ResolvedConj],
     rule_actions: &[Vec<ActionId>],
     threads: usize,
+    spans: &mut SpanSet,
 ) -> Result<(Bdd, usize, usize), CompileError> {
+    let build_timer = SpanTimer::start();
     let bounds: Vec<(usize, usize)> = (0..rules.len())
         .step_by(SHARD_CHUNK)
         .map(|lo| (lo, (lo + SHARD_CHUNK).min(rules.len())))
@@ -514,8 +521,10 @@ fn build_sharded(
             )
         })?
     };
+    build_timer.stop_into(spans, SpanKind::ShardBuild);
 
     // Phase 2: fold the fixed pairwise merge tree, level by level.
+    let merge_timer = SpanTimer::start();
     while level.len() > 1 {
         let odd = if level.len() % 2 == 1 {
             level.pop()
@@ -575,7 +584,9 @@ fn build_sharded(
     }
     let (merged, unsat) = level.pop().expect("at least one shard");
     let allocated = merged.node_count();
-    Ok((merged.canonical_copy(), unsat, allocated))
+    let canonical = merged.canonical_copy();
+    merge_timer.stop_into(spans, SpanKind::ShardMerge);
+    Ok((canonical, unsat, allocated))
 }
 
 /// Runs dynamic compilation against a static pipeline.
@@ -611,10 +622,13 @@ pub fn compile_dynamic(
         .collect();
 
     let shards = resolve_shards(shards, resolved.rules.len());
+    let mut spans = SpanSet::new();
     let (bdd, unsat, allocated_nodes) =
-        build_sharded(proto, &resolved.rules, &rule_actions, shards)?;
+        build_sharded(proto, &resolved.rules, &rule_actions, shards, &mut spans)?;
 
+    let emit_timer = SpanTimer::start();
     let (tables, initial_state) = emit_tables(&bdd, statics, &mut es, shards)?;
+    emit_timer.stop_into(&mut spans, SpanKind::EmitTables);
     debug_assert_eq!(initial_state, 0, "fresh emission numbers the root first");
 
     let table_entries: Vec<(String, usize)> =
@@ -642,6 +656,7 @@ pub fn compile_dynamic(
         mcast: es.mcast,
         stats,
         bdd,
+        spans,
     })
 }
 

@@ -95,8 +95,17 @@ use camus_pipeline::resources::place_chain;
 use camus_pipeline::{
     AdmissionError, AsicModel, DecisionBuf, ExecStats, ForwardDecision, Pipeline, PipelineError,
 };
+use camus_telemetry::{DataPlaneTelemetry, SpanKind, SpanSet, SpanTimer, TableCounters};
 
+pub use camus_telemetry::TelemetrySnapshot;
 pub use shard::ShardFn;
+
+/// Stage-timing sample cadence when [`EngineConfig::telemetry`] is on:
+/// every 64th packet gets per-stage clock reads. Chosen so the
+/// measured instrumentation overhead stays under the 5 % throughput
+/// budget even on single-core hosts, where clock reads are the
+/// dominant cost (the linerate bench's A/B row proves it).
+pub const TELEMETRY_SAMPLE_SHIFT: u32 = 6;
 
 /// The RCU-style publication slot shared between the control plane
 /// and the workers: a monotonically increasing generation counter and
@@ -229,6 +238,11 @@ pub struct EngineConfig {
     pub admission: Option<AsicModel>,
     /// Deterministic fault-injection hooks (empty by default).
     pub faults: FaultInjection,
+    /// Collect data-plane telemetry (per-shard counters + latency
+    /// histograms, sampled at [`TELEMETRY_SAMPLE_SHIFT`]) and attach a
+    /// merged [`TelemetrySnapshot`] to the report. Off by default: the
+    /// uninstrumented hot path has zero clock reads.
+    pub telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -244,6 +258,7 @@ impl Default for EngineConfig {
             watchdog_ms: 2_000,
             admission: Some(AsicModel::tofino32()),
             faults: FaultInjection::default(),
+            telemetry: false,
         }
     }
 }
@@ -379,6 +394,7 @@ struct WorkerOutput {
     faults: FaultStats,
     quarantined: Vec<u64>,
     died: bool,
+    telemetry: Option<Box<DataPlaneTelemetry>>,
 }
 
 struct WorkerHandle {
@@ -431,6 +447,9 @@ pub struct EngineReport {
     /// (exact whenever no *unsupervised* panic destroyed a worker's
     /// counters).
     pub quarantined: Vec<u64>,
+    /// Merged cross-shard telemetry (histograms, spans, per-table
+    /// counters); `Some` iff [`EngineConfig::telemetry`] was set.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// A running multi-core engine. Create with [`Engine::start`], feed it
@@ -457,6 +476,8 @@ pub struct Engine {
     lost_batches: u64,
     /// Outputs harvested from workers that died and were replaced.
     retired: Vec<WorkerOutput>,
+    /// Control-plane span timings (updates, quiesce, respawns).
+    spans: SpanSet,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -493,9 +514,11 @@ fn worker_loop(
             let next_arc = published.snapshot();
             let mut next = (*next_arc).clone();
             // Stateful continuity across the swap: `@query_counter`
-            // windows and execution counters carry over, never reset.
+            // windows, execution counters and telemetry carry over,
+            // never reset.
             next.registers.carry_from(&pipeline.registers);
             next.exec.stats = pipeline.exec.stats.clone();
+            next.set_telemetry(pipeline.take_telemetry());
             next.prepare();
             adoptions += 1;
             coalesced += generation - seen_gen - 1;
@@ -571,6 +594,7 @@ fn worker_loop(
         // finishing, in which case the recycle side is simply gone.
         let _ = recycle_tx.send(batch);
     }
+    let telemetry = pipeline.take_telemetry();
     WorkerOutput {
         index,
         stats: pipeline.exec.stats.clone(),
@@ -581,6 +605,7 @@ fn worker_loop(
         faults,
         quarantined,
         died,
+        telemetry,
     }
 }
 
@@ -597,6 +622,10 @@ impl Engine {
         let mut template = pipeline.clone();
         template.prepare();
         template.exec.stats.reset();
+        // Telemetry is per-worker (attached in `spawn_worker`); the
+        // template and the published slot never carry a record, so a
+        // seed pipeline's own telemetry doesn't leak into workers.
+        template.set_telemetry(None);
         let published = Arc::new(Published {
             generation: AtomicU64::new(0),
             slot: Mutex::new(Arc::new(template.clone())),
@@ -621,6 +650,7 @@ impl Engine {
             lost: Vec::new(),
             lost_batches: 0,
             retired: Vec::new(),
+            spans: SpanSet::new(),
         };
         for wi in 0..n {
             let handle = engine.spawn_worker(wi);
@@ -643,6 +673,9 @@ impl Engine {
         let mut pipeline = (*slot).clone();
         pipeline.registers.carry_from(&self.template.registers);
         pipeline.exec.stats.reset();
+        if self.cfg.telemetry {
+            pipeline.enable_telemetry(TELEMETRY_SAMPLE_SHIFT);
+        }
         pipeline.prepare();
         let (tx, rx) = sync_channel::<Batch>(self.cfg.queue_batches);
         let (recycle_tx, recycle_rx) = channel::<Batch>();
@@ -767,6 +800,7 @@ impl Engine {
     /// batches that went down with it, and spawns a replacement from
     /// the published pipeline.
     fn respawn_worker(&mut self, wi: usize) {
+        let timer = SpanTimer::start();
         let fresh = self.spawn_worker(wi);
         let old = std::mem::replace(&mut self.workers[wi], fresh);
         let WorkerHandle {
@@ -806,6 +840,7 @@ impl Engine {
         new_w.pool.append(&mut pool);
         new_w.seq_pool.append(&mut seq_pool);
         self.respawns += 1;
+        timer.stop_into(&mut self.spans, SpanKind::WorkerRespawn);
     }
 
     /// Flushes every pending batch and blocks until all workers have
@@ -821,6 +856,7 @@ impl Engine {
     /// A worker found dead is respawned and its lost batches are
     /// quarantined, so quiesce also heals the engine.
     pub fn quiesce(&mut self) -> Result<(), EngineFault> {
+        let timer = SpanTimer::start();
         for wi in 0..self.workers.len() {
             self.flush_worker(wi);
             loop {
@@ -849,6 +885,9 @@ impl Engine {
                 }
             }
         }
+        // Only completed drains are recorded; a timed-out quiesce is
+        // retried and would double-count.
+        timer.stop_into(&mut self.spans, SpanKind::Quiesce);
         Ok(())
     }
 
@@ -873,6 +912,7 @@ impl Engine {
     /// finish under the generation their batch started with — never a
     /// half-applied rule set.
     pub fn apply_update(&mut self, report: &UpdateReport) -> Result<(), EngineFault> {
+        let timer = SpanTimer::start();
         let mut candidate = self.template.clone();
         report
             .apply_to(&mut candidate)
@@ -886,6 +926,7 @@ impl Engine {
             self.delta_updates += 1;
         }
         self.publish();
+        timer.stop_into(&mut self.spans, SpanKind::ApplyUpdate);
         Ok(())
     }
 
@@ -896,13 +937,16 @@ impl Engine {
     /// still carry their register state over positionally on adoption.
     /// On rejection the installed state is untouched.
     pub fn install_pipeline(&mut self, pipeline: &Pipeline) -> Result<(), EngineFault> {
+        let timer = SpanTimer::start();
         let mut candidate = pipeline.clone();
         candidate.exec.stats.reset();
+        candidate.set_telemetry(None);
         candidate.prepare();
         self.admit(&candidate)?;
         self.template = candidate;
         self.full_swaps += 1;
         self.publish();
+        timer.stop_into(&mut self.spans, SpanKind::InstallPipeline);
         Ok(())
     }
 
@@ -996,8 +1040,12 @@ impl Engine {
             ..FaultStats::default()
         };
         let mut quarantined: Vec<u64> = Vec::new();
+        let mut snapshot = self.cfg.telemetry.then(|| TelemetrySnapshot::new(workers));
         for out in outputs {
             per_worker[out.index].merge(&out.stats);
+            if let (Some(snap), Some(t)) = (snapshot.as_mut(), out.telemetry.as_deref()) {
+                snap.absorb_worker(t);
+            }
             all_decisions.extend(out.decisions);
             updates.adoptions += out.adoptions;
             updates.coalesced += out.coalesced;
@@ -1023,6 +1071,24 @@ impl Engine {
         for s in &per_worker {
             stats.merge(s);
         }
+        if let Some(snap) = snapshot.as_mut() {
+            snap.packets = stats.packets;
+            snap.spans = self.spans.clone();
+            // Per-table counters resolve to the installed program's
+            // table names (the aggregated ExecStats vectors are indexed
+            // in pipeline table order).
+            snap.tables = self
+                .template
+                .tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| TableCounters {
+                    name: t.name.clone(),
+                    hits: stats.table_hits.get(i).copied().unwrap_or(0),
+                    misses: stats.table_misses.get(i).copied().unwrap_or(0),
+                })
+                .collect();
+        }
         all_decisions.sort_unstable_by_key(|(seq, _)| *seq);
         let decisions = all_decisions.into_iter().map(|(_, d)| d).collect();
         EngineReport {
@@ -1034,6 +1100,7 @@ impl Engine {
             updates,
             faults,
             quarantined,
+            telemetry: snapshot,
         }
     }
 }

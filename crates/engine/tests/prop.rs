@@ -41,7 +41,7 @@ fn total_shard() -> ShardFn {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Arbitrary byte soup through the full engine: no panic, no
     /// config-class error, and the counters reconcile exactly.

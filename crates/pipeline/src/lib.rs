@@ -38,6 +38,7 @@ pub mod register;
 pub mod resources;
 pub mod table;
 
+pub use camus_telemetry::{DataPlaneTelemetry, Histogram, TelemetrySnapshot};
 pub use error::PipelineError;
 pub use multicast::{GroupId, MulticastTable, PortId};
 pub use phv::{Phv, PhvBuf, PhvField, PhvLayout};

@@ -9,6 +9,9 @@
 //! matching rules).
 
 use std::fmt;
+use std::time::Instant;
+
+use camus_telemetry::DataPlaneTelemetry;
 
 use crate::error::PipelineError;
 use crate::multicast::{MulticastTable, PortId};
@@ -271,6 +274,10 @@ pub struct ExecState {
     hoist: Vec<bool>,
     /// Per-packet cache of hoisted aggregate values.
     hoist_vals: Vec<u64>,
+    /// Optional per-shard telemetry (counters + latency histograms).
+    /// Boxed so the disabled case costs one pointer; `None` (the
+    /// default) keeps the hot path free of clock reads entirely.
+    telemetry: Option<Box<DataPlaneTelemetry>>,
 }
 
 /// Descriptor binding a PHV pseudo-field to a register aggregate, so
@@ -359,6 +366,18 @@ fn eval_tables(
     Ok(dropped)
 }
 
+/// Nanoseconds since `start`, saturating at `u64::MAX`.
+#[inline]
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Nanoseconds from `start` to `end` (0 if the clock stepped back).
+#[inline]
+fn ns_between(start: Instant, end: Instant) -> u64 {
+    u64::try_from(end.saturating_duration_since(start).as_nanos()).unwrap_or(u64::MAX)
+}
+
 impl Pipeline {
     /// Prepares the pipeline for (batched) execution: builds every
     /// table's lookup index, sizes the per-table counters, and computes
@@ -400,6 +419,32 @@ impl Pipeline {
         self.exec.stats.table_misses.resize(n, 0);
     }
 
+    /// Enables data-plane telemetry on this pipeline instance, sampling
+    /// every `2^sample_shift`-th packet for per-stage timing. The one
+    /// `Box` allocation happens here, not on the packet path. Resets
+    /// any previously collected telemetry.
+    pub fn enable_telemetry(&mut self, sample_shift: u32) {
+        self.exec.telemetry = Some(Box::new(DataPlaneTelemetry::new(sample_shift)));
+    }
+
+    /// The telemetry collected so far, if enabled.
+    pub fn telemetry(&self) -> Option<&DataPlaneTelemetry> {
+        self.exec.telemetry.as_deref()
+    }
+
+    /// Detaches the telemetry record (disabling further collection).
+    /// The engine uses this to carry telemetry across RCU pipeline
+    /// swaps and to harvest it at worker exit.
+    pub fn take_telemetry(&mut self) -> Option<Box<DataPlaneTelemetry>> {
+        self.exec.telemetry.take()
+    }
+
+    /// Re-attaches a telemetry record (the inverse of
+    /// [`Pipeline::take_telemetry`]).
+    pub fn set_telemetry(&mut self, t: Option<Box<DataPlaneTelemetry>>) {
+        self.exec.telemetry = t;
+    }
+
     /// Processes one packet arriving at `now_us`, returning its
     /// forwarding decision.
     pub fn process(
@@ -436,9 +481,16 @@ impl Pipeline {
         I: IntoIterator<Item = (&'a [u8], u64)>,
     {
         self.prepare();
+        // Whole-batch latency costs two clock reads per batch (amortized
+        // over `batch_packets` packets); per-stage timing is sampled
+        // inside `process_one`.
+        let batch_start = self.exec.telemetry.as_ref().map(|_| Instant::now());
         for (bytes, now_us) in packets {
             let slot = out.next_slot();
             self.process_one(bytes, now_us, slot)?;
+        }
+        if let (Some(start), Some(t)) = (batch_start, self.exec.telemetry.as_deref_mut()) {
+            t.record_batch(elapsed_ns(start));
         }
         Ok(())
     }
@@ -466,7 +518,18 @@ impl Pipeline {
             work,
             hoist,
             hoist_vals,
+            telemetry,
         } = exec;
+
+        // Sampled stage timing: `tick()` advances the per-shard packet
+        // sequence and selects every `2^sample_shift`-th packet. Only
+        // sampled packets pay the per-stage `Instant` reads; with
+        // telemetry disabled this is a single `None` branch.
+        let sampled = match telemetry.as_deref_mut() {
+            Some(t) => t.tick(),
+            None => false,
+        };
+        let t_start = if sampled { Some(Instant::now()) } else { None };
 
         msgs.clear();
         if let Err(e) = parser.parse_into(layout, packet, work, msgs) {
@@ -482,8 +545,12 @@ impl Pipeline {
             stats.packets += 1;
             stats.dropped_packets += 1;
             stats.count_parse_drop(reason);
+            if let (Some(start), Some(t)) = (t_start, telemetry.as_deref_mut()) {
+                t.record_parse_only(elapsed_ns(start));
+            }
             return Ok(());
         }
+        let t_parsed = t_start.map(|_| Instant::now());
         decision.messages = msgs.len();
 
         // Message-invariant aggregates: read once per packet. Register
@@ -536,11 +603,25 @@ impl Pipeline {
                 decision.matched_messages += 1;
             }
         }
+        let t_matched = t_start.map(|_| Instant::now());
         // One packet-level sort+dedup subsumes the per-message merge the
         // executor used to do (the union of per-message port sets is
         // insensitive to inner ordering/duplication).
         decision.ports.sort_unstable();
         decision.ports.dedup();
+        if let (Some(start), Some(parsed), Some(matched), Some(t)) =
+            (t_start, t_parsed, t_matched, telemetry.as_deref_mut())
+        {
+            // parse = wire bytes → message PHVs; match = hoisted register
+            // reads + table evaluation over every message (including
+            // multicast group expansion); mcast = the final port-set
+            // union (sort + dedup) resolving replication.
+            t.record_stages(
+                ns_between(start, parsed),
+                ns_between(parsed, matched),
+                elapsed_ns(matched),
+            );
+        }
 
         stats.packets += 1;
         stats.messages += decision.messages as u64;
@@ -814,6 +895,31 @@ mod tests {
         let packets: Vec<(&[u8], u64)> = vec![(&[1][..], 3), (&[1][..], 4), (&[1][..], 5)];
         p.process_batch(packets, &mut out).unwrap();
         assert!(out.iter().all(|d| d.drop_reason.is_none()));
+    }
+
+    #[test]
+    fn telemetry_records_batches_stages_and_parse_drops() {
+        let mut p = tiny_pipeline();
+        p.enable_telemetry(0); // sample every packet
+        let packets: Vec<(&[u8], u64)> = vec![(&[1][..], 0), (&[][..], 1), (&[2][..], 2)];
+        let mut out = DecisionBuf::default();
+        p.process_batch(packets, &mut out).unwrap();
+        let t = p.telemetry().unwrap();
+        assert_eq!(t.batches, 1);
+        assert_eq!(t.sampled_packets, 3);
+        assert_eq!(t.batch_ns.count(), 1);
+        // All three packets parse (the empty one records parse-only).
+        assert_eq!(t.parse_ns.count(), 3);
+        assert_eq!(t.match_ns.count(), 2);
+        assert_eq!(t.mcast_ns.count(), 2);
+        // Decisions are unchanged by instrumentation.
+        assert_eq!(out.as_slice()[0].ports, vec![PortId(1)]);
+        assert_eq!(out.as_slice()[2].ports, vec![PortId(2), PortId(3)]);
+        // take/set round-trips the record for RCU adoption.
+        let boxed = p.take_telemetry();
+        assert!(p.telemetry().is_none());
+        p.set_telemetry(boxed);
+        assert_eq!(p.telemetry().unwrap().sampled_packets, 3);
     }
 
     #[test]

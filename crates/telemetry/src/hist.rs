@@ -1,0 +1,373 @@
+//! Log-linear latency histograms: fixed 64 buckets, no locks, no heap.
+//!
+//! The bucketing scheme is the classic log-linear layout (HdrHistogram,
+//! Go's `runtime/metrics`): values below 8 get one bucket each, and
+//! every power-of-two octave above that is split into 4 sub-buckets, so
+//! the worst-case relative bucket width is 25 %. Sixty-three buckets
+//! cover `[0, 7 << 14)` scaled units precisely; everything larger lands
+//! in the overflow bucket (index 63), whose percentile estimate is
+//! clamped to the exact recorded maximum.
+//!
+//! A `unit_shift` divides raw values by `2^shift` before bucketing, so
+//! one 64-bucket array can cover nanosecond-scale packet stages
+//! (`shift = 0`, precise to ~115 µs) or batch/span durations
+//! (`shift = 5`, precise to ~3.7 ms) without widening the array. Sums,
+//! minima and maxima are kept on the *raw* values, so means and range
+//! are exact regardless of the shift.
+
+/// Number of buckets in every [`Histogram`].
+pub const BUCKETS: usize = 64;
+
+/// Sub-buckets per power-of-two octave (4 → ≤25 % bucket width).
+const SUB_BITS: u32 = 2;
+
+/// Values below this get one exact bucket each.
+const LINEAR_MAX: u64 = 1 << (SUB_BITS + 1); // 8
+
+/// Maps a scaled value to its bucket index (monotone, total).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS + 1
+    let octave = (msb - SUB_BITS - 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & ((1 << SUB_BITS) - 1)) as usize;
+    (LINEAR_MAX as usize + (octave << SUB_BITS) + sub).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound (in scaled units) of bucket `i`.
+#[inline]
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        return i as u64;
+    }
+    let rel = i - LINEAR_MAX as usize;
+    let octave = (rel >> SUB_BITS) as u32;
+    let sub = (rel & ((1 << SUB_BITS) - 1)) as u64;
+    let msb = octave + SUB_BITS + 1;
+    ((1 << SUB_BITS) + sub) << (msb - SUB_BITS)
+}
+
+/// Exclusive upper bound (in scaled units) of bucket `i`
+/// (`u64::MAX` for the overflow bucket).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        return u64::MAX;
+    }
+    bucket_lower_bound(i + 1)
+}
+
+/// A fixed-size log-linear histogram. `Clone` is a flat copy; there is
+/// no heap state, so construction, recording and merging never
+/// allocate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    /// Sum of *raw* (unshifted) values.
+    sum: u64,
+    /// Smallest raw value recorded (`u64::MAX` when empty).
+    min: u64,
+    /// Largest raw value recorded.
+    max: u64,
+    /// Raw values are divided by `2^unit_shift` before bucketing.
+    unit_shift: u32,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A histogram bucketing raw values directly (`unit_shift = 0`).
+    pub fn new() -> Self {
+        Histogram::with_unit_shift(0)
+    }
+
+    /// A histogram that divides raw values by `2^shift` before
+    /// bucketing, trading resolution for range.
+    pub fn with_unit_shift(shift: u32) -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            unit_shift: shift.min(32),
+        }
+    }
+
+    /// The configured unit shift.
+    pub fn unit_shift(&self) -> u32 {
+        self.unit_shift
+    }
+
+    /// Records one raw value.
+    #[inline]
+    pub fn record(&mut self, raw: u64) {
+        self.counts[bucket_index(raw >> self.unit_shift)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(raw);
+        self.min = self.min.min(raw);
+        self.max = self.max.max(raw);
+    }
+
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of raw values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest raw value recorded (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest raw value recorded.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of raw values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimates the `q`-th percentile (`q` in `[0, 100]`) in raw
+    /// units. The estimate is the containing bucket's upper bound,
+    /// clamped to the exact observed `[min, max]` — so it never
+    /// under-reports by more than one bucket width (≤25 %) and the
+    /// overflow bucket reports the exact maximum. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let hi = bucket_upper_bound(i)
+                    .saturating_sub(1)
+                    .saturating_mul(1 << self.unit_shift);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s contents into `self`. Merging is exact: the
+    /// result is identical to recording every sample into one
+    /// histogram, which is what makes per-shard recording safe. Both
+    /// sides must share a `unit_shift` (debug-asserted; release builds
+    /// merge bucket-for-bucket regardless).
+    pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(
+            self.unit_shift, other.unit_shift,
+            "merging histograms with different unit shifts"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterates the non-empty buckets as
+    /// `(raw lower bound, raw exclusive upper bound, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        let shift = self.unit_shift;
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(move |(i, &c)| {
+                let lo = bucket_lower_bound(i).saturating_mul(1 << shift);
+                let hi = bucket_upper_bound(i).saturating_mul(1 << shift);
+                (lo, hi, c)
+            })
+    }
+
+    /// The raw bucket counts (index = [`bucket_index`] of the scaled
+    /// value), for exporters that render the full distribution.
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..LINEAR_MAX {
+            assert_eq!(bucket_index(v), v as usize, "v={v}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds_everywhere() {
+        // Every bucket's own bounds map back to it, and the scheme is
+        // monotone across boundaries.
+        for i in 0..BUCKETS {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            let hi = bucket_upper_bound(i);
+            if hi != u64::MAX {
+                assert_eq!(bucket_index(hi - 1), i, "last value of bucket {i}");
+                assert_eq!(bucket_index(hi), i + 1, "first value past bucket {i}");
+            }
+        }
+        // Giant values saturate into the overflow bucket.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(1 << 40), BUCKETS - 1);
+    }
+
+    #[test]
+    fn octave_boundaries() {
+        // v = 8 starts the first split octave; each octave has 4
+        // sub-buckets of equal width.
+        assert_eq!(bucket_index(7), 7);
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(9), 8);
+        assert_eq!(bucket_index(10), 9);
+        assert_eq!(bucket_index(15), 11);
+        assert_eq!(bucket_index(16), 12);
+        assert_eq!(bucket_index(31), 15);
+        assert_eq!(bucket_index(32), 16);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for i in LINEAR_MAX as usize..BUCKETS - 1 {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            let width = hi - lo;
+            assert!(
+                (width as f64) <= lo as f64 * 0.25 + 1.0,
+                "bucket {i}: [{lo}, {hi}) wider than 25%"
+            );
+        }
+    }
+
+    #[test]
+    fn count_sum_min_max_mean_are_exact() {
+        let mut h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        for v in [3u64, 100, 7, 100, 250_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 250_210);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 250_000);
+        assert!((h.mean() - 50_042.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_accurate() {
+        let mut h = Histogram::new();
+        // 1000 samples: 900 at 100 ns, 90 at 1000 ns, 10 at 10_000 ns.
+        for _ in 0..900 {
+            h.record(100);
+        }
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        let within = |est: u64, actual: u64| {
+            assert!(
+                est >= actual && est as f64 <= actual as f64 * 1.25 + 1.0,
+                "estimate {est} not within one bucket above {actual}"
+            );
+        };
+        within(h.percentile(50.0), 100);
+        within(h.percentile(90.0), 100);
+        within(h.percentile(99.0), 1_000);
+        within(h.percentile(99.9), 10_000);
+        assert_eq!(h.percentile(100.0), 10_000);
+        assert!(h.percentile(0.0) >= 100);
+    }
+
+    #[test]
+    fn overflow_bucket_percentile_clamps_to_exact_max() {
+        let mut h = Histogram::new();
+        h.record(1 << 40); // far past the precise range
+        assert_eq!(h.percentile(99.9), 1 << 40);
+        h.record(1 << 41);
+        // Ranks inside one bucket are indistinguishable; the estimate
+        // is the conservative (exact) maximum, never past it.
+        assert_eq!(h.percentile(99.9), 1 << 41);
+        assert!(h.percentile(50.0) <= 1 << 41);
+        assert_eq!(h.max(), 1 << 41);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let samples_a = [5u64, 9, 17, 300, 70_000];
+        let samples_b = [0u64, 8, 16, 299, 1 << 35];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for &v in &samples_a {
+            a.record(v);
+            whole.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn unit_shift_extends_range() {
+        let mut h = Histogram::with_unit_shift(5);
+        h.record(1_000_000); // ~1 ms in ns: precise with shift 5
+        let est = h.percentile(50.0);
+        assert!(
+            est >= 1_000_000 && est as f64 <= 1_000_000.0 * 1.25 + 64.0,
+            "{est}"
+        );
+        // Raw-value accounting ignores the shift.
+        assert_eq!(h.min(), 1_000_000);
+        assert_eq!(h.sum(), 1_000_000);
+    }
+}

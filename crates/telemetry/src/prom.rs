@@ -1,0 +1,229 @@
+//! Prometheus text-format (version 0.0.4) renderer.
+//!
+//! Slow-path export only: renders a merged [`TelemetrySnapshot`] into
+//! the exposition format a future scrape endpoint would serve. Not
+//! called on the packet path, so it allocates freely.
+
+use std::fmt::Write as _;
+
+use crate::hist::Histogram;
+use crate::snapshot::TelemetrySnapshot;
+
+/// Renders a snapshot as Prometheus exposition text. Histograms come
+/// out as native `histogram` families with cumulative `le` buckets
+/// (nanosecond bounds, `+Inf` terminal), counters as `counter`
+/// families; per-table counters carry a `table` label and spans a
+/// `span` label.
+pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+
+    counter(
+        &mut out,
+        "camus_packets_total",
+        "Packets processed",
+        snap.packets,
+    );
+    counter(
+        &mut out,
+        "camus_batches_total",
+        "Batches processed",
+        snap.data.batches,
+    );
+    counter(
+        &mut out,
+        "camus_sampled_packets_total",
+        "Packets with per-stage timing samples",
+        snap.data.sampled_packets,
+    );
+
+    histogram(
+        &mut out,
+        "camus_batch_duration_ns",
+        "Whole-batch processing latency",
+        &snap.data.batch_ns,
+    );
+    histogram(
+        &mut out,
+        "camus_parse_duration_ns",
+        "Sampled per-packet parse latency",
+        &snap.data.parse_ns,
+    );
+    histogram(
+        &mut out,
+        "camus_match_duration_ns",
+        "Sampled per-packet match/action latency",
+        &snap.data.match_ns,
+    );
+    histogram(
+        &mut out,
+        "camus_mcast_duration_ns",
+        "Sampled per-packet multicast port-union latency",
+        &snap.data.mcast_ns,
+    );
+
+    if !snap.tables.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP camus_table_hits_total Messages matching a non-default entry"
+        );
+        let _ = writeln!(out, "# TYPE camus_table_hits_total counter");
+        for t in &snap.tables {
+            let _ = writeln!(
+                out,
+                "camus_table_hits_total{{table=\"{}\"}} {}",
+                t.name, t.hits
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP camus_table_misses_total Messages taking the default action"
+        );
+        let _ = writeln!(out, "# TYPE camus_table_misses_total counter");
+        for t in &snap.tables {
+            let _ = writeln!(
+                out,
+                "camus_table_misses_total{{table=\"{}\"}} {}",
+                t.name, t.misses
+            );
+        }
+    }
+
+    let spans: Vec<_> = snap.spans.recorded().collect();
+    if !spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP camus_span_duration_ns_total Cumulative control-plane span time"
+        );
+        let _ = writeln!(out, "# TYPE camus_span_duration_ns_total counter");
+        for (kind, stats) in &spans {
+            let _ = writeln!(
+                out,
+                "camus_span_duration_ns_total{{span=\"{}\"}} {}",
+                kind.as_str(),
+                stats.total_ns
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP camus_span_count_total Completed control-plane spans"
+        );
+        let _ = writeln!(out, "# TYPE camus_span_count_total counter");
+        for (kind, stats) in &spans {
+            let _ = writeln!(
+                out,
+                "camus_span_count_total{{span=\"{}\"}} {}",
+                kind.as_str(),
+                stats.count
+            );
+        }
+    }
+
+    out
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+fn histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (_lo, hi, count) in h.nonzero_buckets() {
+        cumulative += count;
+        if hi == u64::MAX {
+            // Top bucket is unbounded; fold it into +Inf below.
+            continue;
+        }
+        // `hi` is an exclusive raw-ns bound; Prometheus `le` is
+        // inclusive, so the last contained value is `hi - 1`.
+        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", hi - 1);
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{TableCounters, TelemetrySnapshot};
+    use crate::span::SpanKind;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new(2);
+        s.packets = 1_000;
+        s.data.record_batch(50_000);
+        s.data.record_stages(100, 800, 30);
+        s.data.record_stages(140, 1_200, 25);
+        s.tables.push(TableCounters {
+            name: "tbl_0".into(),
+            hits: 42,
+            misses: 3,
+        });
+        s.spans.record(SpanKind::Compile, 5_000_000);
+        s
+    }
+
+    #[test]
+    fn renders_counters_histograms_tables_and_spans() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("camus_packets_total 1000"));
+        assert!(text.contains("# TYPE camus_parse_duration_ns histogram"));
+        assert!(text.contains("camus_parse_duration_ns_count 2"));
+        assert!(text.contains("camus_parse_duration_ns_sum 240"));
+        assert!(text.contains("camus_parse_duration_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("camus_table_hits_total{table=\"tbl_0\"} 42"));
+        assert!(text.contains("camus_span_duration_ns_total{span=\"compile\"} 5000000"));
+        assert!(text.contains("camus_span_count_total{span=\"compile\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_ordered() {
+        let text = render_prometheus(&sample_snapshot());
+        let mut last_le = 0u64;
+        let mut last_cum = 0u64;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("camus_match_duration_ns_bucket{le=\"") else {
+                continue;
+            };
+            let Some((le_str, cum_str)) = rest.split_once("\"} ") else {
+                continue;
+            };
+            let cum: u64 = cum_str.parse().unwrap();
+            assert!(cum >= last_cum, "cumulative counts must be monotone");
+            last_cum = cum;
+            if le_str != "+Inf" {
+                let le: u64 = le_str.parse().unwrap();
+                assert!(le > last_le, "le bounds must increase");
+                last_le = le;
+            }
+        }
+        assert_eq!(last_cum, 2, "+Inf bucket equals total count");
+    }
+
+    #[test]
+    fn batch_histogram_scales_le_bounds_by_unit() {
+        // Batch histogram buckets in 32 ns units; exported le bounds
+        // must be back in raw nanoseconds (multiples of 32).
+        let text = render_prometheus(&sample_snapshot());
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("camus_batch_duration_ns_bucket{le=\"") else {
+                continue;
+            };
+            let le_str = rest.split('"').next().unwrap();
+            if le_str == "+Inf" {
+                continue;
+            }
+            let le: u64 = le_str.parse().unwrap();
+            // le is the inclusive form of an exclusive 32 ns-aligned bound.
+            assert_eq!((le + 1) % 32, 0, "le {le} should end a 32 ns-unit bucket");
+            assert!(
+                le >= 50_000,
+                "bucket bound must cover the recorded 50_000 ns"
+            );
+        }
+    }
+}

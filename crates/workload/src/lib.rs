@@ -40,4 +40,4 @@ pub use faults::{capacity_bomb, FaultPlan, FaultPlanConfig, Mutation};
 pub use interp::{eval_cond, naive_ports, naive_ports_for_event};
 pub use itch_subs::{generate_itch_subscriptions, ItchSubsConfig};
 pub use siena::{SienaConfig, SienaWorkload};
-pub use trace::{synthesize_feed, TimedPacket, TraceConfig, TraceKind};
+pub use trace::{bench_feed, synthesize_feed, TimedPacket, TraceConfig, TraceKind};

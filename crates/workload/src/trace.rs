@@ -110,6 +110,19 @@ pub struct TimedPacket {
     pub target_messages: usize,
 }
 
+/// The canonical engine-bench feed: a steady add-order-only stream with
+/// no target symbol and no bursts. Every engine bench replays the same
+/// shape so their rows are comparable; hoisting the config here keeps
+/// them from drifting apart.
+pub fn bench_feed(messages: usize) -> Vec<TimedPacket> {
+    synthesize_feed(&TraceConfig {
+        target_fraction: 0.0,
+        add_order_fraction: 1.0,
+        burst_multiplier: 1.0,
+        ..TraceConfig::synthetic(messages)
+    })
+}
+
 /// Synthesizes a feed.
 pub fn synthesize_feed(cfg: &TraceConfig) -> Vec<TimedPacket> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);

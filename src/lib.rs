@@ -25,6 +25,7 @@
 //! | [`workload`] | `camus-workload` | Siena-style generators, ITCH subscriptions, feed synthesis |
 //! | [`netsim`] | `camus-netsim` | discrete-event simulation of the Figure 7 experiments |
 //! | [`engine`] | `camus-engine` | multi-core sharded forwarding engine (batched, allocation-free replay) |
+//! | [`telemetry`] | `camus-telemetry` | lock-free counters/histograms, control-plane spans, Prometheus renderer |
 //!
 //! ## Quickstart
 //!
@@ -64,4 +65,5 @@ pub use camus_itch as itch;
 pub use camus_lang as lang;
 pub use camus_netsim as netsim;
 pub use camus_pipeline as pipeline;
+pub use camus_telemetry as telemetry;
 pub use camus_workload as workload;
