@@ -32,6 +32,12 @@ import json
 import os
 import sys
 
+# Multi-core scaling floor: with 8 workers the engine must deliver at
+# least this multiple of its single-worker throughput. Only meaningful
+# when the host actually has cores to scale onto, so the gate arms
+# itself from the host_cores field the bench records.
+MIN_SCALING_8W = 3.0
+
 
 def load(path):
     try:
@@ -54,6 +60,43 @@ def pick_row(rows, select, file, results_dir):
     return matches[0]
 
 
+def check_scaling(results_dir, min_scaling, failures):
+    """Worker-scaling efficiency gate on BENCH_engine.json.
+
+    Requires engine_w8 >= min_scaling * engine_w1 — but only when the
+    measuring host had more than one core. On a 1-core container the
+    w8 row measures scheduling overhead, not parallelism, and gating on
+    it would institutionalize noise; the skip is reported honestly so a
+    green run cannot be mistaken for a verified one.
+    """
+    path = os.path.join(results_dir, "BENCH_engine.json")
+    rows = load(path)
+    by_config = {row["config"]: row for row in rows}
+    w1, w8 = by_config.get("engine_w1"), by_config.get("engine_w8")
+    if w1 is None or w8 is None:
+        failures.append("BENCH_engine.json: missing engine_w1/engine_w8 rows")
+        return
+    host_cores = w8.get("host_cores", 1)
+    if host_cores <= 1:
+        print(
+            f"\nscaling gate: SKIPPED — host had {host_cores} core(s); "
+            "an 8-worker row there measures scheduling overhead, not speedup"
+        )
+        return
+    ratio = w8["pkts_per_sec"] / w1["pkts_per_sec"]
+    ok = ratio >= min_scaling
+    print(
+        f"\nscaling gate: engine_w8/engine_w1 = {ratio:.2f}x "
+        f"(floor {min_scaling}x, host_cores={host_cores}) "
+        f"{'✅' if ok else '❌'}"
+    )
+    if not ok:
+        failures.append(
+            f"BENCH_engine.json: engine_w8 scales only {ratio:.2f}x over "
+            f"engine_w1 (floor {min_scaling}x at {host_cores} cores)"
+        )
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baselines", default="results/baselines.json")
@@ -61,6 +104,10 @@ def main():
     ap.add_argument(
         "--tolerance", type=float, default=None,
         help="override tolerance_pct from baselines.json",
+    )
+    ap.add_argument(
+        "--min-scaling", type=float, default=MIN_SCALING_8W,
+        help="engine_w8/engine_w1 throughput floor (multi-core hosts only)",
     )
     args = ap.parse_args()
 
@@ -99,6 +146,8 @@ def main():
     table = "\n".join(lines)
     print(f"tolerance: -{tolerance}% (one-sided)\n")
     print(table)
+
+    check_scaling(args.results_dir, args.min_scaling, failures)
 
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary:

@@ -125,6 +125,43 @@ def validate_compile(name, rows, args):
             fail(f"{name} {key}: output differs across shard counts: {outputs}")
 
 
+def validate_hotpath(name, rows, args):
+    configs = check_rows(
+        name,
+        rows,
+        {
+            "config", "workers", "cache", "host_cores", "packets_per_iter",
+            "ns_per_iter", "pkts_per_sec", "speedup_vs_baseline",
+            "cache_hit_rate",
+        },
+        positive=("ns_per_iter", "pkts_per_sec"),
+    )
+    require_configs(
+        name,
+        configs,
+        # engine_w8 only exists on multi-core hosts, so it is optional.
+        {
+            "sequential_batch", "engine_w1_nocache", "engine_w1",
+            "zipf_cache_off", "zipf_cache_on",
+        },
+    )
+    by_config = {row["config"]: row for row in rows}
+    for config in ("engine_w1", "zipf_cache_on", "engine_w8"):
+        row = by_config.get(config)
+        if row is None:
+            continue
+        if not row["cache"]:
+            fail(f"{name} {config}: cache flag must be true")
+        if not 0.0 < row["cache_hit_rate"] <= 1.0:
+            fail(
+                f"{name} {config}: cache_hit_rate {row['cache_hit_rate']} "
+                "— the cache never hit (did it arm?)"
+            )
+    for config in ("sequential_batch", "engine_w1_nocache", "zipf_cache_off"):
+        if by_config[config]["cache"]:
+            fail(f"{name} {config}: cache flag must be false")
+
+
 TELEMETRY_STAGES = {"batch", "parse", "match", "mcast"}
 
 
@@ -190,6 +227,7 @@ def validate_telemetry(name, doc, args):
 
 VALIDATORS = {
     "BENCH_engine.json": validate_engine,
+    "BENCH_hotpath.json": validate_hotpath,
     "BENCH_churn.json": validate_churn,
     "BENCH_faults.json": validate_faults,
     "BENCH_compile.json": validate_compile,

@@ -1,21 +1,34 @@
 //! # camus-engine — a multi-core sharded forwarding engine
 //!
 //! Wraps the sequential [`Pipeline`](camus_pipeline::Pipeline) executor
-//! with N worker threads (std-only: `std::thread` plus bounded
-//! channels), each owning a cloned pipeline, and shards packets
-//! RSS-style on a flow key — by default the ITCH stock symbol
+//! with N worker threads (std-only: `std::thread` plus lock-free
+//! bounded [SPSC rings](ring)), and shards packets RSS-style on a flow
+//! key — by default the ITCH stock symbol
 //! ([`shard::itch_symbol_shard`]).
 //!
 //! Camus's stateful rules (`@query_counter`) are keyed on the stock
 //! symbol, so symbol sharding keeps every register slot's updates on
 //! exactly one worker and the engine's forwarding decisions are
 //! **bit-identical** to running the sequential executor over the same
-//! trace (verified by the determinism test). Each worker processes its
-//! packets in submission order through
-//! [`Pipeline::process_batch`](camus_pipeline::Pipeline::process_batch),
-//! the allocation-free batch hot path; batches and their byte arenas
-//! are recycled through a return channel, so the steady state allocates
-//! nothing per packet on either side of the queue.
+//! trace (verified by the determinism test). Workers share one
+//! immutable compiled program behind an `Arc` and keep their mutable
+//! state (registers, counters, decision cache) in a per-worker
+//! [`ShardCtx`](camus_pipeline::ShardCtx); each processes its packets
+//! in submission order through
+//! [`Pipeline::process_batch_shared`](camus_pipeline::Pipeline::process_batch_shared),
+//! the allocation-free batch hot path. Batches and their byte arenas
+//! are recycled through a return ring, so the steady state allocates
+//! nothing per packet on either side of the queue, and hand-off in
+//! both directions is two padded atomic words — no locks, no syscalls
+//! (see [`ring`] for the memory layout and hangup protocol).
+//!
+//! Two optional hot-path accelerators ride on top: per-worker [decision
+//! caching](camus_pipeline::DecisionCache) keyed on the sharding field
+//! ([`EngineConfig::decision_cache`] — hits skip the match chain
+//! entirely, RCU generation bumps invalidate for free), and
+//! best-effort core pinning ([`EngineConfig::pin_workers`]). Cache and
+//! ring counters surface in [`EngineReport::hotpath`] and, when
+//! telemetry is on, in the merged [`TelemetrySnapshot`].
 //!
 //! ## Update plane
 //!
@@ -79,13 +92,11 @@
 //! ```
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod ring;
 pub mod shard;
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{
-    channel, sync_channel, Receiver, RecvTimeoutError, SendError, Sender, SyncSender,
-};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -94,6 +105,7 @@ use camus_core::{CompileError, UpdateReport};
 use camus_pipeline::resources::place_chain;
 use camus_pipeline::{
     AdmissionError, AsicModel, DecisionBuf, ExecStats, ForwardDecision, Pipeline, PipelineError,
+    ShardCtx, DEFAULT_CACHE_SHIFT,
 };
 use camus_telemetry::{DataPlaneTelemetry, SpanKind, SpanSet, SpanTimer, TableCounters};
 
@@ -243,6 +255,21 @@ pub struct EngineConfig {
     /// merged [`TelemetrySnapshot`] to the report. Off by default: the
     /// uninstrumented hot path has zero clock reads.
     pub telemetry: bool,
+    /// Pin worker `i` to CPU core `i % cores` (Linux
+    /// `sched_setaffinity`, best effort — a failed or unsupported pin
+    /// leaves the thread floating, and on a single-core host every
+    /// worker lands on core 0, which is a no-op). Off by default.
+    pub pin_workers: bool,
+    /// Arm a per-worker [decision cache](camus_pipeline::DecisionCache)
+    /// keyed on the named PHV field — use the same field the shard
+    /// function keys on (e.g. `"add_order.stock"`). A cache hit skips
+    /// the whole match chain; every published generation invalidates
+    /// all caches at the adoption boundary, so cached decisions are
+    /// always from the live rule set. Silently disabled when the field
+    /// is unknown or the installed program is not provably cacheable
+    /// (stateful bindings, register ops, non-parser-sourced keys — see
+    /// [`Pipeline::cacheable_on`]). `None` (default) = off.
+    pub decision_cache: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -259,6 +286,8 @@ impl Default for EngineConfig {
             admission: Some(AsicModel::tofino32()),
             faults: FaultInjection::default(),
             telemetry: false,
+            pin_workers: false,
+            decision_cache: None,
         }
     }
 }
@@ -384,6 +413,35 @@ impl std::fmt::Display for EngineFault {
 
 impl std::error::Error for EngineFault {}
 
+/// Hot-path counters, aggregated into the [`EngineReport`] regardless
+/// of whether full telemetry is on (they are plain adds, not clock
+/// reads, so they ride the uninstrumented path for free).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotPathStats {
+    /// Decision-cache hits — packets whose match chain was skipped.
+    pub cache_hits: u64,
+    /// Decision-cache misses (full chain ran, result memoized).
+    pub cache_misses: u64,
+    /// Decision-cache slots overwritten by a conflicting key.
+    pub cache_evictions: u64,
+    /// Producer wait iterations on full rings (engine blocked on a
+    /// lagging worker, plus workers blocked returning batches).
+    pub ring_full_spins: u64,
+    /// Consumer wait iterations on empty rings (workers starved for
+    /// input, plus the engine draining recycle rings).
+    pub ring_empty_spins: u64,
+}
+
+impl HotPathStats {
+    fn merge(&mut self, other: &HotPathStats) {
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.ring_full_spins += other.ring_full_spins;
+        self.ring_empty_spins += other.ring_empty_spins;
+    }
+}
+
 struct WorkerOutput {
     index: usize,
     stats: ExecStats,
@@ -395,11 +453,12 @@ struct WorkerOutput {
     quarantined: Vec<u64>,
     died: bool,
     telemetry: Option<Box<DataPlaneTelemetry>>,
+    hotpath: HotPathStats,
 }
 
 struct WorkerHandle {
-    tx: SyncSender<Batch>,
-    recycle_rx: Receiver<Batch>,
+    tx: ring::Producer<Batch>,
+    recycle_rx: ring::Consumer<Batch>,
     pending: Batch,
     /// Batches sent but not yet returned through the recycle channel —
     /// i.e. not yet fully processed by the worker.
@@ -450,6 +509,9 @@ pub struct EngineReport {
     /// Merged cross-shard telemetry (histograms, spans, per-table
     /// counters); `Some` iff [`EngineConfig::telemetry`] was set.
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Decision-cache and ring back-pressure counters, summed across
+    /// workers and the engine thread. Always collected.
+    pub hotpath: HotPathStats,
 }
 
 /// A running multi-core engine. Create with [`Engine::start`], feed it
@@ -478,14 +540,43 @@ pub struct Engine {
     retired: Vec<WorkerOutput>,
     /// Control-plane span timings (updates, quiesce, respawns).
     spans: SpanSet,
+    /// Engine-side ring waits harvested from retired handles (the live
+    /// handles' counters are read at [`Engine::finish`]).
+    ring_full_spins: u64,
+    ring_empty_spins: u64,
 }
+
+/// Pins the calling thread to one CPU core, best effort. Raw
+/// `sched_setaffinity` so the crate stays std-only; a failure (cgroup
+/// cpuset restrictions, exotic kernels) just leaves the thread
+/// floating, which is always correct.
+#[cfg(target_os = "linux")]
+fn pin_to_core(core: usize) {
+    // 16 × 64 bits = room for CPU ids 0..1023, glibc's cpu_set_t size.
+    const MASK_WORDS: usize = 16;
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let mut mask = [0u64; MASK_WORDS];
+    let cpu = core % (MASK_WORDS * 64);
+    mask[cpu / 64] |= 1 << (cpu % 64);
+    // SAFETY: the mask outlives the call and the length matches; pid 0
+    // targets the calling thread.
+    unsafe {
+        let _ = sched_setaffinity(0, MASK_WORDS * 8, mask.as_ptr());
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_core(_core: usize) {}
 
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     index: usize,
-    mut pipeline: Pipeline,
-    rx: Receiver<Batch>,
-    recycle_tx: Sender<Batch>,
+    mut program: Arc<Pipeline>,
+    mut ctx: ShardCtx,
+    mut rx: ring::Consumer<Batch>,
+    mut recycle_tx: ring::Producer<Batch>,
     record: bool,
     published: Arc<Published>,
     start_gen: u64,
@@ -506,55 +597,51 @@ fn worker_loop(
     let has_panics = !injection.panic_seqs.is_empty();
     let has_deaths = !injection.die_seqs.is_empty();
     let has_stalls = !injection.stall_seqs.is_empty();
-    while let Ok(batch) = rx.recv() {
+    while let Some(batch) = rx.pop_blocking() {
         // Batch boundary: adopt the latest published generation, so
         // every packet in this batch runs under one complete rule set.
+        // Adoption re-points the shared `Arc` — no pipeline clone on
+        // the worker; `ShardCtx::adopt` carries `@query_counter`
+        // windows and execution counters over (never reset) and
+        // invalidates the decision cache, which is what makes cached
+        // decisions always come from the live generation.
         let generation = published.generation.load(Ordering::Acquire);
         if generation != seen_gen {
-            let next_arc = published.snapshot();
-            let mut next = (*next_arc).clone();
-            // Stateful continuity across the swap: `@query_counter`
-            // windows, execution counters and telemetry carry over,
-            // never reset.
-            next.registers.carry_from(&pipeline.registers);
-            next.exec.stats = pipeline.exec.stats.clone();
-            next.set_telemetry(pipeline.take_telemetry());
-            next.prepare();
+            let next = published.snapshot();
+            ctx.adopt(&next);
             adoptions += 1;
             coalesced += generation - seen_gen - 1;
             seen_gen = generation;
-            pipeline = next;
+            program = next;
         }
         if has_deaths && batch.seqs.iter().any(|s| injection.die_seqs.contains(s)) {
             // Scripted worker death: abandon the batch *without*
             // recycling it and stop serving the shard, with everything
             // accumulated so far intact. Leaving the batch outstanding
             // is what makes detection deterministic — the engine's
-            // next wait on the recycle channel sees the disconnect,
-            // and its in-flight ledger quarantines the batch.
+            // next wait on the recycle ring sees the hangup, and its
+            // in-flight ledger quarantines the batch.
             died = true;
             break;
         }
         if error.is_none() {
             if supervise {
-                stats_backup.copy_from(&pipeline.exec.stats);
+                stats_backup.copy_from(&ctx.exec.stats);
             }
             out.clear();
-            let run = |pipeline: &mut Pipeline, out: &mut DecisionBuf| {
+            let run = |ctx: &mut ShardCtx, out: &mut DecisionBuf| {
                 if has_panics && batch.seqs.iter().any(|s| injection.panic_seqs.contains(s)) {
                     panic!("injected worker panic (fault harness)");
                 }
                 if has_stalls && batch.seqs.iter().any(|s| injection.stall_seqs.contains(s)) {
                     std::thread::sleep(Duration::from_millis(injection.stall_ms));
                 }
-                pipeline.process_batch(batch.iter(), out)
+                program.process_batch_shared(ctx, batch.iter(), out)
             };
             let result = if supervise {
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run(&mut pipeline, &mut out)
-                }))
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&mut ctx, &mut out)))
             } else {
-                Ok(run(&mut pipeline, &mut out))
+                Ok(run(&mut ctx, &mut out))
             };
             match result {
                 Ok(Ok(())) => {
@@ -586,18 +673,35 @@ fn worker_loop(
                     faults.batches_quarantined += 1;
                     faults.packets_quarantined += batch.len() as u64;
                     quarantined.extend_from_slice(&batch.seqs);
-                    pipeline.exec.stats.copy_from(&stats_backup);
+                    ctx.exec.stats.copy_from(&stats_backup);
                 }
             }
         }
         // Hand the batch back for reuse; the engine may already be
         // finishing, in which case the recycle side is simply gone.
-        let _ = recycle_tx.send(batch);
+        let _ = recycle_tx.push_blocking(batch);
     }
-    let telemetry = pipeline.take_telemetry();
+    let cache = ctx.exec.cache_stats();
+    let hotpath = HotPathStats {
+        cache_hits: cache.as_ref().map_or(0, |c| c.hits),
+        cache_misses: cache.as_ref().map_or(0, |c| c.misses),
+        cache_evictions: cache.as_ref().map_or(0, |c| c.evictions),
+        ring_full_spins: recycle_tx.full_spins(),
+        ring_empty_spins: rx.empty_spins(),
+    };
+    let mut telemetry = ctx.exec.take_telemetry();
+    if let Some(t) = telemetry.as_deref_mut() {
+        t.add_hotpath(
+            hotpath.cache_hits,
+            hotpath.cache_misses,
+            hotpath.cache_evictions,
+            hotpath.ring_full_spins,
+            hotpath.ring_empty_spins,
+        );
+    }
     WorkerOutput {
         index,
-        stats: pipeline.exec.stats.clone(),
+        stats: ctx.exec.stats.clone(),
         decisions,
         error,
         adoptions,
@@ -606,6 +710,7 @@ fn worker_loop(
         quarantined,
         died,
         telemetry,
+        hotpath,
     }
 }
 
@@ -626,6 +731,15 @@ impl Engine {
         // template and the published slot never carry a record, so a
         // seed pipeline's own telemetry doesn't leak into workers.
         template.set_telemetry(None);
+        // Arm the decision cache on the template when configured and
+        // provably sound for this program; workers clone the (empty)
+        // armed cache into their ShardCtx. Unknown field or an
+        // uncacheable program quietly runs without one.
+        if let Some(name) = &cfg.decision_cache {
+            if let Some(field) = template.layout.get(name) {
+                let _ = template.enable_decision_cache(field, DEFAULT_CACHE_SHIFT);
+            }
+        }
         let published = Arc::new(Published {
             generation: AtomicU64::new(0),
             slot: Mutex::new(Arc::new(template.clone())),
@@ -651,6 +765,8 @@ impl Engine {
             lost_batches: 0,
             retired: Vec::new(),
             spans: SpanSet::new(),
+            ring_full_spins: 0,
+            ring_empty_spins: 0,
         };
         for wi in 0..n {
             let handle = engine.spawn_worker(wi);
@@ -669,26 +785,47 @@ impl Engine {
     /// [`RegisterFile::carry_from`]: camus_pipeline::register::RegisterFile::carry_from
     fn spawn_worker(&self, wi: usize) -> WorkerHandle {
         let start_gen = self.published.generation.load(Ordering::Acquire);
-        let slot = self.published.snapshot();
-        let mut pipeline = (*slot).clone();
-        pipeline.registers.carry_from(&self.template.registers);
-        pipeline.exec.stats.reset();
+        let program = self.published.snapshot();
+        // The compiled program is shared read-only behind the Arc; the
+        // worker's mutable state (registers, counters, hoist scratch,
+        // decision cache) lives in its own ShardCtx, cloned from the
+        // prepared template — no pipeline clone per worker.
+        let mut ctx = ShardCtx {
+            registers: program.registers.clone(),
+            exec: program.exec.clone(),
+        };
+        ctx.registers.carry_from(&self.template.registers);
+        ctx.exec.stats.reset();
         if self.cfg.telemetry {
-            pipeline.enable_telemetry(TELEMETRY_SAMPLE_SHIFT);
+            ctx.exec.enable_telemetry(TELEMETRY_SAMPLE_SHIFT);
         }
-        pipeline.prepare();
-        let (tx, rx) = sync_channel::<Batch>(self.cfg.queue_batches);
-        let (recycle_tx, recycle_rx) = channel::<Batch>();
+        // Input ring depth ≈ queue_batches (rounded to a power of
+        // two). The recycle ring gets headroom: at most queue+2
+        // batches ever exist per worker (pool growth stops once the
+        // input ring fills), so a (queue+4)-deep recycle ring means a
+        // worker's return push never blocks in steady state.
+        let (tx, rx) = ring::ring::<Batch>(self.cfg.queue_batches);
+        let (recycle_tx, recycle_rx) = ring::ring::<Batch>(self.cfg.queue_batches + 4);
         let record = self.cfg.record_decisions;
         let supervise = self.cfg.supervise;
         let injection = self.cfg.faults.clone();
         let worker_published = Arc::clone(&self.published);
+        let pin = self.cfg.pin_workers.then(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            wi % cores
+        });
         let handle = std::thread::Builder::new()
             .name(format!("camus-engine-{wi}"))
             .spawn(move || {
+                if let Some(core) = pin {
+                    pin_to_core(core);
+                }
                 worker_loop(
                     wi,
-                    pipeline,
+                    program,
+                    ctx,
                     rx,
                     recycle_tx,
                     record,
@@ -745,18 +882,18 @@ impl Engine {
             return;
         }
         let w = &mut self.workers[wi];
-        // Reuse a batch the worker has already drained, if one is
-        // waiting; otherwise grow the pool by one.
-        let mut next = match w.pool.pop() {
-            Some(b) => b,
-            None => match w.recycle_rx.try_recv() {
-                Ok(b) => {
-                    Self::note_returned(w);
-                    b
-                }
-                Err(_) => Batch::default(),
-            },
-        };
+        // Drain everything the worker has returned into the pool
+        // before dispatching. Draining *fully* (not just one) is what
+        // bounds the number of batches ever in existence to roughly
+        // the input-ring depth plus two — which in turn guarantees the
+        // worker's recycle push never finds its ring full.
+        while let Some(b) = w.recycle_rx.try_pop() {
+            Self::note_returned(w);
+            w.pool.push(b);
+        }
+        // Reuse a drained batch if one is waiting; otherwise grow the
+        // pool by one (start-up only — the steady state recycles).
+        let mut next = w.pool.pop().unwrap_or_default();
         next.clear();
         let full = std::mem::replace(&mut w.pending, next);
         self.dispatch(wi, full, true);
@@ -773,9 +910,11 @@ impl Engine {
         seqs.extend_from_slice(&batch.seqs);
         w.in_flight.push_back(seqs);
         w.outstanding += 1;
-        match w.tx.send(batch) {
+        // Blocks (backpressure) while the ring is full; hands the
+        // batch back only when the worker is gone.
+        match w.tx.push_blocking(batch) {
             Ok(()) => {}
-            Err(SendError(batch)) => {
+            Err(batch) => {
                 if let Some(mut seqs) = w.in_flight.pop_back() {
                     seqs.clear();
                     w.seq_pool.push(seqs);
@@ -805,7 +944,7 @@ impl Engine {
         let old = std::mem::replace(&mut self.workers[wi], fresh);
         let WorkerHandle {
             tx,
-            recycle_rx,
+            mut recycle_rx,
             pending: _,
             outstanding: _,
             mut in_flight,
@@ -813,6 +952,10 @@ impl Engine {
             mut pool,
             handle,
         } = old;
+        // Engine-side wait counters ride on the handles; harvest them
+        // before the halves drop.
+        self.ring_full_spins += tx.full_spins();
+        self.ring_empty_spins += recycle_rx.empty_spins();
         drop(tx);
         match handle.join() {
             Ok(out) => self.retired.push(out),
@@ -825,7 +968,7 @@ impl Engine {
         }
         // Batches the dead worker finished before dying are recycled
         // and reusable; anything still in flight went down with it.
-        while let Ok(b) = recycle_rx.try_recv() {
+        while let Some(b) = recycle_rx.try_pop() {
             if let Some(mut seqs) = in_flight.pop_front() {
                 seqs.clear();
                 seq_pool.push(seqs);
@@ -865,19 +1008,19 @@ impl Engine {
                 if w.outstanding == 0 {
                     break;
                 }
-                match w.recycle_rx.recv_timeout(watchdog) {
-                    Ok(b) => {
+                match w.recycle_rx.pop_deadline(watchdog) {
+                    ring::PopDeadline::Item(b) => {
                         Self::note_returned(w);
                         w.pool.push(b);
                     }
-                    Err(RecvTimeoutError::Timeout) => {
+                    ring::PopDeadline::Timeout => {
                         return Err(EngineFault::QuiesceTimeout {
                             worker: wi,
                             outstanding: w.outstanding,
                             waited_ms: self.cfg.watchdog_ms,
                         });
                     }
-                    Err(RecvTimeoutError::Disconnected) => {
+                    ring::PopDeadline::Closed => {
                         // Dead worker: harvest and replace, then keep
                         // draining (the replacement starts idle).
                         self.respawn_worker(wi);
@@ -1005,23 +1148,28 @@ impl Engine {
         let mut lost_batches = self.lost_batches;
         let mut unwound = self.unwound_workers;
 
+        let mut engine_full_spins = self.ring_full_spins;
+        let mut engine_empty_spins = self.ring_empty_spins;
         for w in std::mem::take(&mut self.workers) {
             let WorkerHandle {
                 tx,
-                recycle_rx,
+                mut recycle_rx,
                 mut in_flight,
                 handle,
                 ..
             } = w;
-            // Dropping the sender ends the worker's recv loop.
+            engine_full_spins += tx.full_spins();
+            engine_empty_spins += recycle_rx.empty_spins();
+            // Dropping the producer half ends the worker's pop loop
+            // once it drains what remains.
             drop(tx);
             match handle.join() {
                 Ok(out) => outputs.push(out),
                 Err(_) => unwound += 1,
             }
             // Everything the worker processed came back through the
-            // recycle channel; whatever didn't went down with it.
-            while recycle_rx.try_recv().is_ok() {
+            // recycle ring; whatever didn't went down with it.
+            while recycle_rx.try_pop().is_some() {
                 in_flight.pop_front();
             }
             for seqs in in_flight.drain(..) {
@@ -1041,11 +1189,17 @@ impl Engine {
         };
         let mut quarantined: Vec<u64> = Vec::new();
         let mut snapshot = self.cfg.telemetry.then(|| TelemetrySnapshot::new(workers));
+        let mut hotpath = HotPathStats {
+            ring_full_spins: engine_full_spins,
+            ring_empty_spins: engine_empty_spins,
+            ..HotPathStats::default()
+        };
         for out in outputs {
             per_worker[out.index].merge(&out.stats);
             if let (Some(snap), Some(t)) = (snapshot.as_mut(), out.telemetry.as_deref()) {
                 snap.absorb_worker(t);
             }
+            hotpath.merge(&out.hotpath);
             all_decisions.extend(out.decisions);
             updates.adoptions += out.adoptions;
             updates.coalesced += out.coalesced;
@@ -1074,6 +1228,11 @@ impl Engine {
         if let Some(snap) = snapshot.as_mut() {
             snap.packets = stats.packets;
             snap.spans = self.spans.clone();
+            // Worker-side hot-path counters were folded into each
+            // worker's record before absorption; only the engine
+            // thread's own ring waits remain to be added.
+            snap.data
+                .add_hotpath(0, 0, 0, engine_full_spins, engine_empty_spins);
             // Per-table counters resolve to the installed program's
             // table names (the aggregated ExecStats vectors are indexed
             // in pipeline table order).
@@ -1101,6 +1260,7 @@ impl Engine {
             faults,
             quarantined,
             telemetry: snapshot,
+            hotpath,
         }
     }
 }
@@ -1574,6 +1734,156 @@ mod tests {
         assert!(report.error.is_none());
         assert_eq!(report.decisions.len(), 1);
         assert_eq!(report.decisions[0].ports, vec![PortId(1)]);
+    }
+
+    #[test]
+    fn decision_cache_preserves_decisions_and_counts_hits() {
+        let pipeline = byte_pipeline();
+        let packets: Vec<Vec<u8>> = (0..400u32).map(|i| vec![(i % 7) as u8]).collect();
+        let run = |cache: Option<String>| {
+            let cfg = EngineConfig {
+                workers: 2,
+                batch_packets: 16,
+                record_decisions: true,
+                decision_cache: cache,
+                ..Default::default()
+            };
+            run_trace(
+                &pipeline,
+                &cfg,
+                first_byte_shard(),
+                packets.iter().map(|p| (p.as_slice(), 0u64)),
+            )
+        };
+        let off = run(None);
+        let on = run(Some("sym".into()));
+        assert!(on.error.is_none(), "{:?}", on.error);
+        // Bit-identical forwarding and counters, cache on vs off.
+        assert_eq!(on.decisions, off.decisions);
+        assert_eq!(on.stats, off.stats);
+        assert_eq!(off.hotpath.cache_hits + off.hotpath.cache_misses, 0);
+        // 7 distinct keys; everything after the first sighting hits.
+        assert!(on.hotpath.cache_hits >= 350, "{:?}", on.hotpath);
+        assert_eq!(
+            on.hotpath.cache_hits + on.hotpath.cache_misses,
+            on.stats.messages
+        );
+    }
+
+    #[test]
+    fn unknown_cache_field_is_silently_disabled() {
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 4,
+            record_decisions: true,
+            decision_cache: Some("no.such.field".into()),
+            ..Default::default()
+        };
+        let packets: Vec<Vec<u8>> = (0..16u32).map(|i| vec![(i % 5) as u8]).collect();
+        let report = run_trace(
+            &pipeline,
+            &cfg,
+            first_byte_shard(),
+            packets.iter().map(|p| (p.as_slice(), 0u64)),
+        );
+        assert!(report.error.is_none());
+        assert_eq!(report.hotpath.cache_hits + report.hotpath.cache_misses, 0);
+        assert_eq!(report.decisions.len(), 16);
+    }
+
+    #[test]
+    fn install_invalidates_worker_caches() {
+        // A cached decision must never survive a generation bump: cache
+        // port 1 for byte 1, swap in a program that forwards byte 1 to
+        // port 9, and check no stale hit leaks through.
+        let pipeline = byte_pipeline();
+        let mut alt = byte_pipeline();
+        let entry = |port| Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(1)],
+            ops: vec![ActionOp::Forward(PortId(port))],
+        };
+        alt.tables[0]
+            .splice_entries(&[entry(1)], &[entry(9)])
+            .unwrap();
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 4,
+            record_decisions: true,
+            decision_cache: Some("sym".into()),
+            ..Default::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        for _ in 0..20 {
+            engine.submit(&[1], 0);
+        }
+        engine.quiesce().unwrap();
+        engine.install_pipeline(&alt).unwrap();
+        for _ in 0..20 {
+            engine.submit(&[1], 0);
+        }
+        let report = engine.finish();
+        assert!(report.error.is_none(), "{:?}", report.error);
+        for d in &report.decisions[..20] {
+            assert_eq!(d.ports, vec![PortId(1)]);
+        }
+        for d in &report.decisions[20..] {
+            assert_eq!(d.ports, vec![PortId(9)]);
+        }
+        // Both generations were cached: ≥2 misses, plenty of hits.
+        assert!(report.hotpath.cache_misses >= 2, "{:?}", report.hotpath);
+        assert!(report.hotpath.cache_hits >= 30, "{:?}", report.hotpath);
+    }
+
+    #[test]
+    fn pinned_workers_degrade_gracefully() {
+        // Pinning is best-effort: on any host (1 core, restricted
+        // cpusets, non-Linux) the engine must still forward correctly.
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 4,
+            batch_packets: 8,
+            record_decisions: true,
+            pin_workers: true,
+            ..Default::default()
+        };
+        let packets: Vec<Vec<u8>> = (0..200u32).map(|i| vec![(i % 7) as u8]).collect();
+        let report = run_trace(
+            &pipeline,
+            &cfg,
+            first_byte_shard(),
+            packets.iter().map(|p| (p.as_slice(), 0u64)),
+        );
+        assert!(report.error.is_none());
+        assert_eq!(report.stats.packets, 200);
+        assert_eq!(report.decisions.len(), 200);
+        assert_eq!(report.faults, FaultStats::default());
+    }
+
+    #[test]
+    fn telemetry_snapshot_carries_hotpath_counters() {
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 1,
+            batch_packets: 8,
+            telemetry: true,
+            decision_cache: Some("sym".into()),
+            ..Default::default()
+        };
+        let packets: Vec<Vec<u8>> = (0..64u32).map(|i| vec![(i % 3) as u8]).collect();
+        let report = run_trace(
+            &pipeline,
+            &cfg,
+            first_byte_shard(),
+            packets.iter().map(|p| (p.as_slice(), 0u64)),
+        );
+        let snap = report.telemetry.expect("telemetry requested");
+        assert_eq!(snap.data.decision_cache_hits, report.hotpath.cache_hits);
+        assert_eq!(snap.data.decision_cache_misses, report.hotpath.cache_misses);
+        assert_eq!(snap.data.ring_full_spins, report.hotpath.ring_full_spins);
+        assert_eq!(snap.data.ring_empty_spins, report.hotpath.ring_empty_spins);
+        assert!(report.hotpath.cache_hits > 0);
     }
 
     #[test]

@@ -47,12 +47,19 @@ const STOCK_OFFSET: usize = 24;
 /// Extracts the first add-order's stock symbol (as a big-endian `u64`)
 /// from an Ethernet/IPv4/UDP/MoldUDP64/ITCH frame. Returns `None` when
 /// any layer is malformed or the packet carries no add-order message.
+///
+/// Multi-byte fields use the SWAR loads from [`camus_itch::bytes`]
+/// (single wide reads with zero-filled tails), so the walk stays
+/// branch-lean and panic-free even on truncated frames — the explicit
+/// length guards keep the semantics identical to the old
+/// byte-at-a-time version.
 pub fn itch_symbol_key(packet: &[u8]) -> Option<u64> {
+    use camus_itch::bytes::{load_be_u16, load_be_u64};
     if packet.len() < ETH_LEN + 20 {
         return None;
     }
     // Ethertype must be IPv4.
-    if packet[12] != 0x08 || packet[13] != 0x00 {
+    if load_be_u16(packet, 12) != 0x0800 {
         return None;
     }
     let ip = &packet[ETH_LEN..];
@@ -67,23 +74,21 @@ pub fn itch_symbol_key(packet: &[u8]) -> Option<u64> {
     if mold.len() < MOLD_HEADER_LEN {
         return None;
     }
-    let count = usize::from(u16::from_be_bytes([mold[18], mold[19]]));
+    let count = usize::from(load_be_u16(mold, 18));
     let mut off = MOLD_HEADER_LEN;
     for _ in 0..count {
         if off + 2 > mold.len() {
             return None;
         }
-        let len = usize::from(u16::from_be_bytes([mold[off], mold[off + 1]]));
+        let len = usize::from(load_be_u16(mold, off));
         off += 2;
         if off + len > mold.len() {
             return None;
         }
         let msg = &mold[off..off + len];
         if len >= ADD_ORDER_LEN && msg[0] == b'A' {
-            let sym = msg.get(STOCK_OFFSET..STOCK_OFFSET + 8)?;
-            let mut bytes = [0u8; 8];
-            bytes.copy_from_slice(sym);
-            return Some(u64::from_be_bytes(bytes));
+            // One 8-byte read; len >= 36 guarantees it is in bounds.
+            return Some(load_be_u64(msg, STOCK_OFFSET));
         }
         off += len;
     }

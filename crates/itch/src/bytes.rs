@@ -32,6 +32,114 @@ pub(crate) fn le_u32(b: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(arr(b, off))
 }
 
+// ---------------------------------------------------------------------
+// SWAR loads: single wide reads with masked tails.
+//
+// The `load_*` family below is the hot-path variant of the readers
+// above: an in-bounds read compiles to one unaligned word load (the
+// bounds check is a single compare), and a read crossing the end of
+// the buffer zero-fills the *missing* bytes only ("masked tail")
+// instead of zeroing the whole value. Behind the decoders' length
+// guards both semantics coincide — every call site reads fully
+// in-bounds — but the masked-tail definition is total on arbitrary
+// `(bytes, offset)` inputs, which is what the property tests exercise.
+//
+// Each SWAR load has a `*_scalar` twin: the obviously-correct
+// byte-at-a-time fold that serves as the executable specification the
+// proptests compare against. Keep the pairs in sync.
+// ---------------------------------------------------------------------
+
+/// Reads `N` bytes at `off` into a word buffer, zero-filling only the
+/// bytes past the end of `b` (the masked tail).
+#[inline]
+fn load_tail<const N: usize>(b: &[u8], off: usize) -> [u8; N] {
+    let mut w = [0u8; N];
+    let avail = b.len().saturating_sub(off).min(N);
+    if avail > 0 {
+        w[..avail].copy_from_slice(&b[off..off + avail]);
+    }
+    w
+}
+
+/// Big-endian u64 at `off` as one wide load; bytes past the end of the
+/// buffer read as zero (masked tail).
+#[inline]
+pub fn load_be_u64(b: &[u8], off: usize) -> u64 {
+    match off.checked_add(8).and_then(|end| b.get(off..end)) {
+        Some(s) => u64::from_be_bytes(s.try_into().unwrap_or([0u8; 8])),
+        None => u64::from_be_bytes(load_tail::<8>(b, off)),
+    }
+}
+
+/// Big-endian u32 at `off` with a masked tail.
+#[inline]
+pub fn load_be_u32(b: &[u8], off: usize) -> u32 {
+    match off.checked_add(4).and_then(|end| b.get(off..end)) {
+        Some(s) => u32::from_be_bytes(s.try_into().unwrap_or([0u8; 4])),
+        None => u32::from_be_bytes(load_tail::<4>(b, off)),
+    }
+}
+
+/// Big-endian u16 at `off` with a masked tail.
+#[inline]
+pub fn load_be_u16(b: &[u8], off: usize) -> u16 {
+    match off.checked_add(2).and_then(|end| b.get(off..end)) {
+        Some(s) => u16::from_be_bytes(s.try_into().unwrap_or([0u8; 2])),
+        None => u16::from_be_bytes(load_tail::<2>(b, off)),
+    }
+}
+
+/// Little-endian u32 at `off` with a masked tail.
+#[inline]
+pub fn load_le_u32(b: &[u8], off: usize) -> u32 {
+    match off.checked_add(4).and_then(|end| b.get(off..end)) {
+        Some(s) => u32::from_le_bytes(s.try_into().unwrap_or([0u8; 4])),
+        None => u32::from_le_bytes(load_tail::<4>(b, off)),
+    }
+}
+
+/// Byte-at-a-time reference for [`load_be_u64`]: missing bytes fold in
+/// as zero at the low end (big-endian tail).
+pub fn load_be_u64_scalar(b: &[u8], off: usize) -> u64 {
+    let mut v = 0u64;
+    for i in 0..8 {
+        let byte = off.checked_add(i).and_then(|j| b.get(j)).map_or(0, |&x| x);
+        v = (v << 8) | u64::from(byte);
+    }
+    v
+}
+
+/// Byte-at-a-time reference for [`load_be_u32`].
+pub fn load_be_u32_scalar(b: &[u8], off: usize) -> u32 {
+    let mut v = 0u32;
+    for i in 0..4 {
+        let byte = off.checked_add(i).and_then(|j| b.get(j)).map_or(0, |&x| x);
+        v = (v << 8) | u32::from(byte);
+    }
+    v
+}
+
+/// Byte-at-a-time reference for [`load_be_u16`].
+pub fn load_be_u16_scalar(b: &[u8], off: usize) -> u16 {
+    let mut v = 0u16;
+    for i in 0..2 {
+        let byte = off.checked_add(i).and_then(|j| b.get(j)).map_or(0, |&x| x);
+        v = (v << 8) | u16::from(byte);
+    }
+    v
+}
+
+/// Byte-at-a-time reference for [`load_le_u32`]: missing bytes fold in
+/// as zero at the high end (little-endian tail).
+pub fn load_le_u32_scalar(b: &[u8], off: usize) -> u32 {
+    let mut v = 0u32;
+    for i in 0..4 {
+        let byte = off.checked_add(i).and_then(|j| b.get(j)).map_or(0, |&x| x);
+        v |= u32::from(byte) << (8 * i);
+    }
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +158,56 @@ mod tests {
         assert_eq!(be_u32(&b, 1), 0);
         assert_eq!(be_u64(&b, 0), 0);
         assert_eq!(arr::<6>(&b, usize::MAX), [0u8; 6]);
+    }
+
+    #[test]
+    fn swar_loads_match_std_in_bounds() {
+        let b = [1u8, 2, 3, 4, 5, 6, 7, 8, 9];
+        assert_eq!(
+            load_be_u64(&b, 1),
+            u64::from_be_bytes([2, 3, 4, 5, 6, 7, 8, 9])
+        );
+        assert_eq!(load_be_u32(&b, 0), u32::from_be_bytes([1, 2, 3, 4]));
+        assert_eq!(load_be_u16(&b, 7), u16::from_be_bytes([8, 9]));
+        assert_eq!(load_le_u32(&b, 5), u32::from_le_bytes([6, 7, 8, 9]));
+    }
+
+    #[test]
+    fn swar_tails_mask_missing_bytes() {
+        // Unlike `arr`, partial overruns keep the in-range bytes.
+        let b = [0xAAu8, 0xBB];
+        assert_eq!(load_be_u32(&b, 1), 0xBB00_0000);
+        assert_eq!(load_be_u32_scalar(&b, 1), 0xBB00_0000);
+        assert_eq!(load_le_u32(&b, 1), 0x0000_00BB);
+        assert_eq!(load_be_u16(&b, 2), 0);
+        assert_eq!(load_be_u64(&b, usize::MAX), 0);
+        assert_eq!(load_be_u64_scalar(&b, usize::MAX), 0);
+    }
+
+    #[test]
+    fn swar_loads_agree_with_scalar_twins_on_edges() {
+        let b: Vec<u8> = (1..=11u8).collect();
+        for off in 0..16usize {
+            assert_eq!(
+                load_be_u64(&b, off),
+                load_be_u64_scalar(&b, off),
+                "u64 @{off}"
+            );
+            assert_eq!(
+                load_be_u32(&b, off),
+                load_be_u32_scalar(&b, off),
+                "u32 @{off}"
+            );
+            assert_eq!(
+                load_be_u16(&b, off),
+                load_be_u16_scalar(&b, off),
+                "u16 @{off}"
+            );
+            assert_eq!(
+                load_le_u32(&b, off),
+                load_le_u32_scalar(&b, off),
+                "le32 @{off}"
+            );
+        }
     }
 }

@@ -36,8 +36,7 @@ impl<T: AsRef<[u8]>> Frame<T> {
 
     /// EtherType.
     pub fn ethertype(&self) -> u16 {
-        let b = self.buffer.as_ref();
-        u16::from_be_bytes([b[12], b[13]])
+        crate::bytes::load_be_u16(self.buffer.as_ref(), 12)
     }
 
     /// Payload after the header.

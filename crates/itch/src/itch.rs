@@ -7,7 +7,7 @@
 //! dominate real ITCH traffic so trace synthesis can mix realistic
 //! non-add-order noise.
 
-use crate::bytes::{arr, be_u32, be_u64};
+use crate::bytes::{arr, load_be_u16, load_be_u32, load_be_u64};
 use crate::WireError;
 
 /// Buy/sell indicator of an order.
@@ -116,17 +116,19 @@ impl AddOrder {
         if b[0] != b'A' {
             return Err(WireError::BadValue("itch add-order type"));
         }
-        let mut ts = [0u8; 8];
-        ts[2..8].copy_from_slice(&b[5..11]);
+        // SWAR field extraction: each multi-byte field is one wide
+        // load (the length guard above makes every read in-bounds).
+        // The 48-bit timestamp is the low 6 bytes of the u64 at
+        // offset 3, masked — no scratch array, no byte loop.
         Ok(AddOrder {
-            stock_locate: u16::from_be_bytes([b[1], b[2]]),
-            tracking_number: u16::from_be_bytes([b[3], b[4]]),
-            timestamp_ns: u64::from_be_bytes(ts),
-            order_ref: be_u64(b, 11),
+            stock_locate: load_be_u16(b, 1),
+            tracking_number: load_be_u16(b, 3),
+            timestamp_ns: load_be_u64(b, 3) & 0x0000_ffff_ffff_ffff,
+            order_ref: load_be_u64(b, 11),
             side: Side::from_byte(b[19])?,
-            shares: be_u32(b, 20),
+            shares: load_be_u32(b, 20),
             stock: arr(b, 24),
-            price: be_u32(b, 32),
+            price: load_be_u32(b, 32),
         })
     }
 
@@ -282,33 +284,33 @@ impl ItchMessage {
             b'E' => {
                 need(31)?;
                 Ok(ItchMessage::OrderExecuted {
-                    order_ref: be_u64(b, 11),
-                    shares: be_u32(b, 19),
-                    match_no: be_u64(b, 23),
+                    order_ref: load_be_u64(b, 11),
+                    shares: load_be_u32(b, 19),
+                    match_no: load_be_u64(b, 23),
                 })
             }
             b'X' => {
                 need(23)?;
                 Ok(ItchMessage::OrderCancel {
-                    order_ref: be_u64(b, 11),
-                    shares: be_u32(b, 19),
+                    order_ref: load_be_u64(b, 11),
+                    shares: load_be_u32(b, 19),
                 })
             }
             b'D' => {
                 need(19)?;
                 Ok(ItchMessage::OrderDelete {
-                    order_ref: be_u64(b, 11),
+                    order_ref: load_be_u64(b, 11),
                 })
             }
             b'P' => {
                 need(44)?;
                 Ok(ItchMessage::Trade {
-                    order_ref: be_u64(b, 11),
+                    order_ref: load_be_u64(b, 11),
                     side: Side::from_byte(b[19])?,
-                    shares: be_u32(b, 20),
+                    shares: load_be_u32(b, 20),
                     stock: arr(b, 24),
-                    price: be_u32(b, 32),
-                    match_no: be_u64(b, 36),
+                    price: load_be_u32(b, 32),
+                    match_no: load_be_u64(b, 36),
                 })
             }
             _ => Err(WireError::BadValue("itch message type")),

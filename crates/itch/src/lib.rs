@@ -33,7 +33,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod arena;
-pub(crate) mod bytes;
+pub mod bytes;
 pub mod ether;
 pub mod feed;
 pub mod ipv4;

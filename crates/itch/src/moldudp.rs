@@ -3,6 +3,7 @@
 //! Layout: 10-byte session id, 8-byte sequence number, 2-byte message
 //! count, then `count` message blocks of `[length: u16][payload]`.
 
+use crate::bytes::load_be_u16;
 use crate::WireError;
 
 /// MoldUDP64 header length (session + sequence + count).
@@ -22,13 +23,13 @@ impl<T: AsRef<[u8]>> MoldPacket<T> {
         if b.len() < HEADER_LEN {
             return Err(WireError::Truncated("moldudp64 header"));
         }
-        let count = usize::from(u16::from_be_bytes([b[18], b[19]]));
+        let count = usize::from(load_be_u16(b, 18));
         let mut off = HEADER_LEN;
         for _ in 0..count {
             if off + 2 > b.len() {
                 return Err(WireError::Truncated("moldudp64 block length"));
             }
-            let len = usize::from(u16::from_be_bytes([b[off], b[off + 1]]));
+            let len = usize::from(load_be_u16(b, off));
             off += 2;
             if off + len > b.len() {
                 return Err(WireError::BadLength("moldudp64 block"));
@@ -54,7 +55,7 @@ impl<T: AsRef<[u8]>> MoldPacket<T> {
 
     /// Number of message blocks.
     pub fn message_count(&self) -> usize {
-        usize::from(u16::from_be_bytes([self.b()[18], self.b()[19]]))
+        usize::from(load_be_u16(self.b(), 18))
     }
 
     /// Iterates the message payloads.
@@ -81,11 +82,9 @@ impl<'a> Iterator for MessageIter<'a> {
         if self.remaining == 0 {
             return None;
         }
-        // Bounds were validated in new_checked.
-        let len = usize::from(u16::from_be_bytes([
-            self.buf[self.off],
-            self.buf[self.off + 1],
-        ]));
+        // Bounds were validated in new_checked; the total load keeps
+        // the walk panic-free even through a hand-built iterator.
+        let len = usize::from(load_be_u16(self.buf, self.off));
         let start = self.off + 2;
         self.off = start + len;
         self.remaining -= 1;

@@ -1,6 +1,7 @@
 //! UDP datagrams. Checksums are optional in IPv4 (0 = none); market
 //! feeds routinely disable them, and so does our builder by default.
 
+use crate::bytes::load_be_u16;
 use crate::WireError;
 
 /// UDP header length.
@@ -19,7 +20,7 @@ impl<T: AsRef<[u8]>> Datagram<T> {
         if b.len() < HEADER_LEN {
             return Err(WireError::Truncated("udp header"));
         }
-        let len = usize::from(u16::from_be_bytes([b[4], b[5]]));
+        let len = usize::from(load_be_u16(b, 4));
         if len < HEADER_LEN || len > b.len() {
             return Err(WireError::BadLength("udp length"));
         }
@@ -32,17 +33,17 @@ impl<T: AsRef<[u8]>> Datagram<T> {
 
     /// Source port.
     pub fn src_port(&self) -> u16 {
-        u16::from_be_bytes([self.b()[0], self.b()[1]])
+        load_be_u16(self.b(), 0)
     }
 
     /// Destination port.
     pub fn dst_port(&self) -> u16 {
-        u16::from_be_bytes([self.b()[2], self.b()[3]])
+        load_be_u16(self.b(), 2)
     }
 
     /// Datagram length per the header (header + payload).
     pub fn len(&self) -> usize {
-        usize::from(u16::from_be_bytes([self.b()[4], self.b()[5]]))
+        usize::from(load_be_u16(self.b(), 4))
     }
 
     /// True when the datagram carries no payload.

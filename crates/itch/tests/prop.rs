@@ -1,0 +1,62 @@
+//! Property tests for the SWAR field extractors: on *arbitrary* bytes,
+//! at *every* offset (in range, straddling the end, or far past it),
+//! each wide load must agree bit-for-bit with its byte-at-a-time
+//! scalar twin — and neither may ever panic. The scalar twins are the
+//! executable spec; these tests are what let the decoders use single
+//! wide reads without weakening the crate's total no-panic guarantee.
+
+// Gated off by default: the vendored `proptest` subset is heavier than
+// the tier-1 tests. Enable with `cargo test --features proptest`.
+#![cfg(feature = "proptest")]
+
+use camus_itch::bytes::{
+    load_be_u16, load_be_u16_scalar, load_be_u32, load_be_u32_scalar, load_be_u64,
+    load_be_u64_scalar, load_le_u32, load_le_u32_scalar,
+};
+use camus_itch::itch::ItchMessage;
+use camus_itch::moldudp::MoldPacket;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Wide loads agree with the scalar spec at every offset,
+    /// including offsets that truncate the read or miss the buffer
+    /// entirely (`buf.len() + 16` comfortably covers both).
+    #[test]
+    fn swar_loads_match_scalar_twins(
+        buf in prop::collection::vec(any::<u8>(), 0..64),
+        off in 0usize..80,
+    ) {
+        prop_assert_eq!(load_be_u64(&buf, off), load_be_u64_scalar(&buf, off));
+        prop_assert_eq!(load_be_u32(&buf, off), load_be_u32_scalar(&buf, off));
+        prop_assert_eq!(load_be_u16(&buf, off), load_be_u16_scalar(&buf, off));
+        prop_assert_eq!(load_le_u32(&buf, off), load_le_u32_scalar(&buf, off));
+    }
+
+    /// Degenerate offsets (wrap-around candidates) never panic and
+    /// read as all-missing.
+    #[test]
+    fn extreme_offsets_read_zero(buf in prop::collection::vec(any::<u8>(), 0..32)) {
+        for off in [usize::MAX, usize::MAX - 7, usize::MAX / 2] {
+            prop_assert_eq!(load_be_u64(&buf, off), 0);
+            prop_assert_eq!(load_be_u32(&buf, off), 0);
+            prop_assert_eq!(load_be_u16(&buf, off), 0);
+            prop_assert_eq!(load_le_u32(&buf, off), 0);
+        }
+    }
+
+    /// The vectorized decoders stay total: arbitrary byte soup through
+    /// the ITCH message decoder and the MoldUDP64 walker returns a
+    /// typed result, never a panic.
+    #[test]
+    fn decoders_never_panic_on_arbitrary_bytes(
+        buf in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let _ = ItchMessage::decode(&buf);
+        if let Ok(p) = MoldPacket::new_checked(&buf[..]) {
+            // Iterating the blocks exercises the SWAR length reads.
+            let _ = p.messages().count();
+        }
+    }
+}

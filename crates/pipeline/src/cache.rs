@@ -1,0 +1,240 @@
+//! Hot-symbol decision cache (the NetCache idea applied to our own
+//! data plane).
+//!
+//! Symbol popularity in market feeds is Zipf: a handful of tickers
+//! dominate the traffic. The match stage, by contrast, pays the full
+//! table chain for every message. This module memoizes the chain's
+//! *outcome* per key value of one designated field (the sharding
+//! field, e.g. `add_order.stock`): on a hit the executor replays the
+//! stored port set and per-table hit/miss counters and skips table
+//! evaluation entirely.
+//!
+//! ## Soundness
+//!
+//! Caching is only armed when [`Pipeline::cacheable_on`] proves the
+//! chain's decision is a pure function of the key field for the
+//! *installed* program:
+//!
+//! * no state bindings (register reads vary with time and traffic);
+//! * no `ActionOp::Register` anywhere (register writes are per-message
+//!   side effects that must not be skipped);
+//! * at most 64 tables (the per-table hit/miss replay mask is a u64);
+//! * every table key field is either the cache key field itself,
+//!   message-invariant (an `init_fields` constant), or never written
+//!   by the parser (so its pre-chain value is the same for every
+//!   message of a generation).
+//!
+//! Under those conditions the chain is a deterministic function of the
+//! key field's value (mid-chain `SetField` writes are constants, so
+//! they preserve determinism), and replaying a stored decision is
+//! bit-identical to re-evaluating it — including the per-table
+//! counters, which the stored hit mask reproduces exactly.
+//!
+//! ## Invalidation
+//!
+//! A cache is valid for exactly one compiled generation. The two
+//! mutation paths both invalidate for free: the engine's RCU
+//! generation bump rebuilds the worker context against the new program
+//! ([`invalidate_all`](DecisionCache::invalidate_all) keeps the slot
+//! storage and counters, so adoption stays allocation-light), and the
+//! sequential path's [`Pipeline::prepare`] clears the cache whenever a
+//! table was mutated (`splice_entries` / `add_entry` mark it dirty).
+//!
+//! [`Pipeline::prepare`]: crate::pipeline::Pipeline::prepare
+//! [`Pipeline::cacheable_on`]: crate::pipeline::Pipeline::cacheable_on
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use crate::multicast::PortId;
+use crate::phv::PhvField;
+
+/// Default direct-mapped size: `2^10` = 1024 slots — comfortably more
+/// than the hot symbol set of a Zipf trace, small enough to stay cache
+/// resident.
+pub const DEFAULT_CACHE_SHIFT: u32 = 10;
+
+/// SplitMix64 finalizer — decorrelates structured keys (ASCII stock
+/// symbols) before the power-of-two index mask.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Aggregated cache counters (exported through telemetry and the
+/// engine report).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Messages answered from the cache (table chain skipped).
+    pub hits: u64,
+    /// Messages that evaluated the full chain (and filled a slot).
+    pub misses: u64,
+    /// Valid slots overwritten by a different key (direct-mapped
+    /// conflict).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
+}
+
+/// One direct-mapped slot: the key tag plus the memoized per-message
+/// outcome. `ports` is recycled in place on eviction, so a warmed
+/// cache refills without allocating.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    key: u64,
+    valid: bool,
+    /// Bit `i` set ⇔ table `i` hit a non-default entry for this key.
+    hit_mask: u64,
+    /// The ports this key's message contributes (sorted, deduplicated —
+    /// the packet-level union is insensitive to inner order).
+    ports: Vec<PortId>,
+}
+
+/// A per-shard, direct-mapped decision cache keyed on one PHV field.
+#[derive(Debug, Clone)]
+pub struct DecisionCache {
+    key_field: PhvField,
+    mask: usize,
+    slots: Vec<Slot>,
+    /// Hit/miss/eviction counters, carried across RCU adoptions.
+    pub stats: CacheStats,
+}
+
+impl DecisionCache {
+    /// An empty cache with `2^shift` slots keyed on `key_field`.
+    pub fn new(key_field: PhvField, shift: u32) -> Self {
+        let n = 1usize << shift.min(20);
+        DecisionCache {
+            key_field,
+            mask: n - 1,
+            slots: vec![Slot::default(); n],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The PHV field decisions are keyed on.
+    pub fn key_field(&self) -> PhvField {
+        self.key_field
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache has zero slots (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Drops every memoized decision but keeps the slot storage and
+    /// the counters — the generation-bump invalidation path.
+    pub fn invalidate_all(&mut self) {
+        for s in &mut self.slots {
+            s.valid = false;
+        }
+    }
+
+    #[inline]
+    fn index(&self, key: u64) -> usize {
+        (mix64(key) as usize) & self.mask
+    }
+
+    /// Looks `key` up; on a hit appends the memoized ports to `ports`
+    /// and returns the stored table hit mask. Counters are updated
+    /// either way.
+    #[inline]
+    pub fn lookup(&mut self, key: u64, ports: &mut Vec<PortId>) -> Option<u64> {
+        let i = self.index(key);
+        let s = &self.slots[i];
+        if s.valid && s.key == key {
+            self.stats.hits += 1;
+            ports.extend_from_slice(&s.ports);
+            Some(s.hit_mask)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Memoizes a freshly evaluated decision: the ports the message
+    /// appended (`appended`) and the table hit mask the evaluation
+    /// produced. Replaces whatever occupied the slot.
+    #[inline]
+    pub fn insert(&mut self, key: u64, appended: &[PortId], hit_mask: u64) {
+        let i = self.index(key);
+        let s = &mut self.slots[i];
+        if s.valid && s.key != key {
+            self.stats.evictions += 1;
+        }
+        s.key = key;
+        s.valid = true;
+        s.hit_mask = hit_mask;
+        s.ports.clear();
+        s.ports.extend_from_slice(appended);
+        s.ports.sort_unstable();
+        s.ports.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_replays_ports_and_mask() {
+        let mut c = DecisionCache::new(PhvField(0), 4);
+        let mut ports = Vec::new();
+        assert_eq!(c.lookup(42, &mut ports), None);
+        c.insert(42, &[PortId(3), PortId(1), PortId(3)], 0b101);
+        assert_eq!(c.lookup(42, &mut ports), Some(0b101));
+        // Stored ports are sorted and deduplicated.
+        assert_eq!(ports, vec![PortId(1), PortId(3)]);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.evictions, 0);
+    }
+
+    #[test]
+    fn conflicting_key_evicts() {
+        let mut c = DecisionCache::new(PhvField(0), 0); // one slot
+        c.insert(1, &[PortId(1)], 1);
+        c.insert(2, &[PortId(2)], 0);
+        assert_eq!(c.stats.evictions, 1);
+        let mut ports = Vec::new();
+        assert_eq!(c.lookup(1, &mut ports), None);
+        assert_eq!(c.lookup(2, &mut ports), Some(0));
+        assert_eq!(ports, vec![PortId(2)]);
+    }
+
+    #[test]
+    fn invalidate_keeps_counters_and_storage() {
+        let mut c = DecisionCache::new(PhvField(0), 2);
+        c.insert(7, &[PortId(9)], 1);
+        let mut ports = Vec::new();
+        c.lookup(7, &mut ports).unwrap();
+        c.invalidate_all();
+        assert_eq!(c.lookup(7, &mut ports), None);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn empty_port_set_hits_too() {
+        // A key whose message forwards nowhere is still worth caching:
+        // the chain is skipped and zero ports are appended.
+        let mut c = DecisionCache::new(PhvField(0), 2);
+        c.insert(5, &[], 0);
+        let mut ports = Vec::new();
+        assert_eq!(c.lookup(5, &mut ports), Some(0));
+        assert!(ports.is_empty());
+    }
+}

@@ -29,6 +29,7 @@
 //!   tables → leaf table → forward.
 
 pub mod bits;
+pub mod cache;
 pub mod error;
 pub mod multicast;
 pub mod parser;
@@ -38,10 +39,13 @@ pub mod register;
 pub mod resources;
 pub mod table;
 
+pub use cache::{CacheStats, DecisionCache, DEFAULT_CACHE_SHIFT};
 pub use camus_telemetry::{DataPlaneTelemetry, Histogram, TelemetrySnapshot};
 pub use error::PipelineError;
 pub use multicast::{GroupId, MulticastTable, PortId};
 pub use phv::{Phv, PhvBuf, PhvField, PhvLayout};
-pub use pipeline::{DecisionBuf, ExecState, ExecStats, ForwardDecision, ParseDrop, Pipeline};
+pub use pipeline::{
+    DecisionBuf, ExecState, ExecStats, ForwardDecision, ParseDrop, Pipeline, ShardCtx,
+};
 pub use resources::{place_chain, AdmissionError, AsicModel, Memory, PlacementReport};
 pub use table::{ActionOp, Entry, Key, MatchKind, MatchValue, Table};

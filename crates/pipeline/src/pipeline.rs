@@ -13,10 +13,11 @@ use std::time::Instant;
 
 use camus_telemetry::DataPlaneTelemetry;
 
+use crate::cache::{CacheStats, DecisionCache};
 use crate::error::PipelineError;
 use crate::multicast::{MulticastTable, PortId};
 use crate::parser::ParserSpec;
-use crate::phv::{Phv, PhvBuf, PhvLayout};
+use crate::phv::{Phv, PhvBuf, PhvField, PhvLayout};
 use crate::register::{AggKind, RegisterFile};
 use crate::table::{ActionOp, RegOp, Table};
 
@@ -278,6 +279,49 @@ pub struct ExecState {
     /// Boxed so the disabled case costs one pointer; `None` (the
     /// default) keeps the hot path free of clock reads entirely.
     telemetry: Option<Box<DataPlaneTelemetry>>,
+    /// Optional per-shard decision cache (see [`crate::cache`]). Boxed
+    /// for the same reason as `telemetry`; only ever `Some` after
+    /// [`Pipeline::enable_decision_cache`] proved the program
+    /// cacheable on the key field.
+    cache: Option<Box<DecisionCache>>,
+}
+
+impl ExecState {
+    /// Enables telemetry, sampling every `2^sample_shift`-th packet.
+    /// The one `Box` allocation happens here, not on the packet path.
+    pub fn enable_telemetry(&mut self, sample_shift: u32) {
+        self.telemetry = Some(Box::new(DataPlaneTelemetry::new(sample_shift)));
+    }
+
+    /// The telemetry collected so far, if enabled.
+    pub fn telemetry(&self) -> Option<&DataPlaneTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Detaches the telemetry record (disabling further collection).
+    pub fn take_telemetry(&mut self) -> Option<Box<DataPlaneTelemetry>> {
+        self.telemetry.take()
+    }
+
+    /// Re-attaches a telemetry record.
+    pub fn set_telemetry(&mut self, t: Option<Box<DataPlaneTelemetry>>) {
+        self.telemetry = t;
+    }
+
+    /// The decision cache, if armed.
+    pub fn decision_cache(&self) -> Option<&DecisionCache> {
+        self.cache.as_deref()
+    }
+
+    /// The decision-cache counters, if a cache is armed.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_deref().map(|c| c.stats)
+    }
+
+    /// Disarms the decision cache.
+    pub fn disable_decision_cache(&mut self) {
+        self.cache = None;
+    }
 }
 
 /// Descriptor binding a PHV pseudo-field to a register aggregate, so
@@ -321,6 +365,11 @@ pub struct Pipeline {
 /// ports to `ports`. Free function so the caller can hold disjoint
 /// borrows of the pipeline's fields: `ops` stays a borrow of `tables`
 /// (no per-table clone) while `phv` and `registers` are mutated.
+///
+/// Returns `(dropped, hit_mask)`: whether any matching rule dropped,
+/// and a bitmask with bit `i` set when table `i` hit a non-default
+/// entry (tables ≥ 64 are not recorded — the decision cache, the only
+/// mask consumer, refuses such chains).
 fn eval_tables(
     tables: &[Table],
     mcast: &MulticastTable,
@@ -329,12 +378,16 @@ fn eval_tables(
     now_us: u64,
     ports: &mut Vec<PortId>,
     stats: &mut ExecStats,
-) -> Result<bool, PipelineError> {
+) -> Result<(bool, u64), PipelineError> {
     let mut dropped = false;
+    let mut hit_mask = 0u64;
     for (ti, t) in tables.iter().enumerate() {
         let ops: &[ActionOp] = match t.lookup_prepared(phv) {
             Some(e) => {
                 stats.table_hits[ti] += 1;
+                if ti < 64 {
+                    hit_mask |= 1 << ti;
+                }
                 &e.ops
             }
             None => {
@@ -363,7 +416,237 @@ fn eval_tables(
             }
         }
     }
-    Ok(dropped)
+    Ok((dropped, hit_mask))
+}
+
+/// The per-packet hot path over split borrows: the immutable compiled
+/// program (`layout` … `init_fields`) on one side, the mutable
+/// per-shard execution state (`registers`, `exec`) on the other. Free
+/// function so [`Pipeline::process_batch`] (owning both) and
+/// [`Pipeline::process_batch_shared`] (program behind an `Arc`, state
+/// in a [`ShardCtx`]) run byte-identical code.
+#[allow(clippy::too_many_arguments)]
+fn process_packet(
+    layout: &PhvLayout,
+    parser: &ParserSpec,
+    tables: &[Table],
+    mcast: &MulticastTable,
+    state_bindings: &[StateBinding],
+    init_fields: &[(PhvField, u64)],
+    registers: &mut RegisterFile,
+    exec: &mut ExecState,
+    packet: &[u8],
+    now_us: u64,
+    decision: &mut ForwardDecision,
+) -> Result<(), PipelineError> {
+    let ExecState {
+        stats,
+        msgs,
+        work,
+        hoist,
+        hoist_vals,
+        telemetry,
+        cache,
+    } = exec;
+
+    // Sampled stage timing: `tick()` advances the per-shard packet
+    // sequence and selects every `2^sample_shift`-th packet. Only
+    // sampled packets pay the per-stage `Instant` reads; with
+    // telemetry disabled this is a single `None` branch.
+    let sampled = match telemetry.as_deref_mut() {
+        Some(t) => t.tick(),
+        None => false,
+    };
+    let t_start = if sampled { Some(Instant::now()) } else { None };
+
+    msgs.clear();
+    if let Err(e) = parser.parse_into(layout, packet, work, msgs) {
+        // Parse-class failures are properties of the *packet*, not
+        // the program: total behavior is a typed drop decision, so
+        // one garbage frame can never abort a batch or wedge a
+        // worker. Config-class errors still propagate.
+        let Some(reason) = ParseDrop::classify(&e) else {
+            return Err(e);
+        };
+        decision.messages = 0;
+        decision.drop_reason = Some(reason);
+        stats.packets += 1;
+        stats.dropped_packets += 1;
+        stats.count_parse_drop(reason);
+        if let (Some(start), Some(t)) = (t_start, telemetry.as_deref_mut()) {
+            t.record_parse_only(elapsed_ns(start));
+        }
+        return Ok(());
+    }
+    let t_parsed = t_start.map(|_| Instant::now());
+    decision.messages = msgs.len();
+
+    // Message-invariant aggregates: read once per packet. Register
+    // reads are idempotent at a fixed `now_us` (the window roll is
+    // aligned to the timestamp), so this is decision-identical to
+    // re-reading per message as long as no table action writes the
+    // slot — exactly the condition `hoist` encodes.
+    hoist_vals.clear();
+    for (b, &h) in state_bindings.iter().zip(hoist.iter()) {
+        let v = if h {
+            registers
+                .read(b.slot, b.agg, now_us)
+                .map_err(PipelineError::RegisterOutOfRange)?
+        } else {
+            0
+        };
+        hoist_vals.push(v);
+    }
+
+    for mi in 0..msgs.len() {
+        let phv = msgs.get_mut(mi);
+        for &(f, v) in init_fields.iter() {
+            phv.set(f, v);
+        }
+        for (i, b) in state_bindings.iter().enumerate() {
+            let v = if hoist[i] {
+                hoist_vals[i]
+            } else {
+                registers
+                    .read(b.slot, b.agg, now_us)
+                    .map_err(PipelineError::RegisterOutOfRange)?
+            };
+            phv.set(b.dst, v);
+        }
+        let before = decision.ports.len();
+        // An explicit drop() wins only if nothing forwards: per §2
+        // all matching rules' actions execute, and forwarding to
+        // *some* subscriber must not be vetoed by an unrelated drop
+        // rule. A drop-only message simply contributes no ports.
+        match cache.as_deref_mut() {
+            Some(c) => {
+                // The key is read before the chain runs: a mid-chain
+                // `SetField` may overwrite the key field, but the
+                // memoized decision is keyed on the *initial* value.
+                let key = phv.get_or_zero(c.key_field());
+                if let Some(mask) = c.lookup(key, &mut decision.ports) {
+                    // Replay the per-table hit/miss counters so the
+                    // cached path is counter-identical to evaluation.
+                    for ti in 0..tables.len() {
+                        if (mask >> ti) & 1 == 1 {
+                            stats.table_hits[ti] += 1;
+                        } else {
+                            stats.table_misses[ti] += 1;
+                        }
+                    }
+                } else {
+                    let (_dropped, mask) = eval_tables(
+                        tables,
+                        mcast,
+                        registers,
+                        phv,
+                        now_us,
+                        &mut decision.ports,
+                        stats,
+                    )?;
+                    c.insert(key, &decision.ports[before..], mask);
+                }
+            }
+            None => {
+                let _ = eval_tables(
+                    tables,
+                    mcast,
+                    registers,
+                    phv,
+                    now_us,
+                    &mut decision.ports,
+                    stats,
+                )?;
+            }
+        }
+        if decision.ports.len() > before {
+            decision.matched_messages += 1;
+        }
+    }
+    let t_matched = t_start.map(|_| Instant::now());
+    // One packet-level sort+dedup subsumes the per-message merge the
+    // executor used to do (the union of per-message port sets is
+    // insensitive to inner ordering/duplication).
+    decision.ports.sort_unstable();
+    decision.ports.dedup();
+    if let (Some(start), Some(parsed), Some(matched), Some(t)) =
+        (t_start, t_parsed, t_matched, telemetry.as_deref_mut())
+    {
+        // parse = wire bytes → message PHVs; match = hoisted register
+        // reads + table evaluation over every message (including
+        // multicast group expansion); mcast = the final port-set
+        // union (sort + dedup) resolving replication.
+        t.record_stages(
+            ns_between(start, parsed),
+            ns_between(parsed, matched),
+            elapsed_ns(matched),
+        );
+    }
+
+    stats.packets += 1;
+    stats.messages += decision.messages as u64;
+    stats.matched_messages += decision.matched_messages as u64;
+    if decision.ports.is_empty() {
+        stats.dropped_packets += 1;
+    } else {
+        stats.forwarded_packets += 1;
+    }
+    Ok(())
+}
+
+/// Per-worker mutable execution state for running a *shared* compiled
+/// program: the register file (shard-local stateful memory) plus the
+/// scratch/counter/telemetry/cache state. Engine workers hold one
+/// `ShardCtx` and an `Arc<Pipeline>` instead of cloning the whole
+/// program — tables and parser (the bulk of a compiled program) are
+/// shared immutably across every worker.
+#[derive(Debug, Clone, Default)]
+pub struct ShardCtx {
+    /// Shard-local register file (`@query_counter` state).
+    pub registers: RegisterFile,
+    /// Scratch buffers, counters, telemetry and decision cache.
+    pub exec: ExecState,
+}
+
+impl ShardCtx {
+    /// Re-targets this context at a newly published program generation
+    /// (the RCU adoption path): registers are re-shaped to the new
+    /// program's layout with windowed state carried over, the per-table
+    /// counter vectors are resized, the hoisting plan is copied, and
+    /// every memoized decision is invalidated — the generation bump is
+    /// the cache's invalidation signal. Telemetry and cumulative
+    /// counters (including cache hit/miss totals) survive adoption, and
+    /// the cache's slot storage is reused, so adopting allocates only
+    /// for the register clone.
+    ///
+    /// `program` must be prepared (the engine prepares before every
+    /// publish).
+    pub fn adopt(&mut self, program: &Pipeline) {
+        let old = std::mem::replace(&mut self.registers, program.registers.clone());
+        self.registers.carry_from(&old);
+        let n = program.tables.len();
+        self.exec.stats.table_hits.resize(n, 0);
+        self.exec.stats.table_misses.resize(n, 0);
+        self.exec.hoist.clear();
+        self.exec.hoist.extend_from_slice(&program.exec.hoist);
+        let keep = self
+            .exec
+            .cache
+            .as_deref()
+            .map(|c| program.cacheable_on(c.key_field()));
+        match keep {
+            Some(true) => {
+                if let Some(c) = self.exec.cache.as_deref_mut() {
+                    c.invalidate_all();
+                }
+            }
+            // The new generation is not a pure function of the key
+            // field any more (e.g. a stateful rule appeared): caching
+            // it would be unsound, so the cache is dropped.
+            Some(false) => self.exec.cache = None,
+            None => {}
+        }
+    }
 }
 
 /// Nanoseconds since `start`, saturating at `u64::MAX`.
@@ -417,6 +700,107 @@ impl Pipeline {
         let n = self.tables.len();
         self.exec.stats.table_hits.resize(n, 0);
         self.exec.stats.table_misses.resize(n, 0);
+        // Something changed (a table was mutated, or the chain was
+        // re-shaped): memoized decisions are stale. Re-prove
+        // cacheability against the new program — splices can introduce
+        // ops that make the chain key-impure.
+        let keep = self
+            .exec
+            .cache
+            .as_deref()
+            .map(|c| self.cacheable_on(c.key_field()));
+        match keep {
+            Some(true) => {
+                if let Some(c) = self.exec.cache.as_deref_mut() {
+                    c.invalidate_all();
+                }
+            }
+            Some(false) => self.exec.cache = None,
+            None => {}
+        }
+    }
+
+    /// Whether the table chain's per-message decision is a pure
+    /// function of `key_field`'s initial value — the soundness
+    /// condition for the decision cache (see [`crate::cache`]):
+    /// no register ops, at most 64 tables, no state binding feeding a
+    /// table key (or the cache key itself — a binding's value comes
+    /// from a register read, so a keyed binding makes the decision
+    /// depend on traffic history, while an un-keyed one is
+    /// decision-inert and safe to skip on a hit), and every table key
+    /// field is either the cache key itself, message-invariant (an
+    /// `init_fields` constant overwrites it before the chain), or
+    /// never written by the parser (its pre-chain value is identical
+    /// for every message).
+    ///
+    /// Note the spec-level `@query_*` declarations always compile to
+    /// state bindings, even when no active rule consumes them — that
+    /// is exactly the un-keyed-binding case, so pure fan-out programs
+    /// stay cacheable.
+    pub fn cacheable_on(&self, key_field: PhvField) -> bool {
+        if self.tables.len() > 64 {
+            return false;
+        }
+        for t in &self.tables {
+            for ops in t
+                .entries()
+                .map(|e| &e.ops)
+                .chain(std::iter::once(&t.default_ops))
+            {
+                if ops.iter().any(|op| matches!(op, ActionOp::Register { .. })) {
+                    return false;
+                }
+            }
+        }
+        let binding_dsts: std::collections::HashSet<u32> =
+            self.state_bindings.iter().map(|b| b.dst.0).collect();
+        if binding_dsts.contains(&key_field.0) {
+            // A binding overwrites the cache key between parse and
+            // match: the key the cache indexed on is not the value the
+            // tables saw.
+            return false;
+        }
+        let extracted: std::collections::HashSet<u32> = self
+            .parser
+            .states
+            .iter()
+            .flat_map(|s| s.extracts.iter().map(|e| e.dst.0))
+            .collect();
+        let inits: std::collections::HashSet<u32> =
+            self.init_fields.iter().map(|&(f, _)| f.0).collect();
+        self.tables.iter().all(|t| {
+            t.keys.iter().all(|k| {
+                if binding_dsts.contains(&k.field.0) {
+                    // Bindings run after init_fields, so a keyed
+                    // binding is state-dependent no matter what.
+                    return false;
+                }
+                k.field == key_field
+                    || inits.contains(&k.field.0)
+                    || !extracted.contains(&k.field.0)
+            })
+        })
+    }
+
+    /// Arms the decision cache keyed on `key_field` with `2^shift`
+    /// slots — if the program is provably cacheable on that field
+    /// (otherwise any existing cache is disarmed and `false` is
+    /// returned; matching stays correct either way, just uncached).
+    /// The slot storage allocates here, never on the packet path.
+    pub fn enable_decision_cache(&mut self, key_field: PhvField, shift: u32) -> bool {
+        self.prepare();
+        if self.cacheable_on(key_field) {
+            self.exec.cache = Some(Box::new(DecisionCache::new(key_field, shift)));
+            true
+        } else {
+            self.exec.cache = None;
+            false
+        }
+    }
+
+    /// The decision cache, if armed.
+    pub fn decision_cache(&self) -> Option<&DecisionCache> {
+        self.exec.decision_cache()
     }
 
     /// Enables data-plane telemetry on this pipeline instance, sampling
@@ -424,25 +808,78 @@ impl Pipeline {
     /// `Box` allocation happens here, not on the packet path. Resets
     /// any previously collected telemetry.
     pub fn enable_telemetry(&mut self, sample_shift: u32) {
-        self.exec.telemetry = Some(Box::new(DataPlaneTelemetry::new(sample_shift)));
+        self.exec.enable_telemetry(sample_shift);
     }
 
     /// The telemetry collected so far, if enabled.
     pub fn telemetry(&self) -> Option<&DataPlaneTelemetry> {
-        self.exec.telemetry.as_deref()
+        self.exec.telemetry()
     }
 
     /// Detaches the telemetry record (disabling further collection).
     /// The engine uses this to carry telemetry across RCU pipeline
     /// swaps and to harvest it at worker exit.
     pub fn take_telemetry(&mut self) -> Option<Box<DataPlaneTelemetry>> {
-        self.exec.telemetry.take()
+        self.exec.take_telemetry()
     }
 
     /// Re-attaches a telemetry record (the inverse of
     /// [`Pipeline::take_telemetry`]).
     pub fn set_telemetry(&mut self, t: Option<Box<DataPlaneTelemetry>>) {
-        self.exec.telemetry = t;
+        self.exec.set_telemetry(t);
+    }
+
+    /// Builds a fresh per-worker execution context for running *this*
+    /// program via [`Pipeline::process_batch_shared`]. The pipeline
+    /// must be prepared (this method prepares it); the context clones
+    /// the register file, the sized counter vectors, the hoisting plan
+    /// and — when armed — an empty decision cache, so the first batch
+    /// through the context already runs the allocation-free path.
+    pub fn new_shard_ctx(&mut self) -> ShardCtx {
+        self.prepare();
+        ShardCtx {
+            registers: self.registers.clone(),
+            exec: self.exec.clone(),
+        }
+    }
+
+    /// The shared-program batch path: identical to
+    /// [`Pipeline::process_batch`], but the compiled program is only
+    /// read (`&self`, typically through an `Arc`) and all mutable state
+    /// lives in `ctx`. Requires a prepared pipeline (`ctx` came from
+    /// [`Pipeline::new_shard_ctx`], which prepares) — the engine
+    /// prepares before every publish, so workers never observe an
+    /// unprepared program.
+    pub fn process_batch_shared<'a, I>(
+        &self,
+        ctx: &mut ShardCtx,
+        packets: I,
+        out: &mut DecisionBuf,
+    ) -> Result<(), PipelineError>
+    where
+        I: IntoIterator<Item = (&'a [u8], u64)>,
+    {
+        let batch_start = ctx.exec.telemetry.as_ref().map(|_| Instant::now());
+        for (bytes, now_us) in packets {
+            let slot = out.next_slot();
+            process_packet(
+                &self.layout,
+                &self.parser,
+                &self.tables,
+                &self.mcast,
+                &self.state_bindings,
+                &self.init_fields,
+                &mut ctx.registers,
+                &mut ctx.exec,
+                bytes,
+                now_us,
+                slot,
+            )?;
+        }
+        if let (Some(start), Some(t)) = (batch_start, ctx.exec.telemetry.as_deref_mut()) {
+            t.record_batch(elapsed_ns(start));
+        }
+        Ok(())
     }
 
     /// Processes one packet arriving at `now_us`, returning its
@@ -502,136 +939,19 @@ impl Pipeline {
         now_us: u64,
         decision: &mut ForwardDecision,
     ) -> Result<(), PipelineError> {
-        let Pipeline {
-            layout,
-            parser,
-            tables,
-            mcast,
-            registers,
-            state_bindings,
-            init_fields,
-            exec,
-        } = self;
-        let ExecState {
-            stats,
-            msgs,
-            work,
-            hoist,
-            hoist_vals,
-            telemetry,
-        } = exec;
-
-        // Sampled stage timing: `tick()` advances the per-shard packet
-        // sequence and selects every `2^sample_shift`-th packet. Only
-        // sampled packets pay the per-stage `Instant` reads; with
-        // telemetry disabled this is a single `None` branch.
-        let sampled = match telemetry.as_deref_mut() {
-            Some(t) => t.tick(),
-            None => false,
-        };
-        let t_start = if sampled { Some(Instant::now()) } else { None };
-
-        msgs.clear();
-        if let Err(e) = parser.parse_into(layout, packet, work, msgs) {
-            // Parse-class failures are properties of the *packet*, not
-            // the program: total behavior is a typed drop decision, so
-            // one garbage frame can never abort a batch or wedge a
-            // worker. Config-class errors still propagate.
-            let Some(reason) = ParseDrop::classify(&e) else {
-                return Err(e);
-            };
-            decision.messages = 0;
-            decision.drop_reason = Some(reason);
-            stats.packets += 1;
-            stats.dropped_packets += 1;
-            stats.count_parse_drop(reason);
-            if let (Some(start), Some(t)) = (t_start, telemetry.as_deref_mut()) {
-                t.record_parse_only(elapsed_ns(start));
-            }
-            return Ok(());
-        }
-        let t_parsed = t_start.map(|_| Instant::now());
-        decision.messages = msgs.len();
-
-        // Message-invariant aggregates: read once per packet. Register
-        // reads are idempotent at a fixed `now_us` (the window roll is
-        // aligned to the timestamp), so this is decision-identical to
-        // re-reading per message as long as no table action writes the
-        // slot — exactly the condition `hoist` encodes.
-        hoist_vals.clear();
-        for (b, &h) in state_bindings.iter().zip(hoist.iter()) {
-            let v = if h {
-                registers
-                    .read(b.slot, b.agg, now_us)
-                    .map_err(PipelineError::RegisterOutOfRange)?
-            } else {
-                0
-            };
-            hoist_vals.push(v);
-        }
-
-        for mi in 0..msgs.len() {
-            let phv = msgs.get_mut(mi);
-            for &(f, v) in init_fields.iter() {
-                phv.set(f, v);
-            }
-            for (i, b) in state_bindings.iter().enumerate() {
-                let v = if hoist[i] {
-                    hoist_vals[i]
-                } else {
-                    registers
-                        .read(b.slot, b.agg, now_us)
-                        .map_err(PipelineError::RegisterOutOfRange)?
-                };
-                phv.set(b.dst, v);
-            }
-            let before = decision.ports.len();
-            // An explicit drop() wins only if nothing forwards: per §2
-            // all matching rules' actions execute, and forwarding to
-            // *some* subscriber must not be vetoed by an unrelated drop
-            // rule. A drop-only message simply contributes no ports.
-            let _dropped = eval_tables(
-                tables,
-                mcast,
-                registers,
-                phv,
-                now_us,
-                &mut decision.ports,
-                stats,
-            )?;
-            if decision.ports.len() > before {
-                decision.matched_messages += 1;
-            }
-        }
-        let t_matched = t_start.map(|_| Instant::now());
-        // One packet-level sort+dedup subsumes the per-message merge the
-        // executor used to do (the union of per-message port sets is
-        // insensitive to inner ordering/duplication).
-        decision.ports.sort_unstable();
-        decision.ports.dedup();
-        if let (Some(start), Some(parsed), Some(matched), Some(t)) =
-            (t_start, t_parsed, t_matched, telemetry.as_deref_mut())
-        {
-            // parse = wire bytes → message PHVs; match = hoisted register
-            // reads + table evaluation over every message (including
-            // multicast group expansion); mcast = the final port-set
-            // union (sort + dedup) resolving replication.
-            t.record_stages(
-                ns_between(start, parsed),
-                ns_between(parsed, matched),
-                elapsed_ns(matched),
-            );
-        }
-
-        stats.packets += 1;
-        stats.messages += decision.messages as u64;
-        stats.matched_messages += decision.matched_messages as u64;
-        if decision.ports.is_empty() {
-            stats.dropped_packets += 1;
-        } else {
-            stats.forwarded_packets += 1;
-        }
-        Ok(())
+        process_packet(
+            &self.layout,
+            &self.parser,
+            &self.tables,
+            &self.mcast,
+            &self.state_bindings,
+            &self.init_fields,
+            &mut self.registers,
+            &mut self.exec,
+            packet,
+            now_us,
+            decision,
+        )
     }
 
     /// Runs the match-action chain on a single message PHV.
@@ -661,7 +981,7 @@ impl Pipeline {
             phv.set(b.dst, v);
         }
         let mut ports: Vec<PortId> = Vec::new();
-        let dropped = eval_tables(
+        let (dropped, _mask) = eval_tables(
             tables,
             mcast,
             registers,
@@ -920,6 +1240,224 @@ mod tests {
         assert!(p.telemetry().is_none());
         p.set_telemetry(boxed);
         assert_eq!(p.telemetry().unwrap().sampled_packets, 3);
+    }
+
+    /// Like `tiny_pipeline` but with no register ops, so the chain is a
+    /// pure function of `sym` and the decision cache can arm. Parses a
+    /// stream of one-byte messages (multi-message packets).
+    fn cacheable_pipeline() -> Pipeline {
+        let mut p = tiny_pipeline();
+        let mut layout = PhvLayout::new();
+        let sym = layout.add("sym", 8);
+        p.parser = ParserSpec::new(
+            vec![ParseState {
+                name: "msg".into(),
+                extracts: vec![Extract {
+                    dst: sym,
+                    bit_offset: 0,
+                    bits: 8,
+                }],
+                advance_bits: 8,
+                advance_bytes_from: None,
+                emit: true,
+                next: Transition::SelectRemaining { more: StateId(0) },
+            }],
+            StateId(0),
+        );
+        p.layout = layout;
+        // Drop the Register op from the sym==1 entry.
+        let mut t = Table::new(
+            "leaf",
+            vec![Key {
+                field: sym,
+                kind: MatchKind::Exact,
+                bits: 8,
+            }],
+            vec![],
+        );
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(1)],
+            ops: vec![ActionOp::Forward(PortId(1))],
+        })
+        .unwrap();
+        t.add_entry(Entry {
+            priority: 0,
+            matches: vec![MatchValue::Exact(2)],
+            ops: vec![ActionOp::Multicast(GroupId(0))],
+        })
+        .unwrap();
+        p.tables = vec![t];
+        p
+    }
+
+    #[test]
+    fn uncacheable_program_refuses_cache() {
+        // tiny_pipeline has a Register op: caching would skip a
+        // side effect, so arming must fail and disarm.
+        let mut p = tiny_pipeline();
+        let sym = p.layout.get("sym").unwrap();
+        assert!(!p.enable_decision_cache(sym, 4));
+        assert!(p.decision_cache().is_none());
+        // Decisions still correct, just uncached.
+        assert_eq!(p.process(&[1], 0).unwrap().ports, vec![PortId(1)]);
+    }
+
+    #[test]
+    fn inert_binding_is_cacheable_keyed_binding_is_not() {
+        // A state binding whose destination no table keys on is
+        // decision-inert: the compiled spec always carries the
+        // `@query_*` bindings, so pure fan-out programs must still
+        // cache. The moment a table keys on the binding's destination,
+        // the decision depends on register history and caching must be
+        // refused.
+        let mut p = cacheable_pipeline();
+        let agg = p.layout.add("agg", 64);
+        let slot = p.registers.allocate(0);
+        p.state_bindings.push(StateBinding {
+            dst: agg,
+            slot,
+            agg: AggKind::Count,
+        });
+        let sym = p.layout.get("sym").unwrap();
+        assert!(p.cacheable_on(sym), "un-keyed binding must not block");
+        assert!(p.enable_decision_cache(sym, 4));
+
+        // Key a table on the binding's destination: refused.
+        p.tables[0].keys.push(Key {
+            field: agg,
+            kind: MatchKind::Exact,
+            bits: 64,
+        });
+        assert!(!p.cacheable_on(sym));
+
+        // A binding that overwrites the cache key itself: refused.
+        let mut q = cacheable_pipeline();
+        let qslot = q.registers.allocate(0);
+        let qsym = q.layout.get("sym").unwrap();
+        q.state_bindings.push(StateBinding {
+            dst: qsym,
+            slot: qslot,
+            agg: AggKind::Count,
+        });
+        assert!(!q.cacheable_on(qsym));
+    }
+
+    #[test]
+    fn cached_decisions_and_counters_match_uncached() {
+        let mut cached = cacheable_pipeline();
+        let mut plain = cacheable_pipeline();
+        let sym = cached.layout.get("sym").unwrap();
+        assert!(cached.enable_decision_cache(sym, 4));
+
+        let feed: Vec<Vec<u8>> = vec![
+            vec![1, 2, 9],
+            vec![2, 2, 1],
+            vec![9],
+            vec![1],
+            vec![1, 1, 1, 2],
+        ];
+        for (i, pkt) in feed.iter().enumerate() {
+            let a = cached.process(pkt, i as u64).unwrap();
+            let b = plain.process(pkt, i as u64).unwrap();
+            assert_eq!(a, b, "packet {i}");
+        }
+        assert_eq!(cached.exec.stats, plain.exec.stats);
+        let cs = cached.exec.cache_stats().unwrap();
+        assert!(cs.hits > 0, "repeated symbols must hit: {cs:?}");
+        assert_eq!(cs.hits + cs.misses, cached.exec.stats.messages);
+    }
+
+    #[test]
+    fn table_mutation_invalidates_cache() {
+        let mut p = cacheable_pipeline();
+        let sym = p.layout.get("sym").unwrap();
+        assert!(p.enable_decision_cache(sym, 4));
+        // sym==9 misses: the cache memoizes the empty decision.
+        assert!(p.process(&[9], 0).unwrap().dropped());
+        assert!(p.process(&[9], 1).unwrap().dropped());
+        assert_eq!(p.decision_cache().unwrap().stats.hits, 1);
+        // Mutate the table: sym==9 now forwards to port 7. The
+        // dirty-table prepare() must invalidate the memoized miss.
+        p.tables[0]
+            .add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(9)],
+                ops: vec![ActionOp::Forward(PortId(7))],
+            })
+            .unwrap();
+        assert_eq!(p.process(&[9], 2).unwrap().ports, vec![PortId(7)]);
+    }
+
+    #[test]
+    fn shared_batch_path_matches_owned_batch_path() {
+        let mut owned = cacheable_pipeline();
+        let mut shared = cacheable_pipeline();
+        let sym = shared.layout.get("sym").unwrap();
+        assert!(shared.enable_decision_cache(sym, 4));
+        let mut ctx = shared.new_shard_ctx();
+
+        let packets: Vec<(&[u8], u64)> = vec![
+            (&[1, 2][..], 0),
+            (&[][..], 1),
+            (&[2, 9][..], 2),
+            (&[1][..], 3),
+        ];
+        let mut out_a = DecisionBuf::default();
+        let mut out_b = DecisionBuf::default();
+        owned.process_batch(packets.clone(), &mut out_a).unwrap();
+        shared
+            .process_batch_shared(&mut ctx, packets, &mut out_b)
+            .unwrap();
+        assert_eq!(out_a.as_slice(), out_b.as_slice());
+        assert_eq!(owned.exec.stats, ctx.exec.stats);
+        // The pipeline's own exec state is untouched by the shared path.
+        assert_eq!(shared.exec.stats.packets, 0);
+    }
+
+    #[test]
+    fn adopt_invalidates_cache_and_resizes_counters() {
+        let mut v1 = cacheable_pipeline();
+        let sym = v1.layout.get("sym").unwrap();
+        assert!(v1.enable_decision_cache(sym, 4));
+        let mut ctx = v1.new_shard_ctx();
+        let mut out = DecisionBuf::default();
+        v1.prepare();
+        v1.process_batch_shared(&mut ctx, vec![(&[1][..], 0), (&[1][..], 1)], &mut out)
+            .unwrap();
+        assert_eq!(ctx.exec.cache_stats().unwrap().hits, 1);
+
+        // New generation: sym==1 rerouted to port 5, and an extra table.
+        let mut v2 = cacheable_pipeline();
+        let sym2 = v2.layout.get("sym").unwrap();
+        let mut extra = Table::new(
+            "extra",
+            vec![Key {
+                field: sym2,
+                kind: MatchKind::Exact,
+                bits: 8,
+            }],
+            vec![],
+        );
+        extra
+            .add_entry(Entry {
+                priority: 0,
+                matches: vec![MatchValue::Exact(1)],
+                ops: vec![ActionOp::Forward(PortId(5))],
+            })
+            .unwrap();
+        v2.tables.push(extra);
+        v2.prepare();
+        ctx.adopt(&v2);
+
+        out.clear();
+        v2.process_batch_shared(&mut ctx, vec![(&[1][..], 2)], &mut out)
+            .unwrap();
+        assert_eq!(out.as_slice()[0].ports, vec![PortId(1), PortId(5)]);
+        // Counters survived adoption; the memoized v1 decision did not.
+        let cs = ctx.exec.cache_stats().unwrap();
+        assert_eq!((cs.hits, cs.misses), (1, 2));
+        assert_eq!(ctx.exec.stats.table_hits.len(), 2);
     }
 
     #[test]

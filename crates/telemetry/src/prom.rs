@@ -35,6 +35,36 @@ pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
         "Packets with per-stage timing samples",
         snap.data.sampled_packets,
     );
+    counter(
+        &mut out,
+        "camus_decision_cache_hits_total",
+        "Messages answered from the decision cache",
+        snap.data.decision_cache_hits,
+    );
+    counter(
+        &mut out,
+        "camus_decision_cache_misses_total",
+        "Messages that evaluated the full table chain",
+        snap.data.decision_cache_misses,
+    );
+    counter(
+        &mut out,
+        "camus_decision_cache_evictions_total",
+        "Decision-cache slots overwritten by a conflicting key",
+        snap.data.decision_cache_evictions,
+    );
+    counter(
+        &mut out,
+        "camus_ring_full_spins_total",
+        "Producer spins while an ingress ring was full",
+        snap.data.ring_full_spins,
+    );
+    counter(
+        &mut out,
+        "camus_ring_empty_spins_total",
+        "Consumer spins while an ingress ring was empty",
+        snap.data.ring_empty_spins,
+    );
 
     histogram(
         &mut out,
@@ -169,8 +199,15 @@ mod tests {
 
     #[test]
     fn renders_counters_histograms_tables_and_spans() {
-        let text = render_prometheus(&sample_snapshot());
+        let mut snap = sample_snapshot();
+        snap.data.add_hotpath(40, 2, 1, 3, 4);
+        let text = render_prometheus(&snap);
         assert!(text.contains("camus_packets_total 1000"));
+        assert!(text.contains("camus_decision_cache_hits_total 40"));
+        assert!(text.contains("camus_decision_cache_misses_total 2"));
+        assert!(text.contains("camus_decision_cache_evictions_total 1"));
+        assert!(text.contains("camus_ring_full_spins_total 3"));
+        assert!(text.contains("camus_ring_empty_spins_total 4"));
         assert!(text.contains("# TYPE camus_parse_duration_ns histogram"));
         assert!(text.contains("camus_parse_duration_ns_count 2"));
         assert!(text.contains("camus_parse_duration_ns_sum 240"));

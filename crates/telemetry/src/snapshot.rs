@@ -50,6 +50,20 @@ pub struct DataPlaneTelemetry {
     pub match_ns: Histogram,
     /// Sampled per-packet multicast port-union latency (1 ns buckets).
     pub mcast_ns: Histogram,
+    /// Decision-cache hits (messages answered without running the
+    /// table chain). Folded in from the worker's cache at harvest
+    /// time, not on the packet path.
+    pub decision_cache_hits: u64,
+    /// Decision-cache misses (messages that evaluated the full chain).
+    pub decision_cache_misses: u64,
+    /// Decision-cache evictions (direct-mapped conflicts).
+    pub decision_cache_evictions: u64,
+    /// Producer-side spins while a worker's ingress ring was full
+    /// (backpressure on submit).
+    pub ring_full_spins: u64,
+    /// Consumer-side spins while a worker's ingress ring was empty
+    /// (worker waiting for batches).
+    pub ring_empty_spins: u64,
 }
 
 impl DataPlaneTelemetry {
@@ -65,7 +79,30 @@ impl DataPlaneTelemetry {
             parse_ns: Histogram::new(),
             match_ns: Histogram::new(),
             mcast_ns: Histogram::new(),
+            decision_cache_hits: 0,
+            decision_cache_misses: 0,
+            decision_cache_evictions: 0,
+            ring_full_spins: 0,
+            ring_empty_spins: 0,
         }
+    }
+
+    /// Folds hot-path counters (decision cache, ring spins) into the
+    /// record. Called once per worker at harvest time — the cache and
+    /// ring keep their own local counters on the packet path.
+    pub fn add_hotpath(
+        &mut self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_evictions: u64,
+        full_spins: u64,
+        empty_spins: u64,
+    ) {
+        self.decision_cache_hits += cache_hits;
+        self.decision_cache_misses += cache_misses;
+        self.decision_cache_evictions += cache_evictions;
+        self.ring_full_spins += full_spins;
+        self.ring_empty_spins += empty_spins;
     }
 
     /// How many packets pass between stage samples.
@@ -126,6 +163,11 @@ impl DataPlaneTelemetry {
         self.parse_ns.merge(&other.parse_ns);
         self.match_ns.merge(&other.match_ns);
         self.mcast_ns.merge(&other.mcast_ns);
+        self.decision_cache_hits += other.decision_cache_hits;
+        self.decision_cache_misses += other.decision_cache_misses;
+        self.decision_cache_evictions += other.decision_cache_evictions;
+        self.ring_full_spins += other.ring_full_spins;
+        self.ring_empty_spins += other.ring_empty_spins;
     }
 
     /// Resets all counters and histograms in place (sampling cadence
@@ -299,6 +341,23 @@ mod tests {
         assert_eq!(t.batches, 0);
         assert!(t.batch_ns.is_empty());
         assert!(t.tick(), "sequence restarts at a sample point");
+    }
+
+    #[test]
+    fn hotpath_counters_merge_and_reset() {
+        let mut a = DataPlaneTelemetry::new(0);
+        a.add_hotpath(10, 4, 1, 100, 200);
+        let mut b = DataPlaneTelemetry::new(0);
+        b.add_hotpath(5, 5, 0, 7, 9);
+        a.merge(&b);
+        assert_eq!(a.decision_cache_hits, 15);
+        assert_eq!(a.decision_cache_misses, 9);
+        assert_eq!(a.decision_cache_evictions, 1);
+        assert_eq!(a.ring_full_spins, 107);
+        assert_eq!(a.ring_empty_spins, 209);
+        a.reset();
+        assert_eq!(a.decision_cache_hits, 0);
+        assert_eq!(a.ring_empty_spins, 0);
     }
 
     #[test]
