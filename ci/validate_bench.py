@@ -162,6 +162,32 @@ def validate_hotpath(name, rows, args):
             fail(f"{name} {config}: cache flag must be false")
 
 
+def validate_fabric(name, rows, args):
+    configs = check_rows(
+        name,
+        rows,
+        {
+            "config", "leaves", "workers", "host_cores", "packets_per_iter",
+            "epochs_per_iter", "ns_per_iter", "pkts_per_sec",
+        },
+        positive=("ns_per_iter",),
+    )
+    require_configs(
+        name,
+        configs,
+        {"fabric_l1", "fabric_l2", "fabric_l4", "fabric_epoch"},
+    )
+    by_config = {row["config"]: row for row in rows}
+    for config, leaves in (("fabric_l1", 1), ("fabric_l2", 2), ("fabric_l4", 4)):
+        row = by_config[config]
+        if row["leaves"] != leaves:
+            fail(f"{name} {config}: expected {leaves} leaves, got {row['leaves']}")
+        if row["pkts_per_sec"] <= 0:
+            fail(f"{name} {config}: non-positive pkts_per_sec")
+    if by_config["fabric_epoch"]["epochs_per_iter"] <= 0:
+        fail(f"{name} fabric_epoch: no epochs committed")
+
+
 TELEMETRY_STAGES = {"batch", "parse", "match", "mcast"}
 
 
@@ -230,6 +256,7 @@ VALIDATORS = {
     "BENCH_hotpath.json": validate_hotpath,
     "BENCH_churn.json": validate_churn,
     "BENCH_faults.json": validate_faults,
+    "BENCH_fabric.json": validate_fabric,
     "BENCH_compile.json": validate_compile,
     "TELEMETRY_engine.json": validate_telemetry,
 }

@@ -1,0 +1,163 @@
+//! Fabric benchmark: what does spreading one subscription program
+//! across a spine/leaf of engines cost (and buy)? Writes
+//! `results/BENCH_fabric.json`.
+//!
+//! Two row groups:
+//!
+//! * `fabric_l{1,2,4}` — one Siena trace pushed through a fabric of
+//!   1/2/4 leaves (leaf 1 ≙ the big switch: partition + route overhead
+//!   with none of the parallelism). Single-core hosts measure the
+//!   routing/ring overhead, not leaf parallelism — `host_cores` is
+//!   recorded so readers can tell which.
+//! * `fabric_epoch` — the two-phase epoch commit: prepare on every
+//!   leaf, quiesce barrier, commit, with traffic bursts between
+//!   epochs. `ns_per_iter / epochs_per_iter` is the end-to-end latency
+//!   of an atomic fabric-wide swap.
+
+use camus_bench::engine_runs::{host_cores, results_dir};
+use camus_bench::harness::Bench;
+use camus_bench::{impl_to_json, json};
+use camus_core::{Compiler, CompilerOptions};
+use camus_engine::EngineConfig;
+use camus_fabric::{Fabric, FabricConfig};
+use camus_pipeline::Pipeline;
+use camus_workload::{raw_field_extractor, SienaConfig};
+
+#[derive(Debug, Clone)]
+struct FabricRow {
+    config: String,
+    leaves: usize,
+    workers: usize,
+    host_cores: usize,
+    packets_per_iter: u64,
+    epochs_per_iter: u64,
+    ns_per_iter: f64,
+    pkts_per_sec: f64,
+}
+
+impl_to_json!(FabricRow {
+    config,
+    leaves,
+    workers,
+    host_cores,
+    packets_per_iter,
+    epochs_per_iter,
+    ns_per_iter,
+    pkts_per_sec,
+});
+
+fn main() {
+    let bench = Bench::from_env();
+    let host_cores = host_cores();
+
+    let siena = SienaConfig {
+        subscriptions: 32,
+        int_attributes: 2,
+        symbol_attributes: 1,
+        symbol_alphabet: 16,
+        int_range: 60,
+        predicates_per_subscription: 2,
+        seed: 0xFAB,
+        ..Default::default()
+    };
+    let wl = siena.generate();
+    let compiler = Compiler::new(wl.spec.clone(), CompilerOptions::raw()).unwrap();
+    let master = compiler.compile(&wl.rules).unwrap().pipeline;
+    // A second generation (a shifted rule subset) for the epoch rows.
+    let alt_rules: Vec<_> = wl.rules.iter().skip(8).cloned().collect();
+    let alt: Pipeline = compiler.compile(&alt_rules).unwrap().pipeline;
+    let extract = raw_field_extractor(&wl.spec, "sym0").unwrap();
+
+    let packets = siena.generate_events(&wl, 4_000);
+    let n = packets.len() as u64;
+    let workers = host_cores.clamp(1, 2);
+
+    let mut rows: Vec<FabricRow> = Vec::new();
+
+    // Data path: the same trace through 1-, 2- and 4-leaf fabrics.
+    for leaves in [1usize, 2, 4] {
+        let cfg = FabricConfig::uniform(
+            leaves,
+            "ev.sym0",
+            extract.clone(),
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+        );
+        let r = bench.run(&format!("fabric/trace_l{leaves}_w{workers}"), n, || {
+            let mut fabric = Fabric::start(&master, &cfg).unwrap();
+            for p in &packets {
+                fabric.submit(p, 0);
+            }
+            fabric.finish().submitted()
+        });
+        r.report();
+        rows.push(FabricRow {
+            config: format!("fabric_l{leaves}"),
+            leaves,
+            workers,
+            host_cores,
+            packets_per_iter: n,
+            epochs_per_iter: 0,
+            ns_per_iter: r.ns_per_iter,
+            pkts_per_sec: r.elems_per_sec().unwrap(),
+        });
+    }
+
+    // Update plane: two-phase epochs (prepare → quiesce → commit on
+    // every leaf) with traffic bursts between swaps.
+    let leaves = 2usize;
+    let epochs = 8u64;
+    let burst = packets.len() / (epochs as usize + 1);
+    let cfg = FabricConfig::uniform(
+        leaves,
+        "ev.sym0",
+        extract.clone(),
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        },
+    );
+    let r = bench.run(
+        &format!("fabric/epoch_l{leaves}_w{workers}_x{epochs}"),
+        epochs,
+        || {
+            let mut fabric = Fabric::start(&master, &cfg).unwrap();
+            let mut fed = 0;
+            for e in 0..epochs {
+                for p in &packets[fed..fed + burst] {
+                    fabric.submit(p, 0);
+                }
+                fed += burst;
+                let next = if e % 2 == 0 { &alt } else { &master };
+                fabric.install_master(next.clone()).unwrap();
+            }
+            for p in &packets[fed..] {
+                fabric.submit(p, 0);
+            }
+            fabric.finish().epoch
+        },
+    );
+    r.report();
+    rows.push(FabricRow {
+        config: "fabric_epoch".into(),
+        leaves,
+        workers,
+        host_cores,
+        packets_per_iter: n,
+        epochs_per_iter: epochs,
+        ns_per_iter: r.ns_per_iter,
+        pkts_per_sec: 0.0,
+    });
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_fabric.json");
+    std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();
+    println!(
+        "wrote {} ({} rows, host_cores={host_cores})",
+        path.display(),
+        rows.len()
+    );
+}

@@ -80,6 +80,7 @@ pub mod dynamic;
 pub mod error;
 pub mod incremental;
 pub mod p4gen;
+pub mod partition;
 pub mod resolve;
 pub mod statics;
 
@@ -87,3 +88,4 @@ pub use compile::{CompiledProgram, Compiler, CompilerOptions, Encap};
 pub use dynamic::CompileStats;
 pub use error::CompileError;
 pub use incremental::{apply_delta, IncrementalCompiler, TableDelta, UpdateReport};
+pub use partition::{owner_of, rule_owners, PartitionPlan, TableAssignment};

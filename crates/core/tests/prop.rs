@@ -269,3 +269,138 @@ proptest! {
         }
     }
 }
+
+// ------------------------------------------------- fabric partition
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partition-plan invariants over random Siena programs: every
+    /// compiled entry is assigned to at least one leaf (cover), no
+    /// entry is assigned beyond the leaf count, and slicing each table
+    /// by the plan's per-entry leaf masks reassembles the original
+    /// table set entry-for-entry, in order.
+    #[test]
+    fn partition_plan_covers_and_reassembles(
+        seed in 0u64..100_000,
+        leaves in 1usize..=5,
+    ) {
+        use camus_core::PartitionPlan;
+        use camus_workload::SienaConfig;
+
+        let siena = SienaConfig {
+            int_attributes: 2,
+            symbol_attributes: 1,
+            symbol_alphabet: 8,
+            int_range: 60,
+            predicates_per_subscription: 2,
+            seed,
+            ..Default::default()
+        };
+        let wl = siena.generate();
+        let compiler = Compiler::new(wl.spec.clone(), CompilerOptions::raw()).unwrap();
+        let master = compiler.compile(&wl.rules).unwrap().pipeline;
+        let plan = PartitionPlan::compute(&master, "ev.sym0", leaves).unwrap();
+
+        prop_assert_eq!(plan.assignment.len(), master.tables.len());
+        for (t, ta) in master.tables.iter().zip(&plan.assignment) {
+            prop_assert_eq!(&ta.table, &t.name);
+            prop_assert_eq!(ta.masks.len(), t.len());
+            for (i, &m) in ta.masks.iter().enumerate() {
+                prop_assert!(m != 0, "table {} entry {} landed on no leaf", t.name, i);
+                prop_assert_eq!(
+                    m >> leaves, 0,
+                    "table {} entry {} assigned beyond leaf {}", t.name, i, leaves
+                );
+            }
+        }
+
+        let slices = plan.slices(&master);
+        prop_assert_eq!(slices.len(), leaves);
+        for (l, slice) in slices.iter().enumerate() {
+            prop_assert_eq!(slice.tables.len(), master.tables.len());
+            for (ti, t) in master.tables.iter().enumerate() {
+                let expect: Vec<_> = t
+                    .entries()
+                    .enumerate()
+                    .filter(|(i, _)| plan.assignment[ti].masks[*i] & (1u64 << l) != 0)
+                    .map(|(_, e)| e.clone())
+                    .collect();
+                let got: Vec<_> = slice.tables[ti].entries().cloned().collect();
+                prop_assert_eq!(got, expect, "table {} leaf {}", t.name, l);
+            }
+        }
+    }
+
+    /// Rule-level sharding: every rule is owned by exactly one leaf in
+    /// range, ownership is deterministic, and a rule that pins the
+    /// shard symbol is owned by that symbol's leaf (the same mapping
+    /// the fabric's spine uses to route packets).
+    #[test]
+    fn every_rule_lands_on_exactly_one_in_range_leaf(
+        seed in 0u64..100_000,
+        leaves in 1usize..=5,
+    ) {
+        use camus_core::{owner_of, rule_owners};
+        use camus_workload::siena::symbol_name;
+        use camus_workload::SienaConfig;
+
+        let siena = SienaConfig {
+            int_attributes: 2,
+            symbol_attributes: 1,
+            symbol_alphabet: 8,
+            int_range: 60,
+            predicates_per_subscription: 2,
+            seed,
+            ..Default::default()
+        };
+        let wl = siena.generate();
+        let owners = rule_owners(&wl.rules, "sym0", 64, leaves);
+        prop_assert_eq!(owners.len(), wl.rules.len());
+        for (i, &o) in owners.iter().enumerate() {
+            prop_assert!(o < leaves, "rule {} owned by out-of-range leaf {}", i, o);
+        }
+        prop_assert_eq!(&owners, &rule_owners(&wl.rules, "sym0", 64, leaves));
+
+        // A symbol-pinned rule follows its symbol's packet route.
+        for i in 0..siena.symbol_alphabet {
+            let sym = symbol_name(i);
+            let rule = camus_lang::parse_program(&format!("sym0 == {sym} : fwd(1)")).unwrap();
+            let key = camus_lang::symbol::encode_symbol(&sym, 64);
+            prop_assert_eq!(
+                rule_owners(&rule, "sym0", 64, leaves)[0],
+                owner_of(key, leaves)
+            );
+        }
+    }
+
+    /// The plan is a pure function of the compiled program — and the
+    /// compiled program is bit-identical at any `compile_shards` — so
+    /// partitioning must be deterministic across compile thread counts.
+    #[test]
+    fn partition_plan_is_deterministic_across_thread_counts(
+        seed in 0u64..100_000,
+        leaves in 1usize..=5,
+    ) {
+        use camus_core::PartitionPlan;
+        use camus_workload::SienaConfig;
+
+        let siena = SienaConfig {
+            int_attributes: 2,
+            symbol_attributes: 1,
+            symbol_alphabet: 8,
+            int_range: 60,
+            predicates_per_subscription: 2,
+            seed,
+            ..Default::default()
+        };
+        let wl = siena.generate();
+        let plan_at = |shards: usize| {
+            let opts = CompilerOptions { compile_shards: shards, ..CompilerOptions::raw() };
+            let compiler = Compiler::new(wl.spec.clone(), opts).unwrap();
+            let master = compiler.compile(&wl.rules).unwrap().pipeline;
+            PartitionPlan::compute(&master, "ev.sym0", leaves).unwrap()
+        };
+        prop_assert_eq!(plan_at(1), plan_at(8));
+    }
+}

@@ -525,6 +525,10 @@ pub struct Engine {
     /// Master copy the control plane mutates off the hot path; every
     /// publish clones it into the shared slot.
     template: Pipeline,
+    /// A candidate prepared (admission-checked) but not yet published:
+    /// the fabric's two-phase epoch holds the new program here across
+    /// every leaf before committing any of them.
+    staged: Option<Pipeline>,
     published: Arc<Published>,
     delta_updates: u64,
     full_swaps: u64,
@@ -755,6 +759,7 @@ impl Engine {
             },
             next_seq: 0,
             template,
+            staged: None,
             published,
             delta_updates: 0,
             full_swaps: 0,
@@ -1091,6 +1096,67 @@ impl Engine {
         self.publish();
         timer.stop_into(&mut self.spans, SpanKind::InstallPipeline);
         Ok(())
+    }
+
+    /// Phase one of a two-phase (fabric) epoch: admission-check a
+    /// candidate pipeline and stage it without publishing. Nothing a
+    /// worker can observe changes — no generation bump, no template
+    /// swap. A subsequent [`Engine::commit_staged`] makes the staged
+    /// program live; [`Engine::abort_staged`] discards it with zero
+    /// observable state change (rejections still count in
+    /// [`FaultStats::updates_rejected`]). Staging again replaces any
+    /// previously staged candidate.
+    pub fn prepare_pipeline(&mut self, pipeline: &Pipeline) -> Result<(), EngineFault> {
+        let mut candidate = pipeline.clone();
+        candidate.exec.stats.reset();
+        candidate.set_telemetry(None);
+        candidate.prepare();
+        self.admit(&candidate)?;
+        self.staged = Some(candidate);
+        Ok(())
+    }
+
+    /// Phase two of a two-phase epoch: publish the staged candidate.
+    /// Counts as a full swap (the fabric re-slices the whole program
+    /// per epoch). Returns `false` — and changes nothing — when no
+    /// candidate is staged. Infallible by construction: admission
+    /// already passed in [`Engine::prepare_pipeline`], so once every
+    /// node in a fabric has staged, every commit succeeds.
+    pub fn commit_staged(&mut self) -> bool {
+        let timer = SpanTimer::start();
+        let Some(candidate) = self.staged.take() else {
+            return false;
+        };
+        self.template = candidate;
+        self.full_swaps += 1;
+        self.publish();
+        timer.stop_into(&mut self.spans, SpanKind::InstallPipeline);
+        true
+    }
+
+    /// Discards a staged candidate (epoch abort). Returns whether one
+    /// was staged. Never touches the published program.
+    pub fn abort_staged(&mut self) -> bool {
+        self.staged.take().is_some()
+    }
+
+    /// Whether a candidate is currently staged (between epoch phases).
+    pub fn has_staged(&self) -> bool {
+        self.staged.is_some()
+    }
+
+    /// The currently installed (control-plane master) tables —
+    /// exactly what every publish clones into the worker-visible
+    /// slot. Lets a fabric driver assert bit-identical pre-state
+    /// after an aborted epoch.
+    pub fn installed_tables(&self) -> &[camus_pipeline::Table] {
+        &self.template.tables
+    }
+
+    /// The published RCU generation (bumps once per successful
+    /// publish; never on a rejected or aborted update).
+    pub fn generation(&self) -> u64 {
+        self.published.generation.load(Ordering::Acquire)
     }
 
     /// Charges a candidate against the admission model using the same

@@ -1,0 +1,593 @@
+//! # camus-fabric — one subscription program across a spine/leaf fabric
+//!
+//! The paper compiles one packet-subscription program onto one Tofino.
+//! This crate generalizes that deployment to a two-tier fabric in the
+//! spirit of SNAP (placement across a topology) while keeping each
+//! node a plain independently-programmed target, P4-style:
+//!
+//! * **Partitioning** — [`camus_core::PartitionPlan`] slices the
+//!   compiled per-field tables so each leaf engine holds only the
+//!   entries reachable from the sharding symbols it owns; the spine's
+//!   only job is routing each packet to its symbol's owner
+//!   ([`camus_core::partition::owner_of`] over the raw wire bytes).
+//!   Because multicast decisions are computed *on the owning leaf*
+//!   from its full action tables and group table (groups are
+//!   replicated, entries are not), a cross-engine multicast is one
+//!   decision on one leaf fanned out by the topology layer
+//!   (`camus_netsim::topology`), never a partial union of per-leaf
+//!   decisions.
+//! * **Fabric epochs** — [`Fabric::apply_update`] generalizes the
+//!   engine's RCU generation swap into a two-phase commit across all
+//!   leaves: *prepare* (admission-check + stage on every leaf; any
+//!   rejection aborts everywhere with zero observable state change),
+//!   *quiesce* (drain every in-flight batch, so no packet spans
+//!   epochs), *commit* (publish everywhere — infallible once every
+//!   node has staged). A packet therefore always sees either the old
+//!   fabric or the new fabric, never a mix.
+//!
+//! Equivalence to the big switch is proven differentially in
+//! `tests/fabric_differential.rs` at the workspace root: fabric output
+//! ≡ fresh full recompile ≡ naive AST oracle, across churn sequences,
+//! leaf counts and worker counts.
+
+use camus_core::partition::{owner_of, PartitionPlan};
+use camus_core::{CompileError, UpdateReport};
+use camus_engine::{Engine, EngineConfig, EngineFault, EngineReport, ShardFn};
+use camus_pipeline::{place_chain, ForwardDecision, Pipeline, Table};
+use camus_telemetry::{render_prometheus_fabric, TelemetrySnapshot};
+
+/// Fabric-level control-plane faults. Every variant leaves the fabric
+/// in its pre-call state (the epoch protocol aborts all staged
+/// candidates before reporting), so all of them are retryable.
+#[derive(Debug)]
+pub enum FabricFault {
+    /// Partition planning failed (unknown shard field, bad leaf count).
+    Plan(CompileError),
+    /// Applying an incremental update to the master program failed.
+    Update(CompileError),
+    /// Phase one failed on one leaf: its slice was rejected (admission)
+    /// or could not be built. No leaf committed anything.
+    Prepare {
+        /// The leaf that rejected its slice.
+        leaf: usize,
+        /// The underlying engine fault.
+        fault: EngineFault,
+    },
+    /// The quiesce barrier between prepare and commit failed on one
+    /// leaf (watchdog timeout). All staged candidates were dropped;
+    /// retry once the slow worker drains.
+    Quiesce {
+        /// The leaf that failed to drain.
+        leaf: usize,
+        /// The underlying engine fault.
+        fault: EngineFault,
+    },
+}
+
+impl std::fmt::Display for FabricFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricFault::Plan(e) => write!(f, "fabric partition plan failed: {e}"),
+            FabricFault::Update(e) => write!(f, "fabric master update failed: {e}"),
+            FabricFault::Prepare { leaf, fault } => {
+                write!(
+                    f,
+                    "fabric epoch rejected in prepare on leaf {leaf}: {fault}"
+                )
+            }
+            FabricFault::Quiesce { leaf, fault } => {
+                write!(f, "fabric epoch barrier failed on leaf {leaf}: {fault}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricFault {}
+
+/// Fabric construction parameters.
+#[derive(Clone)]
+pub struct FabricConfig {
+    /// PHV-layout name of the sharding field (e.g. `"ev.sym0"`,
+    /// `"add_order.stock"`). Must be an exact-match query field.
+    pub shard_field: String,
+    /// Extracts the sharding field's value from raw wire bytes (see
+    /// `camus_workload::raw_field_extractor`). The spine routes on
+    /// `owner_of(extract(pkt), leaves)`; the same function shards
+    /// packets across each leaf's workers.
+    pub extract: ShardFn,
+    /// One engine config per leaf (the vector's length is the leaf
+    /// count). Per-leaf `admission` models let heterogeneous ASICs
+    /// coexist in one fabric.
+    pub leaf_engines: Vec<EngineConfig>,
+}
+
+impl FabricConfig {
+    /// A homogeneous fabric: `leaves` copies of one engine config.
+    pub fn uniform(
+        leaves: usize,
+        shard_field: &str,
+        extract: ShardFn,
+        engine: EngineConfig,
+    ) -> Self {
+        FabricConfig {
+            shard_field: shard_field.to_string(),
+            extract,
+            leaf_engines: vec![engine; leaves.max(1)],
+        }
+    }
+}
+
+/// A running fabric: one engine per leaf plus the spine's routing
+/// state and the master (big-switch) program the slices derive from.
+///
+/// The driver is single-threaded by design — `submit` and
+/// `apply_update` interleave in program order, which is what makes
+/// "every packet sees exactly one epoch" meaningful and testable.
+pub struct Fabric {
+    engines: Vec<Engine>,
+    extract: ShardFn,
+    shard_field: String,
+    master: Pipeline,
+    plan: PartitionPlan,
+    epoch: u64,
+    epochs_rejected: u64,
+    submitted_per_leaf: Vec<u64>,
+    /// Leaf index per submitted packet, in global submission order;
+    /// populated only when every leaf records decisions (otherwise the
+    /// memory would buy nothing).
+    route_log: Vec<usize>,
+    record_routes: bool,
+}
+
+impl Fabric {
+    /// Plans the partition of `master`, admission-checks every slice
+    /// against its leaf's configured ASIC model, and starts one engine
+    /// per leaf. Nothing starts if any leaf cannot hold its slice.
+    pub fn start(master: &Pipeline, cfg: &FabricConfig) -> Result<Fabric, FabricFault> {
+        let leaves = cfg.leaf_engines.len().max(1);
+        let plan =
+            PartitionPlan::compute(master, &cfg.shard_field, leaves).map_err(FabricFault::Plan)?;
+        let slices = plan.slices(master);
+        // `Engine::start` trusts its seed pipeline (admission guards
+        // *updates*), so the fabric applies the per-leaf budget check
+        // up front, before any thread spawns.
+        for (leaf, (slice, ecfg)) in slices.iter().zip(&cfg.leaf_engines).enumerate() {
+            if let Some(model) = &ecfg.admission {
+                let placement = place_chain(&slice.tables, model);
+                if let Some(err) = placement.failure {
+                    return Err(FabricFault::Prepare {
+                        leaf,
+                        fault: EngineFault::Admission(err),
+                    });
+                }
+            }
+        }
+        let record_routes = cfg.leaf_engines.iter().all(|e| e.record_decisions);
+        let engines = slices
+            .iter()
+            .zip(&cfg.leaf_engines)
+            .map(|(slice, ecfg)| Engine::start(slice, ecfg, cfg.extract.clone()))
+            .collect();
+        Ok(Fabric {
+            engines,
+            extract: cfg.extract.clone(),
+            shard_field: cfg.shard_field.clone(),
+            master: master.clone(),
+            plan,
+            epoch: 0,
+            epochs_rejected: 0,
+            submitted_per_leaf: vec![0; leaves],
+            route_log: Vec::new(),
+            record_routes,
+        })
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Committed fabric epochs so far (0 = the seed program).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epochs rejected in phase one (all-or-nothing: no leaf changed).
+    pub fn epochs_rejected(&self) -> u64 {
+        self.epochs_rejected
+    }
+
+    /// The current partition plan.
+    pub fn plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+
+    /// The leaf that owns a raw packet (spine routing decision).
+    pub fn route(&self, packet: &[u8]) -> usize {
+        owner_of((self.extract)(packet), self.engines.len())
+    }
+
+    /// Installed (control-plane master) tables of one leaf — for
+    /// asserting bit-identical pre-state after an aborted epoch.
+    pub fn leaf_tables(&self, leaf: usize) -> &[Table] {
+        self.engines[leaf].installed_tables()
+    }
+
+    /// Published RCU generation of one leaf.
+    pub fn leaf_generation(&self, leaf: usize) -> u64 {
+        self.engines[leaf].generation()
+    }
+
+    /// Total packets submitted.
+    pub fn submitted(&self) -> u64 {
+        self.submitted_per_leaf.iter().sum()
+    }
+
+    /// Routes one packet to its owning leaf and submits it there.
+    /// Returns the leaf it went to.
+    pub fn submit(&mut self, packet: &[u8], now_us: u64) -> usize {
+        let leaf = self.route(packet);
+        self.engines[leaf].submit(packet, now_us);
+        self.submitted_per_leaf[leaf] += 1;
+        if self.record_routes {
+            self.route_log.push(leaf);
+        }
+        leaf
+    }
+
+    /// Applies an incremental-compiler update as one fabric epoch: the
+    /// report is applied to the *master* program, the master is
+    /// re-sliced, and the slices commit atomically across all leaves
+    /// (see [`Fabric::install_master`] for the phase structure).
+    pub fn apply_update(&mut self, report: &UpdateReport) -> Result<(), FabricFault> {
+        let mut master = self.master.clone();
+        report.apply_to(&mut master).map_err(FabricFault::Update)?;
+        self.install_master(master)
+    }
+
+    /// Installs a new master program as one two-phase fabric epoch.
+    ///
+    /// 1. **Prepare**: slice the master; every leaf admission-checks
+    ///    and stages its slice. Any failure ⇒ abort everywhere; no
+    ///    generation bump, no table change, on any leaf.
+    /// 2. **Quiesce barrier**: drain every leaf's in-flight batches.
+    ///    Packets submitted before this epoch thus complete entirely
+    ///    under the old program — no packet ever observes a
+    ///    mixed-epoch fabric. A watchdog timeout aborts (retryable);
+    ///    dead workers found here are respawned, not fatal.
+    /// 3. **Commit**: publish everywhere. Infallible by construction —
+    ///    every admission already passed in phase one.
+    pub fn install_master(&mut self, master: Pipeline) -> Result<(), FabricFault> {
+        let plan = PartitionPlan::compute(&master, &self.shard_field, self.engines.len())
+            .map_err(FabricFault::Plan)?;
+        let slices = plan.slices(&master);
+
+        // Phase 1: prepare (stage) on every leaf.
+        for (leaf, slice) in slices.iter().enumerate() {
+            if let Err(fault) = self.engines[leaf].prepare_pipeline(slice) {
+                for e in &mut self.engines {
+                    e.abort_staged();
+                }
+                self.epochs_rejected += 1;
+                return Err(FabricFault::Prepare { leaf, fault });
+            }
+        }
+
+        // Phase 2: the barrier. After this, nothing submitted before
+        // the epoch is still in flight anywhere.
+        for leaf in 0..self.engines.len() {
+            if let Err(fault) = self.engines[leaf].quiesce() {
+                for e in &mut self.engines {
+                    e.abort_staged();
+                }
+                return Err(FabricFault::Quiesce { leaf, fault });
+            }
+        }
+
+        // Phase 3: commit everywhere.
+        for e in &mut self.engines {
+            let committed = e.commit_staged();
+            debug_assert!(committed, "every leaf staged in phase one");
+        }
+        self.master = master;
+        self.plan = plan;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Drains every leaf (no epoch change). Respawns dead workers as a
+    /// side effect, like the underlying [`Engine::quiesce`].
+    pub fn quiesce(&mut self) -> Result<(), FabricFault> {
+        for leaf in 0..self.engines.len() {
+            if let Err(fault) = self.engines[leaf].quiesce() {
+                return Err(FabricFault::Quiesce { leaf, fault });
+            }
+        }
+        Ok(())
+    }
+
+    /// Joins every leaf engine and aggregates the fabric report.
+    pub fn finish(self) -> FabricReport {
+        let leaves: Vec<EngineReport> = self.engines.into_iter().map(Engine::finish).collect();
+        FabricReport {
+            epoch: self.epoch,
+            epochs_rejected: self.epochs_rejected,
+            submitted_per_leaf: self.submitted_per_leaf,
+            route_log: self.route_log,
+            leaves,
+        }
+    }
+}
+
+/// The aggregated end-of-run fabric report.
+#[derive(Debug)]
+pub struct FabricReport {
+    /// Committed epochs.
+    pub epoch: u64,
+    /// Epochs rejected all-or-nothing in phase one.
+    pub epochs_rejected: u64,
+    /// Packets submitted to each leaf.
+    pub submitted_per_leaf: Vec<u64>,
+    /// Per-leaf engine reports, in leaf order.
+    pub leaves: Vec<EngineReport>,
+    route_log: Vec<usize>,
+}
+
+impl FabricReport {
+    /// Total packets submitted across the fabric.
+    pub fn submitted(&self) -> u64 {
+        self.submitted_per_leaf.iter().sum()
+    }
+
+    /// Zero-loss reconciliation, per leaf and fabric-wide: every
+    /// submitted packet is either counted in its leaf's `ExecStats` or
+    /// listed as quarantined. Exact under supervision (see
+    /// [`EngineReport::quarantined`]).
+    pub fn reconciles(&self) -> bool {
+        self.submitted_per_leaf
+            .iter()
+            .zip(&self.leaves)
+            .all(|(&submitted, r)| submitted == r.stats.packets + r.quarantined.len() as u64)
+    }
+
+    /// Packets lost to quarantine across the fabric.
+    pub fn total_quarantined(&self) -> usize {
+        self.leaves.iter().map(|r| r.quarantined.len()).sum()
+    }
+
+    /// Reassembles per-packet decisions in *global* submission order
+    /// from the per-leaf reports (requires `record_decisions` on every
+    /// leaf). Quarantined packets yield `None`.
+    pub fn decisions_in_submit_order(&self) -> Vec<Option<&ForwardDecision>> {
+        // Per-leaf: map local seq -> Option<decision>. EngineReport
+        // decisions are in local submission order with quarantined
+        // seqs (sorted) skipped.
+        let per_leaf: Vec<Vec<Option<&ForwardDecision>>> = self
+            .leaves
+            .iter()
+            .zip(&self.submitted_per_leaf)
+            .map(|(r, &submitted)| {
+                let mut out = Vec::with_capacity(submitted as usize);
+                let mut decisions = r.decisions.iter();
+                let mut quarantined = r.quarantined.iter().peekable();
+                for seq in 0..submitted {
+                    if quarantined.peek() == Some(&&seq) {
+                        quarantined.next();
+                        out.push(None);
+                    } else {
+                        out.push(decisions.next());
+                    }
+                }
+                out
+            })
+            .collect();
+        let mut cursors = vec![0usize; self.leaves.len()];
+        self.route_log
+            .iter()
+            .map(|&leaf| {
+                let local = cursors[leaf];
+                cursors[leaf] += 1;
+                per_leaf[leaf].get(local).copied().flatten()
+            })
+            .collect()
+    }
+
+    /// Per-node telemetry snapshots, labeled `leaf0`, `leaf1`, …
+    /// (present iff the leaves ran with `telemetry: true`).
+    pub fn telemetry_nodes(&self) -> Vec<(String, &TelemetrySnapshot)> {
+        self.leaves
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.telemetry.as_ref().map(|t| (format!("leaf{i}"), t)))
+            .collect()
+    }
+
+    /// Renders the whole fabric's telemetry as one Prometheus
+    /// exposition with `node` labels; `None` when telemetry was off.
+    pub fn render_prometheus(&self) -> Option<String> {
+        let nodes = self.telemetry_nodes();
+        if nodes.is_empty() {
+            return None;
+        }
+        let borrowed: Vec<(&str, &TelemetrySnapshot)> =
+            nodes.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Some(render_prometheus_fabric(&borrowed))
+    }
+}
+
+/// Entry-for-entry table-set equality: names, keys, default actions
+/// and every entry (priority, matches, ops) in order. This is the
+/// "bit-identical pre-state" check the epoch-abort tests use —
+/// deliberately ignoring prepared-index scratch state, which is
+/// derived data.
+pub fn tables_identical(a: &[Table], b: &[Table]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.keys == y.keys
+                && x.default_ops == y.default_ops
+                && x.len() == y.len()
+                && x.entries().eq(y.entries())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camus_core::{Compiler, CompilerOptions};
+    use camus_lang::{parse_program, parse_spec};
+    use camus_workload::raw_field_extractor;
+
+    const SPEC: &str = "header_type ev_t { fields { sym: 64; val: 32; } }\n\
+                        header ev_t ev;\n\
+                        @query_field_exact(ev.sym)\n\
+                        @query_field(ev.val)\n";
+
+    fn compile(rules: &str) -> Pipeline {
+        let spec = parse_spec(SPEC).unwrap();
+        let c = Compiler::new(spec, CompilerOptions::raw()).unwrap();
+        c.compile(&parse_program(rules).unwrap()).unwrap().pipeline
+    }
+
+    fn extractor() -> ShardFn {
+        let spec = parse_spec(SPEC).unwrap();
+        raw_field_extractor(&spec, "sym").unwrap()
+    }
+
+    fn event(sym: &str, val: u32) -> Vec<u8> {
+        let mut b = camus_lang::symbol::encode_symbol(sym, 64)
+            .to_be_bytes()
+            .to_vec();
+        b.extend_from_slice(&val.to_be_bytes());
+        b
+    }
+
+    fn cfg(workers: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            batch_packets: 4,
+            record_decisions: true,
+            ..EngineConfig::default()
+        }
+    }
+
+    const RULES: &str = "sym == AA : fwd(1)\n\
+                         sym == BB and val > 10 : fwd(2)\n\
+                         val > 50 : fwd(9)";
+
+    #[test]
+    fn fabric_forwards_like_the_big_switch() {
+        let master = compile(RULES);
+        for leaves in [1usize, 2, 4] {
+            let fcfg = FabricConfig::uniform(leaves, "ev.sym", extractor(), cfg(2));
+            let mut fabric = Fabric::start(&master, &fcfg).unwrap();
+            let mut big = master.clone();
+            let mut expected = Vec::new();
+            for sym in ["AA", "BB", "CC"] {
+                for val in [0u32, 20, 60] {
+                    let ev = event(sym, val);
+                    expected.push(big.process(&ev, 0).unwrap().ports);
+                    fabric.submit(&ev, 0);
+                }
+            }
+            let report = fabric.finish();
+            assert!(report.reconciles());
+            let got = report.decisions_in_submit_order();
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(&expected) {
+                assert_eq!(&g.unwrap().ports, e, "leaves={leaves}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_commits_atomically_and_bumps_generations() {
+        let master = compile(RULES);
+        let fcfg = FabricConfig::uniform(2, "ev.sym", extractor(), cfg(1));
+        let mut fabric = Fabric::start(&master, &fcfg).unwrap();
+        let gens: Vec<u64> = (0..2).map(|l| fabric.leaf_generation(l)).collect();
+        fabric
+            .install_master(compile("sym == CC : fwd(7)"))
+            .unwrap();
+        assert_eq!(fabric.epoch(), 1);
+        for (l, g) in gens.iter().enumerate() {
+            assert_eq!(fabric.leaf_generation(l), g + 1);
+        }
+        fabric.submit(&event("CC", 1), 0);
+        fabric.submit(&event("AA", 1), 0);
+        let report = fabric.finish();
+        let got = report.decisions_in_submit_order();
+        assert_eq!(got[0].unwrap().ports, vec![camus_pipeline::PortId(7)]);
+        assert!(got[1].unwrap().ports.is_empty(), "old rules are gone");
+    }
+
+    #[test]
+    fn plan_failure_is_all_or_nothing() {
+        let master = compile(RULES);
+        let fcfg = FabricConfig::uniform(2, "ev.sym", extractor(), cfg(1));
+        let mut fabric = Fabric::start(&master, &fcfg).unwrap();
+        let before: Vec<Vec<Table>> = (0..2).map(|l| fabric.leaf_tables(l).to_vec()).collect();
+        // A master whose layout lacks the shard field: planning fails.
+        let alien = {
+            let spec = parse_spec(
+                "header_type x_t { fields { a: 32; } }\nheader x_t x;\n@query_field(x.a)\n",
+            )
+            .unwrap();
+            let c = Compiler::new(spec, CompilerOptions::raw()).unwrap();
+            c.compile(&parse_program("a > 1 : fwd(1)").unwrap())
+                .unwrap()
+                .pipeline
+        };
+        assert!(matches!(
+            fabric.install_master(alien),
+            Err(FabricFault::Plan(_))
+        ));
+        assert_eq!(fabric.epoch(), 0);
+        for (l, b) in before.iter().enumerate() {
+            assert!(
+                tables_identical(fabric.leaf_tables(l), b),
+                "leaf {l} changed"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_worker_counts_per_leaf() {
+        let master = compile(RULES);
+        let fcfg = FabricConfig {
+            shard_field: "ev.sym".into(),
+            extract: extractor(),
+            leaf_engines: vec![cfg(1), cfg(8)],
+        };
+        let mut fabric = Fabric::start(&master, &fcfg).unwrap();
+        let mut big = master.clone();
+        let evs: Vec<Vec<u8>> = ["AA", "BB", "CC", "DD"]
+            .iter()
+            .flat_map(|s| (0..8u32).map(move |v| event(s, v * 10)))
+            .collect();
+        let expected: Vec<_> = evs
+            .iter()
+            .map(|e| big.process(e, 0).unwrap().ports)
+            .collect();
+        for e in &evs {
+            fabric.submit(e, 0);
+        }
+        let report = fabric.finish();
+        assert!(report.reconciles());
+        for (g, e) in report.decisions_in_submit_order().iter().zip(&expected) {
+            assert_eq!(&g.unwrap().ports, e);
+        }
+    }
+
+    #[test]
+    fn route_is_stable_and_total() {
+        let master = compile(RULES);
+        let fcfg = FabricConfig::uniform(4, "ev.sym", extractor(), cfg(1));
+        let fabric = Fabric::start(&master, &fcfg).unwrap();
+        // Unknown symbols and garbage still route deterministically.
+        let garbage: Vec<u8> = vec![0xFF; 3];
+        assert_eq!(fabric.route(&garbage), fabric.route(&garbage));
+        assert!(fabric.route(&event("QQ", 5)) < 4);
+        fabric.finish();
+    }
+}

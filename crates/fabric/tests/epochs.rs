@@ -1,0 +1,276 @@
+//! Update/recovery interleavings the fabric epoch protocol relies on:
+//! worker death during epoch-prepare, quiesce watchdog timeout between
+//! prepare and commit, and back-to-back epochs with no explicit drain.
+//! Every scenario must keep the zero-loss ledger exact
+//! (`submitted == decided + quarantined` per leaf) and leave the
+//! fabric forwarding bit-identically to the big switch.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use camus_core::{Compiler, CompilerOptions};
+use camus_engine::{EngineConfig, EngineFault, FaultInjection, ShardFn};
+use camus_fabric::{tables_identical, Fabric, FabricConfig, FabricFault};
+use camus_lang::{parse_program, parse_spec};
+use camus_pipeline::{Pipeline, PortId};
+use camus_workload::raw_field_extractor;
+
+const SPEC: &str = "header_type ev_t { fields { sym: 64; val: 32; } }\n\
+                    header ev_t ev;\n\
+                    @query_field_exact(ev.sym)\n\
+                    @query_field(ev.val)\n";
+
+const OLD_RULES: &str = "sym == AA : fwd(1)\n\
+                         sym == BB : fwd(2)\n\
+                         val > 50 : fwd(9)";
+
+const NEW_RULES: &str = "sym == AA : fwd(4)\n\
+                         sym == CC and val > 5 : fwd(5)\n\
+                         val > 50 : fwd(9)";
+
+fn compile(rules: &str) -> Pipeline {
+    let spec = parse_spec(SPEC).unwrap();
+    let c = Compiler::new(spec, CompilerOptions::raw()).unwrap();
+    c.compile(&parse_program(rules).unwrap()).unwrap().pipeline
+}
+
+fn extractor() -> ShardFn {
+    raw_field_extractor(&parse_spec(SPEC).unwrap(), "sym").unwrap()
+}
+
+fn event(sym: &str, val: u32) -> Vec<u8> {
+    let mut b = camus_lang::symbol::encode_symbol(sym, 64)
+        .to_be_bytes()
+        .to_vec();
+    b.extend_from_slice(&val.to_be_bytes());
+    b
+}
+
+/// Two-letter symbols that a `leaves`-wide fabric routes to `leaf`.
+fn symbols_owned_by(leaf: usize, leaves: usize, want: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for a in b'A'..=b'Z' {
+        for b in b'A'..=b'Z' {
+            let s = format!("{}{}", a as char, b as char);
+            let key = camus_lang::symbol::encode_symbol(&s, 64);
+            if camus_core::owner_of(key, leaves) == leaf {
+                out.push(s);
+                if out.len() == want {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn ports(pipe: &mut Pipeline, ev: &[u8]) -> Vec<PortId> {
+    pipe.process(ev, 0).unwrap().ports
+}
+
+#[test]
+fn worker_death_during_epoch_prepare_reconciles_and_commits() {
+    // Leaf 1's first dispatched batch dies with its worker; the epoch's
+    // quiesce barrier detects the death, respawns the worker, and the
+    // commit still lands fabric-wide. Accounting stays exact.
+    let victims = symbols_owned_by(1, 2, 2);
+    let mut cfg_leaf1 = EngineConfig {
+        workers: 2,
+        batch_packets: 2,
+        record_decisions: true,
+        ..EngineConfig::default()
+    };
+    cfg_leaf1.faults = FaultInjection {
+        // Leaf-local seq 0: the first packet this leaf ever receives.
+        die_seqs: Arc::new(HashSet::from([0u64])),
+        ..FaultInjection::default()
+    };
+    let cfg_leaf0 = EngineConfig {
+        workers: 2,
+        batch_packets: 2,
+        record_decisions: true,
+        ..EngineConfig::default()
+    };
+    let fcfg = FabricConfig {
+        shard_field: "ev.sym".into(),
+        extract: extractor(),
+        leaf_engines: vec![cfg_leaf0, cfg_leaf1],
+    };
+    let mut fabric = Fabric::start(&compile(OLD_RULES), &fcfg).unwrap();
+
+    // Fill leaf 1's first batch so it dispatches (and dies) while the
+    // epoch is being prepared.
+    for v in &victims {
+        fabric.submit(&event(v, 60), 0);
+        fabric.submit(&event(v, 70), 0);
+    }
+    fabric.install_master(compile(NEW_RULES)).unwrap();
+    assert_eq!(fabric.epoch(), 1);
+
+    // Post-epoch traffic forwards under the new rules everywhere.
+    let mut new_big = compile(NEW_RULES);
+    let post: Vec<Vec<u8>> = [("AA", 1u32), ("CC", 9), ("BB", 3)]
+        .iter()
+        .map(|&(s, v)| event(s, v))
+        .collect();
+    let expected: Vec<_> = post.iter().map(|e| ports(&mut new_big, e)).collect();
+    let mark = fabric.submitted() as usize;
+    for e in &post {
+        fabric.submit(e, 0);
+    }
+    let report = fabric.finish();
+    assert!(report.reconciles(), "zero-loss ledger must reconcile");
+    assert!(
+        report.total_quarantined() >= 1,
+        "the dead batch is quarantined"
+    );
+    let faults = &report.leaves[1].faults;
+    assert!(faults.worker_deaths >= 1);
+    assert!(faults.respawns >= 1);
+    let decisions = report.decisions_in_submit_order();
+    for (i, e) in expected.iter().enumerate() {
+        let d = decisions[mark + i].expect("post-epoch packets are never quarantined");
+        assert_eq!(&d.ports, e);
+    }
+}
+
+#[test]
+fn quiesce_timeout_mid_commit_aborts_everywhere_then_retries_clean() {
+    // A stalled worker makes the barrier (phase 2) time out after
+    // phase 1 staged everywhere: the epoch must abort with zero
+    // observable change on *every* leaf, and a retry after the stall
+    // clears must commit.
+    let stall_sym = symbols_owned_by(0, 2, 1).remove(0);
+    let mut cfg_leaf0 = EngineConfig {
+        workers: 1,
+        batch_packets: 1,
+        watchdog_ms: 40,
+        record_decisions: true,
+        ..EngineConfig::default()
+    };
+    cfg_leaf0.faults = FaultInjection {
+        stall_seqs: Arc::new(HashSet::from([0u64])),
+        stall_ms: 400,
+        ..FaultInjection::default()
+    };
+    let cfg_leaf1 = EngineConfig {
+        workers: 1,
+        batch_packets: 1,
+        watchdog_ms: 40,
+        record_decisions: true,
+        ..EngineConfig::default()
+    };
+    let fcfg = FabricConfig {
+        shard_field: "ev.sym".into(),
+        extract: extractor(),
+        leaf_engines: vec![cfg_leaf0, cfg_leaf1],
+    };
+    let mut fabric = Fabric::start(&compile(OLD_RULES), &fcfg).unwrap();
+    let before: Vec<Vec<camus_pipeline::Table>> =
+        (0..2).map(|l| fabric.leaf_tables(l).to_vec()).collect();
+    let gens: Vec<u64> = (0..2).map(|l| fabric.leaf_generation(l)).collect();
+
+    fabric.submit(&event(&stall_sym, 60), 0); // dispatches immediately, stalls 400 ms
+
+    let err = fabric.install_master(compile(NEW_RULES));
+    match err {
+        Err(FabricFault::Quiesce {
+            leaf: 0,
+            fault: EngineFault::QuiesceTimeout { .. },
+        }) => {}
+        other => panic!("expected a leaf-0 quiesce timeout, got {other:?}"),
+    }
+    // Zero observable state change anywhere: same tables, same
+    // generations, epoch counter untouched.
+    assert_eq!(fabric.epoch(), 0);
+    for l in 0..2 {
+        assert!(
+            tables_identical(fabric.leaf_tables(l), &before[l]),
+            "leaf {l} mutated by an aborted epoch"
+        );
+        assert_eq!(
+            fabric.leaf_generation(l),
+            gens[l],
+            "leaf {l} generation bumped"
+        );
+    }
+
+    // Retry until the stall clears; the protocol is re-entrant.
+    let mut committed = false;
+    for _ in 0..100 {
+        match fabric.install_master(compile(NEW_RULES)) {
+            Ok(()) => {
+                committed = true;
+                break;
+            }
+            Err(FabricFault::Quiesce { .. }) => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected fault on retry: {other}"),
+        }
+    }
+    assert!(committed, "epoch must commit once the stall drains");
+    assert_eq!(fabric.epoch(), 1);
+
+    // The stalled packet was *processed* (stall ≠ death): nothing lost,
+    // and it saw the old epoch (it was in flight before the commit).
+    fabric.submit(&event("AA", 1), 0);
+    let report = fabric.finish();
+    assert!(report.reconciles());
+    assert_eq!(report.total_quarantined(), 0);
+    let decisions = report.decisions_in_submit_order();
+    let mut old_big = compile(OLD_RULES);
+    let mut new_big = compile(NEW_RULES);
+    assert_eq!(
+        decisions[0].unwrap().ports,
+        ports(&mut old_big, &event(&stall_sym, 60)),
+        "in-flight packet completes under its submission epoch"
+    );
+    assert_eq!(
+        decisions[1].unwrap().ports,
+        ports(&mut new_big, &event("AA", 1))
+    );
+}
+
+#[test]
+fn back_to_back_epochs_without_drain_keep_packets_in_their_epoch() {
+    // Three rule generations, two epoch swaps, continuous traffic with
+    // partial batches straddling both commits. Every packet must be
+    // decided under exactly the rule set live at its submission, and
+    // the ledger must reconcile with zero quarantine.
+    let generations = [OLD_RULES, NEW_RULES, "sym == BB and val < 9 : fwd(8)"];
+    let cfg = EngineConfig {
+        workers: 2,
+        batch_packets: 4,
+        record_decisions: true,
+        ..EngineConfig::default()
+    };
+    let fcfg = FabricConfig::uniform(2, "ev.sym", extractor(), cfg);
+    let mut fabric = Fabric::start(&compile(generations[0]), &fcfg).unwrap();
+
+    let evs: Vec<Vec<u8>> = ["AA", "BB", "CC", "DD", "EE"]
+        .iter()
+        .flat_map(|s| [3u32, 60].map(|v| event(s, v)))
+        .collect();
+    let mut expected: Vec<Vec<PortId>> = Vec::new();
+    for (gen_idx, rules) in generations.iter().enumerate() {
+        if gen_idx > 0 {
+            // No quiesce, no drain: partial batches are in flight here.
+            fabric.install_master(compile(rules)).unwrap();
+        }
+        let mut oracle = compile(rules);
+        for e in &evs {
+            expected.push(ports(&mut oracle, e));
+            fabric.submit(e, 0);
+        }
+    }
+    assert_eq!(fabric.epoch(), 2);
+    let report = fabric.finish();
+    assert!(report.reconciles());
+    assert_eq!(report.total_quarantined(), 0);
+    assert_eq!(report.submitted(), expected.len() as u64);
+    let decisions = report.decisions_in_submit_order();
+    for (i, e) in expected.iter().enumerate() {
+        assert_eq!(&decisions[i].unwrap().ports, e, "packet {i}");
+    }
+}

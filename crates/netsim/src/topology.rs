@@ -1,0 +1,206 @@
+//! Spine/leaf fabric topology: port placement and link-level delivery
+//! timing for a program partitioned across several leaf switches.
+//!
+//! The fabric layer (`camus-fabric`) decides *which leaf pipeline*
+//! evaluates a packet (by its sharding symbol); this module models the
+//! *wires*: which leaf each subscriber port hangs off, and how long a
+//! forwarded copy takes to reach it — one switch hop when the decision
+//! leaf is also the port's leaf, or an extra leaf→spine→leaf traversal
+//! when the multicast decision crosses the fabric. Per-egress
+//! [`FifoServer`] backlogs reproduce the queueing behavior the paper's
+//! §4 experiment measures, now per fabric hop.
+
+use crate::model::{LinkModel, SwitchModel};
+use crate::sim::FifoServer;
+
+/// Subscriber-port identifier, matching `camus_pipeline::PortId`'s
+/// wire representation (a `u16`).
+pub type Port = u16;
+
+/// A spine/leaf fabric: `leaves` leaf switches, each uplinked to one
+/// spine switch. Subscriber ports are striped across the leaves.
+#[derive(Debug, Clone)]
+pub struct FabricTopology {
+    /// Number of leaf switches (≥ 1).
+    pub leaves: usize,
+    /// Leaf switch model (pipeline latency, egress buffering).
+    pub leaf: SwitchModel,
+    /// Spine switch model.
+    pub spine: SwitchModel,
+    /// Leaf ↔ subscriber access links.
+    pub access: LinkModel,
+    /// Leaf ↔ spine fabric uplinks.
+    pub uplink: LinkModel,
+}
+
+impl FabricTopology {
+    /// A testbed-calibrated fabric: 25 Gb/s access links, 100 Gb/s
+    /// uplinks, Tofino-like switch latencies everywhere.
+    pub fn new(leaves: usize) -> Self {
+        FabricTopology {
+            leaves: leaves.max(1),
+            leaf: SwitchModel::default(),
+            spine: SwitchModel::default(),
+            access: LinkModel::gbps25(),
+            uplink: LinkModel::gbps100(),
+        }
+    }
+
+    /// The leaf a subscriber port hangs off (ports striped round-robin
+    /// across leaves — deterministic, dense, and independent of the
+    /// subscription program).
+    pub fn leaf_of_port(&self, port: Port) -> usize {
+        port as usize % self.leaves
+    }
+
+    /// Whether delivering to `port` from a decision made on
+    /// `decision_leaf` crosses the spine.
+    pub fn crosses_spine(&self, decision_leaf: usize, port: Port) -> bool {
+        self.leaf_of_port(port) != decision_leaf % self.leaves
+    }
+
+    /// Uncongested delivery latency for a `bytes`-long copy decided on
+    /// `decision_leaf` and destined for `port`: same-leaf copies pay
+    /// one leaf traversal plus the access link; cross-leaf copies
+    /// additionally pay the uplink out, the spine traversal and the
+    /// uplink back down into the destination leaf.
+    pub fn delivery_ns(&self, decision_leaf: usize, port: Port, bytes: usize) -> u64 {
+        let access = self.access.ser_ns(bytes) + self.access.prop_ns;
+        let local = self.leaf.pipeline_latency_ns + access;
+        if !self.crosses_spine(decision_leaf, port) {
+            return local;
+        }
+        let uplink = self.uplink.ser_ns(bytes) + self.uplink.prop_ns;
+        // leaf → uplink → spine → uplink → destination leaf → access.
+        local + 2 * uplink + self.spine.pipeline_latency_ns + self.leaf.pipeline_latency_ns
+    }
+}
+
+/// Per-egress-port queue state for a fabric: one [`FifoServer`] per
+/// subscriber access link plus one per leaf uplink, so congestion on a
+/// hot subscriber or a hot uplink delays (and eventually tail-drops)
+/// exactly the copies that traverse it.
+#[derive(Debug)]
+pub struct FabricQueues {
+    topo: FabricTopology,
+    access: Vec<FifoServer>,
+    uplinks: Vec<FifoServer>,
+    /// Copies tail-dropped at a full egress queue.
+    pub dropped: u64,
+}
+
+impl FabricQueues {
+    /// Creates idle queues for `ports` subscriber ports.
+    pub fn new(topo: FabricTopology, ports: usize) -> Self {
+        FabricQueues {
+            access: vec![FifoServer::new(); ports],
+            uplinks: vec![FifoServer::new(); topo.leaves],
+            topo,
+            dropped: 0,
+        }
+    }
+
+    /// The wired topology.
+    pub fn topology(&self) -> &FabricTopology {
+        &self.topo
+    }
+
+    /// Enqueues one `bytes`-long copy decided on `decision_leaf` for
+    /// `port` at time `now_ns`; returns its delivery completion time,
+    /// or `None` if a queue on its path tail-dropped it. Queueing is
+    /// modeled at the two contention points: the shared uplink of the
+    /// destination leaf (cross-spine copies only) and the subscriber's
+    /// access link.
+    pub fn deliver(
+        &mut self,
+        now_ns: u64,
+        decision_leaf: usize,
+        port: Port,
+        bytes: usize,
+    ) -> Option<u64> {
+        let dst_leaf = self.topo.leaf_of_port(port);
+        let mut at = now_ns + self.topo.leaf.pipeline_latency_ns;
+        if self.topo.crosses_spine(decision_leaf, port) {
+            let ser = self.topo.uplink.ser_ns(bytes);
+            let hop = self.topo.uplink.prop_ns + self.topo.spine.pipeline_latency_ns;
+            let Some(done) =
+                self.uplinks[dst_leaf].admit(at + hop, ser, self.topo.spine.egress_backlog_cap_ns)
+            else {
+                self.dropped += 1;
+                return None;
+            };
+            at = done + self.topo.uplink.prop_ns + self.topo.leaf.pipeline_latency_ns;
+        }
+        let idx = port as usize % self.access.len().max(1);
+        let ser = self.topo.access.ser_ns(bytes);
+        match self.access[idx].admit(at, ser, self.topo.leaf.egress_backlog_cap_ns) {
+            Some(done) => Some(done + self.topo.access.prop_ns),
+            None => {
+                self.dropped += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_stripe_across_leaves() {
+        let t = FabricTopology::new(4);
+        assert_eq!(t.leaf_of_port(0), 0);
+        assert_eq!(t.leaf_of_port(5), 1);
+        assert_eq!(t.leaf_of_port(7), 3);
+        // Single-leaf fabric: everything is local.
+        let one = FabricTopology::new(1);
+        assert!(!one.crosses_spine(0, 7));
+    }
+
+    #[test]
+    fn cross_spine_costs_more_than_local() {
+        let t = FabricTopology::new(2);
+        let local = t.delivery_ns(0, 0, 200); // port 0 lives on leaf 0
+        let remote = t.delivery_ns(0, 1, 200); // port 1 lives on leaf 1
+        assert!(remote > local, "{remote} !> {local}");
+        // The gap is exactly two uplink traversals + spine + extra leaf.
+        let uplink = t.uplink.ser_ns(200) + t.uplink.prop_ns;
+        assert_eq!(
+            remote - local,
+            2 * uplink + t.spine.pipeline_latency_ns + t.leaf.pipeline_latency_ns
+        );
+    }
+
+    #[test]
+    fn queues_serialize_and_tail_drop() {
+        let mut q = FabricQueues::new(FabricTopology::new(2), 4);
+        let first = q.deliver(0, 0, 0, 1500).unwrap();
+        let second = q.deliver(0, 0, 0, 1500).unwrap();
+        assert!(second > first, "FIFO on the shared access link");
+        // Saturate port 2's access link past its backlog cap.
+        let cap = q.topology().leaf.egress_backlog_cap_ns;
+        let ser = q.topology().access.ser_ns(1500);
+        let need = (cap / ser) as usize + 3;
+        let mut dropped = false;
+        for _ in 0..need {
+            if q.deliver(0, 0, 2, 1500).is_none() {
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "backlog cap enforces tail drop");
+        assert!(q.dropped > 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |n: usize| {
+            let mut q = FabricQueues::new(FabricTopology::new(4), 8);
+            (0..n as u64)
+                .map(|i| q.deliver(i * 100, (i % 4) as usize, (i % 8) as Port, 600))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(64), run(64));
+    }
+}

@@ -3,6 +3,18 @@
 //! Slow-path export only: renders a merged [`TelemetrySnapshot`] into
 //! the exposition format a future scrape endpoint would serve. Not
 //! called on the packet path, so it allocates freely.
+//!
+//! Three entry points share one family renderer:
+//!
+//! * [`render_prometheus`] — a single unlabeled snapshot (the
+//!   single-switch deployment);
+//! * [`render_prometheus_node`] — one snapshot tagged with a
+//!   `node="…"` label (one fabric leaf);
+//! * [`render_prometheus_fabric`] — several per-node snapshots in one
+//!   exposition, each metric family emitted once with one labeled
+//!   series per node (valid exposition needs exactly one `# HELP`/
+//!   `# TYPE` pair per family, so per-node rendering cannot just be
+//!   concatenated).
 
 use std::fmt::Write as _;
 
@@ -15,165 +27,261 @@ use crate::snapshot::TelemetrySnapshot;
 /// families; per-table counters carry a `table` label and spans a
 /// `span` label.
 pub fn render_prometheus(snap: &TelemetrySnapshot) -> String {
-    let mut out = String::new();
+    render_nodes(&[("", snap)])
+}
 
-    counter(
+/// Renders one fabric node's snapshot with a `node` label on every
+/// series (e.g. `camus_packets_total{node="leaf0"} 123`).
+pub fn render_prometheus_node(snap: &TelemetrySnapshot, node: &str) -> String {
+    render_nodes(&[(node, snap)])
+}
+
+/// Renders a whole fabric — one labeled series per node inside each
+/// metric family. Node names must be distinct.
+pub fn render_prometheus_fabric(nodes: &[(&str, &TelemetrySnapshot)]) -> String {
+    render_nodes(nodes)
+}
+
+/// `node="leaf0",` (trailing comma, ready to prefix further labels) or
+/// the empty string for unlabeled rendering.
+fn node_prefix(node: &str) -> String {
+    if node.is_empty() {
+        String::new()
+    } else {
+        format!("node=\"{node}\",")
+    }
+}
+
+fn render_nodes(nodes: &[(&str, &TelemetrySnapshot)]) -> String {
+    let mut out = String::new();
+    let labels: Vec<String> = nodes.iter().map(|(n, _)| node_prefix(n)).collect();
+    let series = |f: fn(&TelemetrySnapshot) -> u64| -> Vec<(usize, u64)> {
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, (_, s))| (i, f(s)))
+            .collect()
+    };
+
+    counter_family(
         &mut out,
+        &labels,
         "camus_packets_total",
         "Packets processed",
-        snap.packets,
+        &series(|s| s.packets),
     );
-    counter(
+    counter_family(
         &mut out,
+        &labels,
         "camus_batches_total",
         "Batches processed",
-        snap.data.batches,
+        &series(|s| s.data.batches),
     );
-    counter(
+    counter_family(
         &mut out,
+        &labels,
         "camus_sampled_packets_total",
         "Packets with per-stage timing samples",
-        snap.data.sampled_packets,
+        &series(|s| s.data.sampled_packets),
     );
-    counter(
+    counter_family(
         &mut out,
+        &labels,
         "camus_decision_cache_hits_total",
         "Messages answered from the decision cache",
-        snap.data.decision_cache_hits,
+        &series(|s| s.data.decision_cache_hits),
     );
-    counter(
+    counter_family(
         &mut out,
+        &labels,
         "camus_decision_cache_misses_total",
         "Messages that evaluated the full table chain",
-        snap.data.decision_cache_misses,
+        &series(|s| s.data.decision_cache_misses),
     );
-    counter(
+    counter_family(
         &mut out,
+        &labels,
         "camus_decision_cache_evictions_total",
         "Decision-cache slots overwritten by a conflicting key",
-        snap.data.decision_cache_evictions,
+        &series(|s| s.data.decision_cache_evictions),
     );
-    counter(
+    counter_family(
         &mut out,
+        &labels,
         "camus_ring_full_spins_total",
         "Producer spins while an ingress ring was full",
-        snap.data.ring_full_spins,
+        &series(|s| s.data.ring_full_spins),
     );
-    counter(
+    counter_family(
         &mut out,
+        &labels,
         "camus_ring_empty_spins_total",
         "Consumer spins while an ingress ring was empty",
-        snap.data.ring_empty_spins,
+        &series(|s| s.data.ring_empty_spins),
     );
 
-    histogram(
+    histogram_family(
         &mut out,
+        &labels,
         "camus_batch_duration_ns",
         "Whole-batch processing latency",
-        &snap.data.batch_ns,
+        nodes,
+        |s| &s.data.batch_ns,
     );
-    histogram(
+    histogram_family(
         &mut out,
+        &labels,
         "camus_parse_duration_ns",
         "Sampled per-packet parse latency",
-        &snap.data.parse_ns,
+        nodes,
+        |s| &s.data.parse_ns,
     );
-    histogram(
+    histogram_family(
         &mut out,
+        &labels,
         "camus_match_duration_ns",
         "Sampled per-packet match/action latency",
-        &snap.data.match_ns,
+        nodes,
+        |s| &s.data.match_ns,
     );
-    histogram(
+    histogram_family(
         &mut out,
+        &labels,
         "camus_mcast_duration_ns",
         "Sampled per-packet multicast port-union latency",
-        &snap.data.mcast_ns,
+        nodes,
+        |s| &s.data.mcast_ns,
     );
 
-    if !snap.tables.is_empty() {
+    if nodes.iter().any(|(_, s)| !s.tables.is_empty()) {
         let _ = writeln!(
             out,
             "# HELP camus_table_hits_total Messages matching a non-default entry"
         );
         let _ = writeln!(out, "# TYPE camus_table_hits_total counter");
-        for t in &snap.tables {
-            let _ = writeln!(
-                out,
-                "camus_table_hits_total{{table=\"{}\"}} {}",
-                t.name, t.hits
-            );
+        for (i, (_, s)) in nodes.iter().enumerate() {
+            for t in &s.tables {
+                let _ = writeln!(
+                    out,
+                    "camus_table_hits_total{{{}table=\"{}\"}} {}",
+                    labels[i], t.name, t.hits
+                );
+            }
         }
         let _ = writeln!(
             out,
             "# HELP camus_table_misses_total Messages taking the default action"
         );
         let _ = writeln!(out, "# TYPE camus_table_misses_total counter");
-        for t in &snap.tables {
-            let _ = writeln!(
-                out,
-                "camus_table_misses_total{{table=\"{}\"}} {}",
-                t.name, t.misses
-            );
+        for (i, (_, s)) in nodes.iter().enumerate() {
+            for t in &s.tables {
+                let _ = writeln!(
+                    out,
+                    "camus_table_misses_total{{{}table=\"{}\"}} {}",
+                    labels[i], t.name, t.misses
+                );
+            }
         }
     }
 
-    let spans: Vec<_> = snap.spans.recorded().collect();
-    if !spans.is_empty() {
+    if nodes
+        .iter()
+        .any(|(_, s)| s.spans.recorded().next().is_some())
+    {
         let _ = writeln!(
             out,
             "# HELP camus_span_duration_ns_total Cumulative control-plane span time"
         );
         let _ = writeln!(out, "# TYPE camus_span_duration_ns_total counter");
-        for (kind, stats) in &spans {
-            let _ = writeln!(
-                out,
-                "camus_span_duration_ns_total{{span=\"{}\"}} {}",
-                kind.as_str(),
-                stats.total_ns
-            );
+        for (i, (_, s)) in nodes.iter().enumerate() {
+            for (kind, stats) in s.spans.recorded() {
+                let _ = writeln!(
+                    out,
+                    "camus_span_duration_ns_total{{{}span=\"{}\"}} {}",
+                    labels[i],
+                    kind.as_str(),
+                    stats.total_ns
+                );
+            }
         }
         let _ = writeln!(
             out,
             "# HELP camus_span_count_total Completed control-plane spans"
         );
         let _ = writeln!(out, "# TYPE camus_span_count_total counter");
-        for (kind, stats) in &spans {
-            let _ = writeln!(
-                out,
-                "camus_span_count_total{{span=\"{}\"}} {}",
-                kind.as_str(),
-                stats.count
-            );
+        for (i, (_, s)) in nodes.iter().enumerate() {
+            for (kind, stats) in s.spans.recorded() {
+                let _ = writeln!(
+                    out,
+                    "camus_span_count_total{{{}span=\"{}\"}} {}",
+                    labels[i],
+                    kind.as_str(),
+                    stats.count
+                );
+            }
         }
     }
 
     out
 }
 
-fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+fn counter_family(
+    out: &mut String,
+    labels: &[String],
+    name: &str,
+    help: &str,
+    series: &[(usize, u64)],
+) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
-    let _ = writeln!(out, "{name} {value}");
+    for &(i, value) in series {
+        let label = &labels[i];
+        if label.is_empty() {
+            let _ = writeln!(out, "{name} {value}");
+        } else {
+            let _ = writeln!(out, "{name}{{{}}} {value}", label.trim_end_matches(','));
+        }
+    }
 }
 
-fn histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+fn histogram_family<'a>(
+    out: &mut String,
+    labels: &[String],
+    name: &str,
+    help: &str,
+    nodes: &'a [(&str, &TelemetrySnapshot)],
+    pick: fn(&'a TelemetrySnapshot) -> &'a Histogram,
+) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} histogram");
-    let mut cumulative = 0u64;
-    for (_lo, hi, count) in h.nonzero_buckets() {
-        cumulative += count;
-        if hi == u64::MAX {
-            // Top bucket is unbounded; fold it into +Inf below.
-            continue;
+    for (i, &(_, snap)) in nodes.iter().enumerate() {
+        let label = &labels[i];
+        let h = pick(snap);
+        let mut cumulative = 0u64;
+        for (_lo, hi, count) in h.nonzero_buckets() {
+            cumulative += count;
+            if hi == u64::MAX {
+                // Top bucket is unbounded; fold it into +Inf below.
+                continue;
+            }
+            // `hi` is an exclusive raw-ns bound; Prometheus `le` is
+            // inclusive, so the last contained value is `hi - 1`.
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{label}le=\"{}\"}} {cumulative}",
+                hi - 1
+            );
         }
-        // `hi` is an exclusive raw-ns bound; Prometheus `le` is
-        // inclusive, so the last contained value is `hi - 1`.
-        let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", hi - 1);
+        let _ = writeln!(out, "{name}_bucket{{{label}le=\"+Inf\"}} {}", h.count());
+        if label.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        } else {
+            let trimmed = label.trim_end_matches(',');
+            let _ = writeln!(out, "{name}_sum{{{trimmed}}} {}", h.sum());
+            let _ = writeln!(out, "{name}_count{{{trimmed}}} {}", h.count());
+        }
     }
-    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
-    let _ = writeln!(out, "{name}_sum {}", h.sum());
-    let _ = writeln!(out, "{name}_count {}", h.count());
 }
 
 #[cfg(test)]
@@ -262,5 +370,45 @@ mod tests {
                 "bucket bound must cover the recorded 50_000 ns"
             );
         }
+    }
+
+    #[test]
+    fn node_label_tags_every_series() {
+        let snap = sample_snapshot();
+        let text = render_prometheus_node(&snap, "leaf0");
+        assert!(text.contains("camus_packets_total{node=\"leaf0\"} 1000"));
+        assert!(text.contains("camus_parse_duration_ns_count{node=\"leaf0\"} 2"));
+        assert!(text.contains("camus_parse_duration_ns_bucket{node=\"leaf0\",le=\"+Inf\"} 2"));
+        assert!(text.contains("camus_table_hits_total{node=\"leaf0\",table=\"tbl_0\"} 42"));
+        assert!(text.contains("camus_span_count_total{node=\"leaf0\",span=\"compile\"} 1"));
+        // No unlabeled series leak through.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            assert!(line.contains("node=\"leaf0\""), "unlabeled series: {line}");
+        }
+    }
+
+    #[test]
+    fn fabric_rendering_emits_one_family_per_metric() {
+        let a = sample_snapshot();
+        let mut b = sample_snapshot();
+        b.packets = 7;
+        let text = render_prometheus_fabric(&[("leaf0", &a), ("leaf1", &b)]);
+        assert!(text.contains("camus_packets_total{node=\"leaf0\"} 1000"));
+        assert!(text.contains("camus_packets_total{node=\"leaf1\"} 7"));
+        assert!(text.contains("camus_table_hits_total{node=\"leaf1\",table=\"tbl_0\"} 42"));
+        // Exactly one HELP/TYPE pair per family, regardless of node count.
+        let help_packets = text
+            .lines()
+            .filter(|l| l.starts_with("# HELP camus_packets_total"))
+            .count();
+        assert_eq!(help_packets, 1);
+        let type_hist = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE camus_batch_duration_ns"))
+            .count();
+        assert_eq!(type_hist, 1);
     }
 }

@@ -28,6 +28,7 @@
 //! All generators are deterministic given a seed.
 
 pub mod churn;
+pub mod fabric;
 pub mod faults;
 pub mod interp;
 pub mod itch_subs;
@@ -36,6 +37,7 @@ pub mod trace;
 pub mod zipf;
 
 pub use churn::{itch_churn, siena_churn, ChurnConfig, ChurnSchedule, ChurnStep, SienaChurn};
+pub use fabric::{raw_field_extractor, RawExtractor};
 pub use faults::{capacity_bomb, FaultPlan, FaultPlanConfig, Mutation};
 pub use interp::{eval_cond, naive_ports, naive_ports_for_event};
 pub use itch_subs::{generate_itch_subscriptions, ItchSubsConfig};

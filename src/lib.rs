@@ -25,6 +25,7 @@
 //! | [`workload`] | `camus-workload` | Siena-style generators, ITCH subscriptions, feed synthesis |
 //! | [`netsim`] | `camus-netsim` | discrete-event simulation of the Figure 7 experiments |
 //! | [`engine`] | `camus-engine` | multi-core sharded forwarding engine (batched, allocation-free replay) |
+//! | [`fabric`] | `camus-fabric` | spine/leaf fabric: partitioned slices, two-phase epoch commit |
 //! | [`telemetry`] | `camus-telemetry` | lock-free counters/histograms, control-plane spans, Prometheus renderer |
 //!
 //! ## Quickstart
@@ -61,6 +62,7 @@
 pub use camus_bdd as bdd;
 pub use camus_core as compiler;
 pub use camus_engine as engine;
+pub use camus_fabric as fabric;
 pub use camus_itch as itch;
 pub use camus_lang as lang;
 pub use camus_netsim as netsim;

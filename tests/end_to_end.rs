@@ -195,3 +195,94 @@ fn placement_and_artifacts_ship_with_the_program() {
     let dot = prog.bdd.to_dot("e2e");
     assert!(dot.contains("digraph"));
 }
+
+#[test]
+fn netcache_example_routes_on_keys_and_actually_hits_the_decision_cache() {
+    // The `netcache_routing` example's program, run through the engine
+    // with its decision cache armed on the content identifier. Every
+    // rule matches only `req.key`, so the program is cacheable; a
+    // skewed trace must produce real cache hits, the hot-key pin must
+    // mirror to the cache port, and the generation swap must
+    // invalidate stale cached decisions.
+    use camus::compiler::IncrementalCompiler;
+    use camus::engine::{Engine, EngineConfig};
+    use std::sync::Arc;
+
+    let spec = parse_spec(
+        "header_type kv_req_t { fields { opcode: 8; key: 64; client: 32; } }\n\
+         header kv_req_t req;\n\
+         @query_field_exact(req.opcode)\n\
+         @query_field(req.key)",
+    )
+    .unwrap();
+    let alphabet = parse_program(
+        "key < 1000000 : fwd(10)\n\
+         key >= 1000000 : fwd(11)\n\
+         key == 42 : fwd(30)",
+    )
+    .unwrap();
+    let mut session = IncrementalCompiler::new(spec, &CompilerOptions::raw(), &alphabet).unwrap();
+    let r1 = session
+        .install(&parse_program("key < 1000000 : fwd(10)\nkey >= 1000000 : fwd(11)").unwrap())
+        .unwrap();
+
+    let packet = |key: u64| {
+        let mut b = vec![1u8];
+        b.extend_from_slice(&key.to_be_bytes());
+        b.extend_from_slice(&0u32.to_be_bytes());
+        b
+    };
+    let cfg = EngineConfig {
+        workers: 1,
+        batch_packets: 8,
+        record_decisions: true,
+        decision_cache: Some("req.key".into()),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::start(
+        &r1.pipeline,
+        &cfg,
+        Arc::new(|pkt: &[u8]| {
+            let mut k = [0u8; 8];
+            k.copy_from_slice(&pkt[1..9]);
+            u64::from_be_bytes(k)
+        }),
+    );
+    for _ in 0..50 {
+        engine.submit(&packet(42), 0);
+        engine.submit(&packet(7_000_000), 0);
+    }
+    engine.quiesce().unwrap();
+
+    // Pin key 42 hot; the swap must invalidate the cached [10].
+    let r2 = session
+        .install(&parse_program("key == 42 : fwd(30)").unwrap())
+        .unwrap();
+    engine.apply_update(&r2).unwrap();
+    for _ in 0..50 {
+        engine.submit(&packet(42), 0);
+    }
+
+    let report = engine.finish();
+    assert!(report.error.is_none(), "{:?}", report.error);
+    assert!(
+        report.hotpath.cache_hits > 0,
+        "cacheable key-only program must hit: {:?}",
+        report.hotpath
+    );
+    assert_eq!(
+        report.hotpath.cache_hits + report.hotpath.cache_misses,
+        report.stats.messages,
+        "every message consults the cache"
+    );
+    let ports = |i: usize| -> Vec<u16> { report.decisions[i].ports.iter().map(|p| p.0).collect() };
+    assert_eq!(ports(0), vec![10], "gen1: key 42 partition route");
+    assert_eq!(ports(1), vec![11], "gen1: cold key partition route");
+    for i in 100..150 {
+        assert_eq!(
+            ports(i),
+            vec![10, 30],
+            "gen2: pinned key mirrors to cache port"
+        );
+    }
+}
