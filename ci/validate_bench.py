@@ -188,6 +188,36 @@ def validate_fabric(name, rows, args):
         fail(f"{name} fabric_epoch: no epochs committed")
 
 
+def validate_failover(name, rows, args):
+    configs = check_rows(
+        name,
+        rows,
+        {
+            "config", "leaves", "workers", "host_cores", "packets_per_iter",
+            "ns_per_iter", "mttr_ns", "detect_ns", "repairs_per_sec",
+            "epoch_retries", "degraded_window_packets",
+        },
+        positive=("ns_per_iter",),
+    )
+    require_configs(
+        name,
+        configs,
+        {"failover_kill_l2", "failover_kill_l4", "epoch_retry_stall"},
+    )
+    by_config = {row["config"]: row for row in rows}
+    for config in ("failover_kill_l2", "failover_kill_l4"):
+        row = by_config[config]
+        if row["mttr_ns"] <= 0:
+            fail(f"{name} {config}: failover never measured (mttr_ns == 0)")
+        if row["detect_ns"] < 0 or row["detect_ns"] > row["mttr_ns"]:
+            fail(
+                f"{name} {config}: detection latency {row['detect_ns']} "
+                f"outside [0, mttr {row['mttr_ns']}]"
+            )
+    if by_config["epoch_retry_stall"]["epoch_retries"] <= 0:
+        fail(f"{name} epoch_retry_stall: the backoff loop never retried")
+
+
 TELEMETRY_STAGES = {"batch", "parse", "match", "mcast"}
 
 
@@ -257,6 +287,7 @@ VALIDATORS = {
     "BENCH_churn.json": validate_churn,
     "BENCH_faults.json": validate_faults,
     "BENCH_fabric.json": validate_fabric,
+    "BENCH_failover.json": validate_failover,
     "BENCH_compile.json": validate_compile,
     "TELEMETRY_engine.json": validate_telemetry,
 }

@@ -1,0 +1,205 @@
+//! Survivability benchmark: what a leaf death costs the fabric. Writes
+//! `results/BENCH_failover.json`.
+//!
+//! Row groups:
+//!
+//! * `failover_kill_l{2,4}` — a leaf is killed mid-trace; the spine
+//!   detects it at the next probe tick and commits an emergency
+//!   failover epoch over the survivors. Each row records the measured
+//!   MTTR (fault injection → failover epoch committed), the detection
+//!   latency component, and the degraded-window drop count (packets
+//!   orphaned between the kill and the repair).
+//! * `epoch_retry_stall` — a transient whole-leaf stall hits the
+//!   quiesce barrier; the epoch retries with bounded exponential
+//!   backoff until the stall drains. Records how many retries the
+//!   backoff loop burned.
+//!
+//! The timing columns come from the bench harness; the robustness
+//! columns (MTTR, retries, orphans) come from the *last* measured
+//! iteration — they are deterministic per scenario up to scheduler
+//! jitter, and the ledger identity `submitted == decided + quarantined
+//! + orphaned` is asserted on every iteration.
+
+use camus_bench::engine_runs::{host_cores, results_dir};
+use camus_bench::harness::Bench;
+use camus_bench::{impl_to_json, json};
+use camus_core::{Compiler, CompilerOptions};
+use camus_engine::EngineConfig;
+use camus_fabric::{EpochOptions, Fabric, FabricConfig};
+use camus_workload::{raw_field_extractor, SienaConfig};
+
+#[derive(Debug, Clone)]
+struct FailoverRow {
+    config: String,
+    leaves: usize,
+    workers: usize,
+    host_cores: usize,
+    packets_per_iter: u64,
+    ns_per_iter: f64,
+    mttr_ns: f64,
+    detect_ns: f64,
+    /// `1e9 / mttr_ns` — MTTR as a higher-is-better rate so the
+    /// one-sided bench-regression gate can bound it from below.
+    repairs_per_sec: f64,
+    epoch_retries: u64,
+    degraded_window_packets: u64,
+}
+
+impl_to_json!(FailoverRow {
+    config,
+    leaves,
+    workers,
+    host_cores,
+    packets_per_iter,
+    ns_per_iter,
+    mttr_ns,
+    detect_ns,
+    repairs_per_sec,
+    epoch_retries,
+    degraded_window_packets,
+});
+
+fn main() {
+    let bench = Bench::from_env();
+    let host_cores = host_cores();
+    let workers = host_cores.clamp(1, 2);
+
+    let siena = SienaConfig {
+        subscriptions: 24,
+        int_attributes: 2,
+        symbol_attributes: 1,
+        symbol_alphabet: 16,
+        int_range: 60,
+        predicates_per_subscription: 2,
+        seed: 0xFA11,
+        ..Default::default()
+    };
+    let wl = siena.generate();
+    let compiler = Compiler::new(wl.spec.clone(), CompilerOptions::raw()).unwrap();
+    let master = compiler.compile(&wl.rules).unwrap().pipeline;
+    let extract = raw_field_extractor(&wl.spec, "sym0").unwrap();
+
+    let packets = siena.generate_events(&wl, 2_000);
+    let n = packets.len() as u64;
+    let kill_at = packets.len() / 2;
+
+    let mut rows: Vec<FailoverRow> = Vec::new();
+
+    // Kill a leaf mid-trace; probe-tick detection + emergency epoch.
+    for leaves in [2usize, 4] {
+        let mut cfg = FabricConfig::uniform(
+            leaves,
+            "ev.sym0",
+            extract.clone(),
+            EngineConfig {
+                workers,
+                watchdog_ms: 50,
+                ..EngineConfig::default()
+            },
+        );
+        cfg.probe_interval = 32;
+        cfg.epoch = EpochOptions {
+            retry_attempts: 20,
+            retry_base_ms: 2,
+            retry_cap_ms: 20,
+        };
+
+        let mut mttr_ns = 0f64;
+        let mut detect_ns = 0f64;
+        let mut orphaned = 0u64;
+        let mut retries = 0u64;
+        let r = bench.run(&format!("failover/kill_l{leaves}_w{workers}"), n, || {
+            let mut fabric = Fabric::start(&master, &cfg).unwrap();
+            for (i, p) in packets.iter().enumerate() {
+                if i == kill_at {
+                    fabric.kill_leaf(leaves - 1);
+                }
+                fabric.submit(p, 0);
+            }
+            assert!(!fabric.degraded(), "failover must converge in-trace");
+            let f = fabric.failovers()[0];
+            mttr_ns = f.mttr_ns as f64;
+            detect_ns = f.detect_ns as f64;
+            let report = fabric.finish();
+            assert!(report.reconciles(), "ledger must stay exact");
+            orphaned = report.robustness.orphaned_packets;
+            retries = report.robustness.epoch_retries;
+            report.submitted()
+        });
+        r.report();
+        rows.push(FailoverRow {
+            config: format!("failover_kill_l{leaves}"),
+            leaves,
+            workers,
+            host_cores,
+            packets_per_iter: n,
+            ns_per_iter: r.ns_per_iter,
+            mttr_ns,
+            detect_ns,
+            repairs_per_sec: 1e9 / mttr_ns,
+            epoch_retries: retries,
+            degraded_window_packets: orphaned,
+        });
+    }
+
+    // Transient stall at the quiesce barrier: retry/backoff until it
+    // drains. No deaths, no orphans — just burned retries.
+    let leaves = 2usize;
+    let mut cfg = FabricConfig::uniform(
+        leaves,
+        "ev.sym0",
+        extract.clone(),
+        EngineConfig {
+            workers,
+            watchdog_ms: 10,
+            ..EngineConfig::default()
+        },
+    );
+    cfg.epoch = EpochOptions {
+        retry_attempts: 100,
+        retry_base_ms: 2,
+        retry_cap_ms: 20,
+    };
+    let mut retries = 0u64;
+    let r = bench.run(
+        &format!("failover/retry_stall_l{leaves}_w{workers}"),
+        1,
+        || {
+            let mut fabric = Fabric::start(&master, &cfg).unwrap();
+            for p in &packets[..64] {
+                fabric.submit(p, 0);
+            }
+            fabric.stall_leaf(0, 40);
+            fabric.stall_leaf(1, 40);
+            fabric.install_master(master.clone()).unwrap();
+            let report = fabric.finish();
+            assert!(report.reconciles(), "ledger must stay exact");
+            retries = report.robustness.epoch_retries;
+            report.epoch
+        },
+    );
+    r.report();
+    rows.push(FailoverRow {
+        config: "epoch_retry_stall".into(),
+        leaves,
+        workers,
+        host_cores,
+        packets_per_iter: 64,
+        ns_per_iter: r.ns_per_iter,
+        mttr_ns: 0.0,
+        detect_ns: 0.0,
+        repairs_per_sec: 0.0,
+        epoch_retries: retries,
+        degraded_window_packets: 0,
+    });
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_failover.json");
+    std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();
+    println!(
+        "wrote {} ({} rows, host_cores={host_cores})",
+        path.display(),
+        rows.len()
+    );
+}

@@ -74,6 +74,36 @@ pub fn owner_of(value: u64, leaves: usize) -> usize {
     (mix64(value) % n) as usize
 }
 
+/// Salt for the failover rehash so a dead leaf's symbols don't all
+/// collapse onto the survivor that happens to follow it mod N.
+const REHASH_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The leaf that owns `value` when only the leaves in `live_mask` (of
+/// a `total`-leaf fabric) survive. Ownership is *stable for
+/// survivors*: if `owner_of(value, total)` is still alive it keeps the
+/// symbol — and its register state — untouched; only symbols whose
+/// primary owner died are rehashed, deterministically, across the
+/// survivors. With every leaf alive this is exactly [`owner_of`].
+#[inline]
+pub fn owner_in_subset(value: u64, total: usize, live_mask: u64) -> usize {
+    let mask = live_mask & full_mask(total);
+    let primary = owner_of(value, total);
+    if mask == 0 || mask & (1 << primary) != 0 {
+        return primary;
+    }
+    let live = mask.count_ones() as u64;
+    let mut idx = mix64(value ^ REHASH_SALT) % live;
+    let mut m = mask;
+    loop {
+        let bit = m.trailing_zeros() as usize;
+        if idx == 0 {
+            return bit;
+        }
+        idx -= 1;
+        m &= m - 1;
+    }
+}
+
 /// Per-table entry→leaf assignment: `masks[i]` has bit `l` set iff
 /// entry `i` (in the original table's insertion order) is held by
 /// leaf `l`.
@@ -88,8 +118,13 @@ pub struct TableAssignment {
 /// A computed fabric partition of one compiled program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PartitionPlan {
-    /// Number of leaves.
+    /// Number of leaf *slots* (dead ones included — slot indices are
+    /// stable across failover).
     pub leaves: usize,
+    /// Bitmask of the leaves this plan actually places entries on.
+    /// `full_mask(leaves)` for a healthy fabric; a strict subset for a
+    /// failover plan computed by [`PartitionPlan::compute_subset`].
+    pub live_mask: u64,
     /// PHV-layout name of the sharding field (e.g. `"ev.sym0"`).
     pub shard_field: String,
     /// Per-table entry assignments, in pipeline table order.
@@ -108,10 +143,32 @@ impl PartitionPlan {
         shard_field: &str,
         leaves: usize,
     ) -> Result<PartitionPlan, CompileError> {
+        Self::compute_subset(pipeline, shard_field, leaves, full_mask(leaves.min(64)))
+    }
+
+    /// Computes a *failover* partition: the same slicing rules, but
+    /// entries are placed only on the leaves in `live_mask`. Symbols
+    /// owned by a live leaf stay put (their per-shard register state
+    /// survives the epoch via `carry_from`); a dead leaf's symbols are
+    /// rehashed onto survivors by [`owner_in_subset`]. Dead slots get
+    /// empty slices, so slot indices — and the spine's routing table —
+    /// stay stable across the failover epoch.
+    pub fn compute_subset(
+        pipeline: &Pipeline,
+        shard_field: &str,
+        leaves: usize,
+        live_mask: u64,
+    ) -> Result<PartitionPlan, CompileError> {
         if leaves == 0 || leaves > MAX_LEAVES {
             return Err(CompileError::BadSpec(format!(
                 "fabric needs 1..={MAX_LEAVES} leaves, got {leaves}"
             )));
+        }
+        let live_mask = live_mask & full_mask(leaves);
+        if live_mask == 0 {
+            return Err(CompileError::BadSpec(
+                "failover plan needs at least one live leaf".into(),
+            ));
         }
         let shard_phv = pipeline.layout.get(shard_field).ok_or_else(|| {
             CompileError::BadSpec(format!("shard field `{shard_field}` not in PHV layout"))
@@ -127,11 +184,21 @@ impl PartitionPlan {
             .map(|&(_, v)| v)
             .unwrap_or(0);
 
-        let all_mask = full_mask(leaves);
+        // Replicated rows land on every *live* leaf; dead slots hold
+        // nothing.
+        let all_mask = live_mask;
         // Forward state reachability per leaf. Misses pass the state
-        // through unchanged, so sets only grow.
-        let mut reach: Vec<HashSet<u64>> =
-            (0..leaves).map(|_| HashSet::from([init_state])).collect();
+        // through unchanged, so sets only grow. Dead leaves start (and
+        // stay) unreachable.
+        let mut reach: Vec<HashSet<u64>> = (0..leaves)
+            .map(|l| {
+                if live_mask & (1 << l) != 0 {
+                    HashSet::from([init_state])
+                } else {
+                    HashSet::new()
+                }
+            })
+            .collect();
         let mut assignment = Vec::with_capacity(pipeline.tables.len());
         let mut orphan_entries = 0usize;
 
@@ -157,6 +224,9 @@ impl PartitionPlan {
                 for e in table.entries() {
                     let mut mask = 0u64;
                     for (l, r) in reach.iter().enumerate() {
+                        if live_mask & (1 << l) == 0 {
+                            continue;
+                        }
                         let state_ok = match e.matches[0] {
                             MatchValue::Exact(s) => r.contains(&s),
                             // Wildcard state rows (should not occur in
@@ -169,8 +239,11 @@ impl PartitionPlan {
                         let owned = if shard_table {
                             match e.matches.get(1) {
                                 // A pinned symbol row lives only on
-                                // the symbol's owner.
-                                Some(MatchValue::Exact(v)) => owner_of(*v, leaves) == l,
+                                // the symbol's (possibly failed-over)
+                                // owner.
+                                Some(MatchValue::Exact(v)) => {
+                                    owner_in_subset(*v, leaves, live_mask) == l
+                                }
                                 // Wildcard/exclusion rows replicate.
                                 _ => true,
                             }
@@ -214,6 +287,7 @@ impl PartitionPlan {
 
         Ok(PartitionPlan {
             leaves,
+            live_mask,
             shard_field: shard_field.to_string(),
             assignment,
             orphan_entries,
@@ -284,7 +358,7 @@ impl PartitionPlan {
 
 /// Bitmask with the low `leaves` bits set.
 #[inline]
-fn full_mask(leaves: usize) -> u64 {
+pub fn full_mask(leaves: usize) -> u64 {
     if leaves >= 64 {
         u64::MAX
     } else {
@@ -466,5 +540,51 @@ mod tests {
         assert!(PartitionPlan::compute(&pipeline, "ev.nope", 2).is_err());
         assert!(PartitionPlan::compute(&pipeline, "ev.sym", 0).is_err());
         assert!(PartitionPlan::compute(&pipeline, "ev.sym", 65).is_err());
+        assert!(PartitionPlan::compute_subset(&pipeline, "ev.sym", 4, 0).is_err());
+    }
+
+    #[test]
+    fn subset_plan_keeps_survivors_stable_and_forwards_like_big_switch() {
+        let pipeline = compile(RULES);
+        let leaves = 4;
+        let live_mask = 0b1011u64; // leaf 2 is dead
+        let plan = PartitionPlan::compute_subset(&pipeline, "ev.sym", leaves, live_mask).unwrap();
+        assert_eq!(plan.live_mask, live_mask);
+        assert_eq!(plan.leaf_entries(2), 0, "dead slot must hold nothing");
+        for a in &plan.assignment {
+            for &m in &a.masks {
+                assert_ne!(m, 0, "cover: entry lost in failover");
+                assert_eq!(m & !live_mask, 0, "entry placed on a dead leaf");
+            }
+        }
+        // Symbols whose primary owner survives never move.
+        for v in 0..512u64 {
+            let primary = owner_of(v, leaves);
+            let sub = owner_in_subset(v, leaves, live_mask);
+            assert_ne!(sub, 2, "routed to the dead leaf");
+            if live_mask & (1 << primary) != 0 {
+                assert_eq!(sub, primary, "survivor shard moved");
+            }
+        }
+        // Failover routing + slices ≡ big switch.
+        let mut slices = plan.slices(&pipeline);
+        let mut big = pipeline.clone();
+        for sym in ["AA", "BB", "CC", "ZZ", "QQ"] {
+            for val in [0u32, 3, 20, 60, 100] {
+                let ev = event(sym, val);
+                let key = camus_lang::symbol::encode_symbol(sym, 64);
+                let leaf = owner_in_subset(key, leaves, live_mask);
+                assert_eq!(
+                    ports(&mut slices[leaf], &ev),
+                    ports(&mut big, &ev),
+                    "sym={sym} val={val}"
+                );
+            }
+        }
+        // Full-mask subset is exactly the healthy plan.
+        let full = PartitionPlan::compute(&pipeline, "ev.sym", leaves).unwrap();
+        let sub_full =
+            PartitionPlan::compute_subset(&pipeline, "ev.sym", leaves, full_mask(leaves)).unwrap();
+        assert_eq!(full, sub_full);
     }
 }

@@ -332,6 +332,95 @@ proptest! {
         }
     }
 
+    /// Failover-plan invariants over any non-empty survivor subset:
+    /// the subset plan never assigns an entry to a dead leaf, never
+    /// loses an entry (cover within the live mask), reassembles each
+    /// table entry-for-entry from the live slices, keeps every
+    /// surviving owner's symbols in place (only dead owners' symbols
+    /// rehash — the "zero loss for shards that never left a healthy
+    /// leaf" guarantee), and degenerates to the full plan when every
+    /// leaf is alive.
+    #[test]
+    fn failover_subset_plan_covers_and_keeps_survivors_stable(
+        seed in 0u64..100_000,
+        leaves in 2usize..=5,
+        mask_seed in 1u64..1024,
+    ) {
+        use camus_core::{full_mask, owner_in_subset, owner_of, PartitionPlan};
+        use camus_workload::SienaConfig;
+
+        let live_mask = {
+            let m = mask_seed & full_mask(leaves);
+            if m == 0 { 1 } else { m }
+        };
+        let siena = SienaConfig {
+            int_attributes: 2,
+            symbol_attributes: 1,
+            symbol_alphabet: 8,
+            int_range: 60,
+            predicates_per_subscription: 2,
+            seed,
+            ..Default::default()
+        };
+        let wl = siena.generate();
+        let compiler = Compiler::new(wl.spec.clone(), CompilerOptions::raw()).unwrap();
+        let master = compiler.compile(&wl.rules).unwrap().pipeline;
+        let plan = PartitionPlan::compute_subset(&master, "ev.sym0", leaves, live_mask).unwrap();
+
+        prop_assert_eq!(plan.live_mask, live_mask);
+        prop_assert_eq!(plan.assignment.len(), master.tables.len());
+        for (t, ta) in master.tables.iter().zip(&plan.assignment) {
+            prop_assert_eq!(ta.masks.len(), t.len());
+            for (i, &m) in ta.masks.iter().enumerate() {
+                prop_assert!(m != 0, "table {} entry {} lost in failover", t.name, i);
+                prop_assert_eq!(
+                    m & !live_mask, 0,
+                    "table {} entry {} assigned to a dead leaf", t.name, i
+                );
+            }
+        }
+
+        // Live slices reassemble every table; dead leaves hold nothing.
+        let slices = plan.slices(&master);
+        for (l, slice) in slices.iter().enumerate() {
+            if live_mask & (1 << l) == 0 {
+                for st in &slice.tables {
+                    prop_assert_eq!(st.len(), 0, "dead leaf {} holds entries", l);
+                }
+                continue;
+            }
+            for (ti, t) in master.tables.iter().enumerate() {
+                let expect: Vec<_> = t
+                    .entries()
+                    .enumerate()
+                    .filter(|(i, _)| plan.assignment[ti].masks[*i] & (1u64 << l) != 0)
+                    .map(|(_, e)| e.clone())
+                    .collect();
+                let got: Vec<_> = slice.tables[ti].entries().cloned().collect();
+                prop_assert_eq!(got, expect, "table {} live leaf {}", t.name, l);
+            }
+        }
+
+        // Survivor stability: a value whose primary owner is alive is
+        // routed to that same owner; a dead owner's value lands on a
+        // live leaf, deterministically.
+        for v in 0..512u64 {
+            let primary = owner_of(v, leaves);
+            let routed = owner_in_subset(v, leaves, live_mask);
+            prop_assert!(live_mask & (1 << routed) != 0, "value {} routed to a dead leaf", v);
+            if live_mask & (1 << primary) != 0 {
+                prop_assert_eq!(routed, primary, "surviving owner of {} moved", v);
+            }
+            prop_assert_eq!(routed, owner_in_subset(v, leaves, live_mask));
+        }
+
+        // All-alive degenerates to the full plan.
+        if live_mask == full_mask(leaves) {
+            let full = PartitionPlan::compute(&master, "ev.sym0", leaves).unwrap();
+            prop_assert_eq!(plan, full);
+        }
+    }
+
     /// Rule-level sharding: every rule is owned by exactly one leaf in
     /// range, ownership is deterministic, and a rule that pins the
     /// shard symbol is owned by that symbol's leaf (the same mapping

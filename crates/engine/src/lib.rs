@@ -96,7 +96,7 @@ pub mod ring;
 pub mod shard;
 
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -392,6 +392,11 @@ pub enum EngineFault {
         /// How long the watchdog waited, milliseconds.
         waited_ms: u64,
     },
+    /// The whole node crashed ([`Engine::simulate_crash`]): every
+    /// control-plane operation fails permanently. Unlike
+    /// [`EngineFault::QuiesceTimeout`] this is *not* retryable — the
+    /// caller (e.g. a fabric) must fail the node's shards over.
+    Killed,
 }
 
 impl std::fmt::Display for EngineFault {
@@ -407,6 +412,7 @@ impl std::fmt::Display for EngineFault {
                 f,
                 "quiesce timed out after {waited_ms} ms: worker {worker} holds {outstanding} batch(es)"
             ),
+            EngineFault::Killed => write!(f, "node is dead (crashed); not retryable"),
         }
     }
 }
@@ -454,6 +460,10 @@ struct WorkerOutput {
     died: bool,
     telemetry: Option<Box<DataPlaneTelemetry>>,
     hotpath: HotPathStats,
+    /// Final `@query_counter` register contents — the state-extraction
+    /// hook a fabric uses to tell salvageable per-shard state from
+    /// state that died with its node.
+    registers: camus_pipeline::register::RegisterFile,
 }
 
 struct WorkerHandle {
@@ -512,6 +522,11 @@ pub struct EngineReport {
     /// Decision-cache and ring back-pressure counters, summed across
     /// workers and the engine thread. Always collected.
     pub hotpath: HotPathStats,
+    /// Final per-worker `@query_counter` register contents (index =
+    /// worker slot; a respawned worker's final state replaces its
+    /// predecessor's). The state-extraction hook a fabric reads to
+    /// account salvageable vs. lost per-shard state at failover.
+    pub final_registers: Vec<camus_pipeline::register::RegisterFile>,
 }
 
 /// A running multi-core engine. Create with [`Engine::start`], feed it
@@ -548,6 +563,17 @@ pub struct Engine {
     /// handles' counters are read at [`Engine::finish`]).
     ring_full_spins: u64,
     ring_empty_spins: u64,
+    /// Node-crash flag ([`Engine::simulate_crash`]): workers check it
+    /// once per batch and abandon ship; the control plane refuses
+    /// every operation with [`EngineFault::Killed`].
+    killed: Arc<AtomicBool>,
+    /// One-shot runtime stall, milliseconds ([`Engine::inject_stall`]):
+    /// the next worker to start a batch consumes it and sleeps,
+    /// modelling a transient whole-node hiccup (GC pause, link flap)
+    /// that a quiesce barrier then times out on. Unlike
+    /// [`FaultInjection::stall_seqs`] it needs no seq planned at
+    /// startup, so a chaos harness can script it mid-run.
+    stall_signal: Arc<AtomicU64>,
 }
 
 /// Pins the calling thread to one CPU core, best effort. Raw
@@ -586,6 +612,8 @@ fn worker_loop(
     start_gen: u64,
     supervise: bool,
     injection: FaultInjection,
+    killed: Arc<AtomicBool>,
+    stall_signal: Arc<AtomicU64>,
 ) -> WorkerOutput {
     let mut out = DecisionBuf::default();
     let mut decisions: Vec<(u64, ForwardDecision)> = Vec::new();
@@ -602,6 +630,22 @@ fn worker_loop(
     let has_deaths = !injection.die_seqs.is_empty();
     let has_stalls = !injection.stall_seqs.is_empty();
     while let Some(batch) = rx.pop_blocking() {
+        // Node-crash check first: a killed node abandons the popped
+        // batch *un-recycled* and stops cold, exactly like a scripted
+        // worker death — so the engine's in-flight ledger accounts
+        // every packet the crash took down, and detection rides the
+        // same recycle-ring hangup path.
+        if killed.load(Ordering::Acquire) {
+            died = true;
+            break;
+        }
+        // Scripted runtime stall: one worker consumes the pending
+        // signal and sleeps before touching the batch, so an armed
+        // quiesce barrier observes the hiccup deterministically.
+        let stall_ms = stall_signal.swap(0, Ordering::AcqRel);
+        if stall_ms > 0 {
+            std::thread::sleep(Duration::from_millis(stall_ms));
+        }
         // Batch boundary: adopt the latest published generation, so
         // every packet in this batch runs under one complete rule set.
         // Adoption re-points the shared `Arc` — no pipeline clone on
@@ -715,6 +759,7 @@ fn worker_loop(
         died,
         telemetry,
         hotpath,
+        registers: ctx.registers,
     }
 }
 
@@ -772,6 +817,8 @@ impl Engine {
             spans: SpanSet::new(),
             ring_full_spins: 0,
             ring_empty_spins: 0,
+            killed: Arc::new(AtomicBool::new(false)),
+            stall_signal: Arc::new(AtomicU64::new(0)),
         };
         for wi in 0..n {
             let handle = engine.spawn_worker(wi);
@@ -815,6 +862,8 @@ impl Engine {
         let supervise = self.cfg.supervise;
         let injection = self.cfg.faults.clone();
         let worker_published = Arc::clone(&self.published);
+        let worker_killed = Arc::clone(&self.killed);
+        let worker_stall = Arc::clone(&self.stall_signal);
         let pin = self.cfg.pin_workers.then(|| {
             let cores = std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -838,6 +887,8 @@ impl Engine {
                     start_gen,
                     supervise,
                     injection,
+                    worker_killed,
+                    worker_stall,
                 )
             })
             .unwrap_or_else(|e| panic!("spawn engine worker: {e}"));
@@ -909,6 +960,9 @@ impl Engine {
     /// it and re-sends the batch (zero loss — the batch never reached
     /// the dead worker); without, the batch is counted as lost.
     fn dispatch(&mut self, wi: usize, batch: Batch, respawn: bool) {
+        // A crashed node never heals itself: batches that can't reach
+        // a worker go straight to loss accounting (→ quarantined).
+        let respawn = respawn && !self.killed.load(Ordering::Acquire);
         let w = &mut self.workers[wi];
         let mut seqs = w.seq_pool.pop().unwrap_or_default();
         seqs.clear();
@@ -1004,6 +1058,9 @@ impl Engine {
     /// A worker found dead is respawned and its lost batches are
     /// quarantined, so quiesce also heals the engine.
     pub fn quiesce(&mut self) -> Result<(), EngineFault> {
+        if self.is_killed() {
+            return Err(EngineFault::Killed);
+        }
         let timer = SpanTimer::start();
         for wi in 0..self.workers.len() {
             self.flush_worker(wi);
@@ -1060,6 +1117,9 @@ impl Engine {
     /// finish under the generation their batch started with — never a
     /// half-applied rule set.
     pub fn apply_update(&mut self, report: &UpdateReport) -> Result<(), EngineFault> {
+        if self.is_killed() {
+            return Err(EngineFault::Killed);
+        }
         let timer = SpanTimer::start();
         let mut candidate = self.template.clone();
         report
@@ -1085,6 +1145,9 @@ impl Engine {
     /// still carry their register state over positionally on adoption.
     /// On rejection the installed state is untouched.
     pub fn install_pipeline(&mut self, pipeline: &Pipeline) -> Result<(), EngineFault> {
+        if self.is_killed() {
+            return Err(EngineFault::Killed);
+        }
         let timer = SpanTimer::start();
         let mut candidate = pipeline.clone();
         candidate.exec.stats.reset();
@@ -1107,6 +1170,9 @@ impl Engine {
     /// [`FaultStats::updates_rejected`]). Staging again replaces any
     /// previously staged candidate.
     pub fn prepare_pipeline(&mut self, pipeline: &Pipeline) -> Result<(), EngineFault> {
+        if self.is_killed() {
+            return Err(EngineFault::Killed);
+        }
         let mut candidate = pipeline.clone();
         candidate.exec.stats.reset();
         candidate.set_telemetry(None);
@@ -1138,6 +1204,52 @@ impl Engine {
     /// was staged. Never touches the published program.
     pub fn abort_staged(&mut self) -> bool {
         self.staged.take().is_some()
+    }
+
+    /// Simulates an abrupt node crash (the chaos harness's leaf-kill
+    /// event). Every worker abandons its current batch *un-recycled*
+    /// at its next batch boundary and exits — the packets it took down
+    /// surface as quarantined seqs through the in-flight ledger, just
+    /// like a single worker death — and from here on every
+    /// control-plane call fails with [`EngineFault::Killed`], every
+    /// undeliverable batch is counted as lost, and
+    /// [`Engine::is_alive`] answers `false`. Idempotent; there is no
+    /// resurrection — a fabric replaces the node's shards, not the
+    /// node.
+    pub fn simulate_crash(&mut self) {
+        if self.killed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake workers blocked on empty input rings with a sentinel
+        // empty batch (no in-flight record — it carries no packets).
+        // A worker mid-batch sees the flag at its next pop instead; a
+        // full ring means the worker has plenty to wake up on already.
+        for w in &mut self.workers {
+            let _ = w.tx.try_push(Batch::default());
+        }
+    }
+
+    /// Arms a one-shot runtime stall (the chaos harness's leaf-stall
+    /// event): the next worker to start a batch sleeps `ms`
+    /// milliseconds first. The node stays alive — the fault is
+    /// transient, which is exactly what an epoch's quiesce-timeout
+    /// retry path exists for. Calling again before a worker consumed
+    /// the previous signal replaces it.
+    pub fn inject_stall(&mut self, ms: u64) {
+        self.stall_signal.store(ms, Ordering::Release);
+    }
+
+    /// Liveness probe — the heartbeat a fabric's failure detector
+    /// polls. `false` once the node crashed; detection of *why* (and
+    /// of the exact packets lost) still rides the quiesce/ledger
+    /// machinery.
+    pub fn is_alive(&self) -> bool {
+        !self.is_killed()
+    }
+
+    /// Whether [`Engine::simulate_crash`] has fired.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Acquire)
     }
 
     /// Whether a candidate is currently staged (between epoch phases).
@@ -1254,6 +1366,7 @@ impl Engine {
             ..FaultStats::default()
         };
         let mut quarantined: Vec<u64> = Vec::new();
+        let mut final_registers = vec![camus_pipeline::register::RegisterFile::new(); workers];
         let mut snapshot = self.cfg.telemetry.then(|| TelemetrySnapshot::new(workers));
         let mut hotpath = HotPathStats {
             ring_full_spins: engine_full_spins,
@@ -1262,6 +1375,9 @@ impl Engine {
         };
         for out in outputs {
             per_worker[out.index].merge(&out.stats);
+            // Outputs are harvested oldest-first (retired, then live),
+            // so the last write per slot is the final incarnation.
+            final_registers[out.index] = out.registers;
             if let (Some(snap), Some(t)) = (snapshot.as_mut(), out.telemetry.as_deref()) {
                 snap.absorb_worker(t);
             }
@@ -1327,6 +1443,7 @@ impl Engine {
             quarantined,
             telemetry: snapshot,
             hotpath,
+            final_registers,
         }
     }
 }
@@ -1978,5 +2095,46 @@ mod tests {
         // worker unwound, so its counters are gone — the quarantine
         // list still accounts for the batches it took down).
         assert_eq!(report.stats.packets + report.quarantined.len() as u64, 4u64);
+    }
+
+    #[test]
+    fn simulated_crash_quarantines_everything_and_kills_the_control_plane() {
+        let pipeline = byte_pipeline();
+        let cfg = EngineConfig {
+            workers: 2,
+            batch_packets: 1,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::start(&pipeline, &cfg, first_byte_shard());
+        for i in 0..100u32 {
+            engine.submit(&[(i % 4 + 1) as u8], 0);
+        }
+        engine.quiesce().unwrap();
+        assert!(engine.is_alive());
+
+        engine.simulate_crash();
+        engine.simulate_crash(); // idempotent
+        assert!(!engine.is_alive());
+        assert!(matches!(engine.quiesce(), Err(EngineFault::Killed)));
+        assert!(matches!(
+            engine.install_pipeline(&pipeline),
+            Err(EngineFault::Killed)
+        ));
+        assert!(matches!(
+            engine.prepare_pipeline(&pipeline),
+            Err(EngineFault::Killed)
+        ));
+
+        // Packets delivered to the dead node are never processed and
+        // never silently dropped: all 50 land in quarantine, while the
+        // 100 pre-crash (quiesced) packets keep their decisions.
+        for i in 0..50u32 {
+            engine.submit(&[(i % 4 + 1) as u8], 0);
+        }
+        let report = engine.finish();
+        assert_eq!(report.stats.packets, 100);
+        assert_eq!(report.quarantined.len(), 50);
+        assert!(report.faults.worker_deaths >= 2);
+        assert_eq!(report.final_registers.len(), 2);
     }
 }

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use camus_core::{Compiler, CompilerOptions};
 use camus_engine::{EngineConfig, EngineFault, FaultInjection, ShardFn};
-use camus_fabric::{tables_identical, Fabric, FabricConfig, FabricFault};
+use camus_fabric::{tables_identical, EpochOptions, Fabric, FabricConfig, FabricFault};
 use camus_lang::{parse_program, parse_spec};
 use camus_pipeline::{Pipeline, PortId};
 use camus_workload::raw_field_extractor;
@@ -91,11 +91,7 @@ fn worker_death_during_epoch_prepare_reconciles_and_commits() {
         record_decisions: true,
         ..EngineConfig::default()
     };
-    let fcfg = FabricConfig {
-        shard_field: "ev.sym".into(),
-        extract: extractor(),
-        leaf_engines: vec![cfg_leaf0, cfg_leaf1],
-    };
+    let fcfg = FabricConfig::new("ev.sym", extractor(), vec![cfg_leaf0, cfg_leaf1]);
     let mut fabric = Fabric::start(&compile(OLD_RULES), &fcfg).unwrap();
 
     // Fill leaf 1's first batch so it dispatches (and dies) while the
@@ -160,11 +156,10 @@ fn quiesce_timeout_mid_commit_aborts_everywhere_then_retries_clean() {
         record_decisions: true,
         ..EngineConfig::default()
     };
-    let fcfg = FabricConfig {
-        shard_field: "ev.sym".into(),
-        extract: extractor(),
-        leaf_engines: vec![cfg_leaf0, cfg_leaf1],
-    };
+    // Single-shot epochs (retry_attempts: 0, the default) so the first
+    // install observes the raw timeout; the retry phase below switches
+    // to a configured backoff policy instead of a hand-rolled loop.
+    let fcfg = FabricConfig::new("ev.sym", extractor(), vec![cfg_leaf0, cfg_leaf1]);
     let mut fabric = Fabric::start(&compile(OLD_RULES), &fcfg).unwrap();
     let before: Vec<Vec<camus_pipeline::Table>> =
         (0..2).map(|l| fabric.leaf_tables(l).to_vec()).collect();
@@ -195,22 +190,23 @@ fn quiesce_timeout_mid_commit_aborts_everywhere_then_retries_clean() {
         );
     }
 
-    // Retry until the stall clears; the protocol is re-entrant.
-    let mut committed = false;
-    for _ in 0..100 {
-        match fabric.install_master(compile(NEW_RULES)) {
-            Ok(()) => {
-                committed = true;
-                break;
-            }
-            Err(FabricFault::Quiesce { .. }) => {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-            Err(other) => panic!("unexpected fault on retry: {other}"),
-        }
-    }
-    assert!(committed, "epoch must commit once the stall drains");
+    // Now let the epoch machinery itself absorb the remaining stall:
+    // bounded exponential backoff retries the transient timeout until
+    // the worker drains. The protocol is re-entrant — every attempt
+    // runs the full abort-all-or-nothing cycle.
+    fabric.set_epoch_options(EpochOptions {
+        retry_attempts: 100,
+        retry_base_ms: 10,
+        retry_cap_ms: 40,
+    });
+    fabric
+        .install_master(compile(NEW_RULES))
+        .expect("epoch must commit once the stall drains");
     assert_eq!(fabric.epoch(), 1);
+    assert!(
+        fabric.robustness().epoch_retries > 0,
+        "the 400 ms stall outlived at least one 40 ms watchdog window"
+    );
 
     // The stalled packet was *processed* (stall ≠ death): nothing lost,
     // and it saw the old epoch (it was in flight before the commit).

@@ -85,8 +85,17 @@ pub struct FabricQueues {
     topo: FabricTopology,
     access: Vec<FifoServer>,
     uplinks: Vec<FifoServer>,
+    /// Bitmask of leaves currently unreachable (killed, or partitioned
+    /// from the spine): every copy that must enter or leave a down
+    /// leaf black-holes. The chaos harness's `Kill`/`Partition` events
+    /// script this.
+    down: u64,
     /// Copies tail-dropped at a full egress queue.
     pub dropped: u64,
+    /// Copies black-holed by a down leaf (kill/partition events) —
+    /// kept separate from congestion drops so a soak can assert loss
+    /// is confined to the scripted failure.
+    pub partition_drops: u64,
 }
 
 impl FabricQueues {
@@ -96,13 +105,32 @@ impl FabricQueues {
             access: vec![FifoServer::new(); ports],
             uplinks: vec![FifoServer::new(); topo.leaves],
             topo,
+            down: 0,
             dropped: 0,
+            partition_drops: 0,
         }
     }
 
     /// The wired topology.
     pub fn topology(&self) -> &FabricTopology {
         &self.topo
+    }
+
+    /// Takes leaf `leaf`'s links down (kill or spine partition) or
+    /// back up. Queue backlogs are preserved — a healed partition
+    /// resumes with whatever was already serialized on the wire.
+    pub fn set_leaf_down(&mut self, leaf: usize, is_down: bool) {
+        let bit = 1u64 << (leaf % self.topo.leaves).min(63);
+        if is_down {
+            self.down |= bit;
+        } else {
+            self.down &= !bit;
+        }
+    }
+
+    /// Whether leaf `leaf`'s links are down.
+    pub fn leaf_is_down(&self, leaf: usize) -> bool {
+        self.down & (1u64 << (leaf % self.topo.leaves).min(63)) != 0
     }
 
     /// Enqueues one `bytes`-long copy decided on `decision_leaf` for
@@ -119,6 +147,10 @@ impl FabricQueues {
         bytes: usize,
     ) -> Option<u64> {
         let dst_leaf = self.topo.leaf_of_port(port);
+        if self.leaf_is_down(decision_leaf % self.topo.leaves) || self.leaf_is_down(dst_leaf) {
+            self.partition_drops += 1;
+            return None;
+        }
         let mut at = now_ns + self.topo.leaf.pipeline_latency_ns;
         if self.topo.crosses_spine(decision_leaf, port) {
             let ser = self.topo.uplink.ser_ns(bytes);
@@ -191,6 +223,24 @@ mod tests {
         }
         assert!(dropped, "backlog cap enforces tail drop");
         assert!(q.dropped > 0);
+    }
+
+    #[test]
+    fn down_leaf_black_holes_exactly_its_own_traffic() {
+        let mut q = FabricQueues::new(FabricTopology::new(4), 8);
+        q.set_leaf_down(1, true);
+        assert!(q.leaf_is_down(1));
+        // Copies decided on, or destined to, leaf 1 vanish.
+        assert!(q.deliver(0, 1, 0, 600).is_none(), "decided on a down leaf");
+        assert!(q.deliver(0, 0, 5, 600).is_none(), "destined to a down leaf");
+        assert_eq!(q.partition_drops, 2);
+        assert_eq!(q.dropped, 0, "partition loss is not congestion loss");
+        // Unrelated traffic still flows.
+        assert!(q.deliver(0, 0, 2, 600).is_some());
+        // Healing the partition restores delivery.
+        q.set_leaf_down(1, false);
+        assert!(!q.leaf_is_down(1));
+        assert!(q.deliver(0, 1, 0, 600).is_some());
     }
 
     #[test]

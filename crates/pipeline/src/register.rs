@@ -119,6 +119,13 @@ impl RegisterFile {
         self.slots.len()
     }
 
+    /// Tumbling-window length of one slot (0 = unwindowed); 0 for an
+    /// out-of-range index. Loss accounting (a fabric recording what
+    /// state died with a leaf) reads this without touching the slot.
+    pub fn window_us(&self, slot: usize) -> u64 {
+        self.slots.get(slot).map_or(0, |s| s.window_us)
+    }
+
     /// Whether no slots are allocated.
     pub fn is_empty(&self) -> bool {
         self.slots.is_empty()

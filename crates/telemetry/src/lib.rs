@@ -47,5 +47,7 @@ pub mod span;
 
 pub use hist::{Histogram, BUCKETS};
 pub use prom::{render_prometheus, render_prometheus_fabric, render_prometheus_node};
-pub use snapshot::{DataPlaneTelemetry, TableCounters, TelemetrySnapshot, SNAPSHOT_VERSION};
+pub use snapshot::{
+    DataPlaneTelemetry, RobustnessCounters, TableCounters, TelemetrySnapshot, SNAPSHOT_VERSION,
+};
 pub use span::{SpanKind, SpanSet, SpanStats, SpanTimer};

@@ -119,6 +119,41 @@ fn render_nodes(nodes: &[(&str, &TelemetrySnapshot)]) -> String {
         "Consumer spins while an ingress ring was empty",
         &series(|s| s.data.ring_empty_spins),
     );
+    counter_family(
+        &mut out,
+        &labels,
+        "camus_leaf_deaths_total",
+        "Leaves declared dead by the fabric failure detector",
+        &series(|s| s.robustness.leaf_deaths),
+    );
+    counter_family(
+        &mut out,
+        &labels,
+        "camus_failover_epochs_total",
+        "Emergency failover epochs committed",
+        &series(|s| s.robustness.failover_epochs),
+    );
+    counter_family(
+        &mut out,
+        &labels,
+        "camus_epoch_retries_total",
+        "Epoch attempts retried after a transient fault",
+        &series(|s| s.robustness.epoch_retries),
+    );
+    counter_family(
+        &mut out,
+        &labels,
+        "camus_orphaned_packets_total",
+        "Packets drop-counted for dead-owned shards during failover",
+        &series(|s| s.robustness.orphaned_packets),
+    );
+    counter_family(
+        &mut out,
+        &labels,
+        "camus_state_loss_entries_total",
+        "Register slots whose state died with a leaf",
+        &series(|s| s.robustness.state_loss_entries),
+    );
 
     histogram_family(
         &mut out,
@@ -370,6 +405,25 @@ mod tests {
                 "bucket bound must cover the recorded 50_000 ns"
             );
         }
+    }
+
+    #[test]
+    fn robustness_counters_render_in_both_shapes() {
+        let mut snap = sample_snapshot();
+        snap.robustness.leaf_deaths = 1;
+        snap.robustness.failover_epochs = 2;
+        snap.robustness.epoch_retries = 3;
+        snap.robustness.orphaned_packets = 44;
+        snap.robustness.state_loss_entries = 5;
+        let flat = render_prometheus(&snap);
+        assert!(flat.contains("camus_leaf_deaths_total 1"));
+        assert!(flat.contains("camus_failover_epochs_total 2"));
+        assert!(flat.contains("camus_epoch_retries_total 3"));
+        assert!(flat.contains("camus_orphaned_packets_total 44"));
+        assert!(flat.contains("camus_state_loss_entries_total 5"));
+        let labeled = render_prometheus_fabric(&[("spine", &snap)]);
+        assert!(labeled.contains("camus_orphaned_packets_total{node=\"spine\"} 44"));
+        assert!(labeled.contains("camus_leaf_deaths_total{node=\"spine\"} 1"));
     }
 
     #[test]

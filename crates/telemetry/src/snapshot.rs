@@ -198,6 +198,43 @@ pub struct TableCounters {
     pub misses: u64,
 }
 
+/// Fabric-survivability counters: leaf deaths, failover epochs, the
+/// retries and drops they caused, and the typed state loss they
+/// admitted. Zero on a healthy node; a fabric stamps per-leaf values
+/// into each leaf's snapshot and fabric-global values into a synthetic
+/// `spine` node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessCounters {
+    /// Leaves declared dead by the failure detector.
+    pub leaf_deaths: u64,
+    /// Emergency (failover) epochs committed.
+    pub failover_epochs: u64,
+    /// Epoch attempts retried after a transient prepare/quiesce fault.
+    pub epoch_retries: u64,
+    /// Packets drop-counted because their shard's owner was dead and
+    /// failover had not yet committed (the degraded window).
+    pub orphaned_packets: u64,
+    /// Register slots whose state died with a leaf (typed
+    /// `StateLoss` entries, summed over failovers).
+    pub state_loss_entries: u64,
+}
+
+impl RobustnessCounters {
+    /// Counter addition, for merging snapshots.
+    pub fn merge(&mut self, other: &RobustnessCounters) {
+        self.leaf_deaths += other.leaf_deaths;
+        self.failover_epochs += other.failover_epochs;
+        self.epoch_retries += other.epoch_retries;
+        self.orphaned_packets += other.orphaned_packets;
+        self.state_loss_entries += other.state_loss_entries;
+    }
+
+    /// Whether every counter is zero (healthy node).
+    pub fn is_zero(&self) -> bool {
+        *self == RobustnessCounters::default()
+    }
+}
+
 /// The merged, versioned cross-shard view. Built by `Engine::finish`
 /// (or directly by a bench) from per-worker [`DataPlaneTelemetry`]
 /// records, the engine's control-plane [`SpanSet`], and the pipeline's
@@ -216,6 +253,9 @@ pub struct TelemetrySnapshot {
     pub spans: SpanSet,
     /// Per-table hit/miss counters, in pipeline table order.
     pub tables: Vec<TableCounters>,
+    /// Survivability counters (leaf deaths, failover epochs, retries,
+    /// orphaned packets, state loss). All-zero outside a fabric.
+    pub robustness: RobustnessCounters,
 }
 
 impl TelemetrySnapshot {
@@ -228,6 +268,7 @@ impl TelemetrySnapshot {
             data: DataPlaneTelemetry::default(),
             spans: SpanSet::new(),
             tables: Vec::new(),
+            robustness: RobustnessCounters::default(),
         }
     }
 
@@ -243,6 +284,7 @@ impl TelemetrySnapshot {
         self.packets += other.packets;
         self.data.merge(&other.data);
         self.spans.merge(&other.spans);
+        self.robustness.merge(&other.robustness);
         if self.tables.is_empty() {
             self.tables = other.tables.clone();
         } else if self.tables.len() == other.tables.len() {

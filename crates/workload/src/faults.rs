@@ -144,6 +144,149 @@ impl FaultPlan {
     }
 }
 
+/// What a scripted node-level chaos event does to its target leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEventKind {
+    /// The leaf crashes abruptly (`Engine::simulate_crash`): every
+    /// in-flight batch dies with it and it never comes back.
+    Kill,
+    /// Every worker on the leaf stalls for `ms` on its next batch — a
+    /// transient wedge the epoch retry/backoff machinery must absorb.
+    Stall {
+        /// Stall duration, milliseconds.
+        ms: u64,
+    },
+    /// The spine loses its link to the leaf: deliveries black-hole
+    /// until the fabric's detector declares the leaf dead. From the
+    /// fabric's point of view a partitioned leaf is indistinguishable
+    /// from a crashed one (fail-stop model) — only the accounting
+    /// path differs.
+    Partition,
+}
+
+/// One scripted node-level event: at global submission seq `at_seq`,
+/// do `kind` to leaf `leaf`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeEvent {
+    /// Global (fabric-level) submission seq that triggers the event,
+    /// checked before the packet is routed.
+    pub at_seq: u64,
+    /// Target leaf index.
+    pub leaf: usize,
+    /// What happens to it.
+    pub kind: NodeEventKind,
+}
+
+/// Chaos-plan knobs: how many node-level events to script over a
+/// trace, across how many leaves.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// RNG seed; the schedule is a pure function of it.
+    pub seed: u64,
+    /// Leaf count of the target fabric.
+    pub leaves: usize,
+    /// Leaves to kill outright (at most `leaves - 1`, so at least one
+    /// survivor always remains to fail over to).
+    pub kills: usize,
+    /// Transient whole-leaf stalls to script.
+    pub stalls: usize,
+    /// Stall duration for scripted stalls, milliseconds.
+    pub stall_ms: u64,
+    /// Spine-to-leaf partitions to script (counted against the same
+    /// `leaves - 1` survivor budget as kills).
+    pub partitions: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A05,
+            leaves: 2,
+            kills: 1,
+            stalls: 0,
+            stall_ms: 50,
+            partitions: 0,
+        }
+    }
+}
+
+/// A deterministic node-level chaos schedule for one fabric run,
+/// ordered by trigger seq.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Scripted events, sorted by `at_seq` (ties broken by leaf).
+    pub events: Vec<NodeEvent>,
+}
+
+impl ChaosPlan {
+    /// Builds a schedule over a `trace_len`-packet run. Kill and
+    /// partition targets are distinct leaves drawn without
+    /// replacement, capped so at least one leaf survives; stalls may
+    /// hit any leaf (including a doomed one — a stall-then-kill
+    /// interleaving is exactly what the detector must not confuse).
+    /// Trigger seqs land in the middle 80 % of the trace so the soak
+    /// observes healthy traffic on both sides of every event.
+    pub fn generate(trace_len: usize, cfg: &ChaosConfig) -> ChaosPlan {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let leaves = cfg.leaves.max(1);
+        let mut events = Vec::new();
+        if trace_len == 0 || leaves == 1 {
+            return ChaosPlan { events };
+        }
+        let lo = (trace_len / 10) as u64;
+        let hi = (trace_len - trace_len / 10).max(trace_len / 10 + 1) as u64;
+        let seq = |rng: &mut StdRng| rng.gen_range(lo..hi);
+
+        // Fatal events (kill/partition) consume the survivor budget.
+        let mut doomed: HashSet<usize> = HashSet::new();
+        let fatal_budget = leaves - 1;
+        let draw_leaf = |rng: &mut StdRng, doomed: &mut HashSet<usize>| -> Option<usize> {
+            if doomed.len() >= fatal_budget {
+                return None;
+            }
+            for _ in 0..10_000 {
+                let l = rng.gen_range(0..leaves);
+                if doomed.insert(l) {
+                    return Some(l);
+                }
+            }
+            None
+        };
+        for _ in 0..cfg.kills {
+            if let Some(leaf) = draw_leaf(&mut rng, &mut doomed) {
+                events.push(NodeEvent {
+                    at_seq: seq(&mut rng),
+                    leaf,
+                    kind: NodeEventKind::Kill,
+                });
+            }
+        }
+        for _ in 0..cfg.partitions {
+            if let Some(leaf) = draw_leaf(&mut rng, &mut doomed) {
+                events.push(NodeEvent {
+                    at_seq: seq(&mut rng),
+                    leaf,
+                    kind: NodeEventKind::Partition,
+                });
+            }
+        }
+        for _ in 0..cfg.stalls {
+            events.push(NodeEvent {
+                at_seq: seq(&mut rng),
+                leaf: rng.gen_range(0..leaves),
+                kind: NodeEventKind::Stall { ms: cfg.stall_ms },
+            });
+        }
+        events.sort_by_key(|e| (e.at_seq, e.leaf));
+        ChaosPlan { events }
+    }
+
+    /// Events triggered by submitting seq `seq` (i.e. scheduled at it).
+    pub fn at(&self, seq: u64) -> impl Iterator<Item = &NodeEvent> {
+        self.events.iter().filter(move |e| e.at_seq == seq)
+    }
+}
+
 /// A capacity bomb: a subscription set sized to blow past an admission
 /// budget of `budget_entries` total table entries (each ITCH
 /// subscription contributes at least one entry, so `2 * budget + 16`
@@ -246,5 +389,59 @@ mod tests {
     fn capacity_bomb_exceeds_its_budget() {
         let rules = capacity_bomb(&ItchSubsConfig::default(), 100, 7);
         assert!(rules.len() > 200);
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_and_leave_a_survivor() {
+        let cfg = ChaosConfig {
+            leaves: 4,
+            kills: 2,
+            partitions: 2, // budget-capped: only 3 fatal events can land
+            stalls: 3,
+            ..ChaosConfig::default()
+        };
+        let a = ChaosPlan::generate(10_000, &cfg);
+        let b = ChaosPlan::generate(10_000, &cfg);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            ChaosPlan::generate(10_000, &ChaosConfig { seed: 1, ..cfg })
+        );
+
+        let fatal: Vec<usize> = a
+            .events
+            .iter()
+            .filter(|e| !matches!(e.kind, NodeEventKind::Stall { .. }))
+            .map(|e| e.leaf)
+            .collect();
+        assert!(fatal.len() <= 3, "survivor budget violated");
+        let distinct: HashSet<usize> = fatal.iter().copied().collect();
+        assert_eq!(distinct.len(), fatal.len(), "one leaf doomed twice");
+        assert!(distinct.len() < 4, "no survivor left");
+        for e in &a.events {
+            assert!(e.leaf < 4);
+            assert!(
+                (1_000..9_000).contains(&e.at_seq),
+                "event outside mid-trace"
+            );
+        }
+        // Sorted by trigger seq, and `at` finds exactly the scheduled.
+        assert!(a.events.windows(2).all(|w| w[0].at_seq <= w[1].at_seq));
+        let first = &a.events[0];
+        assert!(a.at(first.at_seq).any(|e| e == first));
+        assert_eq!(a.at(0).count(), 0);
+    }
+
+    #[test]
+    fn degenerate_chaos_inputs_produce_empty_plans() {
+        assert!(ChaosPlan::generate(0, &ChaosConfig::default())
+            .events
+            .is_empty());
+        let one_leaf = ChaosConfig {
+            leaves: 1,
+            kills: 3,
+            ..ChaosConfig::default()
+        };
+        assert!(ChaosPlan::generate(1_000, &one_leaf).events.is_empty());
     }
 }

@@ -38,7 +38,10 @@ pub mod zipf;
 
 pub use churn::{itch_churn, siena_churn, ChurnConfig, ChurnSchedule, ChurnStep, SienaChurn};
 pub use fabric::{raw_field_extractor, RawExtractor};
-pub use faults::{capacity_bomb, FaultPlan, FaultPlanConfig, Mutation};
+pub use faults::{
+    capacity_bomb, ChaosConfig, ChaosPlan, FaultPlan, FaultPlanConfig, Mutation, NodeEvent,
+    NodeEventKind,
+};
 pub use interp::{eval_cond, naive_ports, naive_ports_for_event};
 pub use itch_subs::{generate_itch_subscriptions, ItchSubsConfig};
 pub use siena::{SienaConfig, SienaWorkload};

@@ -1,0 +1,279 @@
+//! The fabric survivability proof-by-test: a seeded chaos schedule
+//! (leaf kills, transient whole-leaf stalls, spine partitions —
+//! `camus_workload::ChaosPlan`) runs against continuous traffic on the
+//! 2/4-leaf × 1/2/8-worker grid, and after every scripted disaster the
+//! fabric must converge via an emergency failover epoch with:
+//!
+//! * **an exact global ledger** — every submitted packet is decided,
+//!   quarantined (died inside a leaf), or orphaned (drop-counted at
+//!   the spine for a dead owner): `submitted == decided + quarantined
+//!   + orphaned`, per leaf and fabric-wide;
+//! * **loss confined to the failure** — shards whose owner stayed
+//!   healthy lose *nothing* (the subset partition plan keeps
+//!   survivors' symbols in place, so their packets never detour
+//!   through the blast radius);
+//! * **post-failover equivalence** — once the emergency epoch commits,
+//!   forwarding is bit-identical to a fresh big-switch recompile of
+//!   the same rules over the surviving shards.
+
+use camus::compiler::{owner_of, Compiler, CompilerOptions};
+use camus::engine::EngineConfig;
+use camus::fabric::{EpochOptions, Fabric, FabricConfig, LeafHealth};
+use camus::pipeline::{ForwardDecision, Pipeline};
+use camus::workload::{
+    naive_ports_for_event, raw_field_extractor, ChaosConfig, ChaosPlan, SienaConfig,
+};
+
+fn ports_of(d: &ForwardDecision) -> Vec<u16> {
+    d.ports.iter().map(|p| p.0).collect()
+}
+
+fn decision_ports(pipe: &mut Pipeline, ev: &[u8]) -> Vec<u16> {
+    pipe.process(ev, 0)
+        .expect("event parses")
+        .ports
+        .iter()
+        .map(|p| p.0)
+        .collect()
+}
+
+/// One seeded chaos soak on a `leaves`-wide fabric with `workers`
+/// workers per leaf. Rules are static (epochs here are *emergency*
+/// epochs, not churn), so the oracle for every packet is the same
+/// naive AST evaluation throughout.
+fn run_chaos_soak(seed: u64, leaves: usize, workers: usize) {
+    let siena = SienaConfig {
+        int_attributes: 2,
+        symbol_attributes: 1,
+        symbol_alphabet: 12,
+        int_range: 60,
+        predicates_per_subscription: 2,
+        subscriptions: 10,
+        seed,
+        ..Default::default()
+    };
+    let wl = siena.generate();
+    let compiler = Compiler::new(wl.spec.clone(), CompilerOptions::raw()).expect("spec compiles");
+    let master = compiler.compile(&wl.rules).expect("rules compile").pipeline;
+    let extract = raw_field_extractor(&wl.spec, "sym0").expect("shard field exists");
+
+    // ~400-packet trace: chaos triggers land in the middle 80 %, so
+    // at least ~40 healthy-side packets (5+ probe ticks) follow the
+    // last disaster — enough for detection + failover to converge
+    // deterministically before the run ends.
+    let events = siena.generate_events(&wl, 400);
+    let trace_len = events.len();
+    let chaos = ChaosPlan::generate(
+        trace_len,
+        &ChaosConfig {
+            seed: seed ^ 0xDEAD,
+            leaves,
+            kills: 1,
+            stalls: 1,
+            stall_ms: 30,
+            partitions: 1, // budget-capped: only fires when leaves > 2
+        },
+    );
+    assert!(
+        !chaos.events.is_empty(),
+        "a multi-leaf soak always scripts at least the kill"
+    );
+
+    let ecfg = EngineConfig {
+        workers,
+        batch_packets: 3,
+        watchdog_ms: 20,
+        record_decisions: true,
+        telemetry: true,
+        ..EngineConfig::default()
+    };
+    let mut fcfg = FabricConfig::uniform(leaves, "ev.sym0", extract.clone(), ecfg);
+    fcfg.probe_interval = 8;
+    fcfg.epoch = EpochOptions {
+        retry_attempts: 50,
+        retry_base_ms: 5,
+        retry_cap_ms: 40,
+    };
+    fcfg.chaos = chaos;
+    let mut fabric = Fabric::start(&master, &fcfg).expect("fabric starts");
+
+    let mut expected: Vec<Vec<u16>> = Vec::new();
+    let mut primary_owner: Vec<usize> = Vec::new();
+    for ev in &events {
+        expected.push(naive_ports_for_event(&wl.spec, &wl.rules, ev));
+        primary_owner.push(owner_of(extract(ev), leaves));
+        fabric.submit(ev, 0);
+    }
+
+    // Convergence: the scripted fatalities were detected and repaired
+    // *during* the run — the fabric ends healthy, not degraded.
+    assert!(
+        !fabric.degraded(),
+        "seed {seed} {leaves}x{workers}: failover did not converge in-run"
+    );
+    assert!(
+        !fabric.failovers().is_empty(),
+        "seed {seed} {leaves}x{workers}: the scripted kill never caused a failover"
+    );
+    for f in fabric.failovers() {
+        assert!(f.mttr_ns > 0, "repair time is measured");
+    }
+
+    // Post-failover round: every packet must be decided, bit-identical
+    // to a fresh big-switch recompile of the same rules.
+    let tail_start = events.len();
+    let mut fresh = compiler
+        .compile(&wl.rules)
+        .expect("fresh recompile")
+        .pipeline;
+    let fresh_expected: Vec<Vec<u16>> = events
+        .iter()
+        .map(|e| decision_ports(&mut fresh, e))
+        .collect();
+    for ev in &events {
+        fabric.submit(ev, 0);
+    }
+
+    let dead: Vec<usize> = (0..leaves)
+        .filter(|&l| fabric.leaf_health(l) != LeafHealth::Healthy)
+        .collect();
+    let report = fabric.finish();
+
+    // The exact global ledger, fabric-wide and per leaf.
+    assert!(
+        report.reconciles(),
+        "seed {seed} {leaves}x{workers}: submitted != decided + quarantined + orphaned"
+    );
+    assert_eq!(report.robustness.leaf_deaths, dead.len() as u64);
+    assert!(report.robustness.failover_epochs >= 1);
+
+    // Loss confinement: orphans and quarantines only on dead leaves.
+    for l in 0..leaves {
+        if dead.contains(&l) {
+            continue;
+        }
+        assert_eq!(
+            report.orphaned_per_leaf[l], 0,
+            "seed {seed} {leaves}x{workers}: healthy leaf {l} orphaned packets"
+        );
+        assert!(
+            report.leaves[l].quarantined.is_empty(),
+            "seed {seed} {leaves}x{workers}: healthy leaf {l} quarantined packets"
+        );
+    }
+
+    let decisions = report.decisions_in_submit_order();
+    assert_eq!(decisions.len(), 2 * events.len());
+    for (i, d) in decisions.iter().enumerate() {
+        let ev_idx = i % events.len();
+        match d {
+            // Whatever was decided matches the oracle — packets go
+            // missing (counted), never wrong.
+            Some(d) => assert_eq!(
+                &ports_of(d),
+                &expected[ev_idx],
+                "seed {seed} {leaves}x{workers} packet {i}: decision diverged from oracle"
+            ),
+            // Whatever is missing was owned by a dead leaf: shards
+            // that never left a healthy leaf lose nothing.
+            None => assert!(
+                dead.contains(&primary_owner[ev_idx]),
+                "seed {seed} {leaves}x{workers} packet {i}: lost despite a healthy owner"
+            ),
+        }
+    }
+    // The entire post-failover tail is present and equals the fresh
+    // big-switch recompile over the surviving shards.
+    for (i, want) in fresh_expected.iter().enumerate() {
+        let d = decisions[tail_start + i].unwrap_or_else(|| {
+            panic!("seed {seed} {leaves}x{workers}: post-failover packet {i} lost")
+        });
+        assert_eq!(
+            &ports_of(d),
+            want,
+            "post-failover packet {i} vs fresh recompile"
+        );
+    }
+
+    // The spine node exports the robustness counters.
+    let prom = report.render_prometheus().expect("telemetry was on");
+    assert!(prom.contains(r#"camus_leaf_deaths_total{node="spine"}"#));
+    assert!(prom.contains(r#"camus_failover_epochs_total{node="spine"}"#));
+}
+
+#[test]
+fn seeded_chaos_soak_across_the_fabric_grid() {
+    // 2/4 leaves × 1/2/8 workers, one seeded schedule per cell.
+    for (i, (leaves, workers)) in [(2usize, 1usize), (2, 2), (2, 8), (4, 1), (4, 2), (4, 8)]
+        .into_iter()
+        .enumerate()
+    {
+        run_chaos_soak(100 + i as u64, leaves, workers);
+    }
+}
+
+#[test]
+fn stall_then_kill_interleaving_does_not_confuse_the_detector() {
+    // A transient stall is NOT a death: the detector must ride out the
+    // stall (retry/backoff at the epoch barrier) and only declare the
+    // scripted kill. A 4-leaf fabric with a stall on one leaf and a
+    // kill on another exercises both paths in one run.
+    let siena = SienaConfig {
+        int_attributes: 1,
+        symbol_attributes: 1,
+        symbol_alphabet: 8,
+        int_range: 40,
+        predicates_per_subscription: 2,
+        subscriptions: 8,
+        seed: 7,
+        ..Default::default()
+    };
+    let wl = siena.generate();
+    let compiler = Compiler::new(wl.spec.clone(), CompilerOptions::raw()).unwrap();
+    let master = compiler.compile(&wl.rules).unwrap().pipeline;
+    let extract = raw_field_extractor(&wl.spec, "sym0").unwrap();
+    let events = siena.generate_events(&wl, 200);
+
+    let ecfg = EngineConfig {
+        workers: 2,
+        batch_packets: 3,
+        watchdog_ms: 20,
+        record_decisions: true,
+        ..EngineConfig::default()
+    };
+    let mut fcfg = FabricConfig::uniform(4, "ev.sym0", extract, ecfg);
+    fcfg.probe_interval = 8;
+    fcfg.epoch = EpochOptions {
+        retry_attempts: 50,
+        retry_base_ms: 5,
+        retry_cap_ms: 40,
+    };
+    let mut fabric = Fabric::start(&master, &fcfg).unwrap();
+
+    for (i, ev) in events.iter().enumerate() {
+        if i == 40 {
+            fabric.stall_leaf(1, 60); // transient: must NOT be declared dead
+        }
+        if i == 80 {
+            fabric.kill_leaf(2); // fatal: must fail over
+        }
+        fabric.submit(ev, 0);
+    }
+    assert!(!fabric.degraded());
+    assert_eq!(
+        fabric.leaf_health(1),
+        LeafHealth::Healthy,
+        "a stall is not a death"
+    );
+    assert_eq!(
+        fabric.leaf_health(2),
+        LeafHealth::Evicted,
+        "the kill was repaired"
+    );
+    assert_eq!(fabric.robustness().leaf_deaths, 1);
+
+    let report = fabric.finish();
+    assert!(report.reconciles());
+    assert_eq!(report.orphaned_per_leaf[1], 0);
+    assert!(report.leaves[1].quarantined.is_empty());
+}

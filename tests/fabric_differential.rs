@@ -221,17 +221,17 @@ fn admission_rejected_epoch_is_all_or_nothing_across_the_fabric() {
         record_decisions: true,
         ..EngineConfig::default()
     };
-    let fcfg = FabricConfig {
-        shard_field: "ev.sym0".into(),
+    let fcfg = FabricConfig::new(
+        "ev.sym0",
         extract,
-        leaf_engines: vec![
+        vec![
             base.clone(), // leaf 0: default (roomy) tofino32 budget
             EngineConfig {
                 admission: Some(tight),
                 ..base
             },
         ],
-    };
+    );
     let mut fabric = Fabric::start(&master, &fcfg).unwrap();
 
     let events = siena.generate_events(&wl, 20);
@@ -317,10 +317,10 @@ fn leaf_worker_death_reconciles_with_zero_loss() {
         record_decisions: true,
         ..EngineConfig::default()
     };
-    let fcfg = FabricConfig {
-        shard_field: "ev.sym0".into(),
+    let fcfg = FabricConfig::new(
+        "ev.sym0",
         extract,
-        leaf_engines: vec![
+        vec![
             base.clone(),
             EngineConfig {
                 faults: FaultInjection {
@@ -332,7 +332,7 @@ fn leaf_worker_death_reconciles_with_zero_loss() {
                 ..base
             },
         ],
-    };
+    );
     let mut fabric = Fabric::start(&install.pipeline, &fcfg).unwrap();
 
     let events = siena.generate_events(&plan.base, 24);
