@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the camusd service shell, run by the
+# daemon-smoke CI job and usable locally:
+#
+#     ci/daemon_smoke.sh [target-dir]
+#
+# Starts camusd against the generated ITCH pool with a looping feed
+# (so RPCs race a live packet path), drives the control bus with
+# camusctl (ping, subscribe, snapshot, typed rejection, unsubscribe,
+# stats), scrapes /metrics asserting the known series, then sends
+# SIGTERM and requires a clean quiesced exit with a zero-loss ledger.
+set -euo pipefail
+
+TARGET="${1:-target/release}"
+SOCK="${TMPDIR:-/tmp}/camusd-smoke-$$.sock"
+LOG="${TMPDIR:-/tmp}/camusd-smoke-$$.log"
+RULE='stock == GOOGL and price > 500 : fwd(7)'
+
+fail() { echo "daemon_smoke: FAIL — $*" >&2; [ -f "$LOG" ] && tail -20 "$LOG" >&2; exit 1; }
+
+[ -x "$TARGET/camusd" ] || cargo build --release -p camusd
+[ -x "$TARGET/camusd" ] || fail "no $TARGET/camusd after build"
+
+"$TARGET/camusd" --bus "unix:$SOCK" --metrics 127.0.0.1:0 \
+  --subs 32 --workers 2 --feed-packets 4096 --feed-loop >"$LOG" 2>&1 &
+PID=$!
+cleanup() { kill -9 "$PID" 2>/dev/null || true; rm -f "$SOCK"; }
+trap cleanup EXIT
+
+# Wait for both listeners to come up.
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && grep -q 'camusd: metrics on' "$LOG" && break
+  kill -0 "$PID" 2>/dev/null || fail "camusd died during startup"
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "bus socket never appeared"
+grep -q "camusd: bus on unix:$SOCK" "$LOG" || fail "bus address not logged"
+METRICS=$(sed -n 's#^camusd: metrics on http://\([^/]*\)/metrics$#\1#p' "$LOG")
+[ -n "$METRICS" ] || fail "metrics address not logged"
+echo "daemon_smoke: camusd pid $PID, bus unix:$SOCK, metrics $METRICS"
+
+ctl() { "$TARGET/camusctl" --bus "unix:$SOCK" "$@"; }
+
+# The RPC walk: ping, mutate, snapshot, typed rejection, stats.
+ctl ping | grep -q '^pong$' || fail "ping"
+ctl subscribe "$RULE" | grep -q 'generation 1' || fail "subscribe not acked at generation 1"
+ctl snapshot | grep -q 'GOOGL' || fail "subscribed rule missing from snapshot"
+ctl snapshot | grep -q '# generation 1, 33 rule(s)' || fail "snapshot header wrong"
+
+# A duplicate subscribe must be a *typed* rejection: exit code 3, not
+# a transport error, and the daemon must keep serving.
+set +e
+ctl subscribe "$RULE" 2>/dev/null
+RC=$?
+set -e
+[ "$RC" -eq 3 ] || fail "duplicate subscribe exited $RC, want 3 (typed rejection)"
+
+ctl unsubscribe "$RULE" | grep -q 'generation 2' || fail "unsubscribe not acked at generation 2"
+STATS=$(ctl stats)
+echo "daemon_smoke: $STATS"
+echo "$STATS" | grep -q 'gen=2 rules=32' || fail "stats disagree: $STATS"
+echo "$STATS" | grep -q 'epochs=2 mutations=2 rejected=1' || fail "stats counters: $STATS"
+
+# /metrics: the engine families plus the camusd_* ops families, with
+# the feed provably flowing (non-zero packet counter).
+SCRAPE=$(curl -sf "http://$METRICS/metrics") || fail "metrics scrape"
+for series in \
+  'camus_packets_total' \
+  'camus_span_count_total{span="apply_update"} 2' \
+  'camusd_bus_rpcs_total' \
+  'camusd_mutations_applied_total 2' \
+  'camusd_mutations_rejected_total 1' \
+  'camusd_active_subscriptions 32' \
+  'camusd_generation 2' \
+  'camusd_feed_packets_total'; do
+  echo "$SCRAPE" | grep -qF "$series" || fail "missing series: $series"
+done
+echo "$SCRAPE" | grep -E '^camusd_feed_packets_total [1-9]' >/dev/null \
+  || fail "feed never flowed: $(echo "$SCRAPE" | grep camusd_feed_packets_total)"
+
+# SIGTERM → clean quiesce, zero-loss ledger, exit 0.
+kill -TERM "$PID"
+set +e
+wait "$PID"
+RC=$?
+set -e
+[ "$RC" -eq 0 ] || fail "camusd exited $RC after SIGTERM"
+grep -q 'camusd: signal received, quiescing' "$LOG" || fail "signal path not taken"
+LEDGER=$(grep 'camusd: quiesced' "$LOG") || fail "no final ledger line"
+echo "daemon_smoke: $LEDGER"
+echo "$LEDGER" | grep -q 'clean=true' || fail "quiesce was not clean"
+echo "$LEDGER" | grep -q 'zero_loss=true' || fail "ledger lost packets"
+echo "$LEDGER" | grep -q 'quarantined=0' || fail "feed packets were quarantined"
+
+echo "daemon_smoke: OK"

@@ -218,6 +218,40 @@ def validate_failover(name, rows, args):
         fail(f"{name} epoch_retry_stall: the backoff loop never retried")
 
 
+def validate_daemon(name, rows, args):
+    configs = check_rows(
+        name,
+        rows,
+        {
+            "config", "clients", "host_cores", "ops_per_iter", "ns_per_iter",
+            "mutations_per_sec", "rpc_p50_ns", "rpc_p99_ns", "rpcs_per_sec",
+            "coalesce_factor", "epochs",
+        },
+        positive=("ns_per_iter", "rpc_p50_ns", "rpc_p99_ns", "rpcs_per_sec"),
+    )
+    require_configs(
+        name,
+        configs,
+        {"rpc_ping", "churn_c1", "churn_c8", "churn_c64"},
+    )
+    by_config = {row["config"]: row for row in rows}
+    for config, clients in (("churn_c1", 1), ("churn_c8", 8), ("churn_c64", 64)):
+        row = by_config[config]
+        if row["clients"] != clients:
+            fail(f"{name} {config}: expected {clients} clients, got {row['clients']}")
+        if row["mutations_per_sec"] <= 0:
+            fail(f"{name} {config}: non-positive mutations_per_sec")
+        if row["epochs"] <= 0:
+            fail(f"{name} {config}: no epochs published")
+        if row["coalesce_factor"] < 1.0:
+            fail(
+                f"{name} {config}: coalesce_factor {row['coalesce_factor']} < 1 "
+                "— accepted mutations without published epochs?"
+            )
+        if not row["rpc_p50_ns"] <= row["rpc_p99_ns"]:
+            fail(f"{name} {config}: p50 > p99: {row}")
+
+
 TELEMETRY_STAGES = {"batch", "parse", "match", "mcast"}
 
 
@@ -288,6 +322,7 @@ VALIDATORS = {
     "BENCH_faults.json": validate_faults,
     "BENCH_fabric.json": validate_fabric,
     "BENCH_failover.json": validate_failover,
+    "BENCH_daemon.json": validate_daemon,
     "BENCH_compile.json": validate_compile,
     "TELEMETRY_engine.json": validate_telemetry,
 }

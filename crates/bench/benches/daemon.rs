@@ -1,0 +1,177 @@
+//! Service-shell benchmark: what the control bus costs. Writes
+//! `results/BENCH_daemon.json`.
+//!
+//! One long-lived daemon (in-process, real TCP sockets) serves every
+//! row:
+//!
+//! * `rpc_ping` — raw RPC round-trip over the bus: connect once, then
+//!   ping in a closed loop. `rpc_p50_ns`/`rpc_p99_ns` come from the
+//!   per-call samples; `rpcs_per_sec = 1e9 / p99` is the
+//!   higher-is-better rate the one-sided regression gate bounds from
+//!   below.
+//! * `churn_c{1,8,64}` — mutation throughput at 1/8/64 concurrent
+//!   clients: every iteration runs the `camus-workload` bus-churn
+//!   driver (disjoint rule slices, alternating subscribe/unsubscribe,
+//!   self-cancelling so the daemon's rule set is unchanged between
+//!   iterations). `mutations_per_sec` is the gated figure;
+//!   `coalesce_factor` (mutations applied / epochs published, from
+//!   `Stats` RPC deltas) records how many queued requests each
+//!   `apply_update` epoch absorbed.
+//!
+//! `CAMUS_BENCH_QUICK=1` shrinks the per-iteration op counts for CI.
+
+use std::time::Instant;
+
+use camus_bench::engine_runs::{host_cores, results_dir};
+use camus_bench::harness::Bench;
+use camus_bench::{impl_to_json, json};
+use camus_bus::BusClient;
+use camus_workload::bus_churn::percentile;
+use camus_workload::{run_bus_churn, BusChurnConfig};
+use camusd::{Daemon, DaemonConfig};
+
+#[derive(Debug, Clone)]
+struct DaemonRow {
+    config: String,
+    clients: usize,
+    host_cores: usize,
+    ops_per_iter: u64,
+    ns_per_iter: f64,
+    /// Accepted mutation RPCs per second (0 on the ping row).
+    mutations_per_sec: f64,
+    rpc_p50_ns: u64,
+    rpc_p99_ns: u64,
+    /// `1e9 / rpc_p99_ns` — tail latency as a higher-is-better rate
+    /// so the one-sided bench-regression gate can bound it from below.
+    rpcs_per_sec: f64,
+    /// Mutations applied per published epoch over this row's window
+    /// (1.0 = no coalescing; 0 on the ping row).
+    coalesce_factor: f64,
+    /// Epochs published during this row's window.
+    epochs: u64,
+}
+
+impl_to_json!(DaemonRow {
+    config,
+    clients,
+    host_cores,
+    ops_per_iter,
+    ns_per_iter,
+    mutations_per_sec,
+    rpc_p50_ns,
+    rpc_p99_ns,
+    rpcs_per_sec,
+    coalesce_factor,
+    epochs,
+});
+
+const INITIAL: usize = 16;
+const CHURN_POOL: usize = 256;
+
+fn main() {
+    let bench = Bench::from_env();
+    let quick = std::env::var("CAMUS_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let host_cores = host_cores();
+
+    let cfg = DaemonConfig::itch(INITIAL, INITIAL + CHURN_POOL).expect("itch config");
+    let pool = cfg.pool.clone();
+    let daemon = Daemon::start(cfg).expect("daemon starts");
+    let addr = daemon.bus_addrs()[0].clone();
+    let churn_pool = &pool[INITIAL..];
+
+    let mut rows: Vec<DaemonRow> = Vec::new();
+
+    // Raw RPC round trip: one persistent connection, closed-loop pings.
+    let pings: usize = if quick { 2_000 } else { 20_000 };
+    let mut client = BusClient::connect(&addr).expect("ping client");
+    let mut samples: Vec<u64> = Vec::with_capacity(pings);
+    // Warmup outside the sample window.
+    for _ in 0..pings / 10 + 1 {
+        client.ping().expect("warmup ping");
+    }
+    let start = Instant::now();
+    for _ in 0..pings {
+        let t = Instant::now();
+        client.ping().expect("ping");
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    let ns_per_iter = start.elapsed().as_nanos() as f64 / pings as f64;
+    samples.sort_unstable();
+    let (p50, p99) = (percentile(&samples, 0.50), percentile(&samples, 0.99));
+    println!(
+        "{:<44} {:>14.0} ns/iter   p50 {p50} ns   p99 {p99} ns   ({pings} iters)",
+        "daemon/rpc_ping", ns_per_iter
+    );
+    rows.push(DaemonRow {
+        config: "rpc_ping".into(),
+        clients: 1,
+        host_cores,
+        ops_per_iter: pings as u64,
+        ns_per_iter,
+        mutations_per_sec: 0.0,
+        rpc_p50_ns: p50,
+        rpc_p99_ns: p99,
+        rpcs_per_sec: 1e9 / p99.max(1) as f64,
+        coalesce_factor: 0.0,
+        epochs: 0,
+    });
+
+    // Mutation throughput under concurrent clients. Even op counts are
+    // self-cancelling, so each iteration starts from the same rule set.
+    let ops_per_client: usize = if quick { 8 } else { 32 };
+    for clients in [1usize, 8, 64] {
+        let churn_cfg = BusChurnConfig {
+            clients,
+            ops_per_client,
+        };
+        let ops = (clients * ops_per_client) as u64;
+        let before = client.stats().expect("stats before");
+        let mut last_latencies: Vec<u64> = Vec::new();
+        let r = bench.run(&format!("daemon/churn_c{clients}"), ops, || {
+            let report = run_bus_churn(&addr, churn_pool, &churn_cfg).expect("churn run");
+            assert_eq!(report.rejected, 0, "disjoint slices must never reject");
+            assert_eq!(report.accepted, ops);
+            last_latencies = report.latencies_ns;
+            report.max_generation
+        });
+        r.report();
+        let after = client.stats().expect("stats after");
+        let epochs = after.epochs - before.epochs;
+        let applied = after.mutations_applied - before.mutations_applied;
+        let (p50, p99) = (
+            percentile(&last_latencies, 0.50),
+            percentile(&last_latencies, 0.99),
+        );
+        rows.push(DaemonRow {
+            config: format!("churn_c{clients}"),
+            clients,
+            host_cores,
+            ops_per_iter: ops,
+            ns_per_iter: r.ns_per_iter,
+            mutations_per_sec: ops as f64 * 1e9 / r.ns_per_iter,
+            rpc_p50_ns: p50,
+            rpc_p99_ns: p99,
+            rpcs_per_sec: 1e9 / p99.max(1) as f64,
+            coalesce_factor: applied as f64 / epochs.max(1) as f64,
+            epochs,
+        });
+    }
+
+    let report = daemon.join();
+    assert!(report.zero_loss(), "bench daemon must quiesce clean");
+    assert_eq!(
+        report.active_rules.len(),
+        INITIAL,
+        "self-cancelling churn must leave the rule set unchanged"
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_daemon.json");
+    std::fs::write(&path, json::to_string_pretty(rows.as_slice())).unwrap();
+    println!(
+        "wrote {} ({} rows, host_cores={host_cores})",
+        path.display(),
+        rows.len()
+    );
+}

@@ -1,0 +1,332 @@
+//! Client-side connection handling: address parsing, the stream/
+//! listener abstraction over Unix and TCP sockets, and [`BusClient`],
+//! the blocking request/reply handle used by `camusctl`, the workload
+//! driver and the tests.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+use crate::proto::{BusReply, BusRequest};
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// Where the bus lives: `unix:/run/camusd.sock` or `tcp:host:port`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusAddr {
+    /// Unix domain socket path.
+    Unix(PathBuf),
+    /// TCP host:port.
+    Tcp(String),
+}
+
+impl BusAddr {
+    /// Parses the `unix:PATH` / `tcp:HOST:PORT` notation. A bare
+    /// `host:port` is accepted as TCP for convenience.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("empty unix socket path".into());
+            }
+            return Ok(BusAddr::Unix(PathBuf::from(path)));
+        }
+        let hostport = s.strip_prefix("tcp:").unwrap_or(s);
+        if hostport.rsplit_once(':').is_none() {
+            return Err(format!(
+                "bus address `{s}` is not unix:PATH or tcp:HOST:PORT"
+            ));
+        }
+        Ok(BusAddr::Tcp(hostport.to_string()))
+    }
+}
+
+impl fmt::Display for BusAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+            BusAddr::Tcp(hp) => write!(f, "tcp:{hp}"),
+        }
+    }
+}
+
+/// A connected bus stream, either transport.
+pub enum BusStream {
+    /// TCP transport.
+    Tcp(TcpStream),
+    /// Unix domain socket transport.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl BusStream {
+    /// Connects to a daemon.
+    pub fn connect(addr: &BusAddr) -> Result<Self, WireError> {
+        match addr {
+            BusAddr::Tcp(hp) => {
+                let s = TcpStream::connect(hp.as_str())?;
+                // Small request/reply frames: Nagle would add ~40 ms
+                // of delayed-ACK latency to every RPC.
+                s.set_nodelay(true)?;
+                Ok(BusStream::Tcp(s))
+            }
+            #[cfg(unix)]
+            BusAddr::Unix(path) => Ok(BusStream::Unix(UnixStream::connect(path)?)),
+            #[cfg(not(unix))]
+            BusAddr::Unix(_) => Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ))),
+        }
+    }
+}
+
+impl Read for BusStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            BusStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            BusStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for BusStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            BusStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            BusStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            BusStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            BusStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound server socket, either transport. The daemon owns this; it
+/// lives here so client and server agree on one address grammar.
+pub enum BusListener {
+    /// TCP transport.
+    Tcp(TcpListener),
+    /// Unix domain socket transport (stale socket files are replaced).
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl BusListener {
+    /// Binds the address. For Unix sockets a stale file from a previous
+    /// run is removed first; for TCP, port 0 binds an ephemeral port —
+    /// read the effective address back with [`BusListener::local_addr`].
+    pub fn bind(addr: &BusAddr) -> Result<Self, WireError> {
+        match addr {
+            BusAddr::Tcp(hp) => Ok(BusListener::Tcp(TcpListener::bind(hp.as_str())?)),
+            #[cfg(unix)]
+            BusAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(BusListener::Unix(UnixListener::bind(path)?))
+            }
+            #[cfg(not(unix))]
+            BusAddr::Unix(_) => Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix sockets are not available on this platform",
+            ))),
+        }
+    }
+
+    /// The effective bound address (resolves `tcp:host:0`).
+    pub fn local_addr(&self) -> Result<BusAddr, WireError> {
+        match self {
+            BusListener::Tcp(l) => Ok(BusAddr::Tcp(l.local_addr()?.to_string())),
+            #[cfg(unix)]
+            BusListener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path = addr
+                    .as_pathname()
+                    .unwrap_or_else(|| std::path::Path::new(""));
+                Ok(BusAddr::Unix(path.to_path_buf()))
+            }
+        }
+    }
+
+    /// Switches the listener to non-blocking accepts so the daemon can
+    /// poll a shutdown flag between them.
+    pub fn set_nonblocking(&self, nb: bool) -> Result<(), WireError> {
+        match self {
+            BusListener::Tcp(l) => l.set_nonblocking(nb)?,
+            #[cfg(unix)]
+            BusListener::Unix(l) => l.set_nonblocking(nb)?,
+        }
+        Ok(())
+    }
+
+    /// Accepts one connection (non-blocking semantics follow the
+    /// listener's mode; `WouldBlock` surfaces as `WireError::Io`).
+    pub fn accept(&self) -> Result<BusStream, WireError> {
+        match self {
+            BusListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(BusStream::Tcp(s))
+            }
+            #[cfg(unix)]
+            BusListener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(BusStream::Unix(s))
+            }
+        }
+    }
+}
+
+/// Blocking request/reply client. One request is in flight at a time;
+/// the daemon replies in order on the same connection, so a plain
+/// write-then-read is the whole protocol.
+pub struct BusClient {
+    stream: BusStream,
+}
+
+impl BusClient {
+    /// Connects to a daemon bus.
+    pub fn connect(addr: &BusAddr) -> Result<Self, WireError> {
+        Ok(BusClient {
+            stream: BusStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request and waits for its reply.
+    pub fn request(&mut self, req: &BusRequest) -> Result<BusReply, WireError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        BusReply::decode(&payload)
+    }
+
+    /// Convenience: `Ping` → `Pong` or error.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.request(&BusRequest::Ping)? {
+            BusReply::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Convenience: `Stats` → frame or error.
+    pub fn stats(&mut self) -> Result<crate::proto::StatsFrame, WireError> {
+        match self.request(&BusRequest::Stats)? {
+            BusReply::Stats(frame) => Ok(frame),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Convenience: `Snapshot` → (generation, rules) or error.
+    pub fn snapshot(&mut self) -> Result<(u64, Vec<String>), WireError> {
+        match self.request(&BusRequest::Snapshot)? {
+            BusReply::Snapshot { generation, rules } => Ok((generation, rules)),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(reply: &BusReply) -> WireError {
+    WireError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("unexpected reply: {reply:?}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{BusReply, BusRequest};
+
+    #[test]
+    fn addr_grammar() {
+        assert_eq!(
+            BusAddr::parse("unix:/run/camusd.sock").unwrap(),
+            BusAddr::Unix(PathBuf::from("/run/camusd.sock"))
+        );
+        assert_eq!(
+            BusAddr::parse("tcp:127.0.0.1:9999").unwrap(),
+            BusAddr::Tcp("127.0.0.1:9999".into())
+        );
+        assert_eq!(
+            BusAddr::parse("127.0.0.1:0").unwrap(),
+            BusAddr::Tcp("127.0.0.1:0".into())
+        );
+        assert!(BusAddr::parse("unix:").is_err());
+        assert!(BusAddr::parse("just-a-host").is_err());
+        assert_eq!(
+            BusAddr::parse("unix:/a.sock").unwrap().to_string(),
+            "unix:/a.sock"
+        );
+    }
+
+    /// Request/reply over a real TCP loopback socket: one echo-ish
+    /// server thread, frames both ways.
+    #[test]
+    fn tcp_loopback_request_reply() {
+        let listener = BusListener::bind(&BusAddr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            loop {
+                let payload = match read_frame(&mut conn) {
+                    Ok(p) => p,
+                    Err(WireError::Closed) => break,
+                    Err(e) => panic!("server read: {e}"),
+                };
+                let reply = match BusRequest::decode(&payload).unwrap() {
+                    BusRequest::Ping => BusReply::Pong,
+                    BusRequest::Subscribe { rules } => BusReply::Ack {
+                        generation: rules.len() as u64,
+                        coalesced_with: 1,
+                    },
+                    _ => BusReply::ShuttingDown,
+                };
+                write_frame(&mut conn, &reply.encode()).unwrap();
+            }
+        });
+
+        let mut client = BusClient::connect(&addr).unwrap();
+        client.ping().unwrap();
+        let reply = client
+            .request(&BusRequest::Subscribe {
+                rules: vec!["a : fwd(1)".into(), "b : fwd(2)".into()],
+            })
+            .unwrap();
+        assert_eq!(
+            reply,
+            BusReply::Ack {
+                generation: 2,
+                coalesced_with: 1
+            }
+        );
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_loopback_request_reply() {
+        let dir = std::env::temp_dir().join(format!("camus-bus-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("bus.sock");
+        let listener = BusListener::bind(&BusAddr::Unix(sock.clone())).unwrap();
+        let server = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            let payload = read_frame(&mut conn).unwrap();
+            assert_eq!(BusRequest::decode(&payload).unwrap(), BusRequest::Ping);
+            write_frame(&mut conn, &BusReply::Pong.encode()).unwrap();
+        });
+        let mut client = BusClient::connect(&BusAddr::Unix(sock.clone())).unwrap();
+        client.ping().unwrap();
+        drop(client);
+        server.join().unwrap();
+        let _ = std::fs::remove_file(&sock);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

@@ -1,0 +1,24 @@
+//! `camus-bus` — the typed control protocol between `camusd` and its
+//! clients (`camusctl`, the workload churn driver, tests).
+//!
+//! Everything here is `std`-only: the build environment has no registry
+//! access, so the protocol is hand-rolled rather than serde-derived.
+//! The wire format is deliberately boring — a 4-byte big-endian length
+//! prefix, then a one-byte message tag, then fixed-order fields
+//! (integers little-endian, strings and vectors length-prefixed). See
+//! [`wire`] for the exact layout and DESIGN.md §17 for the protocol
+//! contract (per-request acks, coalesced epochs, typed rejections).
+//!
+//! The same frame codec serves both directions; requests and replies
+//! occupy disjoint tag ranges (`0x01..` vs `0x81..`) so a misdirected
+//! frame fails to decode instead of being misinterpreted.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod proto;
+pub mod wire;
+
+pub use client::{BusAddr, BusClient, BusListener, BusStream};
+pub use proto::{BusReply, BusRequest, RejectKind, StatsFrame};
+pub use wire::{read_frame, write_frame, WireError, MAX_FRAME};

@@ -1,0 +1,424 @@
+//! Request/reply message types and their byte-level codecs.
+//!
+//! Tag space: requests `0x01..=0x7f`, replies `0x81..=0xff`. A frame
+//! decoded with the wrong direction's decoder fails on [`BadTag`]
+//! rather than aliasing onto another message.
+//!
+//! [`BadTag`]: crate::wire::WireError::BadTag
+
+use crate::wire::{put_str, put_strs, put_u32, put_u64, Reader, WireError};
+
+const REQ_PING: u8 = 0x01;
+const REQ_SUBSCRIBE: u8 = 0x02;
+const REQ_UNSUBSCRIBE: u8 = 0x03;
+const REQ_SNAPSHOT: u8 = 0x04;
+const REQ_STATS: u8 = 0x05;
+const REQ_SHUTDOWN: u8 = 0x06;
+
+const REP_PONG: u8 = 0x81;
+const REP_ACK: u8 = 0x82;
+const REP_REJECTED: u8 = 0x83;
+const REP_SNAPSHOT: u8 = 0x84;
+const REP_STATS: u8 = 0x85;
+const REP_SHUTTING_DOWN: u8 = 0x86;
+
+/// A client request. `Subscribe`/`Unsubscribe` carry rules as source
+/// text in the subscription language — the daemon parses and compiles;
+/// the printed form round-trips through `parse_rule` exactly, so text
+/// is the canonical identity of a rule on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusRequest {
+    /// Liveness / latency probe.
+    Ping,
+    /// Install these rules (one epoch, all-or-nothing per request).
+    Subscribe { rules: Vec<String> },
+    /// Remove these rules (matched by parsed-rule equality).
+    Unsubscribe { rules: Vec<String> },
+    /// Return the currently installed rule set.
+    Snapshot,
+    /// Return a [`StatsFrame`] of live counters.
+    Stats,
+    /// Ask the daemon to quiesce and exit.
+    Shutdown,
+}
+
+/// Why a mutation was refused. Mirrors the daemon's error sources in
+/// order: the parser, the compiler, ASIC admission control, the
+/// engine's update plane, daemon shutdown, and internal faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectKind {
+    /// Rule text failed to parse.
+    Parse,
+    /// Rule parsed but the incremental compiler refused it.
+    Compile,
+    /// The update compiled but failed ASIC admission — the running
+    /// pipeline is unchanged (all-or-nothing).
+    Admission,
+    /// The engine's update plane failed (e.g. workers dead).
+    Update,
+    /// The daemon is shutting down and no longer accepts mutations.
+    ShuttingDown,
+    /// Daemon-side invariant failure; see the message.
+    Internal,
+}
+
+impl RejectKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            RejectKind::Parse => 0,
+            RejectKind::Compile => 1,
+            RejectKind::Admission => 2,
+            RejectKind::Update => 3,
+            RejectKind::ShuttingDown => 4,
+            RejectKind::Internal => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => RejectKind::Parse,
+            1 => RejectKind::Compile,
+            2 => RejectKind::Admission,
+            3 => RejectKind::Update,
+            4 => RejectKind::ShuttingDown,
+            5 => RejectKind::Internal,
+            other => return Err(WireError::BadTag(other)),
+        })
+    }
+}
+
+impl std::fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RejectKind::Parse => "parse",
+            RejectKind::Compile => "compile",
+            RejectKind::Admission => "admission",
+            RejectKind::Update => "update",
+            RejectKind::ShuttingDown => "shutting-down",
+            RejectKind::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Live daemon counters, one coherent sample. All monotonic unless
+/// noted; rates come from diffing two frames client-side (`camusctl
+/// stats --watch`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsFrame {
+    /// Engine pipeline generation (== epochs published so far).
+    pub generation: u64,
+    /// Currently installed subscription count (gauge).
+    pub active_rules: u64,
+    /// Engine worker count (gauge, fixed at start).
+    pub workers: u64,
+    /// Packets submitted to the engine.
+    pub packets: u64,
+    /// `apply_update` epochs published.
+    pub epochs: u64,
+    /// Rules applied by accepted mutations (adds + removes).
+    pub mutations_applied: u64,
+    /// Mutation RPCs rejected (any [`RejectKind`]).
+    pub mutations_rejected: u64,
+    /// Mutation RPCs that shared their epoch with at least one other
+    /// request — the numerator of the coalescing factor.
+    pub requests_coalesced: u64,
+    /// Total RPCs served on the bus.
+    pub rpcs: u64,
+    /// Clients connected right now (gauge).
+    pub clients: u64,
+    /// Milliseconds since the daemon started (gauge).
+    pub uptime_ms: u64,
+    /// Total nanoseconds spent inside `apply_update` epochs.
+    pub apply_ns_total: u64,
+    /// Number of timed `apply_update` spans.
+    pub apply_count: u64,
+}
+
+impl StatsFrame {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.generation,
+            self.active_rules,
+            self.workers,
+            self.packets,
+            self.epochs,
+            self.mutations_applied,
+            self.mutations_rejected,
+            self.requests_coalesced,
+            self.rpcs,
+            self.clients,
+            self.uptime_ms,
+            self.apply_ns_total,
+            self.apply_count,
+        ] {
+            put_u64(out, v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(StatsFrame {
+            generation: r.u64()?,
+            active_rules: r.u64()?,
+            workers: r.u64()?,
+            packets: r.u64()?,
+            epochs: r.u64()?,
+            mutations_applied: r.u64()?,
+            mutations_rejected: r.u64()?,
+            requests_coalesced: r.u64()?,
+            rpcs: r.u64()?,
+            clients: r.u64()?,
+            uptime_ms: r.u64()?,
+            apply_ns_total: r.u64()?,
+            apply_count: r.u64()?,
+        })
+    }
+}
+
+/// A daemon reply. Every request gets exactly one reply, in order, on
+/// the same connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BusReply {
+    /// Reply to [`BusRequest::Ping`].
+    Pong,
+    /// The mutation was applied. `generation` is the pipeline
+    /// generation that now contains it; `coalesced_with` is how many
+    /// requests (including this one) shared that epoch.
+    Ack {
+        generation: u64,
+        coalesced_with: u32,
+    },
+    /// The mutation was refused; the running pipeline is unchanged.
+    Rejected { kind: RejectKind, message: String },
+    /// The installed rule set at `generation`.
+    Snapshot { generation: u64, rules: Vec<String> },
+    /// Reply to [`BusRequest::Stats`].
+    Stats(StatsFrame),
+    /// The daemon acknowledged [`BusRequest::Shutdown`] (or refused a
+    /// request because it is already draining).
+    ShuttingDown,
+}
+
+impl BusRequest {
+    /// Encodes into a frame payload (tag + fields, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            BusRequest::Ping => out.push(REQ_PING),
+            BusRequest::Subscribe { rules } => {
+                out.push(REQ_SUBSCRIBE);
+                put_strs(&mut out, rules);
+            }
+            BusRequest::Unsubscribe { rules } => {
+                out.push(REQ_UNSUBSCRIBE);
+                put_strs(&mut out, rules);
+            }
+            BusRequest::Snapshot => out.push(REQ_SNAPSHOT),
+            BusRequest::Stats => out.push(REQ_STATS),
+            BusRequest::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decodes a frame payload produced by [`BusRequest::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            REQ_PING => BusRequest::Ping,
+            REQ_SUBSCRIBE => BusRequest::Subscribe { rules: r.strs()? },
+            REQ_UNSUBSCRIBE => BusRequest::Unsubscribe { rules: r.strs()? },
+            REQ_SNAPSHOT => BusRequest::Snapshot,
+            REQ_STATS => BusRequest::Stats,
+            REQ_SHUTDOWN => BusRequest::Shutdown,
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl BusReply {
+    /// Encodes into a frame payload (tag + fields, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            BusReply::Pong => out.push(REP_PONG),
+            BusReply::Ack {
+                generation,
+                coalesced_with,
+            } => {
+                out.push(REP_ACK);
+                put_u64(&mut out, *generation);
+                put_u32(&mut out, *coalesced_with);
+            }
+            BusReply::Rejected { kind, message } => {
+                out.push(REP_REJECTED);
+                out.push(kind.to_byte());
+                put_str(&mut out, message);
+            }
+            BusReply::Snapshot { generation, rules } => {
+                out.push(REP_SNAPSHOT);
+                put_u64(&mut out, *generation);
+                put_strs(&mut out, rules);
+            }
+            BusReply::Stats(frame) => {
+                out.push(REP_STATS);
+                frame.encode_into(&mut out);
+            }
+            BusReply::ShuttingDown => out.push(REP_SHUTTING_DOWN),
+        }
+        out
+    }
+
+    /// Decodes a frame payload produced by [`BusReply::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let rep = match r.u8()? {
+            REP_PONG => BusReply::Pong,
+            REP_ACK => BusReply::Ack {
+                generation: r.u64()?,
+                coalesced_with: r.u32()?,
+            },
+            REP_REJECTED => {
+                let kind = RejectKind::from_byte(r.u8()?)?;
+                BusReply::Rejected {
+                    kind,
+                    message: r.str()?,
+                }
+            }
+            REP_SNAPSHOT => BusReply::Snapshot {
+                generation: r.u64()?,
+                rules: r.strs()?,
+            },
+            REP_STATS => BusReply::Stats(StatsFrame::decode(&mut r)?),
+            REP_SHUTTING_DOWN => BusReply::ShuttingDown,
+            other => return Err(WireError::BadTag(other)),
+        };
+        r.finish()?;
+        Ok(rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<BusRequest> {
+        vec![
+            BusRequest::Ping,
+            BusRequest::Subscribe {
+                rules: vec!["stock == GOOGL : fwd(1)".into(), String::new()],
+            },
+            BusRequest::Unsubscribe { rules: vec![] },
+            BusRequest::Snapshot,
+            BusRequest::Stats,
+            BusRequest::Shutdown,
+        ]
+    }
+
+    fn all_replies() -> Vec<BusReply> {
+        vec![
+            BusReply::Pong,
+            BusReply::Ack {
+                generation: u64::MAX,
+                coalesced_with: 7,
+            },
+            BusReply::Rejected {
+                kind: RejectKind::Admission,
+                message: "too many TCAM entries".into(),
+            },
+            BusReply::Snapshot {
+                generation: 3,
+                rules: vec!["a : fwd(1)".into(), "b : fwd(2)".into()],
+            },
+            BusReply::Stats(StatsFrame {
+                generation: 1,
+                active_rules: 2,
+                workers: 3,
+                packets: 4,
+                epochs: 5,
+                mutations_applied: 6,
+                mutations_rejected: 7,
+                requests_coalesced: 8,
+                rpcs: 9,
+                clients: 10,
+                uptime_ms: 11,
+                apply_ns_total: 12,
+                apply_count: 13,
+            }),
+            BusReply::ShuttingDown,
+        ]
+    }
+
+    #[test]
+    fn every_request_roundtrips() {
+        for req in all_requests() {
+            let back = BusRequest::decode(&req.encode()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn every_reply_roundtrips() {
+        for rep in all_replies() {
+            let back = BusReply::decode(&rep.encode()).unwrap();
+            assert_eq!(back, rep);
+        }
+    }
+
+    #[test]
+    fn directions_do_not_alias() {
+        // A reply payload must not decode as a request, and vice versa.
+        for rep in all_replies() {
+            assert!(matches!(
+                BusRequest::decode(&rep.encode()),
+                Err(WireError::BadTag(_))
+            ));
+        }
+        for req in all_requests() {
+            assert!(matches!(
+                BusReply::decode(&req.encode()),
+                Err(WireError::BadTag(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn every_reject_kind_roundtrips() {
+        for kind in [
+            RejectKind::Parse,
+            RejectKind::Compile,
+            RejectKind::Admission,
+            RejectKind::Update,
+            RejectKind::ShuttingDown,
+            RejectKind::Internal,
+        ] {
+            let rep = BusReply::Rejected {
+                kind,
+                message: kind.to_string(),
+            };
+            assert_eq!(BusReply::decode(&rep.encode()).unwrap(), rep);
+        }
+    }
+
+    #[test]
+    fn truncated_and_padded_payloads_fail_closed() {
+        let payload = BusReply::Snapshot {
+            generation: 9,
+            rules: vec!["x : fwd(3)".into()],
+        }
+        .encode();
+        for cut in 1..payload.len() {
+            assert!(
+                BusReply::decode(&payload[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        let mut padded = payload;
+        padded.push(0);
+        assert!(matches!(
+            BusReply::decode(&padded),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+}

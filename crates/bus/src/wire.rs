@@ -1,0 +1,251 @@
+//! Frame codec and field primitives.
+//!
+//! A frame is `u32 BE payload-length` followed by the payload. The
+//! payload's first byte is the message tag; the rest is a fixed field
+//! sequence per tag:
+//!
+//! * integers: `u64`/`u32` little-endian,
+//! * strings: `u32 LE` byte length + UTF-8 bytes,
+//! * string vectors: `u32 LE` count + each string.
+//!
+//! Decoding is strict: unknown tags, truncated fields, oversized
+//! frames, non-UTF-8 strings and trailing bytes are all typed errors —
+//! a control channel should fail loudly, not limp along on a skewed
+//! byte offset.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a single frame's payload, in bytes. A `Snapshot`
+/// reply carries every installed rule as text, so this bounds the
+/// subscription count one RPC can return (~4 MiB ≈ 80K rules); it also
+/// caps what a malicious peer can make the daemon buffer.
+pub const MAX_FRAME: usize = 4 << 20;
+
+/// Decode/transport failure for one frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket error (includes clean EOF mid-frame).
+    Io(io::Error),
+    /// Peer closed the connection cleanly between frames.
+    Closed,
+    /// Length prefix exceeded [`MAX_FRAME`].
+    TooLarge(usize),
+    /// Payload ended before the field being decoded.
+    Truncated,
+    /// First payload byte is not a known message tag.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Payload had bytes left after the last field of its tag.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "bus i/o error: {e}"),
+            WireError::Closed => write!(f, "bus connection closed"),
+            WireError::TooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            WireError::Truncated => write!(f, "frame truncated mid-field"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after last field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame. Prefix and payload go out in a
+/// single `write_all`: a two-segment write would hand TCP a lone
+/// 4-byte packet, and the Nagle/delayed-ACK interaction turns every
+/// RPC into two ~40 ms stalls.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME {
+        return Err(WireError::TooLarge(payload.len()));
+    }
+    let len = payload.len() as u32;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. A clean EOF *before* the length
+/// prefix is [`WireError::Closed`]; EOF mid-frame is an I/O error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..])? {
+            0 if got == 0 => return Err(WireError::Closed),
+            0 => return Err(WireError::Io(io::ErrorKind::UnexpectedEof.into())),
+            n => got += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------- fields
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn put_strs(out: &mut Vec<u8>, items: &[String]) {
+    put_u32(out, items.len() as u32);
+    for s in items {
+        put_str(out, s);
+    }
+}
+
+/// Cursor over a frame payload with typed take-or-`Truncated` reads.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    pub(crate) fn strs(&mut self) -> Result<Vec<String>, WireError> {
+        let count = self.u32()? as usize;
+        // A count can claim more entries than the payload could hold;
+        // cap the pre-allocation by the bytes actually present (each
+        // entry needs at least its 4-byte length).
+        let mut out = Vec::with_capacity(count.min(self.buf.len() / 4 + 1));
+        for _ in 0..count {
+            out.push(self.str()?);
+        }
+        Ok(out)
+    }
+
+    /// Decoding must consume the payload exactly.
+    pub(crate) fn finish(self) -> Result<(), WireError> {
+        let left = self.buf.len() - self.pos;
+        if left != 0 {
+            return Err(WireError::TrailingBytes(left));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cur = &buf[..];
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+        assert!(matches!(read_frame(&mut cur), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_be_bytes());
+        let mut cur = &buf[..];
+        assert!(matches!(read_frame(&mut cur), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_io_error_not_closed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(b"abc"); // promised 8, delivered 3
+        let mut cur = &buf[..];
+        assert!(matches!(read_frame(&mut cur), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn reader_rejects_truncation_and_trailing_bytes() {
+        let mut out = Vec::new();
+        put_str(&mut out, "rule");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.str().unwrap(), "rule");
+        r.finish().unwrap();
+
+        let mut r = Reader::new(&out[..out.len() - 1]);
+        assert!(matches!(r.str(), Err(WireError::Truncated)));
+
+        let mut padded = out.clone();
+        padded.push(0);
+        let mut r = Reader::new(&padded);
+        r.str().unwrap();
+        assert!(matches!(r.finish(), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn non_utf8_string_is_a_typed_error() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 2);
+        out.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = Reader::new(&out);
+        assert!(matches!(r.str(), Err(WireError::BadUtf8)));
+    }
+}

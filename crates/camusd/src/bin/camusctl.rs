@@ -1,0 +1,243 @@
+//! `camusctl` — the operator CLI for a running `camusd`.
+//!
+//! One subcommand per bus RPC, plus `stats --watch`: a top-style live
+//! view computing rates from successive [`StatsFrame`] diffs.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use camus_bus::{BusAddr, BusClient, BusReply, BusRequest, StatsFrame};
+
+const USAGE: &str = "\
+camusctl — control a running camusd
+
+USAGE:
+    camusctl [--bus ADDR] <COMMAND> [ARGS]
+
+COMMANDS:
+    ping                        liveness round trip
+    subscribe RULE...           install rules (one epoch, all-or-nothing)
+    unsubscribe RULE...         remove rules
+    snapshot                    print the installed rule set
+    stats                       print one stats sample
+    stats --watch [N]           live view, N samples (default: forever)
+          [--interval-ms MS]    sample period [1000]
+    shutdown                    ask the daemon to quiesce and exit
+
+The bus address defaults to unix:/tmp/camusd.sock; rules are quoted
+subscription-language text, e.g. 'stock == GOOGL and price > 500 : fwd(7)'.
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("camusctl: {msg}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bus = BusAddr::Unix("/tmp/camusd.sock".into());
+    if args.first().map(String::as_str) == Some("--bus") {
+        if args.len() < 2 {
+            return fail("--bus needs a value");
+        }
+        match BusAddr::parse(&args[1]) {
+            Ok(addr) => bus = addr,
+            Err(e) => return fail(&e),
+        }
+        args.drain(..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        print!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+
+    let mut client = match BusClient::connect(&bus) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("connect {bus}: {e}")),
+    };
+
+    match command.as_str() {
+        "ping" => match client.ping() {
+            Ok(()) => {
+                println!("pong");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e.to_string()),
+        },
+        "subscribe" | "unsubscribe" => {
+            if rest.is_empty() {
+                return fail(&format!("{command} needs at least one rule"));
+            }
+            let rules: Vec<String> = rest.to_vec();
+            let req = if command == "subscribe" {
+                BusRequest::Subscribe { rules }
+            } else {
+                BusRequest::Unsubscribe { rules }
+            };
+            match client.request(&req) {
+                Ok(BusReply::Ack {
+                    generation,
+                    coalesced_with,
+                }) => {
+                    println!(
+                        "ok: {} rule(s) at generation {generation} (epoch shared by \
+                         {coalesced_with} request(s))",
+                        rest.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Ok(BusReply::Rejected { kind, message }) => {
+                    eprintln!("rejected ({kind}): {message}");
+                    ExitCode::from(3)
+                }
+                Ok(BusReply::ShuttingDown) => fail("daemon is shutting down"),
+                Ok(other) => fail(&format!("unexpected reply: {other:?}")),
+                Err(e) => fail(&e.to_string()),
+            }
+        }
+        "snapshot" => match client.snapshot() {
+            Ok((generation, rules)) => {
+                println!("# generation {generation}, {} rule(s)", rules.len());
+                for rule in rules {
+                    println!("{rule}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e.to_string()),
+        },
+        "stats" => run_stats(&mut client, rest),
+        "shutdown" => match client.request(&BusRequest::Shutdown) {
+            Ok(BusReply::ShuttingDown) => {
+                println!("shutting down");
+                ExitCode::SUCCESS
+            }
+            Ok(other) => fail(&format!("unexpected reply: {other:?}")),
+            Err(e) => fail(&e.to_string()),
+        },
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown command {other}\n\n{USAGE}")),
+    }
+}
+
+/// `stats`: one sample, or `--watch` for a rate view from frame diffs.
+fn run_stats(client: &mut BusClient, rest: &[String]) -> ExitCode {
+    let mut watch: Option<u64> = None;
+    let mut interval_ms: u64 = 1000;
+    let mut it = rest.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--watch" => {
+                watch = Some(u64::MAX);
+                if let Some(n) = it.peek().and_then(|s| s.parse::<u64>().ok()) {
+                    watch = Some(n);
+                    it.next();
+                }
+            }
+            "--interval-ms" => match it.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(ms) => interval_ms = ms.max(10),
+                None => return fail("--interval-ms needs a number"),
+            },
+            other => return fail(&format!("unknown stats flag {other}")),
+        }
+    }
+
+    let Some(samples) = watch else {
+        return match client.stats() {
+            Ok(frame) => {
+                print_frame(&frame);
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e.to_string()),
+        };
+    };
+
+    let mut prev: Option<StatsFrame> = None;
+    let mut taken = 0u64;
+    while taken < samples {
+        let frame = match client.stats() {
+            Ok(f) => f,
+            Err(e) => return fail(&e.to_string()),
+        };
+        if let Some(p) = prev {
+            print_rates(&p, &frame, interval_ms);
+        } else {
+            print_frame(&frame);
+        }
+        prev = Some(frame);
+        taken += 1;
+        if taken < samples {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_frame(f: &StatsFrame) {
+    let apply_mean_us = if f.apply_count > 0 {
+        f.apply_ns_total as f64 / f.apply_count as f64 / 1e3
+    } else {
+        0.0
+    };
+    let coalesce = if f.epochs > 0 {
+        f.mutations_applied as f64 / f.epochs as f64
+    } else {
+        0.0
+    };
+    println!(
+        "gen={} rules={} workers={} packets={} epochs={} mutations={} rejected={} \
+         coalesce={:.2} rpcs={} clients={} apply_mean_us={:.1} uptime_s={:.1}",
+        f.generation,
+        f.active_rules,
+        f.workers,
+        f.packets,
+        f.epochs,
+        f.mutations_applied,
+        f.mutations_rejected,
+        coalesce,
+        f.rpcs,
+        f.clients,
+        apply_mean_us,
+        f.uptime_ms as f64 / 1e3,
+    );
+}
+
+/// Rates between two frames — the lqtop-style live view.
+fn print_rates(prev: &StatsFrame, cur: &StatsFrame, interval_ms: u64) {
+    let dt = ((cur.uptime_ms.saturating_sub(prev.uptime_ms)).max(1) as f64 / 1e3)
+        .max(interval_ms as f64 / 2e3);
+    let rate = |a: u64, b: u64| (b.saturating_sub(a)) as f64 / dt;
+    let d_apply_ns = cur.apply_ns_total.saturating_sub(prev.apply_ns_total);
+    let d_apply_n = cur.apply_count.saturating_sub(prev.apply_count);
+    let apply_mean_us = if d_apply_n > 0 {
+        d_apply_ns as f64 / d_apply_n as f64 / 1e3
+    } else {
+        0.0
+    };
+    let d_epochs = cur.epochs.saturating_sub(prev.epochs);
+    let d_mutations = cur.mutations_applied.saturating_sub(prev.mutations_applied);
+    let coalesce = if d_epochs > 0 {
+        d_mutations as f64 / d_epochs as f64
+    } else {
+        0.0
+    };
+    println!(
+        "gen={} rules={} pkts/s={:.0} mut/s={:.1} epochs/s={:.1} coalesce={:.2} \
+         rpcs/s={:.1} clients={} apply_mean_us={:.1} uptime_s={:.1}",
+        cur.generation,
+        cur.active_rules,
+        rate(prev.packets, cur.packets),
+        rate(prev.mutations_applied, cur.mutations_applied),
+        rate(prev.epochs, cur.epochs),
+        coalesce,
+        rate(prev.rpcs, cur.rpcs),
+        cur.clients,
+        apply_mean_us,
+        cur.uptime_ms as f64 / 1e3,
+    );
+}

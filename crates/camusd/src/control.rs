@@ -1,0 +1,600 @@
+//! The control thread: owns the engine and the compiler session,
+//! pumps the internal feed, and drains bus RPCs — coalescing pending
+//! mutations into batched `apply_update` epochs.
+//!
+//! Ordering contract: each connection sends one request at a time and
+//! blocks on its reply, so per-client FIFO holds trivially; across
+//! clients the only guarantee is that an `Ack { generation }` means
+//! the mutation is visible to every packet submitted after the ack
+//! was sent (the engine publishes before the ack, and publish
+//! ordering is the RCU generation order).
+
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use camus_bus::{
+    read_frame, write_frame, BusListener, BusReply, BusRequest, RejectKind, WireError,
+};
+use camus_core::{CompilerOptions, IncrementalCompiler};
+use camus_engine::{Engine, EngineFault};
+use camus_lang::{ast::Rule, parse_rule, Spec};
+use camus_telemetry::SpanKind;
+
+use crate::{BusCounters, DaemonReport, Shared};
+
+/// Messages into the control thread.
+pub enum Ctl {
+    /// One decoded RPC plus its reply channel.
+    Rpc {
+        /// The request.
+        req: BusRequest,
+        /// Where the handler thread waits for the reply.
+        reply: mpsc::Sender<BusReply>,
+    },
+    /// Raw packets to submit (test hook; races RPCs like the feed).
+    Inject {
+        /// `(frame bytes, now_us)` pairs.
+        packets: Vec<(Vec<u8>, u64)>,
+    },
+    /// Quiesce and exit.
+    Shutdown,
+}
+
+/// A parsed, validated mutation waiting for its epoch.
+struct PendingMutation {
+    add: Vec<Rule>,
+    remove: Vec<Rule>,
+    reply: mpsc::Sender<BusReply>,
+}
+
+/// Packets submitted per control-loop tick while feeding. Small
+/// enough that a pending RPC waits at most one burst (~10 µs of
+/// submit work), large enough to amortize the channel poll.
+const FEED_BURST: usize = 256;
+
+pub(crate) struct ControlState {
+    engine: Engine,
+    /// `None` after an unrecoverable resync failure — mutations are
+    /// then rejected `Internal` but the data path keeps forwarding.
+    session: Option<IncrementalCompiler>,
+    /// The rule set the engine is actually running (the session can
+    /// run ahead of it transiently inside a failed update; `resync`
+    /// restores it from here).
+    committed: Vec<Rule>,
+    base_pool: Vec<Rule>,
+    spec: Spec,
+    options: CompilerOptions,
+    coalesce_max: usize,
+    feed: Vec<Vec<u8>>,
+    feed_loop: bool,
+    feed_pos: usize,
+    feed_clock_us: u64,
+    feed_submitted: u64,
+    shared: Arc<Shared>,
+    bus: BusCounters,
+}
+
+#[allow(clippy::too_many_arguments)] // one-shot constructor, called once
+impl ControlState {
+    pub(crate) fn new(
+        engine: Engine,
+        session: IncrementalCompiler,
+        committed: Vec<Rule>,
+        base_pool: Vec<Rule>,
+        spec: Spec,
+        options: CompilerOptions,
+        coalesce_max: usize,
+        feed: Vec<Vec<u8>>,
+        feed_loop: bool,
+        shared: Arc<Shared>,
+    ) -> Self {
+        ControlState {
+            engine,
+            session: Some(session),
+            committed,
+            base_pool,
+            spec,
+            options,
+            coalesce_max,
+            feed,
+            feed_loop,
+            feed_pos: 0,
+            feed_clock_us: 0,
+            feed_submitted: 0,
+            shared,
+            bus: BusCounters::default(),
+        }
+    }
+
+    /// The control loop. Returns the final report after shutdown.
+    pub(crate) fn run(mut self, rx: mpsc::Receiver<Ctl>) -> DaemonReport {
+        loop {
+            let feeding = self.pump_feed();
+            let msg = if feeding {
+                match rx.try_recv() {
+                    Ok(m) => Some(m),
+                    Err(mpsc::TryRecvError::Empty) => None,
+                    Err(mpsc::TryRecvError::Disconnected) => break,
+                }
+            } else {
+                match rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok(m) => Some(m),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            };
+            match msg {
+                None => continue,
+                Some(Ctl::Shutdown) => break,
+                Some(Ctl::Inject { packets }) => {
+                    for (bytes, now_us) in &packets {
+                        self.engine.submit(bytes, *now_us);
+                    }
+                    self.publish_ops();
+                }
+                Some(Ctl::Rpc { req, reply }) => {
+                    if self.handle_rpc(req, reply, &rx) {
+                        break; // a Shutdown arrived mid-drain
+                    }
+                    self.publish_ops();
+                }
+            }
+        }
+        self.shutdown(&rx)
+    }
+
+    /// Submits one feed burst; `true` while the feed has more to give
+    /// (so the RPC poll stays non-blocking).
+    fn pump_feed(&mut self) -> bool {
+        if self.feed.is_empty() {
+            return false;
+        }
+        if self.feed_pos >= self.feed.len() {
+            if !self.feed_loop {
+                return false;
+            }
+            self.feed_pos = 0;
+        }
+        let end = (self.feed_pos + FEED_BURST).min(self.feed.len());
+        for i in self.feed_pos..end {
+            self.feed_clock_us += 25;
+            self.engine.submit(&self.feed[i], self.feed_clock_us);
+            self.feed_submitted += 1;
+        }
+        self.feed_pos = end;
+        self.publish_ops();
+        self.feed_loop || self.feed_pos < self.feed.len()
+    }
+
+    /// Handles one RPC; mutations open a coalescing window over the
+    /// queue. Returns `true` if a `Shutdown` was drained mid-batch.
+    fn handle_rpc(
+        &mut self,
+        req: BusRequest,
+        reply: mpsc::Sender<BusReply>,
+        rx: &mpsc::Receiver<Ctl>,
+    ) -> bool {
+        match req {
+            BusRequest::Ping => {
+                let _ = reply.send(BusReply::Pong);
+                false
+            }
+            BusRequest::Snapshot => {
+                let _ = reply.send(self.snapshot_reply());
+                false
+            }
+            BusRequest::Stats => {
+                let _ = reply.send(BusReply::Stats(self.stats_frame()));
+                false
+            }
+            BusRequest::Shutdown => {
+                let _ = reply.send(BusReply::ShuttingDown);
+                true
+            }
+            BusRequest::Subscribe { .. } | BusRequest::Unsubscribe { .. } => {
+                self.coalesce_and_apply(req, reply, rx)
+            }
+        }
+    }
+
+    /// Opens the coalescing window: the triggering mutation plus up to
+    /// `coalesce_max - 1` more already-queued mutations become one
+    /// epoch. Non-mutation RPCs drained along the way are answered
+    /// inline (their connections have nothing else in flight, so no
+    /// ordering is violated). Returns `true` on a drained `Shutdown`.
+    fn coalesce_and_apply(
+        &mut self,
+        first: BusRequest,
+        first_reply: mpsc::Sender<BusReply>,
+        rx: &mpsc::Receiver<Ctl>,
+    ) -> bool {
+        // Validation view: committed ∪ pending batch, so intra-batch
+        // conflicts (double-subscribe of one rule) reject up front
+        // instead of poisoning the whole epoch.
+        let mut view = self.committed.clone();
+        let mut batch: Vec<PendingMutation> = Vec::new();
+        let mut shutdown = false;
+
+        if let Some(pm) = self.admit_to_batch(first, first_reply, &mut view) {
+            batch.push(pm);
+        }
+        while !shutdown && !batch.is_empty() && batch.len() < self.coalesce_max {
+            match rx.try_recv() {
+                Ok(Ctl::Rpc {
+                    req: req @ (BusRequest::Subscribe { .. } | BusRequest::Unsubscribe { .. }),
+                    reply,
+                }) => {
+                    if let Some(pm) = self.admit_to_batch(req, reply, &mut view) {
+                        batch.push(pm);
+                    }
+                }
+                Ok(Ctl::Rpc { req, reply }) => {
+                    // Inline: Ping/Snapshot/Stats answered against the
+                    // pre-epoch state; Shutdown ends the drain.
+                    if self.handle_simple(req, reply) {
+                        shutdown = true;
+                    }
+                }
+                Ok(Ctl::Inject { packets }) => {
+                    for (bytes, now_us) in &packets {
+                        self.engine.submit(bytes, *now_us);
+                    }
+                }
+                Ok(Ctl::Shutdown) => shutdown = true,
+                Err(_) => break,
+            }
+        }
+
+        if !batch.is_empty() {
+            self.apply_epoch(batch, view);
+        }
+        shutdown
+    }
+
+    /// Non-mutation subset of `handle_rpc`, usable mid-drain. Returns
+    /// `true` for `Shutdown`.
+    fn handle_simple(&mut self, req: BusRequest, reply: mpsc::Sender<BusReply>) -> bool {
+        match req {
+            BusRequest::Ping => {
+                let _ = reply.send(BusReply::Pong);
+                false
+            }
+            BusRequest::Snapshot => {
+                let _ = reply.send(self.snapshot_reply());
+                false
+            }
+            BusRequest::Stats => {
+                let _ = reply.send(BusReply::Stats(self.stats_frame()));
+                false
+            }
+            BusRequest::Shutdown => {
+                let _ = reply.send(BusReply::ShuttingDown);
+                true
+            }
+            // Unreachable: callers route mutations to the batch path.
+            BusRequest::Subscribe { .. } | BusRequest::Unsubscribe { .. } => {
+                let _ = reply.send(BusReply::Rejected {
+                    kind: RejectKind::Internal,
+                    message: "mutation routed past the batch path".into(),
+                });
+                false
+            }
+        }
+    }
+
+    /// Parses and validates one mutation against the batch view. On
+    /// failure the request is rejected immediately and `None` is
+    /// returned; on success the view advances and the caller gets the
+    /// pending entry.
+    fn admit_to_batch(
+        &mut self,
+        req: BusRequest,
+        reply: mpsc::Sender<BusReply>,
+        view: &mut Vec<Rule>,
+    ) -> Option<PendingMutation> {
+        let (texts, is_add) = match req {
+            BusRequest::Subscribe { rules } => (rules, true),
+            BusRequest::Unsubscribe { rules } => (rules, false),
+            _ => return None,
+        };
+        if texts.is_empty() {
+            self.reject(&reply, RejectKind::Parse, "no rules in request");
+            return None;
+        }
+        let mut parsed = Vec::with_capacity(texts.len());
+        for text in &texts {
+            match parse_rule(text) {
+                Ok(rule) => parsed.push(rule),
+                Err(e) => {
+                    self.reject(&reply, RejectKind::Parse, &format!("{text:?}: {e}"));
+                    return None;
+                }
+            }
+        }
+        if is_add {
+            for rule in &parsed {
+                if view.contains(rule) {
+                    self.reject(
+                        &reply,
+                        RejectKind::Compile,
+                        &format!("already subscribed: {rule}"),
+                    );
+                    return None;
+                }
+            }
+            view.extend(parsed.iter().cloned());
+            Some(PendingMutation {
+                add: parsed,
+                remove: Vec::new(),
+                reply,
+            })
+        } else {
+            for rule in &parsed {
+                if !view.contains(rule) {
+                    self.reject(
+                        &reply,
+                        RejectKind::Compile,
+                        &format!("not subscribed: {rule}"),
+                    );
+                    return None;
+                }
+            }
+            view.retain(|r| !parsed.contains(r));
+            Some(PendingMutation {
+                add: Vec::new(),
+                remove: parsed,
+                reply,
+            })
+        }
+    }
+
+    /// Compiles and publishes one epoch for the whole batch. On a
+    /// batched failure, falls back to applying each request serially
+    /// so one poisonous request cannot reject its epoch-mates.
+    fn apply_epoch(&mut self, batch: Vec<PendingMutation>, view: Vec<Rule>) {
+        let adds: Vec<Rule> = batch.iter().flat_map(|m| m.add.iter().cloned()).collect();
+        let removes: Vec<Rule> = batch
+            .iter()
+            .flat_map(|m| m.remove.iter().cloned())
+            .collect();
+        match self.try_update(&adds, &removes) {
+            Ok(generation) => {
+                self.committed = view;
+                self.bus.epochs += 1;
+                self.bus.mutations_applied += (adds.len() + removes.len()) as u64;
+                if batch.len() > 1 {
+                    self.bus.requests_coalesced += batch.len() as u64;
+                }
+                let coalesced_with = batch.len() as u32;
+                for m in batch {
+                    let _ = m.reply.send(BusReply::Ack {
+                        generation,
+                        coalesced_with,
+                    });
+                }
+            }
+            Err((kind, message)) if batch.len() == 1 => {
+                if let Some(m) = batch.into_iter().next() {
+                    self.reject(&m.reply, kind, &message);
+                }
+            }
+            Err(_) => {
+                // Serial fallback: per-request epochs against the
+                // restored committed state.
+                for m in batch {
+                    match self.try_update(&m.add, &m.remove) {
+                        Ok(generation) => {
+                            self.committed.retain(|r| !m.remove.contains(r));
+                            self.committed.extend(m.add.iter().cloned());
+                            self.bus.epochs += 1;
+                            self.bus.mutations_applied += (m.add.len() + m.remove.len()) as u64;
+                            let _ = m.reply.send(BusReply::Ack {
+                                generation,
+                                coalesced_with: 1,
+                            });
+                        }
+                        Err((kind, message)) => self.reject(&m.reply, kind, &message),
+                    }
+                }
+            }
+        }
+    }
+
+    /// One compile + `apply_update` round trip. Any failure restores
+    /// the session to the committed rule set before returning, because
+    /// `IncrementalCompiler::update` advances the session *before* the
+    /// engine's admission verdict.
+    fn try_update(&mut self, adds: &[Rule], removes: &[Rule]) -> Result<u64, (RejectKind, String)> {
+        let Some(session) = self.session.as_mut() else {
+            return Err((
+                RejectKind::Internal,
+                "compiler session unavailable (resync failed)".into(),
+            ));
+        };
+        let report = match session.update(adds, removes) {
+            Ok(report) => report,
+            Err(e) => {
+                self.resync();
+                return Err((RejectKind::Compile, e.to_string()));
+            }
+        };
+        match self.engine.apply_update(&report) {
+            Ok(()) => Ok(self.engine.generation()),
+            Err(fault) => {
+                let kind = match &fault {
+                    EngineFault::Admission(_) => RejectKind::Admission,
+                    _ => RejectKind::Update,
+                };
+                let message = fault.to_string();
+                self.resync();
+                Err((kind, message))
+            }
+        }
+    }
+
+    /// Rebuilds the compiler session from the committed rule set. The
+    /// repo's churn differential proves a fresh session's emission is
+    /// bit-identical to the incremental path, so the rebuilt session's
+    /// view matches the engine's installed template and future deltas
+    /// splice cleanly.
+    fn resync(&mut self) {
+        self.session = None;
+        let mut alphabet = self.base_pool.clone();
+        for rule in &self.committed {
+            if !alphabet.contains(rule) {
+                alphabet.push(rule.clone());
+            }
+        }
+        if let Ok(mut session) =
+            IncrementalCompiler::new(self.spec.clone(), &self.options, &alphabet)
+        {
+            if session.install(&self.committed).is_ok() {
+                self.session = Some(session);
+            }
+        }
+    }
+
+    fn reject(&mut self, reply: &mpsc::Sender<BusReply>, kind: RejectKind, message: &str) {
+        self.bus.mutations_rejected += 1;
+        let _ = reply.send(BusReply::Rejected {
+            kind,
+            message: message.to_string(),
+        });
+    }
+
+    fn snapshot_reply(&self) -> BusReply {
+        let mut rules: Vec<String> = self.committed.iter().map(|r| r.to_string()).collect();
+        rules.sort();
+        BusReply::Snapshot {
+            generation: self.engine.generation(),
+            rules,
+        }
+    }
+
+    fn stats_frame(&self) -> camus_bus::StatsFrame {
+        let spans = self.engine.control_spans();
+        let apply = spans.get(SpanKind::ApplyUpdate);
+        camus_bus::StatsFrame {
+            generation: self.engine.generation(),
+            active_rules: self.committed.len() as u64,
+            workers: self.shared.ops.lock().map(|o| o.workers).unwrap_or(0),
+            packets: self.engine.submitted(),
+            epochs: self.bus.epochs,
+            mutations_applied: self.bus.mutations_applied,
+            mutations_rejected: self.bus.mutations_rejected,
+            requests_coalesced: self.bus.requests_coalesced,
+            rpcs: self.shared.rpcs.load(Ordering::Relaxed),
+            clients: self.shared.clients.load(Ordering::Relaxed),
+            uptime_ms: self.shared.started.elapsed().as_millis() as u64,
+            apply_ns_total: apply.total_ns,
+            apply_count: apply.count,
+        }
+    }
+
+    /// Publishes the metrics view (cheap: one mutex write, off the
+    /// packet path).
+    fn publish_ops(&self) {
+        if let Ok(mut ops) = self.shared.ops.lock() {
+            ops.generation = self.engine.generation();
+            ops.packets = self.engine.submitted();
+            ops.active_rules = self.committed.len() as u64;
+            ops.epochs = self.bus.epochs;
+            ops.mutations_applied = self.bus.mutations_applied;
+            ops.mutations_rejected = self.bus.mutations_rejected;
+            ops.requests_coalesced = self.bus.requests_coalesced;
+            ops.feed_packets = self.feed_submitted;
+            ops.spans = self.engine.control_spans();
+        }
+    }
+
+    /// Drain-and-exit: refuse queued RPCs, quiesce, report.
+    fn shutdown(mut self, rx: &mpsc::Receiver<Ctl>) -> DaemonReport {
+        self.publish_ops();
+        // Stop the accept loops and the metrics server first so no new
+        // work arrives while draining.
+        self.shared.running.store(false, Ordering::Release);
+        while let Ok(msg) = rx.try_recv() {
+            if let Ctl::Rpc { reply, .. } = msg {
+                let _ = reply.send(BusReply::ShuttingDown);
+            }
+        }
+        self.bus.rpcs = self.shared.rpcs.load(Ordering::Relaxed);
+        let submitted = self.engine.submitted();
+        let (engine, drained) = self.engine.shutdown();
+        let mut active_rules: Vec<String> = self.committed.iter().map(|r| r.to_string()).collect();
+        active_rules.sort();
+        DaemonReport {
+            engine,
+            clean_quiesce: drained.is_ok(),
+            submitted,
+            active_rules,
+            bus: self.bus,
+        }
+    }
+}
+
+/// Accepts bus connections until the daemon stops; one handler thread
+/// per connection.
+pub(crate) fn accept_loop(listener: BusListener, tx: mpsc::Sender<Ctl>, shared: Arc<Shared>) {
+    while shared.running.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok(conn) => {
+                let tx = tx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    shared.clients.fetch_add(1, Ordering::Relaxed);
+                    handle_connection(conn, tx, &shared);
+                    shared.clients.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+            Err(WireError::Io(e)) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// One connection: frame-decode requests, forward to the control
+/// thread, write the reply back. Strictly one request in flight.
+fn handle_connection(mut conn: camus_bus::BusStream, tx: mpsc::Sender<Ctl>, shared: &Shared) {
+    loop {
+        let payload = match read_frame(&mut conn) {
+            Ok(p) => p,
+            Err(_) => return, // closed or broken — nothing to answer
+        };
+        shared.rpcs.fetch_add(1, Ordering::Relaxed);
+        let req = match BusRequest::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                // Typed decode failure, then hang up: the stream
+                // offset can no longer be trusted.
+                let _ = write_frame(
+                    &mut conn,
+                    &BusReply::Rejected {
+                        kind: RejectKind::Internal,
+                        message: format!("bad frame: {e}"),
+                    }
+                    .encode(),
+                );
+                return;
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let reply = if tx
+            .send(Ctl::Rpc {
+                req,
+                reply: reply_tx,
+            })
+            .is_ok()
+        {
+            reply_rx.recv().unwrap_or(BusReply::ShuttingDown)
+        } else {
+            BusReply::ShuttingDown
+        };
+        if write_frame(&mut conn, &reply.encode()).is_err() {
+            return;
+        }
+    }
+}

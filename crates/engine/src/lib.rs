@@ -1299,6 +1299,30 @@ impl Engine {
         }
     }
 
+    /// Control-plane span timings recorded so far (updates, installs,
+    /// quiesces, respawns). Worker-side spans only merge in at
+    /// [`Engine::finish`]; this is the live view a daemon's `/metrics`
+    /// endpoint serves between updates.
+    pub fn control_spans(&self) -> SpanSet {
+        self.spans.clone()
+    }
+
+    /// Updates refused by admission control so far (the live
+    /// counterpart of [`FaultStats::updates_rejected`]).
+    pub fn updates_rejected(&self) -> u64 {
+        self.updates_rejected
+    }
+
+    /// SIGTERM-clean shutdown: quiesce — draining every in-flight
+    /// batch — then join and report. The quiesce outcome is returned
+    /// alongside the report so a service shell can distinguish a clean
+    /// drain (exact ledger guaranteed) from a timed-out or killed one,
+    /// without losing the report either way.
+    pub fn shutdown(mut self) -> (EngineReport, Result<(), EngineFault>) {
+        let drained = self.quiesce();
+        (self.finish(), drained)
+    }
+
     fn publish(&mut self) {
         self.template.prepare();
         let next = Arc::new(self.template.clone());

@@ -85,15 +85,25 @@ fn random_packets(n: usize, seed: u64) -> Vec<Vec<u8>> {
 /// The soak proper: corrupted wire + scripted panics + a scripted
 /// worker death, at 1, 2 and 8 workers. Non-quarantined decisions must
 /// be bit-identical to the sequential oracle; counters must reconcile
-/// exactly.
+/// exactly. PR CI runs the single historical seed; the nightly
+/// workflow widens it via `CAMUS_SOAK_SEEDS` (each seed derives a
+/// fresh trace + fault plan).
 #[test]
 fn fault_soak_recovers_and_matches_oracle() {
+    for seed in camus_workload::soak_seeds(&[0x50AC]) {
+        run_fault_soak(seed);
+    }
+}
+
+fn run_fault_soak(seed: u64) {
     let pipeline = compiled_pipeline(&itch_cfg());
-    let clean = random_packets(600, 0xFA11);
+    // The trace seed is derived so the default plan seed (0x50AC)
+    // reproduces the historical 0xFA11 trace exactly.
+    let clean = random_packets(600, 0xFA11 ^ seed ^ 0x50AC);
     let plan = FaultPlan::generate(
         &clean,
         &FaultPlanConfig {
-            seed: 0x50AC,
+            seed,
             truncate_fraction: 0.05,
             bitflip_fraction: 0.05,
             panics: 2,
@@ -173,7 +183,10 @@ fn fault_soak_recovers_and_matches_oracle() {
             "workers={workers}: {:?}",
             report.faults
         );
-        assert!(report.faults.respawns >= report.faults.worker_deaths);
+        // A death near the trace tail may only be discovered during
+        // `finish`, which harvests (exact quarantine) without
+        // respawning — so respawns is bounded by deaths, not equal.
+        assert!(report.faults.respawns <= report.faults.worker_deaths);
         assert_eq!(report.faults.packets_quarantined, quarantined.len() as u64);
 
         // Oracle identity for every surviving packet. Decisions are in

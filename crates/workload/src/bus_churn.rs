@@ -1,0 +1,184 @@
+//! Concurrent-client churn driver for the `camusd` control bus: the
+//! realistic front end for update-plane benchmarks and soaks. N client
+//! threads each own a disjoint slice of a subscription pool and hammer
+//! the daemon with interleaved `Subscribe`/`Unsubscribe` RPCs,
+//! recording per-RPC round-trip latency and every ack's generation.
+//!
+//! The sub/unsub pattern is self-cancelling: each client subscribes
+//! rule *i*, and on the next op unsubscribes it again, so a completed
+//! run leaves the daemon's rule set exactly where it started — which
+//! is what lets a bench iterate the driver on one long-lived daemon.
+
+use std::time::Instant;
+
+use camus_bus::{BusAddr, BusClient, BusReply, BusRequest, WireError};
+use camus_lang::ast::Rule;
+
+/// One churn run's shape.
+#[derive(Debug, Clone)]
+pub struct BusChurnConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Mutation RPCs per client (subscribe/unsubscribe alternating;
+    /// even counts leave the rule set unchanged).
+    pub ops_per_client: usize,
+}
+
+impl Default for BusChurnConfig {
+    fn default() -> Self {
+        BusChurnConfig {
+            clients: 4,
+            ops_per_client: 16,
+        }
+    }
+}
+
+/// One client's view of a completed run.
+#[derive(Debug, Clone, Default)]
+pub struct BusChurnClientReport {
+    /// `(generation, coalesced_with)` for every ack, in issue order.
+    pub acks: Vec<(u64, u32)>,
+    /// Typed rejections received (kind, message).
+    pub rejections: Vec<(camus_bus::RejectKind, String)>,
+    /// Per-RPC round-trip nanoseconds, in issue order.
+    pub latencies_ns: Vec<u64>,
+}
+
+/// The merged run report.
+#[derive(Debug, Clone, Default)]
+pub struct BusChurnReport {
+    /// Per-client reports, index = client id.
+    pub clients: Vec<BusChurnClientReport>,
+    /// Total mutation RPCs issued.
+    pub ops: u64,
+    /// Total acks (accepted mutations).
+    pub accepted: u64,
+    /// Total typed rejections.
+    pub rejected: u64,
+    /// All round-trip latencies, sorted ascending.
+    pub latencies_ns: Vec<u64>,
+    /// Highest generation seen in any ack.
+    pub max_generation: u64,
+}
+
+impl BusChurnReport {
+    /// The p-th percentile round-trip latency (0.0..=1.0), ns.
+    pub fn latency_ns(&self, p: f64) -> u64 {
+        percentile(&self.latencies_ns, p)
+    }
+}
+
+/// The p-th percentile of an ascending-sorted sample, by rank.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs `cfg.clients` threads of alternating subscribe/unsubscribe
+/// churn against the daemon at `addr`. `pool` is split into disjoint
+/// per-client slices (clients never contend on a rule, so every
+/// rejection is a daemon bug, not an artifact of the driver); it must
+/// hold at least `clients` rules. Returns the merged report; transport
+/// errors on any client fail the whole run.
+pub fn run_bus_churn(
+    addr: &BusAddr,
+    pool: &[Rule],
+    cfg: &BusChurnConfig,
+) -> Result<BusChurnReport, WireError> {
+    let clients = cfg.clients.max(1);
+    let slice_len = pool.len() / clients;
+    if slice_len == 0 {
+        return Err(WireError::Io(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("pool of {} rules cannot feed {clients} clients", pool.len()),
+        )));
+    }
+
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            let rules: Vec<String> = pool[c * slice_len..(c + 1) * slice_len]
+                .iter()
+                .map(|r| r.to_string())
+                .collect();
+            let ops = cfg.ops_per_client;
+            std::thread::spawn(move || run_client(&addr, &rules, ops))
+        })
+        .collect();
+
+    let mut report = BusChurnReport::default();
+    for handle in handles {
+        let client = match handle.join() {
+            Ok(r) => r?,
+            Err(_) => {
+                return Err(WireError::Io(std::io::Error::other(
+                    "churn client thread panicked",
+                )))
+            }
+        };
+        report.ops += (client.acks.len() + client.rejections.len()) as u64;
+        report.accepted += client.acks.len() as u64;
+        report.rejected += client.rejections.len() as u64;
+        report.latencies_ns.extend_from_slice(&client.latencies_ns);
+        for &(generation, _) in &client.acks {
+            report.max_generation = report.max_generation.max(generation);
+        }
+        report.clients.push(client);
+    }
+    report.latencies_ns.sort_unstable();
+    Ok(report)
+}
+
+/// One client: op `i` subscribes rule `i/2`, op `i+1` unsubscribes it.
+/// An odd `ops` count leaves one extra rule installed — callers who
+/// need an unchanged final set should use even counts.
+fn run_client(
+    addr: &BusAddr,
+    rules: &[String],
+    ops: usize,
+) -> Result<BusChurnClientReport, WireError> {
+    let mut client = BusClient::connect(addr)?;
+    let mut report = BusChurnClientReport::default();
+    for op in 0..ops {
+        let rule = rules[(op / 2) % rules.len()].clone();
+        let req = if op % 2 == 0 {
+            BusRequest::Subscribe { rules: vec![rule] }
+        } else {
+            BusRequest::Unsubscribe { rules: vec![rule] }
+        };
+        let start = Instant::now();
+        let reply = client.request(&req)?;
+        report.latencies_ns.push(start.elapsed().as_nanos() as u64);
+        match reply {
+            BusReply::Ack {
+                generation,
+                coalesced_with,
+            } => report.acks.push((generation, coalesced_with)),
+            BusReply::Rejected { kind, message } => report.rejections.push((kind, message)),
+            other => {
+                return Err(WireError::Io(std::io::Error::other(format!(
+                    "unexpected churn reply: {other:?}"
+                ))))
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_ranks() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&sorted, 0.5), 51);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

@@ -27,15 +27,18 @@
 //!
 //! All generators are deterministic given a seed.
 
+pub mod bus_churn;
 pub mod churn;
 pub mod fabric;
 pub mod faults;
 pub mod interp;
 pub mod itch_subs;
 pub mod siena;
+pub mod soak;
 pub mod trace;
 pub mod zipf;
 
+pub use bus_churn::{run_bus_churn, BusChurnConfig, BusChurnReport};
 pub use churn::{itch_churn, siena_churn, ChurnConfig, ChurnSchedule, ChurnStep, SienaChurn};
 pub use fabric::{raw_field_extractor, RawExtractor};
 pub use faults::{
@@ -45,4 +48,5 @@ pub use faults::{
 pub use interp::{eval_cond, naive_ports, naive_ports_for_event};
 pub use itch_subs::{generate_itch_subscriptions, ItchSubsConfig};
 pub use siena::{SienaConfig, SienaWorkload};
+pub use soak::soak_seeds;
 pub use trace::{bench_feed, synthesize_feed, TimedPacket, TraceConfig, TraceKind};

@@ -1,0 +1,60 @@
+//! Seed-range plumbing for the soak suites. The chaos and
+//! fault-injection soaks run a fixed seed list in PR CI; the nightly
+//! workflow widens coverage by exporting `CAMUS_SOAK_SEEDS`, which
+//! this helper parses:
+//!
+//! * `CAMUS_SOAK_SEEDS=100..140` — half-open range,
+//! * `CAMUS_SOAK_SEEDS=7,19,0xFA11` — comma list (hex with `0x`),
+//! * unset or unparsable — the suite's built-in defaults.
+
+/// The seeds a soak should run: the parsed `CAMUS_SOAK_SEEDS`
+/// environment variable, or `defaults` when it is unset or invalid
+/// (an invalid value also prints a warning — a nightly run silently
+/// soaking the wrong seeds would be worse than failing loudly).
+pub fn soak_seeds(defaults: &[u64]) -> Vec<u64> {
+    match std::env::var("CAMUS_SOAK_SEEDS") {
+        Ok(raw) => match parse_seeds(&raw) {
+            Some(seeds) if !seeds.is_empty() => seeds,
+            _ => {
+                eprintln!("CAMUS_SOAK_SEEDS={raw:?} is not a range or seed list; using defaults");
+                defaults.to_vec()
+            }
+        },
+        Err(_) => defaults.to_vec(),
+    }
+}
+
+fn parse_one(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+fn parse_seeds(raw: &str) -> Option<Vec<u64>> {
+    if let Some((lo, hi)) = raw.split_once("..") {
+        let (lo, hi) = (parse_one(lo)?, parse_one(hi)?);
+        if hi <= lo || hi - lo > 10_000 {
+            return None;
+        }
+        return Some((lo..hi).collect());
+    }
+    raw.split(',').map(parse_one).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_lists_and_hex() {
+        assert_eq!(parse_seeds("100..104"), Some(vec![100, 101, 102, 103]));
+        assert_eq!(parse_seeds("7,19"), Some(vec![7, 19]));
+        assert_eq!(parse_seeds("0xFA11"), Some(vec![0xFA11]));
+        assert_eq!(parse_seeds("4..4"), None);
+        assert_eq!(parse_seeds("10..2"), None);
+        assert_eq!(parse_seeds("abc"), None);
+        assert_eq!(parse_seeds("0..1000000"), None, "runaway range refused");
+    }
+}

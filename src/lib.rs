@@ -27,6 +27,8 @@
 //! | [`engine`] | `camus-engine` | multi-core sharded forwarding engine (batched, allocation-free replay) |
 //! | [`fabric`] | `camus-fabric` | spine/leaf fabric: partitioned slices, two-phase epoch commit |
 //! | [`telemetry`] | `camus-telemetry` | lock-free counters/histograms, control-plane spans, Prometheus renderer |
+//! | [`bus`] | `camus-bus` | the control-bus wire protocol (framing, typed RPCs) and client |
+//! | [`daemon`] | `camusd` | the long-running service shell: bus server, batched epochs, live `/metrics` |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +62,7 @@
 //! evaluation.
 
 pub use camus_bdd as bdd;
+pub use camus_bus as bus;
 pub use camus_core as compiler;
 pub use camus_engine as engine;
 pub use camus_fabric as fabric;
@@ -69,3 +72,4 @@ pub use camus_netsim as netsim;
 pub use camus_pipeline as pipeline;
 pub use camus_telemetry as telemetry;
 pub use camus_workload as workload;
+pub use camusd as daemon;

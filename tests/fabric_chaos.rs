@@ -203,12 +203,23 @@ fn run_chaos_soak(seed: u64, leaves: usize, workers: usize) {
 
 #[test]
 fn seeded_chaos_soak_across_the_fabric_grid() {
-    // 2/4 leaves × 1/2/8 workers, one seeded schedule per cell.
-    for (i, (leaves, workers)) in [(2usize, 1usize), (2, 2), (2, 8), (4, 1), (4, 2), (4, 8)]
-        .into_iter()
-        .enumerate()
-    {
-        run_chaos_soak(100 + i as u64, leaves, workers);
+    // 2/4 leaves × 1/2/8 workers. PR CI runs one seeded schedule per
+    // cell; the nightly workflow widens coverage by exporting
+    // `CAMUS_SOAK_SEEDS` (every listed seed runs on every cell).
+    let grid = [(2usize, 1usize), (2, 2), (2, 8), (4, 1), (4, 2), (4, 8)];
+    let default_seeds: Vec<u64> = (0..grid.len() as u64).map(|i| 100 + i).collect();
+    let seeds = camus::workload::soak_seeds(&default_seeds);
+    if seeds == default_seeds {
+        // Default: one seed per cell, exactly the historical pairing.
+        for (seed, (leaves, workers)) in seeds.into_iter().zip(grid) {
+            run_chaos_soak(seed, leaves, workers);
+        }
+    } else {
+        for &seed in &seeds {
+            for (leaves, workers) in grid {
+                run_chaos_soak(seed, leaves, workers);
+            }
+        }
     }
 }
 
